@@ -1,0 +1,114 @@
+//! Microbenchmarks of the cryptographic substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pm_crypto::elgamal::{
+    decrypt, encrypt, keygen, mul_ciphertexts, rerandomize,
+};
+use pm_crypto::group::GroupParams;
+use pm_crypto::sha256::sha256;
+use pm_crypto::shuffle::{shuffle, ShuffleProof};
+use pm_crypto::zkp::{DleqProof, SchnorrProof, Transcript};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_ops(c: &mut Criterion) {
+    let gp = GroupParams::default_params();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = gp.random_scalar(&mut rng);
+    let a = gp.random_element(&mut rng);
+    let b_elem = gp.random_element(&mut rng);
+    c.bench_function("group/modexp", |b| {
+        b.iter(|| gp.pow(black_box(&a), black_box(&x)));
+    });
+    c.bench_function("group/mul", |b| {
+        b.iter(|| gp.mul(black_box(&a), black_box(&b_elem)));
+    });
+    c.bench_function("group/inv", |b| {
+        b.iter(|| gp.inv(black_box(&a)));
+    });
+}
+
+fn bench_elgamal(c: &mut Criterion) {
+    let gp = GroupParams::default_params();
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = keygen(&gp, &mut rng);
+    let m = gp.random_element(&mut rng);
+    let ct = encrypt(&gp, &kp.public, &m, &mut rng);
+    let ct2 = encrypt(&gp, &kp.public, &m, &mut rng);
+    c.bench_function("elgamal/encrypt", |b| {
+        b.iter(|| encrypt(&gp, &kp.public, black_box(&m), &mut rng));
+    });
+    c.bench_function("elgamal/decrypt", |b| {
+        b.iter(|| decrypt(&gp, &kp.secret, black_box(&ct)));
+    });
+    c.bench_function("elgamal/rerandomize", |b| {
+        b.iter(|| rerandomize(&gp, &kp.public, black_box(&ct), &mut rng));
+    });
+    c.bench_function("elgamal/mul", |b| {
+        b.iter(|| mul_ciphertexts(&gp, black_box(&ct), black_box(&ct2)));
+    });
+}
+
+fn bench_zkp(c: &mut Criterion) {
+    let gp = GroupParams::default_params();
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = gp.random_scalar(&mut rng);
+    let y = gp.g_pow(&x);
+    c.bench_function("zkp/schnorr_prove", |b| {
+        b.iter(|| SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"b"), &mut rng));
+    });
+    let proof = SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"b"), &mut rng);
+    c.bench_function("zkp/schnorr_verify", |b| {
+        b.iter(|| proof.verify(&gp, &y, &mut Transcript::new(b"b")));
+    });
+    let a = gp.random_element(&mut rng);
+    let d = gp.pow(&a, &x);
+    c.bench_function("zkp/dleq_prove", |b| {
+        b.iter(|| DleqProof::prove(&gp, &x, &a, &y, &d, &mut Transcript::new(b"b"), &mut rng));
+    });
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let gp = GroupParams::default_params();
+    let mut rng = StdRng::seed_from_u64(4);
+    let kp = keygen(&gp, &mut rng);
+    let cells: Vec<_> = (0..64)
+        .map(|_| {
+            let m = gp.random_element(&mut rng);
+            encrypt(&gp, &kp.public, &m, &mut rng)
+        })
+        .collect();
+    c.bench_function("shuffle/64cells", |b| {
+        b.iter(|| shuffle(&gp, &kp.public, black_box(&cells), &mut rng));
+    });
+    let (out, w) = shuffle(&gp, &kp.public, &cells, &mut rng);
+    c.bench_function("shuffle/prove_64cells_8rounds", |b| {
+        b.iter(|| ShuffleProof::prove(&gp, &kp.public, &cells, &out, &w, 8, &mut rng));
+    });
+    let proof = ShuffleProof::prove(&gp, &kp.public, &cells, &out, &w, 8, &mut rng);
+    c.bench_function("shuffle/verify_64cells_8rounds", |b| {
+        b.iter(|| proof.verify(&gp, &kp.public, &cells, &out));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_group_ops,
+    bench_elgamal,
+    bench_zkp,
+    bench_shuffle
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! One benchmark per paper table/figure: each runs the full measurement
+//! pipeline (generation → protocol → inference) at reduced scale and,
+//! once per process, prints the regenerated rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_bench::BENCH_SCALE;
+use std::sync::Once;
+use torstudy::deployment::Deployment;
+use torstudy::runner::registry;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_all_experiments(c: &mut Criterion) {
+    // Print the regenerated tables once, so `cargo bench` output doubles
+    // as a miniature EXPERIMENTS run.
+    PRINT_ONCE.call_once(|| {
+        let dep = Deployment::at_scale(BENCH_SCALE, 2018);
+        for entry in registry() {
+            let report = (entry.run)(&dep);
+            println!("{report}");
+        }
+    });
+
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for entry in registry() {
+        group.bench_function(format!("bench_{}", entry.id.to_lowercase()), |b| {
+            b.iter(|| {
+                let dep = Deployment::at_scale(BENCH_SCALE, 2018);
+                (entry.run)(&dep)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_experiments);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the statistical machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pm_stats::occupancy::OccupancyDist;
+use pm_stats::psc_ci::psc_confidence_interval;
+use pm_stats::sampling::{AliasTable, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_occupancy(c: &mut Criterion) {
+    c.bench_function("occupancy/exact_dp_4096bins_2000balls", |b| {
+        b.iter(|| OccupancyDist::exact(black_box(4096), black_box(2000)));
+    });
+    c.bench_function("occupancy/moments_1e6bins_4e5balls", |b| {
+        b.iter(|| {
+            (
+                OccupancyDist::mean_exact(black_box(1 << 20), black_box(400_000)),
+                OccupancyDist::variance_exact(black_box(1 << 20), black_box(400_000)),
+            )
+        });
+    });
+}
+
+fn bench_psc_ci(c: &mut Criterion) {
+    c.bench_function("psc_ci/exact_small", |b| {
+        b.iter(|| psc_confidence_interval(black_box(4096), black_box(900), 256, 0.95));
+    });
+    c.bench_function("psc_ci/normal_large", |b| {
+        b.iter(|| {
+            psc_confidence_interval(black_box(1 << 22), black_box(460_000), 10_000, 0.95)
+        });
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let weights: Vec<f64> = (1..=100_000).map(|r| 1.0 / r as f64).collect();
+    c.bench_function("sampling/alias_build_100k", |b| {
+        b.iter(|| AliasTable::new(black_box(&weights)));
+    });
+    let table = AliasTable::new(&weights);
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("alias_draw", |b| {
+        b.iter(|| table.sample(&mut rng));
+    });
+    let zipf = ZipfSampler::new(100_000, 1.0);
+    group.bench_function("zipf_draw", |b| {
+        b.iter(|| zipf.sample(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_event_generation(c: &mut Criterion) {
+    use torsim::geo::GeoDb;
+    use torsim::ids::RelayId;
+    use torsim::sampled::SampledSim;
+    use torsim::sites::{SiteList, SiteListConfig};
+    use torsim::workload::Workload;
+    let sites = SiteList::new(SiteListConfig {
+        alexa_size: 50_000,
+        long_tail_size: 100_000,
+        seed: 1,
+    });
+    let geo = GeoDb::paper_default();
+    let sim = SampledSim::new(&sites, &geo, vec![RelayId(0)]);
+    let truth = Workload::paper_default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("torsim");
+    // ~30k stream events per iteration.
+    group.throughput(Throughput::Elements(30_000));
+    group.bench_function("exit_streams_30k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            sim.exit_streams(&truth.exit, 0.015, 1e-3, false, &mut rng, |_| n += 1);
+            n
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_occupancy,
+    bench_psc_ci,
+    bench_sampling,
+    bench_event_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # pm-bench — criterion benchmarks
+//!
+//! * `benches/experiments.rs` — one bench per paper table/figure,
+//!   running the full pipeline at reduced scale and printing the
+//!   regenerated rows once per session;
+//! * `benches/crypto.rs`, `benches/stats.rs`, `benches/protocols.rs` —
+//!   microbenchmarks of the substrates;
+//! * `benches/ablations.rs` — the design-choice ablations called out in
+//!   DESIGN.md §7 (ZK verification on/off, noise allocation, oblivious
+//!   vs plaintext marking, table size vs estimator accuracy).
+
+/// Scale used by the per-experiment benches (keeps each iteration in
+/// the tens-of-milliseconds range).
+pub const BENCH_SCALE: f64 = 2e-4;

@@ -1,0 +1,68 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release --bin experiments -- [--scale S] [--seed N] [--only T4,F1] [--csv]
+//! ```
+//!
+//! Scale 1.0 reproduces paper-scale totals (minutes of runtime and
+//! gigabytes of events); the default 0.01 keeps every statistic's
+//! signal-to-noise ratio while running in seconds.
+
+use torstudy::deployment::Deployment;
+use torstudy::runner::{run_all, run_some};
+
+fn main() {
+    let mut scale = 0.01f64;
+    let mut seed = 2018u64;
+    let mut only: Option<Vec<String>> = None;
+    let mut csv = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float in (0, 1]");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args[i].split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--scale S] [--seed N] [--only T4,F1,...] [--csv]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("# deployment: 16 relays, 1 TS, 3 SKs, 3 CPs; scale {scale}, seed {seed}");
+    let dep = Deployment::at_scale(scale, seed);
+    let reports = match &only {
+        Some(ids) => {
+            let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+            run_some(&dep, &refs)
+        }
+        None => run_all(&dep),
+    };
+    for report in &reports {
+        if csv {
+            print!("{}", report.render_csv());
+        } else {
+            println!("{report}");
+        }
+    }
+    eprintln!("# {} experiment(s) completed", reports.len());
+}

@@ -1,0 +1,245 @@
+//! One module per reproduced table/figure.
+//!
+//! Every experiment follows the same shape: build the event generators
+//! from the deployment's ground truth and the measurement date's weight
+//! fraction, run the real PrivCount or PSC protocol, apply §3.3's
+//! inference, and emit a [`crate::report::Report`] comparing measured,
+//! ground truth, and paper values.
+
+pub mod extras;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+pub mod tab5;
+pub mod tab6;
+pub mod tab7;
+pub mod tab8;
+
+use crate::deployment::Deployment;
+use privcount::dc::EventGenerator;
+use pm_stats::sampling::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use torsim::ids::RelayId;
+use torsim::sampled::SampledSim;
+
+/// Builds one exit-stream generator per DC; each DC carries an equal
+/// slice of the measuring set's weight.
+pub(crate) fn exit_generators(
+    dep: &Deployment,
+    fraction: f64,
+    only_initial: bool,
+    num_dcs: usize,
+    label: &str,
+) -> Vec<EventGenerator> {
+    let truth = dep.workload.exit.clone();
+    (0..num_dcs)
+        .map(|i| {
+            let sites = Arc::clone(&dep.sites);
+            let geo = Arc::clone(&dep.geo);
+            let truth = truth.clone();
+            let scale = dep.scale;
+            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
+            let per_dc = fraction / num_dcs as f64;
+            let g: EventGenerator = Box::new(move |sink| {
+                let sim = SampledSim::new(&sites, &geo, vec![RelayId(i as u32)]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.exit_streams(&truth, per_dc, scale, only_initial, &mut rng, |ev| sink(ev));
+            });
+            g
+        })
+        .collect()
+}
+
+/// Builds client-traffic generators (connections/circuits/bytes).
+pub(crate) fn client_traffic_generators(
+    dep: &Deployment,
+    fraction: f64,
+    num_dcs: usize,
+    label: &str,
+) -> Vec<EventGenerator> {
+    let truth = dep.workload.clients.clone();
+    (0..num_dcs)
+        .map(|i| {
+            let sites = Arc::clone(&dep.sites);
+            let geo = Arc::clone(&dep.geo);
+            let truth = truth.clone();
+            let scale = dep.scale;
+            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
+            let per_dc = fraction / num_dcs as f64;
+            let g: EventGenerator = Box::new(move |sink| {
+                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.client_traffic(&truth, per_dc, scale, &mut rng, |ev| sink(ev));
+            });
+            g
+        })
+        .collect()
+}
+
+/// Builds a single generator emitting the unique-client-IP pool for a
+/// day (PSC measurements split the pool across DCs internally; union
+/// semantics make the split irrelevant).
+pub(crate) fn client_ip_generator(
+    dep: &Deployment,
+    observe_prob: f64,
+    day: u64,
+    label: &str,
+) -> EventGenerator {
+    let truth = dep.workload.clients.clone();
+    let sites = Arc::clone(&dep.sites);
+    let geo = Arc::clone(&dep.geo);
+    let scale = dep.scale;
+    let seed = derive_seed(dep.seed, label);
+    Box::new(move |sink| {
+        let sim = SampledSim::new(&sites, &geo, vec![RelayId(6)]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.client_ips(&truth, observe_prob, scale, day, &mut rng, |ev| sink(ev));
+    })
+}
+
+/// Builds HSDir publish generators.
+pub(crate) fn publish_generator(
+    dep: &Deployment,
+    observe_prob: f64,
+    label: &str,
+) -> EventGenerator {
+    let truth = dep.workload.onion.clone();
+    let sites = Arc::clone(&dep.sites);
+    let geo = Arc::clone(&dep.geo);
+    let scale = dep.scale;
+    let seed = derive_seed(dep.seed, label);
+    Box::new(move |sink| {
+        let sim = SampledSim::new(&sites, &geo, vec![RelayId(6)]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sim.hsdir_publishes(&truth, observe_prob, scale, &mut rng, |ev| sink(ev));
+    })
+}
+
+/// Builds HSDir fetch generators.
+pub(crate) fn fetch_generators(
+    dep: &Deployment,
+    event_fraction: f64,
+    addr_observe_prob: f64,
+    num_dcs: usize,
+    label: &str,
+) -> Vec<EventGenerator> {
+    let truth = dep.workload.onion.clone();
+    (0..num_dcs)
+        .map(|i| {
+            let sites = Arc::clone(&dep.sites);
+            let geo = Arc::clone(&dep.geo);
+            let truth = truth.clone();
+            let scale = dep.scale;
+            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
+            // Events split across DCs; each DC keeps the full
+            // address-level observation probability so the success
+            // stream is never starved (address identity across DCs only
+            // matters for PSC uniqueness rounds, which use num_dcs = 1).
+            let per_dc_events = event_fraction / num_dcs as f64;
+            let per_dc_addr = addr_observe_prob;
+            let g: EventGenerator = Box::new(move |sink| {
+                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.hsdir_fetches(
+                    &truth,
+                    per_dc_events,
+                    per_dc_addr,
+                    scale,
+                    &mut rng,
+                    |ev| sink(ev),
+                );
+            });
+            g
+        })
+        .collect()
+}
+
+/// Builds rendezvous generators.
+pub(crate) fn rend_generators(
+    dep: &Deployment,
+    fraction: f64,
+    num_dcs: usize,
+    label: &str,
+) -> Vec<EventGenerator> {
+    let truth = dep.workload.onion.clone();
+    (0..num_dcs)
+        .map(|i| {
+            let sites = Arc::clone(&dep.sites);
+            let geo = Arc::clone(&dep.geo);
+            let truth = truth.clone();
+            let scale = dep.scale;
+            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
+            let per_dc = fraction / num_dcs as f64;
+            let g: EventGenerator = Box::new(move |sink| {
+                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
+                let mut rng = StdRng::seed_from_u64(seed);
+                sim.rendezvous(&truth, per_dc, scale, &mut rng, |ev| sink(ev));
+            });
+            g
+        })
+        .collect()
+}
+
+/// Wraps privcount generators as PSC generators (same signature).
+pub(crate) fn as_psc_generators(
+    gens: Vec<EventGenerator>,
+) -> Vec<psc::dc::EventGenerator> {
+    gens.into_iter()
+        .map(|g| {
+            let pg: psc::dc::EventGenerator = g;
+            pg
+        })
+        .collect()
+}
+
+/// Default PrivCount round config for a deployment.
+pub(crate) fn privcount_round(
+    dep: &Deployment,
+    schema: privcount::counter::Schema,
+    label: &str,
+) -> privcount::round::RoundConfig {
+    privcount::round::RoundConfig {
+        counters: dep.scaled_specs(schema.counters),
+        mapper: schema.mapper,
+        num_sks: dep.num_sks,
+        noise: privcount::round::NoiseAllocation::Equal,
+        seed: derive_seed(dep.seed, label),
+        threaded: false,
+        faults: pm_net::transport::FaultConfig::none(),
+    }
+}
+
+/// Default PSC round config for a deployment. `expected_unique` sizes
+/// the table (4× the expectation keeps collision corrections small);
+/// `sensitivity` calibrates the per-CP binomial noise.
+pub(crate) fn psc_round(
+    dep: &Deployment,
+    expected_unique: f64,
+    sensitivity: u64,
+    label: &str,
+) -> psc::round::PscConfig {
+    let table_size = ((expected_unique * 4.0) as u32).next_power_of_two().max(256);
+    // Each honest CP's noise must alone satisfy (ε, δ); the calibration
+    // uses the paper's ε with a practical δ for the binomial mechanism.
+    // Like the Gaussian σ, the noise shrinks with the deployment scale:
+    // each synthetic user stands for 1/scale real users, so per-user
+    // sensitivity (and thus flips, which grow as k²) scales by scale².
+    let full = pm_dp::mechanism::binomial_flips_for(sensitivity, dep.eps(), 1e-6);
+    let flips = ((full as f64 * dep.scale * dep.scale).ceil() as u32).max(16);
+    psc::round::PscConfig {
+        table_size,
+        noise_flips_per_cp: flips,
+        num_cps: dep.num_cps,
+        verify: false,
+        seed: derive_seed(dep.seed, label),
+        threaded: false,
+        faults: pm_net::transport::FaultConfig::none(),
+    }
+}

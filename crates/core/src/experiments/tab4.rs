@@ -1,0 +1,80 @@
+//! Table 4: network-wide client usage (data, connections, circuits)
+//! inferred from PrivCount guard measurements.
+
+use crate::deployment::Deployment;
+use crate::experiments::{client_traffic_generators, privcount_round};
+use crate::report::{fmt_count, fmt_estimate, fmt_tib, Report, ReportRow};
+use privcount::{queries, run_round};
+
+/// Runs the Table 4 measurement.
+pub fn run(dep: &Deployment) -> Report {
+    let fraction = dep.weights.tab4_entry;
+    let schema = queries::client_traffic(dep.eps(), dep.delta());
+    let cfg = privcount_round(dep, schema, "tab4");
+    let gens = client_traffic_generators(dep, fraction, 10, "tab4");
+    let result = run_round(cfg, gens).expect("tab4 round");
+
+    let conns = dep.to_network(result.estimate("client.connections"), fraction);
+    let circuits = dep.to_network(result.estimate("client.circuits"), fraction);
+    let bytes = dep.to_network(result.estimate("client.bytes"), fraction);
+
+    let t = &dep.workload.clients;
+    let mut report = Report::new("T4", "Network-wide client usage statistics");
+    report.row(ReportRow::new(
+        "Data (TiB)",
+        format!(
+            "{} [{}; {}]",
+            fmt_tib(bytes.value),
+            fmt_tib(bytes.ci.lo),
+            fmt_tib(bytes.ci.hi)
+        ),
+        fmt_tib(t.bytes_per_day),
+        "517 TiB [504; 530]",
+    ));
+    report.row(ReportRow::new(
+        "Connections",
+        fmt_estimate(&conns),
+        fmt_count(t.connections_per_day),
+        "148e6 [143e6; 153e6]",
+    ));
+    report.row(ReportRow::new(
+        "Circuits",
+        fmt_estimate(&circuits),
+        fmt_count(t.circuits_per_day),
+        "1,286e6 [1,246e6; 1,326e6]",
+    ));
+    report.note(format!(
+        "entry selection probability {:.4}, scale {}",
+        fraction, dep.scale
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab4_recovers_truth() {
+        let dep = Deployment::at_scale(1e-3, 19);
+        let report = run(&dep);
+        // Connections row: measured within 10% of 1.48e8.
+        let conn: f64 = report.rows[1]
+            .measured
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((conn - 1.48e8).abs() / 1.48e8 < 0.1, "connections {conn:e}");
+        // Data row mentions TiB and is near 517.
+        let tib: f64 = report.rows[0]
+            .measured
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((tib - 517.0).abs() < 60.0, "data {tib} TiB");
+    }
+}

@@ -1,0 +1,35 @@
+//! # torstudy — the paper's measurement study, reproduced end to end
+//!
+//! Each module under [`experiments`] reproduces one table or figure of
+//! *Understanding Tor Usage with Privacy-Preserving Measurement* (Mani
+//! et al., IMC 2018): it configures the simulated deployment with the
+//! paper's per-date weight fractions, runs the real PrivCount or PSC
+//! protocol over the simulated event streams, applies the paper's
+//! statistical inference, and reports measured values next to the
+//! simulator's configured ground truth and the paper's published
+//! numbers.
+//!
+//! The [`deployment::Deployment`] carries a global `scale` in (0, 1]:
+//! workload totals (and, correspondingly, noise σ — each synthetic user
+//! stands for `1/scale` real users) are scaled so the pipeline runs
+//! anywhere from laptop-test size to paper size with the same
+//! signal-to-noise ratio. Linear statistics (counts, bytes) are
+//! rescaled back for the paper comparison; unique counts are compared
+//! at scale against the simulator's ground truth, with the paper values
+//! shown for shape (EXPERIMENTS.md discusses each case).
+
+pub mod deployment;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use deployment::Deployment;
+pub use report::{Report, ReportRow};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::deployment::Deployment;
+    pub use crate::experiments;
+    pub use crate::report::{Report, ReportRow};
+    pub use crate::runner::run_all;
+}

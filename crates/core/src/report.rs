@@ -1,0 +1,226 @@
+//! Experiment reports: measured vs ground truth vs paper.
+
+use pm_stats::Estimate;
+use std::fmt;
+
+/// One row of a report table.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    /// Statistic label.
+    pub label: String,
+    /// Our measured value (formatted, usually with a CI).
+    pub measured: String,
+    /// The simulator's configured/derived ground truth, if meaningful.
+    pub truth: String,
+    /// The paper's published value.
+    pub paper: String,
+}
+
+impl ReportRow {
+    /// Builds a row.
+    pub fn new(
+        label: impl Into<String>,
+        measured: impl Into<String>,
+        truth: impl Into<String>,
+        paper: impl Into<String>,
+    ) -> ReportRow {
+        ReportRow {
+            label: label.into(),
+            measured: measured.into(),
+            truth: truth.into(),
+            paper: paper.into(),
+        }
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id ("T4", "F1", …).
+    pub id: String,
+    /// Title, matching the paper's caption.
+    pub title: String,
+    /// Notes (scale caveats, calibration notes).
+    pub notes: Vec<String>,
+    /// The rows.
+    pub rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, row: ReportRow) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn render_text(&self) -> String {
+        let headers = ["statistic", "measured", "ground truth", "paper"];
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            widths[1] = widths[1].max(row.measured.len());
+            widths[2] = widths[2].max(row.truth.len());
+            widths[3] = widths[3].max(row.paper.len());
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let line = |cells: [&str; 4], widths: &[usize]| -> String {
+            format!(
+                "| {:<w0$} | {:<w1$} | {:<w2$} | {:<w3$} |\n",
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3],
+                w0 = widths[0],
+                w1 = widths[1],
+                w2 = widths[2],
+                w3 = widths[3],
+            )
+        };
+        let sep: String = format!(
+            "|{}|{}|{}|{}|\n",
+            "-".repeat(widths[0] + 2),
+            "-".repeat(widths[1] + 2),
+            "-".repeat(widths[2] + 2),
+            "-".repeat(widths[3] + 2)
+        );
+        out.push_str(&line(headers, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(
+                [&row.label, &row.measured, &row.truth, &row.paper],
+                &widths,
+            ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders CSV (one line per row, with id and label).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("id,label,measured,truth,paper\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                self.id,
+                csv_escape(&row.label),
+                csv_escape(&row.measured),
+                csv_escape(&row.truth),
+                csv_escape(&row.paper)
+            ));
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render_text())
+    }
+}
+
+// ----- formatting helpers shared by the experiment modules -----
+
+/// Formats a large count in engineering style (e.g. `2.03e9`).
+pub fn fmt_count(x: f64) -> String {
+    if x.abs() >= 1e6 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Formats an estimate with its CI.
+pub fn fmt_estimate(e: &Estimate) -> String {
+    format!(
+        "{} [{}; {}]",
+        fmt_count(e.value),
+        fmt_count(e.ci.lo),
+        fmt_count(e.ci.hi)
+    )
+}
+
+/// Formats a ratio as a percentage with CI.
+pub fn fmt_pct(e: &Estimate) -> String {
+    format!(
+        "{:.1}% [{:.1}; {:.1}]%",
+        e.value * 100.0,
+        e.ci.lo * 100.0,
+        e.ci.hi * 100.0
+    )
+}
+
+/// Formats bytes as TiB.
+pub fn fmt_tib(bytes: f64) -> String {
+    format!("{:.1} TiB", bytes / (1u64 << 40) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_stats::Estimate;
+
+    #[test]
+    fn render_aligns_and_contains_rows() {
+        let mut r = Report::new("T4", "Network-wide client usage");
+        r.row(ReportRow::new("Data (TiB)", "520 [505; 535]", "517", "517 [504; 530]"));
+        r.row(ReportRow::new("Connections", "1.49e8", "1.48e8", "1.48e8 [1.43e8; 1.53e8]"));
+        r.note("scale 0.01");
+        let text = r.render_text();
+        assert!(text.contains("T4"));
+        assert!(text.contains("Data (TiB)"));
+        assert!(text.contains("note: scale 0.01"));
+        // All data lines share the same width.
+        let lens: Vec<usize> = text
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.len())
+            .collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut r = Report::new("X", "t");
+        r.row(ReportRow::new("a,b", "va\"l", "t", "p"));
+        let csv = r.render_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"va\"\"l\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_count(1234.0), "1234");
+        assert_eq!(fmt_count(2.03e9), "2.030e9");
+        assert_eq!(fmt_tib(517.0 * (1u64 << 40) as f64), "517.0 TiB");
+        let e = Estimate::gaussian95(0.401, 0.001);
+        assert!(fmt_pct(&e).starts_with("40.1%"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Runs experiments under the paper's scheduling rules.
+
+use crate::deployment::Deployment;
+use crate::experiments;
+use crate::report::Report;
+use pm_dp::accountant::{Accountant, MeasurementRound, System};
+
+/// An experiment's registry entry.
+pub struct ExperimentEntry {
+    /// Report id ("F1", "T4", …).
+    pub id: &'static str,
+    /// Which system the round uses.
+    pub system: System,
+    /// Collection duration in hours.
+    pub duration_hours: u64,
+    /// Runner.
+    pub run: fn(&Deployment) -> Report,
+}
+
+/// All experiments in the paper's running order.
+pub fn registry() -> Vec<ExperimentEntry> {
+    vec![
+        ExperimentEntry { id: "T1", system: System::PrivCount, duration_hours: 24, run: experiments::tab1::run },
+        ExperimentEntry { id: "F1", system: System::PrivCount, duration_hours: 24, run: experiments::fig1::run },
+        ExperimentEntry { id: "F2", system: System::PrivCount, duration_hours: 24, run: experiments::fig2::run },
+        ExperimentEntry { id: "F3", system: System::PrivCount, duration_hours: 24, run: experiments::fig3::run },
+        ExperimentEntry { id: "T2", system: System::Psc, duration_hours: 24, run: experiments::tab2::run },
+        ExperimentEntry { id: "T4", system: System::PrivCount, duration_hours: 24, run: experiments::tab4::run },
+        ExperimentEntry { id: "T5", system: System::Psc, duration_hours: 96, run: experiments::tab5::run },
+        ExperimentEntry { id: "T3", system: System::Psc, duration_hours: 48, run: experiments::tab3::run },
+        ExperimentEntry { id: "F4", system: System::PrivCount, duration_hours: 24, run: experiments::fig4::run },
+        ExperimentEntry { id: "T6", system: System::Psc, duration_hours: 48, run: experiments::tab6::run },
+        ExperimentEntry { id: "T7", system: System::PrivCount, duration_hours: 24, run: experiments::tab7::run },
+        ExperimentEntry { id: "T8", system: System::PrivCount, duration_hours: 24, run: experiments::tab8::run },
+        // Text-only results (§4.3 categories, §5.2 AS hotspots).
+        ExperimentEntry { id: "X1", system: System::PrivCount, duration_hours: 24, run: experiments::extras::run_categories },
+        ExperimentEntry { id: "X2", system: System::PrivCount, duration_hours: 24, run: experiments::extras::run_as_hotspots },
+    ]
+}
+
+/// Runs every experiment in sequence, validating the schedule against
+/// the §3.1 rules (no parallel rounds; 24h between distinct statistics).
+pub fn run_all(dep: &Deployment) -> Vec<Report> {
+    let mut accountant = Accountant::new();
+    let mut reports = Vec::new();
+    for entry in registry() {
+        let stats = vec![entry.id.to_string()];
+        let start = accountant.earliest_start(&stats);
+        accountant
+            .schedule(MeasurementRound {
+                name: entry.id.to_string(),
+                system: entry.system,
+                start_hour: start,
+                duration_hours: entry.duration_hours,
+                statistics: stats,
+            })
+            .expect("registry schedule is valid");
+        reports.push((entry.run)(dep));
+    }
+    reports
+}
+
+/// Runs a subset of experiments by id.
+pub fn run_some(dep: &Deployment, ids: &[&str]) -> Vec<Report> {
+    registry()
+        .into_iter()
+        .filter(|e| ids.contains(&e.id))
+        .map(|e| (e.run)(dep))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        for want in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3", "F4"] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn schedule_is_valid() {
+        // The scheduling logic alone (no experiment execution).
+        let mut acc = Accountant::new();
+        for e in registry() {
+            let stats = vec![e.id.to_string()];
+            let start = acc.earliest_start(&stats);
+            acc.schedule(MeasurementRound {
+                name: e.id.to_string(),
+                system: e.system,
+                start_hour: start,
+                duration_hours: e.duration_hours,
+                statistics: stats,
+            })
+            .unwrap();
+        }
+        assert_eq!(acc.rounds().len(), 14);
+    }
+}

@@ -1,0 +1,55 @@
+//! One-off utility: search for a 256-bit safe prime p = 2q + 1 and a
+//! generator of the order-q subgroup. Used to produce the constants
+//! hardcoded in `group.rs` (which are re-verified by unit tests).
+use pm_crypto::modarith::{is_probable_prime, Modulus};
+use pm_crypto::u256::U256;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20180922); // arXiv date of the paper
+    let mut tried = 0u64;
+    loop {
+        tried += 1;
+        // Random 255-bit odd q with top bit set so p = 2q+1 is 256-bit.
+        let mut limbs = [0u64; 4];
+        for l in limbs.iter_mut() {
+            *l = rng.gen();
+        }
+        limbs[0] |= 1;
+        limbs[3] |= 1 << 62; // bit 254 set -> q in [2^254, 2^255)
+        limbs[3] &= (1 << 63) - 1;
+        let q = U256(limbs);
+        // Cheap screens first.
+        if !is_probable_prime(&q, 0, &mut rng) {
+            continue;
+        }
+        let p = q.shl(1).wrapping_add(&U256::ONE);
+        if !is_probable_prime(&p, 0, &mut rng) {
+            continue;
+        }
+        // Full-strength confirmation.
+        if !is_probable_prime(&q, 40, &mut rng) || !is_probable_prime(&p, 40, &mut rng) {
+            continue;
+        }
+        let modp = Modulus::new(p);
+        // Generator of the order-q subgroup: h^2 for small h, != 1.
+        let mut g = U256::ZERO;
+        for h in 2u64.. {
+            let cand = modp.mul(&U256::from_u64(h), &U256::from_u64(h));
+            if cand != U256::ONE {
+                // order must be q: cand^q == 1 (guaranteed: squares form the
+                // subgroup of order q), double check anyway.
+                if modp.pow(&cand, &q) == U256::ONE {
+                    g = cand;
+                    break;
+                }
+            }
+        }
+        println!("tried {tried} candidates");
+        println!("p = {}", p.to_hex());
+        println!("q = {}", q.to_hex());
+        println!("g = {}", g.to_hex());
+        return;
+    }
+}

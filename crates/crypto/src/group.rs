@@ -1,0 +1,386 @@
+//! Schnorr group: the prime-order-`q` subgroup of `Z_p^*` for a safe
+//! prime `p = 2q + 1`.
+//!
+//! Group elements are quadratic residues mod `p`; exponents live in
+//! `Z_q`. [`GroupParams`] bundles both moduli and the generator and is the
+//! handle through which all group operations are performed (elements and
+//! scalars are inert data).
+
+use crate::modarith::{is_probable_prime, Modulus};
+use crate::sha256::sha256_concat;
+use crate::u256::U256;
+use rand::Rng;
+
+/// An element of the order-`q` subgroup of `Z_p^*` (a quadratic residue).
+///
+/// Elements are produced and consumed by [`GroupParams`] methods; the raw
+/// value is exposed for serialization.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GroupElement(pub U256);
+
+/// An exponent in `Z_q`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Scalar(pub U256);
+
+/// Schnorr group parameters: safe prime `p = 2q + 1`, subgroup order `q`,
+/// generator `g` of the order-`q` subgroup.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupParams {
+    p: Modulus,
+    q: Modulus,
+    g: GroupElement,
+}
+
+/// The shipped 256-bit demo parameter set (see crate-level security
+/// disclaimer). Found by [`GroupParams::generate`]-equivalent search and
+/// re-verified by unit tests.
+pub const P_HEX: &str = "c2439cbcc58815e040399147572be16ffa35ecf9ae875e83f2442af7f86ef7fb";
+/// Subgroup order for [`P_HEX`]: `q = (p - 1) / 2`.
+pub const Q_HEX: &str = "6121ce5e62c40af0201cc8a3ab95f0b7fd1af67cd743af41f922157bfc377bfd";
+/// Generator of the order-`q` subgroup for [`P_HEX`].
+pub const G_HEX: &str = "4";
+
+impl GroupParams {
+    /// Returns the shipped 256-bit parameter set.
+    pub fn default_params() -> GroupParams {
+        let p = U256::from_hex(P_HEX).expect("valid hex");
+        let q = U256::from_hex(Q_HEX).expect("valid hex");
+        let g = U256::from_hex(G_HEX).expect("valid hex");
+        GroupParams {
+            p: Modulus::new(p),
+            q: Modulus::new(q),
+            g: GroupElement(g),
+        }
+    }
+
+    /// Generates fresh parameters: a random safe prime with `bits`
+    /// significant bits (`bits` ≤ 256) and the generator `h^2` for the
+    /// smallest suitable `h`. Slow (safe primes are sparse); used for
+    /// parameter rotation, not per-run setup.
+    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> GroupParams {
+        assert!((16..=256).contains(&bits), "bits must be in [16, 256]");
+        loop {
+            // Random (bits-1)-bit odd q with top bit set.
+            let qbits = bits - 1;
+            let mut limbs = [0u64; 4];
+            let top_limb = ((qbits - 1) / 64) as usize;
+            for l in limbs.iter_mut().take(top_limb + 1) {
+                *l = rng.gen();
+            }
+            let top_bit = (qbits - 1) % 64;
+            limbs[top_limb] &= (1u64 << top_bit) | ((1u64 << top_bit) - 1);
+            limbs[top_limb] |= 1u64 << top_bit;
+            for l in limbs.iter_mut().skip(top_limb + 1) {
+                *l = 0;
+            }
+            limbs[0] |= 1;
+            let q = U256(limbs);
+            if !is_probable_prime(&q, 2, rng) {
+                continue;
+            }
+            let p = q.shl(1).wrapping_add(&U256::ONE);
+            if !is_probable_prime(&p, 2, rng) {
+                continue;
+            }
+            if !is_probable_prime(&q, 40, rng) || !is_probable_prime(&p, 40, rng) {
+                continue;
+            }
+            let pm = Modulus::new(p);
+            let mut g = U256::from_u64(4);
+            for h in 2u64.. {
+                let cand = pm.mul(&U256::from_u64(h), &U256::from_u64(h));
+                if cand != U256::ONE {
+                    g = cand;
+                    break;
+                }
+            }
+            return GroupParams {
+                p: pm,
+                q: Modulus::new(q),
+                g: GroupElement(g),
+            };
+        }
+    }
+
+    /// The generator.
+    pub fn generator(&self) -> GroupElement {
+        self.g
+    }
+
+    /// The identity element.
+    pub fn identity(&self) -> GroupElement {
+        GroupElement(U256::ONE)
+    }
+
+    /// Prime modulus `p`.
+    pub fn p(&self) -> &U256 {
+        self.p.modulus()
+    }
+
+    /// Subgroup order `q`.
+    pub fn q(&self) -> &U256 {
+        self.q.modulus()
+    }
+
+    /// Group operation: `a * b mod p`.
+    pub fn mul(&self, a: &GroupElement, b: &GroupElement) -> GroupElement {
+        GroupElement(self.p.mul(&a.0, &b.0))
+    }
+
+    /// Inverse element: `a^-1 mod p`.
+    pub fn inv(&self, a: &GroupElement) -> GroupElement {
+        GroupElement(self.p.inv_prime(&a.0))
+    }
+
+    /// `a / b` in the group.
+    pub fn div(&self, a: &GroupElement, b: &GroupElement) -> GroupElement {
+        self.mul(a, &self.inv(b))
+    }
+
+    /// Exponentiation `base^e mod p`.
+    pub fn pow(&self, base: &GroupElement, e: &Scalar) -> GroupElement {
+        GroupElement(self.p.pow(&base.0, &e.0))
+    }
+
+    /// `g^e`, the most common exponentiation.
+    pub fn g_pow(&self, e: &Scalar) -> GroupElement {
+        self.pow(&self.g, e)
+    }
+
+    /// True if `x` is a valid element of the order-`q` subgroup.
+    pub fn is_element(&self, x: &GroupElement) -> bool {
+        !x.0.is_zero() && x.0 < *self.p.modulus() && self.p.pow(&x.0, self.q.modulus()) == U256::ONE
+    }
+
+    /// Uniformly random group element (`g^r` for random `r`).
+    pub fn random_element<R: Rng + ?Sized>(&self, rng: &mut R) -> GroupElement {
+        self.g_pow(&self.random_scalar(rng))
+    }
+
+    /// Uniformly random non-identity element.
+    pub fn random_non_identity<R: Rng + ?Sized>(&self, rng: &mut R) -> GroupElement {
+        loop {
+            let e = self.random_element(rng);
+            if e != self.identity() {
+                return e;
+            }
+        }
+    }
+
+    // ----- scalar (exponent) arithmetic, mod q -----
+
+    /// Uniformly random scalar in `[0, q)`.
+    pub fn random_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> Scalar {
+        Scalar(self.q.sample(rng))
+    }
+
+    /// Uniformly random nonzero scalar.
+    pub fn random_nonzero_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> Scalar {
+        Scalar(self.q.sample_nonzero(rng))
+    }
+
+    /// Scalar from a small integer.
+    pub fn scalar_from_u64(&self, x: u64) -> Scalar {
+        Scalar(self.q.reduce(&U256::from_u64(x)))
+    }
+
+    /// `(a + b) mod q`.
+    pub fn scalar_add(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q.add(&a.0, &b.0))
+    }
+
+    /// `(a - b) mod q`.
+    pub fn scalar_sub(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q.sub(&a.0, &b.0))
+    }
+
+    /// `(a * b) mod q`.
+    pub fn scalar_mul(&self, a: &Scalar, b: &Scalar) -> Scalar {
+        Scalar(self.q.mul(&a.0, &b.0))
+    }
+
+    /// `-a mod q`.
+    pub fn scalar_neg(&self, a: &Scalar) -> Scalar {
+        Scalar(self.q.neg(&a.0))
+    }
+
+    /// `a^-1 mod q` (q prime; panics on zero).
+    pub fn scalar_inv(&self, a: &Scalar) -> Scalar {
+        assert!(!a.0.is_zero(), "inverse of zero scalar");
+        Scalar(self.q.inv_prime(&a.0))
+    }
+
+    /// Hashes labeled byte strings to a scalar (Fiat–Shamir and
+    /// item-to-exponent mapping). Domain-separated by `label`.
+    pub fn hash_to_scalar(&self, label: &[u8], parts: &[&[u8]]) -> Scalar {
+        let mut all: Vec<&[u8]> = Vec::with_capacity(parts.len() + 2);
+        all.push(b"pm-crypto/hash-to-scalar/v1");
+        all.push(label);
+        all.extend_from_slice(parts);
+        let digest = sha256_concat(&all);
+        Scalar(self.q.reduce(&U256::from_bytes_be(&digest)))
+    }
+
+    /// Hashes labeled byte strings to a group element: `g^H(...)`.
+    pub fn hash_to_element(&self, label: &[u8], parts: &[&[u8]]) -> GroupElement {
+        let s = self.hash_to_scalar(label, parts);
+        self.g_pow(&s)
+    }
+}
+
+impl GroupElement {
+    /// Canonical 32-byte big-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes_be()
+    }
+
+    /// Decodes an encoding produced by [`GroupElement::to_bytes`].
+    /// The caller must validate membership via [`GroupParams::is_element`].
+    pub fn from_bytes(b: &[u8; 32]) -> GroupElement {
+        GroupElement(U256::from_bytes_be(b))
+    }
+}
+
+impl Scalar {
+    /// The zero scalar.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+
+    /// Canonical 32-byte big-endian encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.0.to_bytes_be()
+    }
+
+    /// Decodes a scalar; the caller must ensure it is reduced mod `q`.
+    pub fn from_bytes(b: &[u8; 32]) -> Scalar {
+        Scalar(U256::from_bytes_be(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> GroupParams {
+        GroupParams::default_params()
+    }
+
+    #[test]
+    fn shipped_params_are_safe_prime_group() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(is_probable_prime(gp.p(), 40, &mut rng), "p must be prime");
+        assert!(is_probable_prime(gp.q(), 40, &mut rng), "q must be prime");
+        // p = 2q + 1
+        assert_eq!(gp.q().shl(1).wrapping_add(&U256::ONE), *gp.p());
+        // g generates the order-q subgroup
+        assert!(gp.is_element(&gp.generator()));
+        assert_ne!(gp.generator(), gp.identity());
+    }
+
+    #[test]
+    fn group_laws() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = gp.random_element(&mut rng);
+        let b = gp.random_element(&mut rng);
+        let c = gp.random_element(&mut rng);
+        // associativity, commutativity, identity, inverse
+        assert_eq!(gp.mul(&gp.mul(&a, &b), &c), gp.mul(&a, &gp.mul(&b, &c)));
+        assert_eq!(gp.mul(&a, &b), gp.mul(&b, &a));
+        assert_eq!(gp.mul(&a, &gp.identity()), a);
+        assert_eq!(gp.mul(&a, &gp.inv(&a)), gp.identity());
+        assert_eq!(gp.div(&gp.mul(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn exponent_laws() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.random_scalar(&mut rng);
+        // g^(x+y) = g^x g^y
+        let lhs = gp.g_pow(&gp.scalar_add(&x, &y));
+        let rhs = gp.mul(&gp.g_pow(&x), &gp.g_pow(&y));
+        assert_eq!(lhs, rhs);
+        // (g^x)^y = (g^y)^x
+        assert_eq!(gp.pow(&gp.g_pow(&x), &y), gp.pow(&gp.g_pow(&y), &x));
+        // g^q = 1 (order q)
+        assert_eq!(gp.pow(&gp.generator(), &Scalar(gp.q().wrapping_sub(&U256::ZERO))), gp.identity());
+    }
+
+    #[test]
+    fn scalar_field_laws() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = gp.random_nonzero_scalar(&mut rng);
+        let b = gp.random_scalar(&mut rng);
+        assert_eq!(gp.scalar_mul(&a, &gp.scalar_inv(&a)), gp.scalar_from_u64(1));
+        assert_eq!(gp.scalar_add(&b, &gp.scalar_neg(&b)), Scalar::ZERO);
+        assert_eq!(
+            gp.scalar_sub(&gp.scalar_add(&a, &b), &b),
+            a
+        );
+    }
+
+    #[test]
+    fn element_membership() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert!(gp.is_element(&gp.random_element(&mut rng)));
+        }
+        // 0 and p are not elements; a non-residue is not an element.
+        assert!(!gp.is_element(&GroupElement(U256::ZERO)));
+        assert!(!gp.is_element(&GroupElement(*gp.p())));
+        // g is a square; a generator of the full group (order 2q) is not in
+        // the subgroup. Find a non-residue by trial.
+        let mut found = false;
+        for h in 2u64..50 {
+            let cand = GroupElement(U256::from_u64(h));
+            if !gp.is_element(&cand) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "some small non-residue exists");
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic_and_domain_separated() {
+        let gp = params();
+        let a = gp.hash_to_scalar(b"ctx1", &[b"hello"]);
+        let b = gp.hash_to_scalar(b"ctx1", &[b"hello"]);
+        let c = gp.hash_to_scalar(b"ctx2", &[b"hello"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.0 < *gp.q());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let gp = params();
+        let mut rng = StdRng::seed_from_u64(6);
+        let e = gp.random_element(&mut rng);
+        assert_eq!(GroupElement::from_bytes(&e.to_bytes()), e);
+        let s = gp.random_scalar(&mut rng);
+        assert_eq!(Scalar::from_bytes(&s.to_bytes()), s);
+    }
+
+    #[test]
+    fn generate_small_params() {
+        // Fresh 64-bit parameters: fast enough for a unit test and
+        // exercises the generation path end-to-end.
+        let mut rng = StdRng::seed_from_u64(7);
+        let gp = GroupParams::generate(64, &mut rng);
+        assert_eq!(gp.p().bits(), 64);
+        assert!(gp.is_element(&gp.generator()));
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.random_scalar(&mut rng);
+        assert_eq!(
+            gp.g_pow(&gp.scalar_add(&x, &y)),
+            gp.mul(&gp.g_pow(&x), &gp.g_pow(&y))
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # pm-crypto — cryptographic substrate for privacy-preserving measurement
+//!
+//! From-scratch implementations of every primitive the PrivCount and PSC
+//! protocols need:
+//!
+//! * fixed-width big integers ([`u256::U256`]) and Montgomery modular
+//!   arithmetic ([`modarith::Modulus`]);
+//! * a Schnorr group over a safe prime ([`group`]);
+//! * FIPS 180-4 SHA-256 ([`sha256`]), HMAC and key derivation ([`hmac`]);
+//! * ElGamal encryption with rerandomization and distributed decryption
+//!   ([`elgamal`]);
+//! * zero-knowledge proofs: Schnorr proofs of knowledge and
+//!   Chaum–Pedersen equality proofs ([`zkp`]);
+//! * a rerandomizing verifiable shuffle ([`shuffle`]);
+//! * additive secret sharing over `Z_{2^64}` ([`secret`]).
+//!
+//! ## Security disclaimer
+//!
+//! The shipped parameter set is 256-bit — large enough to exercise every
+//! code path and to make brute force impractical in tests, but **not** a
+//! production-strength discrete-log group. The measurement semantics
+//! reproduced from the paper are independent of the parameter size;
+//! deployments would swap in ≥2048-bit parameters generated with
+//! [`group::GroupParams::generate`].
+
+pub mod elgamal;
+pub mod group;
+pub mod hmac;
+pub mod modarith;
+pub mod secret;
+pub mod sha256;
+pub mod shuffle;
+pub mod u256;
+pub mod zkp;
+
+pub use group::{GroupElement, GroupParams, Scalar};
+pub use u256::U256;

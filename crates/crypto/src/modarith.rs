@@ -1,0 +1,456 @@
+//! Modular arithmetic over 256-bit odd moduli.
+//!
+//! [`Modulus`] packages a modulus with precomputed Montgomery constants and
+//! provides constant-flow-friendly add/sub/mul/pow/inv plus Miller–Rabin
+//! primality testing. All group and field operations in this crate are
+//! built on it.
+
+use crate::u256::U256;
+use rand::Rng;
+
+/// An odd 256-bit modulus with precomputed Montgomery parameters.
+///
+/// Values passed to the arithmetic methods must already be reduced
+/// (`< modulus`); this is debug-asserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Modulus {
+    /// The modulus `m` (odd, > 1).
+    m: U256,
+    /// `-m^{-1} mod 2^64`, for Montgomery reduction.
+    n0inv: u64,
+    /// `2^512 mod m`, used to convert into Montgomery form.
+    r2: U256,
+    /// `2^256 mod m` (the Montgomery representation of 1).
+    r1: U256,
+}
+
+impl Modulus {
+    /// Creates a modulus context. Panics if `m` is even or < 3.
+    pub fn new(m: U256) -> Modulus {
+        assert!(m.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        assert!(m > U256::ONE, "modulus must be > 1");
+        let n0inv = inv64(m.low_u64()).wrapping_neg();
+        // r1 = 2^256 mod m by repeated doubling of (2^255 mod m)-ish path:
+        // start from 1, double 256 times with reduction.
+        let mut r1 = one_mod(&m);
+        for _ in 0..256 {
+            r1 = double_mod(&r1, &m);
+        }
+        // r2 = 2^512 mod m: double r1 another 256 times.
+        let mut r2 = r1;
+        for _ in 0..256 {
+            r2 = double_mod(&r2, &m);
+        }
+        Modulus { m, n0inv, r2, r1 }
+    }
+
+    /// The raw modulus value.
+    pub fn modulus(&self) -> &U256 {
+        &self.m
+    }
+
+    /// `(a + b) mod m` for reduced inputs.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        debug_assert!(a < &self.m && b < &self.m);
+        let (sum, carry) = a.overflowing_add(b);
+        if carry || sum >= self.m {
+            sum.wrapping_sub(&self.m)
+        } else {
+            sum
+        }
+    }
+
+    /// `(a - b) mod m` for reduced inputs.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        debug_assert!(a < &self.m && b < &self.m);
+        let (diff, borrow) = a.overflowing_sub(b);
+        if borrow {
+            diff.wrapping_add(&self.m)
+        } else {
+            diff
+        }
+    }
+
+    /// `-a mod m` for a reduced input.
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.m.wrapping_sub(a)
+        }
+    }
+
+    /// Montgomery product `a * b * 2^-256 mod m` (CIOS).
+    fn montmul(&self, a: &U256, b: &U256) -> U256 {
+        let mut t = [0u64; 6]; // 4 limbs + 2 overflow words
+        for i in 0..4 {
+            // t += a[i] * b
+            let mut carry: u64 = 0;
+            for j in 0..4 {
+                let acc = t[j] as u128 + (a.0[i] as u128) * (b.0[j] as u128) + carry as u128;
+                t[j] = acc as u64;
+                carry = (acc >> 64) as u64;
+            }
+            let acc = t[4] as u128 + carry as u128;
+            t[4] = acc as u64;
+            t[5] = (acc >> 64) as u64;
+
+            // m_i = t[0] * n0inv mod 2^64; t += m_i * m; t >>= 64
+            let mi = t[0].wrapping_mul(self.n0inv);
+            let acc = t[0] as u128 + (mi as u128) * (self.m.0[0] as u128);
+            let mut carry = (acc >> 64) as u64;
+            for j in 1..4 {
+                let acc = t[j] as u128 + (mi as u128) * (self.m.0[j] as u128) + carry as u128;
+                t[j - 1] = acc as u64;
+                carry = (acc >> 64) as u64;
+            }
+            let acc = t[4] as u128 + carry as u128;
+            t[3] = acc as u64;
+            let acc2 = t[5] as u128 + (acc >> 64);
+            t[4] = acc2 as u64;
+            t[5] = (acc2 >> 64) as u64;
+        }
+        let mut out = U256([t[0], t[1], t[2], t[3]]);
+        if t[4] != 0 || out >= self.m {
+            out = out.wrapping_sub(&self.m);
+        }
+        out
+    }
+
+    /// `a * b mod m` for reduced inputs.
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        debug_assert!(a < &self.m && b < &self.m);
+        let am = self.montmul(a, &self.r2); // to Montgomery form
+        let abm = self.montmul(&am, b); // a*b*R*R^-1 = a*b ... still * 1
+        abm
+    }
+
+    /// `a^2 mod m`.
+    pub fn sqr(&self, a: &U256) -> U256 {
+        self.mul(a, a)
+    }
+
+    /// `base^exp mod m` via left-to-right binary exponentiation in
+    /// Montgomery form.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        debug_assert!(base < &self.m);
+        if exp.is_zero() {
+            return one_mod(&self.m);
+        }
+        let bm = self.montmul(base, &self.r2);
+        let mut acc = self.r1; // Montgomery form of 1
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            acc = self.montmul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.montmul(&acc, &bm);
+            }
+        }
+        self.montmul(&acc, &U256::ONE) // out of Montgomery form
+    }
+
+    /// Reduces an arbitrary `U256` modulo `m` (binary reduction; fine for
+    /// occasional use such as hash-to-scalar).
+    pub fn reduce(&self, x: &U256) -> U256 {
+        if x < &self.m {
+            return *x;
+        }
+        // Find the shift aligning m's MSB with x's, then subtract down.
+        let mut r = *x;
+        let mb = self.m.bits();
+        loop {
+            let rb = r.bits();
+            if r < self.m {
+                return r;
+            }
+            let sh = rb - mb;
+            let mut t = self.m.shl(sh);
+            if t > r {
+                t = self.m.shl(sh - 1);
+            }
+            r = r.wrapping_sub(&t);
+        }
+    }
+
+    /// Reduces a 512-bit value `(lo, hi)` modulo `m` using Montgomery
+    /// arithmetic: `x mod m = montmul(lo, R2)·R^-1... ` computed as
+    /// `lo mod m + hi·(2^256 mod m)`.
+    pub fn reduce_wide(&self, lo: &U256, hi: &U256) -> U256 {
+        let lo_r = self.reduce(lo);
+        let hi_r = self.reduce(hi);
+        // hi * 2^256 mod m = montmul(hi, r2) since montmul multiplies by R^-1:
+        // montmul(hi, r2) = hi * 2^512 * 2^-256 = hi * 2^256 mod m.
+        let hi_shift = self.montmul(&hi_r, &self.r2);
+        self.add(&lo_r, &hi_shift)
+    }
+
+    /// Modular inverse via Fermat's little theorem (`m` must be prime).
+    pub fn inv_prime(&self, a: &U256) -> U256 {
+        debug_assert!(!a.is_zero(), "inverse of zero");
+        let e = self.m.wrapping_sub(&U256::from_u64(2));
+        self.pow(a, &e)
+    }
+
+    /// Samples a uniformly random value in `[0, m)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> U256 {
+        let bits = self.m.bits();
+        let top_limbs = bits.div_ceil(64) as usize;
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut limbs = [0u64; 4];
+            for l in limbs.iter_mut().take(top_limbs) {
+                *l = rng.gen();
+            }
+            limbs[top_limbs - 1] &= top_mask;
+            let v = U256(limbs);
+            if v < self.m {
+                return v;
+            }
+        }
+    }
+
+    /// Samples a uniformly random value in `[1, m)`.
+    pub fn sample_nonzero<R: Rng + ?Sized>(&self, rng: &mut R) -> U256 {
+        loop {
+            let v = self.sample(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+/// `1 mod m` (handles m == 1 defensively).
+fn one_mod(m: &U256) -> U256 {
+    if *m == U256::ONE {
+        U256::ZERO
+    } else {
+        U256::ONE
+    }
+}
+
+/// `(2a) mod m` for reduced `a`.
+fn double_mod(a: &U256, m: &U256) -> U256 {
+    let (d, carry) = a.overflowing_add(a);
+    if carry || d >= *m {
+        d.wrapping_sub(m)
+    } else {
+        d
+    }
+}
+
+/// Inverse of an odd `x` modulo `2^64` by Newton iteration.
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// Deterministic Miller–Rabin primality test.
+///
+/// Uses `rounds` random bases plus the fixed bases 2 and 3; for the sizes
+/// used here (≤256-bit), 40 random rounds gives error probability
+/// ≤ 4^-40.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &U256, rounds: u32, rng: &mut R) -> bool {
+    if *n < U256::from_u64(2) {
+        return false;
+    }
+    for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let sm = U256::from_u64(small);
+        if *n == sm {
+            return true;
+        }
+        if div_rem_u64(n, small) == 0 {
+            return false;
+        }
+    }
+    let modn = Modulus::new(*n);
+    let n_minus_1 = n.wrapping_sub(&U256::ONE);
+    // n - 1 = d * 2^s with d odd
+    let mut s = 0u32;
+    let mut d = n_minus_1;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let check = |a: U256| -> bool {
+        // true if n passes the round for base a
+        if a.is_zero() || a == n_minus_1 || a == U256::ONE {
+            return true;
+        }
+        let mut x = modn.pow(&a, &d);
+        if x == U256::ONE || x == n_minus_1 {
+            return true;
+        }
+        for _ in 1..s {
+            x = modn.sqr(&x);
+            if x == n_minus_1 {
+                return true;
+            }
+            if x == U256::ONE {
+                return false;
+            }
+        }
+        false
+    };
+    if !check(U256::from_u64(2)) || !check(U256::from_u64(3)) {
+        return false;
+    }
+    for _ in 0..rounds {
+        let a = modn.sample_nonzero(rng);
+        if !check(a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Remainder of `n` divided by a small `u64` divisor.
+pub fn div_rem_u64(n: &U256, d: u64) -> u64 {
+    debug_assert!(d != 0);
+    let mut rem: u128 = 0;
+    for i in (0..4).rev() {
+        rem = ((rem << 64) | n.0[i] as u128) % d as u128;
+    }
+    rem as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m_small() -> Modulus {
+        // 2^61 - 1, a Mersenne prime, easy to check against u128 math.
+        Modulus::new(U256::from_u64((1u64 << 61) - 1))
+    }
+
+    #[test]
+    fn add_sub_mod() {
+        let m = m_small();
+        let p = (1u64 << 61) - 1;
+        let a = U256::from_u64(p - 3);
+        let b = U256::from_u64(7);
+        assert_eq!(m.add(&a, &b).low_u64(), 4);
+        assert_eq!(m.sub(&b, &a).low_u64(), 10);
+        assert_eq!(m.neg(&b).low_u64(), p - 7);
+        assert_eq!(m.neg(&U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let m = m_small();
+        let p = (1u64 << 61) - 1;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let a: u64 = rng.gen_range(0..p);
+            let b: u64 = rng.gen_range(0..p);
+            let expect = ((a as u128 * b as u128) % p as u128) as u64;
+            assert_eq!(m.mul(&U256::from_u64(a), &U256::from_u64(b)).low_u64(), expect);
+        }
+    }
+
+    #[test]
+    fn pow_matches_u128() {
+        let m = m_small();
+        let p = (1u64 << 61) - 1;
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let a: u64 = rng.gen_range(1..p);
+            let e: u64 = rng.gen_range(0..1 << 20);
+            let mut expect: u128 = 1;
+            let mut base = a as u128;
+            let mut k = e;
+            while k > 0 {
+                if k & 1 == 1 {
+                    expect = expect * base % p as u128;
+                }
+                base = base * base % p as u128;
+                k >>= 1;
+            }
+            assert_eq!(
+                m.pow(&U256::from_u64(a), &U256::from_u64(e)).low_u64(),
+                expect as u64
+            );
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = m_small();
+        assert_eq!(m.pow(&U256::from_u64(5), &U256::ZERO), U256::ONE);
+        assert_eq!(m.pow(&U256::ZERO, &U256::from_u64(5)), U256::ZERO);
+        // Fermat: a^(p-1) = 1
+        let e = m.modulus().wrapping_sub(&U256::ONE);
+        assert_eq!(m.pow(&U256::from_u64(123456), &e), U256::ONE);
+    }
+
+    #[test]
+    fn inverse() {
+        let m = m_small();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let a = m.sample_nonzero(&mut rng);
+            let inv = m.inv_prime(&a);
+            assert_eq!(m.mul(&a, &inv), U256::ONE);
+        }
+    }
+
+    #[test]
+    fn reduce_wide_matches() {
+        // (a*b) mod m computed two ways
+        let m = m_small();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let a = U256([rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+            let b = U256([rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+            let (lo, hi) = a.widening_mul(&b);
+            let direct = m.mul(&m.reduce(&a), &m.reduce(&b));
+            assert_eq!(m.reduce_wide(&lo, &hi), direct);
+        }
+    }
+
+    #[test]
+    fn miller_rabin_knowns() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for p in [2u64, 3, 5, 7, 61, 89, 127, 8191, 131071, 524287, 2147483647] {
+            assert!(is_probable_prime(&U256::from_u64(p), 16, &mut rng), "{p} is prime");
+        }
+        for c in [1u64, 4, 6, 9, 15, 21, 25, 341, 561, 645, 1105, 1729, 2465, 2821, 6601] {
+            assert!(!is_probable_prime(&U256::from_u64(c), 16, &mut rng), "{c} is composite");
+        }
+        // 2^61 - 1 is prime; 2^67 - 1 = 193707721 * 761838257287 is not.
+        assert!(is_probable_prime(&U256::from_u64((1 << 61) - 1), 16, &mut rng));
+        let c67 = U256::from_u128((1u128 << 67) - 1);
+        assert!(!is_probable_prime(&c67, 16, &mut rng));
+    }
+
+    #[test]
+    fn div_rem_u64_works() {
+        assert_eq!(div_rem_u64(&U256::from_u64(100), 7), 2);
+        let big = U256::MAX;
+        // 2^256 - 1 mod 3: 2^256 ≡ 1 (mod 3), so 2^256-1 ≡ 0.
+        assert_eq!(div_rem_u64(&big, 3), 0);
+        // 2^256 - 1 mod 5: 2^256 = (2^4)^64 ≡ 1, so ≡ 0.
+        assert_eq!(div_rem_u64(&big, 5), 0);
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let m = m_small();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let v = m.sample(&mut rng);
+            assert!(v < *m.modulus());
+        }
+    }
+}

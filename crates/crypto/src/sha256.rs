@@ -1,0 +1,311 @@
+//! FIPS 180-4 SHA-256, implemented from scratch.
+//!
+//! The round constants are not transcribed from a table: they are derived
+//! at first use by exact integer root extraction (`K[i]` is the first 32
+//! fractional bits of the cube root of the i-th prime, `H0` likewise for
+//! square roots), which makes the implementation self-contained and
+//! self-checking. Known-answer tests pin the published digests.
+
+use std::sync::OnceLock;
+
+/// Output size in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Streaming SHA-256 context.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hashing context.
+    pub fn new() -> Self {
+        Sha256 {
+            state: *initial_state(),
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(BLOCK_LEN - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&rest[..BLOCK_LEN]);
+            compress(&mut self.state, &block);
+            rest = &rest[BLOCK_LEN..];
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+        self
+    }
+
+    /// Finishes and returns the digest. The context is consumed.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        let mut tail = Vec::with_capacity(pad_len + 8);
+        tail.extend_from_slice(&pad[..pad_len]);
+        tail.extend_from_slice(&bit_len.to_be_bytes());
+        self.update(&tail);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot convenience: `SHA-256(data)`.
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot over multiple segments (avoids concatenation allocations).
+pub fn sha256_concat(parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let k = round_constants();
+    let mut w = [0u32; 64];
+    for (i, item) in w.iter_mut().enumerate().take(16) {
+        *item = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(k[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// First `n` primes, by trial division (n is tiny).
+fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while primes.len() < n {
+        if primes.iter().all(|p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+/// `floor(sqrt(x))` for u128 by binary search.
+fn isqrt_u128(x: u128) -> u128 {
+    let mut lo = 0u128;
+    let mut hi = 1u128 << 64;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if mid.checked_mul(mid).map(|m| m <= x).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// `floor(cbrt(x))` for u128 by binary search.
+fn icbrt_u128(x: u128) -> u128 {
+    let mut lo = 0u128;
+    let mut hi = 1u128 << 43;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let cube = mid.checked_mul(mid).and_then(|m| m.checked_mul(mid));
+        if cube.map(|c| c <= x).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// H0: first 32 fractional bits of sqrt(p) for the first 8 primes.
+fn initial_state() -> &'static [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    H.get_or_init(|| {
+        let primes = first_primes(8);
+        let mut h = [0u32; 8];
+        for (i, &p) in primes.iter().enumerate() {
+            // floor(sqrt(p) * 2^32) = isqrt(p << 64); keep fractional 32 bits.
+            let s = isqrt_u128((p as u128) << 64);
+            h[i] = (s & 0xffff_ffff) as u32;
+        }
+        h
+    })
+}
+
+/// K: first 32 fractional bits of cbrt(p) for the first 64 primes.
+fn round_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let primes = first_primes(64);
+        let mut k = [0u32; 64];
+        for (i, &p) in primes.iter().enumerate() {
+            // floor(cbrt(p) * 2^32) = icbrt(p << 96); keep fractional 32 bits.
+            let c = icbrt_u128((p as u128) << 96);
+            k[i] = (c & 0xffff_ffff) as u32;
+        }
+        k
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_constants_match_spec() {
+        // Spot-check the published values of H0 and K.
+        let h = initial_state();
+        assert_eq!(h[0], 0x6a09e667);
+        assert_eq!(h[7], 0x5be0cd19);
+        let k = round_constants();
+        assert_eq!(k[0], 0x428a2f98);
+        assert_eq!(k[1], 0x71374491);
+        assert_eq!(k[63], 0xc67178f2);
+    }
+
+    #[test]
+    fn empty_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // NIST test vector for a 56-byte message (forces two-block padding).
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = sha256(&data);
+        for chunk in [1usize, 3, 7, 63, 64, 65, 128, 999] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn concat_equals_oneshot() {
+        assert_eq!(sha256_concat(&[b"ab", b"c"]), sha256(b"abc"));
+        assert_eq!(sha256_concat(&[]), sha256(b""));
+    }
+
+    #[test]
+    fn million_a() {
+        // NIST long test: one million 'a' characters.
+        let mut h = Sha256::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

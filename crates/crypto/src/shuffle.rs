@@ -1,0 +1,424 @@
+//! Rerandomizing verifiable shuffle (mix step) for ElGamal ciphertext
+//! vectors, with a cut-and-choose zero-knowledge argument.
+//!
+//! Each PSC computation party permutes and rerandomizes the counter
+//! vector so that no party can link output cells to input cells. The
+//! proof convinces a verifier that the output is *some* permutation and
+//! rerandomization of the input without revealing which: the prover
+//! publishes `t` independent "shadow" shuffles and, per Fiat–Shamir
+//! challenge bit, opens either (input → shadow) or (shadow → output).
+//! Each opened side is a uniformly random permutation, so nothing leaks;
+//! a cheating prover survives each round with probability 1/2, giving
+//! soundness error `2^-t`.
+
+use crate::elgamal::{rerandomize_with, Ciphertext, PublicKey};
+use crate::group::{GroupParams, Scalar};
+use crate::zkp::Transcript;
+use rand::Rng;
+
+/// A permutation of `0..n`, stored as the image vector: output slot `i`
+/// draws from input slot `perm[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation(pub Vec<usize>);
+
+impl Permutation {
+    /// The identity permutation on `n` items.
+    pub fn identity(n: usize) -> Permutation {
+        Permutation((0..n).collect())
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Permutation {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        Permutation(v)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Applies the permutation: `out[i] = items[perm[i]]`.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.0.len());
+        self.0.iter().map(|&j| items[j].clone()).collect()
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.0.len()];
+        for (i, &j) in self.0.iter().enumerate() {
+            inv[j] = i;
+        }
+        Permutation(inv)
+    }
+
+    /// Composition `self ∘ other`: applying the result equals applying
+    /// `other` first, then `self`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        Permutation(self.0.iter().map(|&j| other.0[j]).collect())
+    }
+
+    /// Validates that this is a permutation of `0..n`.
+    pub fn is_valid(&self) -> bool {
+        let n = self.0.len();
+        let mut seen = vec![false; n];
+        for &j in &self.0 {
+            if j >= n || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        true
+    }
+}
+
+/// The prover's secret for one shuffle: permutation + rerandomizers.
+#[derive(Clone, Debug)]
+pub struct ShuffleWitness {
+    /// Output slot `i` draws from input slot `perm.0[i]`…
+    pub perm: Permutation,
+    /// …and was rerandomized with `rerand[i]`.
+    pub rerand: Vec<Scalar>,
+}
+
+/// Shuffles (permutes + rerandomizes) a ciphertext vector, returning the
+/// output and the witness.
+pub fn shuffle<R: Rng + ?Sized>(
+    gp: &GroupParams,
+    y: &PublicKey,
+    input: &[Ciphertext],
+    rng: &mut R,
+) -> (Vec<Ciphertext>, ShuffleWitness) {
+    let n = input.len();
+    let perm = Permutation::random(n, rng);
+    let rerand: Vec<Scalar> = (0..n).map(|_| gp.random_scalar(rng)).collect();
+    let output = apply_shuffle(gp, y, input, &perm, &rerand);
+    (output, ShuffleWitness { perm, rerand })
+}
+
+/// Applies a known permutation + rerandomization.
+pub fn apply_shuffle(
+    gp: &GroupParams,
+    y: &PublicKey,
+    input: &[Ciphertext],
+    perm: &Permutation,
+    rerand: &[Scalar],
+) -> Vec<Ciphertext> {
+    assert_eq!(input.len(), perm.len());
+    assert_eq!(input.len(), rerand.len());
+    (0..input.len())
+        .map(|i| rerandomize_with(gp, y, &input[perm.0[i]], &rerand[i]))
+        .collect()
+}
+
+/// One round of the cut-and-choose argument: either the (input→shadow)
+/// opening or the (shadow→output) opening.
+#[derive(Clone, Debug)]
+pub enum RoundOpening {
+    /// Challenge bit 0: reveal how the shadow was derived from the input.
+    InputToShadow {
+        /// Shadow permutation.
+        perm: Permutation,
+        /// Shadow rerandomizers.
+        rerand: Vec<Scalar>,
+    },
+    /// Challenge bit 1: reveal how the output is derived from the shadow.
+    ShadowToOutput {
+        /// Composed permutation (real ∘ shadow⁻¹-side); uniformly random.
+        perm: Permutation,
+        /// Difference rerandomizers.
+        rerand: Vec<Scalar>,
+    },
+}
+
+/// A non-interactive cut-and-choose shuffle argument with `t` rounds.
+#[derive(Clone, Debug)]
+pub struct ShuffleProof {
+    /// The shadow shuffle outputs, one per round.
+    pub shadows: Vec<Vec<Ciphertext>>,
+    /// Per-round openings as dictated by the Fiat–Shamir challenge.
+    pub openings: Vec<RoundOpening>,
+}
+
+fn absorb_vector(t: &mut Transcript, label: &[u8], cts: &[Ciphertext]) {
+    t.append(label, &(cts.len() as u64).to_be_bytes());
+    for ct in cts {
+        t.append_element(b"ct.a", &ct.a);
+        t.append_element(b"ct.b", &ct.b);
+    }
+}
+
+impl ShuffleProof {
+    /// Proves that `output` is a shuffle of `input` under witness `w`.
+    ///
+    /// `rounds` is the soundness parameter `t` (error `2^-t`).
+    pub fn prove<R: Rng + ?Sized>(
+        gp: &GroupParams,
+        y: &PublicKey,
+        input: &[Ciphertext],
+        output: &[Ciphertext],
+        w: &ShuffleWitness,
+        rounds: usize,
+        rng: &mut R,
+    ) -> ShuffleProof {
+        let n = input.len();
+        debug_assert_eq!(output.len(), n);
+        // Generate shadows.
+        let mut shadow_witnesses = Vec::with_capacity(rounds);
+        let mut shadows = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let (shadow, sw) = shuffle(gp, y, input, rng);
+            shadows.push(shadow);
+            shadow_witnesses.push(sw);
+        }
+        // Fiat–Shamir challenge over (input, output, shadows).
+        let mut tr = Transcript::new(b"pm-crypto/shuffle-proof/v1");
+        tr.append_element(b"pk", &y.0);
+        absorb_vector(&mut tr, b"input", input);
+        absorb_vector(&mut tr, b"output", output);
+        for s in &shadows {
+            absorb_vector(&mut tr, b"shadow", s);
+        }
+        let challenge = tr.challenge_bits(b"rounds", rounds);
+
+        let mut openings = Vec::with_capacity(rounds);
+        for (sw, bit) in shadow_witnesses.into_iter().zip(challenge) {
+            if !bit {
+                openings.push(RoundOpening::InputToShadow {
+                    perm: sw.perm,
+                    rerand: sw.rerand,
+                });
+            } else {
+                // Output slot i holds input[w.perm[i]] rerandomized by
+                // w.rerand[i]. Shadow slot k holds input[sw.perm[k]]
+                // rerandomized by sw.rerand[k]. So output slot i equals
+                // shadow slot k(i) = sw.perm⁻¹(w.perm[i]) rerandomized by
+                // w.rerand[i] - sw.rerand[k(i)].
+                let sw_inv = sw.perm.inverse();
+                let comp = Permutation(
+                    (0..n).map(|i| sw_inv.0[w.perm.0[i]]).collect(),
+                );
+                let rerand: Vec<Scalar> = (0..n)
+                    .map(|i| gp.scalar_sub(&w.rerand[i], &sw.rerand[comp.0[i]]))
+                    .collect();
+                openings.push(RoundOpening::ShadowToOutput { perm: comp, rerand });
+            }
+        }
+        ShuffleProof { shadows, openings }
+    }
+
+    /// Verifies the argument.
+    pub fn verify(
+        &self,
+        gp: &GroupParams,
+        y: &PublicKey,
+        input: &[Ciphertext],
+        output: &[Ciphertext],
+    ) -> bool {
+        let n = input.len();
+        if output.len() != n || self.shadows.len() != self.openings.len() {
+            return false;
+        }
+        let rounds = self.shadows.len();
+        let mut tr = Transcript::new(b"pm-crypto/shuffle-proof/v1");
+        tr.append_element(b"pk", &y.0);
+        absorb_vector(&mut tr, b"input", input);
+        absorb_vector(&mut tr, b"output", output);
+        for s in &self.shadows {
+            if s.len() != n {
+                return false;
+            }
+            absorb_vector(&mut tr, b"shadow", s);
+        }
+        let challenge = tr.challenge_bits(b"rounds", rounds);
+
+        for ((shadow, opening), bit) in self.shadows.iter().zip(&self.openings).zip(challenge) {
+            match (bit, opening) {
+                (false, RoundOpening::InputToShadow { perm, rerand }) => {
+                    if perm.len() != n || rerand.len() != n || !perm.is_valid() {
+                        return false;
+                    }
+                    let expect = apply_shuffle(gp, y, input, perm, rerand);
+                    if &expect != shadow {
+                        return false;
+                    }
+                }
+                (true, RoundOpening::ShadowToOutput { perm, rerand }) => {
+                    if perm.len() != n || rerand.len() != n || !perm.is_valid() {
+                        return false;
+                    }
+                    let expect = apply_shuffle(gp, y, shadow, perm, rerand);
+                    if expect != output {
+                        return false;
+                    }
+                }
+                // Opening type does not match the challenge bit.
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{decrypt, encrypt, keygen};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permutation_laws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Permutation::random(20, &mut rng);
+        assert!(p.is_valid());
+        let inv = p.inverse();
+        assert_eq!(p.compose(&inv), Permutation::identity(20));
+        assert_eq!(inv.compose(&p), Permutation::identity(20));
+        let items: Vec<u32> = (0..20).collect();
+        assert_eq!(inv.apply(&p.apply(&items)), items);
+    }
+
+    #[test]
+    fn permutation_apply_convention() {
+        // out[i] = items[perm[i]]
+        let p = Permutation(vec![2, 0, 1]);
+        assert_eq!(p.apply(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+        // compose: apply other first, then self.
+        let q = Permutation(vec![1, 2, 0]);
+        let pq = p.compose(&q);
+        let direct = p.apply(&q.apply(&['a', 'b', 'c']));
+        assert_eq!(pq.apply(&['a', 'b', 'c']), direct);
+    }
+
+    #[test]
+    fn invalid_permutations_detected() {
+        assert!(!Permutation(vec![0, 0, 1]).is_valid());
+        assert!(!Permutation(vec![0, 3, 1]).is_valid());
+        assert!(Permutation(vec![]).is_valid());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_of_plaintexts() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = keygen(&gp, &mut rng);
+        let msgs: Vec<_> = (0..8).map(|_| gp.random_element(&mut rng)).collect();
+        let cts: Vec<_> = msgs
+            .iter()
+            .map(|m| encrypt(&gp, &kp.public, m, &mut rng))
+            .collect();
+        let (out, w) = shuffle(&gp, &kp.public, &cts, &mut rng);
+        let mut decrypted: Vec<_> = out.iter().map(|c| decrypt(&gp, &kp.secret, c)).collect();
+        let mut expected = msgs.clone();
+        decrypted.sort_by_key(|e| e.to_bytes());
+        expected.sort_by_key(|e| e.to_bytes());
+        assert_eq!(decrypted, expected);
+        // And the permutation is what the witness says.
+        for i in 0..cts.len() {
+            assert_eq!(decrypt(&gp, &kp.secret, &out[i]), msgs[w.perm.0[i]]);
+        }
+    }
+
+    #[test]
+    fn proof_accepts_honest_shuffle() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = keygen(&gp, &mut rng);
+        let cts: Vec<_> = (0..6)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        let (out, w) = shuffle(&gp, &kp.public, &cts, &mut rng);
+        let proof = ShuffleProof::prove(&gp, &kp.public, &cts, &out, &w, 12, &mut rng);
+        assert!(proof.verify(&gp, &kp.public, &cts, &out));
+    }
+
+    #[test]
+    fn proof_rejects_tampered_output() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = keygen(&gp, &mut rng);
+        let cts: Vec<_> = (0..5)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        let (mut out, w) = shuffle(&gp, &kp.public, &cts, &mut rng);
+        let proof = ShuffleProof::prove(&gp, &kp.public, &cts, &out, &w, 12, &mut rng);
+        // Swap a plaintext after proving: the proof must not verify.
+        let m = gp.random_element(&mut rng);
+        out[0] = encrypt(&gp, &kp.public, &m, &mut rng);
+        assert!(!proof.verify(&gp, &kp.public, &cts, &out));
+    }
+
+    #[test]
+    fn proof_rejects_replaced_cell_at_prove_time() {
+        // A prover who *replaces* a ciphertext (rather than shuffling)
+        // should fail verification with overwhelming probability.
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = keygen(&gp, &mut rng);
+        let cts: Vec<_> = (0..4)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        let (mut out, w) = shuffle(&gp, &kp.public, &cts, &mut rng);
+        let m = gp.random_element(&mut rng);
+        out[2] = encrypt(&gp, &kp.public, &m, &mut rng);
+        // The witness no longer describes `out`; an honest prover API can
+        // still be abused to produce a proof attempt, which must fail.
+        let proof = ShuffleProof::prove(&gp, &kp.public, &cts, &out, &w, 16, &mut rng);
+        assert!(!proof.verify(&gp, &kp.public, &cts, &out));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_input_binding() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = keygen(&gp, &mut rng);
+        let cts: Vec<_> = (0..4)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        let (out, w) = shuffle(&gp, &kp.public, &cts, &mut rng);
+        let proof = ShuffleProof::prove(&gp, &kp.public, &cts, &out, &w, 12, &mut rng);
+        // Verifying against different input fails.
+        let other: Vec<_> = (0..4)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        assert!(!proof.verify(&gp, &kp.public, &other, &out));
+    }
+
+    #[test]
+    fn empty_vector_shuffle() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = keygen(&gp, &mut rng);
+        let (out, w) = shuffle(&gp, &kp.public, &[], &mut rng);
+        assert!(out.is_empty());
+        let proof = ShuffleProof::prove(&gp, &kp.public, &[], &out, &w, 4, &mut rng);
+        assert!(proof.verify(&gp, &kp.public, &[], &out));
+    }
+}

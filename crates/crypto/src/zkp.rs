@@ -1,0 +1,316 @@
+//! Non-interactive zero-knowledge proofs (Fiat–Shamir over SHA-256).
+//!
+//! * [`SchnorrProof`] — proof of knowledge of a discrete log, used by PSC
+//!   computation parties to certify their ElGamal key shares.
+//! * [`DleqProof`] — Chaum–Pedersen proof that two pairs share the same
+//!   discrete log, used to verify partial decryptions and the
+//!   zero-preserving exponentiation step.
+//!
+//! All challenges are derived from a [`Transcript`], which binds the
+//! statement, the prover identity, and protocol context.
+
+use crate::group::{GroupElement, GroupParams, Scalar};
+use crate::sha256::{Sha256, DIGEST_LEN};
+use rand::Rng;
+
+/// A Fiat–Shamir transcript: an append-only hash of labeled messages.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Sha256,
+}
+
+impl Transcript {
+    /// Starts a transcript under a protocol domain label.
+    pub fn new(domain: &[u8]) -> Transcript {
+        let mut hasher = Sha256::new();
+        hasher.update(b"pm-crypto/transcript/v1");
+        hasher.update(&(domain.len() as u64).to_be_bytes());
+        hasher.update(domain);
+        Transcript { hasher }
+    }
+
+    /// Appends a labeled byte string.
+    pub fn append(&mut self, label: &[u8], data: &[u8]) -> &mut Self {
+        self.hasher.update(&(label.len() as u64).to_be_bytes());
+        self.hasher.update(label);
+        self.hasher.update(&(data.len() as u64).to_be_bytes());
+        self.hasher.update(data);
+        self
+    }
+
+    /// Appends a group element.
+    pub fn append_element(&mut self, label: &[u8], e: &GroupElement) -> &mut Self {
+        self.append(label, &e.to_bytes())
+    }
+
+    /// Derives a challenge scalar, consuming the transcript state so far.
+    pub fn challenge_scalar(&self, gp: &GroupParams, label: &[u8]) -> Scalar {
+        let digest = self.clone_digest(label);
+        gp.hash_to_scalar(b"transcript-challenge", &[&digest])
+    }
+
+    /// Derives `n` challenge bits (for cut-and-choose protocols).
+    pub fn challenge_bits(&self, label: &[u8], n: usize) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(n);
+        let mut counter = 0u64;
+        while bits.len() < n {
+            let mut h = self.hasher.clone();
+            h.update(&(label.len() as u64).to_be_bytes());
+            h.update(label);
+            h.update(&counter.to_be_bytes());
+            let digest = h.finalize();
+            for byte in digest.iter() {
+                for i in 0..8 {
+                    if bits.len() == n {
+                        break;
+                    }
+                    bits.push((byte >> i) & 1 == 1);
+                }
+            }
+            counter += 1;
+        }
+        bits
+    }
+
+    fn clone_digest(&self, label: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = self.hasher.clone();
+        h.update(&(label.len() as u64).to_be_bytes());
+        h.update(label);
+        h.finalize()
+    }
+}
+
+/// Schnorr proof of knowledge of `x` such that `y = g^x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchnorrProof {
+    /// Commitment `t = g^w`.
+    pub commit: GroupElement,
+    /// Response `s = w + c·x mod q`.
+    pub response: Scalar,
+}
+
+impl SchnorrProof {
+    /// Proves knowledge of `x` for statement `y = g^x`.
+    pub fn prove<R: Rng + ?Sized>(
+        gp: &GroupParams,
+        x: &Scalar,
+        y: &GroupElement,
+        transcript: &mut Transcript,
+        rng: &mut R,
+    ) -> SchnorrProof {
+        let w = gp.random_scalar(rng);
+        let t = gp.g_pow(&w);
+        transcript.append_element(b"schnorr.y", y);
+        transcript.append_element(b"schnorr.t", &t);
+        let c = transcript.challenge_scalar(gp, b"schnorr.c");
+        let s = gp.scalar_add(&w, &gp.scalar_mul(&c, x));
+        SchnorrProof {
+            commit: t,
+            response: s,
+        }
+    }
+
+    /// Verifies the proof against statement `y`.
+    pub fn verify(&self, gp: &GroupParams, y: &GroupElement, transcript: &mut Transcript) -> bool {
+        if !gp.is_element(y) || !gp.is_element(&self.commit) {
+            return false;
+        }
+        transcript.append_element(b"schnorr.y", y);
+        transcript.append_element(b"schnorr.t", &self.commit);
+        let c = transcript.challenge_scalar(gp, b"schnorr.c");
+        // g^s == t · y^c
+        gp.g_pow(&self.response) == gp.mul(&self.commit, &gp.pow(y, &c))
+    }
+}
+
+/// Chaum–Pedersen proof that `log_g(y) == log_a(d)`, i.e. the prover
+/// applied the same secret exponent to two bases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DleqProof {
+    /// `t1 = g^w`
+    pub commit_g: GroupElement,
+    /// `t2 = a^w`
+    pub commit_a: GroupElement,
+    /// `s = w + c·x mod q`
+    pub response: Scalar,
+}
+
+impl DleqProof {
+    /// Proves `y = g^x ∧ d = a^x` for secret `x`.
+    pub fn prove<R: Rng + ?Sized>(
+        gp: &GroupParams,
+        x: &Scalar,
+        a: &GroupElement,
+        y: &GroupElement,
+        d: &GroupElement,
+        transcript: &mut Transcript,
+        rng: &mut R,
+    ) -> DleqProof {
+        let w = gp.random_scalar(rng);
+        let t1 = gp.g_pow(&w);
+        let t2 = gp.pow(a, &w);
+        transcript.append_element(b"dleq.a", a);
+        transcript.append_element(b"dleq.y", y);
+        transcript.append_element(b"dleq.d", d);
+        transcript.append_element(b"dleq.t1", &t1);
+        transcript.append_element(b"dleq.t2", &t2);
+        let c = transcript.challenge_scalar(gp, b"dleq.c");
+        let s = gp.scalar_add(&w, &gp.scalar_mul(&c, x));
+        DleqProof {
+            commit_g: t1,
+            commit_a: t2,
+            response: s,
+        }
+    }
+
+    /// Verifies against statement `(a, y, d)`.
+    pub fn verify(
+        &self,
+        gp: &GroupParams,
+        a: &GroupElement,
+        y: &GroupElement,
+        d: &GroupElement,
+        transcript: &mut Transcript,
+    ) -> bool {
+        for e in [a, y, d, &self.commit_g, &self.commit_a] {
+            if !gp.is_element(e) {
+                return false;
+            }
+        }
+        transcript.append_element(b"dleq.a", a);
+        transcript.append_element(b"dleq.y", y);
+        transcript.append_element(b"dleq.d", d);
+        transcript.append_element(b"dleq.t1", &self.commit_g);
+        transcript.append_element(b"dleq.t2", &self.commit_a);
+        let c = transcript.challenge_scalar(gp, b"dleq.c");
+        gp.g_pow(&self.response) == gp.mul(&self.commit_g, &gp.pow(y, &c))
+            && gp.pow(a, &self.response) == gp.mul(&self.commit_a, &gp.pow(d, &c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schnorr_accepts_honest() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.g_pow(&x);
+        let proof = SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"test"), &mut rng);
+        assert!(proof.verify(&gp, &y, &mut Transcript::new(b"test")));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_statement() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.g_pow(&x);
+        let proof = SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"test"), &mut rng);
+        let other = gp.random_element(&mut rng);
+        assert!(!proof.verify(&gp, &other, &mut Transcript::new(b"test")));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_domain() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.g_pow(&x);
+        let proof = SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"ctx-a"), &mut rng);
+        assert!(!proof.verify(&gp, &y, &mut Transcript::new(b"ctx-b")));
+    }
+
+    #[test]
+    fn schnorr_rejects_tampered_response() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.g_pow(&x);
+        let mut proof = SchnorrProof::prove(&gp, &x, &y, &mut Transcript::new(b"t"), &mut rng);
+        proof.response = gp.scalar_add(&proof.response, &gp.scalar_from_u64(1));
+        assert!(!proof.verify(&gp, &y, &mut Transcript::new(b"t")));
+    }
+
+    #[test]
+    fn dleq_accepts_honest() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = gp.random_scalar(&mut rng);
+        let a = gp.random_element(&mut rng);
+        let y = gp.g_pow(&x);
+        let d = gp.pow(&a, &x);
+        let proof = DleqProof::prove(&gp, &x, &a, &y, &d, &mut Transcript::new(b"t"), &mut rng);
+        assert!(proof.verify(&gp, &a, &y, &d, &mut Transcript::new(b"t")));
+    }
+
+    #[test]
+    fn dleq_rejects_mismatched_exponent() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = gp.random_scalar(&mut rng);
+        let x2 = gp.random_scalar(&mut rng);
+        let a = gp.random_element(&mut rng);
+        let y = gp.g_pow(&x);
+        let d = gp.pow(&a, &x2); // wrong exponent on the second base
+        let proof = DleqProof::prove(&gp, &x, &a, &y, &d, &mut Transcript::new(b"t"), &mut rng);
+        assert!(!proof.verify(&gp, &a, &y, &d, &mut Transcript::new(b"t")));
+    }
+
+    #[test]
+    fn dleq_binds_partial_decryption() {
+        // The PSC use case: prove d = a^x is a correct partial decryption
+        // under key share y = g^x.
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = crate::elgamal::keygen(&gp, &mut rng);
+        let m = gp.random_element(&mut rng);
+        let ct = crate::elgamal::encrypt(&gp, &kp.public, &m, &mut rng);
+        let d = crate::elgamal::partial_decrypt(&gp, &kp.secret, &ct);
+        let proof = DleqProof::prove(
+            &gp, &kp.secret.0, &ct.a, &kp.public.0, &d,
+            &mut Transcript::new(b"psc.decrypt"), &mut rng,
+        );
+        assert!(proof.verify(&gp, &ct.a, &kp.public.0, &d, &mut Transcript::new(b"psc.decrypt")));
+        // A lying decryptor (wrong d) fails.
+        let bad = gp.mul(&d, &gp.generator());
+        assert!(!proof.verify(&gp, &ct.a, &kp.public.0, &bad, &mut Transcript::new(b"psc.decrypt")));
+    }
+
+    #[test]
+    fn challenge_bits_deterministic_and_unbiased_ish() {
+        let mut t = Transcript::new(b"bits");
+        t.append(b"x", b"y");
+        let bits1 = t.challenge_bits(b"c", 256);
+        let bits2 = t.challenge_bits(b"c", 256);
+        assert_eq!(bits1, bits2);
+        let ones = bits1.iter().filter(|b| **b).count();
+        // 256 fair coin flips: P(outside [80, 176]) is negligible.
+        assert!((80..=176).contains(&ones), "ones = {ones}");
+        // Different label gives different bits.
+        let bits3 = t.challenge_bits(b"d", 256);
+        assert_ne!(bits1, bits3);
+    }
+
+    #[test]
+    fn transcript_append_changes_challenges() {
+        let gp = GroupParams::default_params();
+        let mut t1 = Transcript::new(b"x");
+        let mut t2 = Transcript::new(b"x");
+        t2.append(b"extra", b"data");
+        assert_ne!(
+            t1.challenge_scalar(&gp, b"c"),
+            t2.challenge_scalar(&gp, b"c")
+        );
+        // Appending then re-deriving is stable.
+        t1.append(b"extra", b"data");
+        assert_eq!(
+            t1.challenge_scalar(&gp, b"c"),
+            t2.challenge_scalar(&gp, b"c")
+        );
+    }
+}

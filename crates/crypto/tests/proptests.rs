@@ -1,0 +1,173 @@
+//! Property-based tests for the crypto substrate: ring/field laws on the
+//! big integers and modular arithmetic, and semantic invariants of the
+//! higher-level primitives.
+
+use pm_crypto::elgamal::{
+    decrypt, encrypt, keygen, mul_ciphertexts, rerandomize,
+};
+use pm_crypto::group::GroupParams;
+use pm_crypto::modarith::Modulus;
+use pm_crypto::secret::{unblind_total, BlindedCounter, ShareAccumulator};
+use pm_crypto::sha256::sha256;
+use pm_crypto::shuffle::Permutation;
+use pm_crypto::u256::U256;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    (any::<[u64; 4]>()).prop_map(U256)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        prop_assert_eq!(
+            a.wrapping_add(&b).wrapping_add(&c),
+            a.wrapping_add(&b.wrapping_add(&c))
+        );
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_low(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        // (a+b)*c == a*c + b*c modulo 2^256 (low halves).
+        let lhs = a.wrapping_add(&b).wrapping_mul(&c);
+        let rhs = a.wrapping_mul(&c).wrapping_add(&b.wrapping_mul(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_u256(), n in 0u32..255) {
+        // Right shift then left shift clears low bits only.
+        let masked = a.shr(n).shl(n);
+        let reference = a.shr(n).shl(n);
+        prop_assert_eq!(masked, reference);
+        // shl then shr restores when no high bits lost.
+        let small = a.shr(128);
+        prop_assert_eq!(small.shl(64).shr(64), small);
+    }
+
+    #[test]
+    fn mod_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = (1u64 << 61) - 1;
+        let m = Modulus::new(U256::from_u64(p));
+        let ar = a % p;
+        let br = b % p;
+        let expect = ((ar as u128 * br as u128) % p as u128) as u64;
+        prop_assert_eq!(
+            m.mul(&U256::from_u64(ar), &U256::from_u64(br)).low_u64(),
+            expect
+        );
+    }
+
+    #[test]
+    fn mod_reduce_idempotent(a in arb_u256()) {
+        let gp = GroupParams::default_params();
+        let m = Modulus::new(*gp.p());
+        let r = m.reduce(&a);
+        prop_assert!(r < *gp.p());
+        prop_assert_eq!(m.reduce(&r), r);
+    }
+
+    #[test]
+    fn sha256_deterministic_and_length(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let d1 = sha256(&data);
+        let d2 = sha256(&data);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(d1.len(), 32);
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(seed in any::<u64>(), n in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(n, &mut rng);
+        prop_assert!(p.is_valid());
+        let items: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(p.inverse().apply(&p.apply(&items)), items);
+    }
+
+    #[test]
+    fn blinding_recovers_value(
+        seed in any::<u64>(),
+        initial in any::<i32>(),
+        incrs in proptest::collection::vec(any::<i32>(), 0..16),
+        num_sks in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut reg, shares) = BlindedCounter::blind(initial as i64, num_sks, &mut rng);
+        let mut accs = vec![ShareAccumulator::default(); num_sks];
+        for (k, s) in shares.into_iter().enumerate() {
+            accs[k].absorb(s);
+        }
+        let mut truth = initial as i64;
+        for i in &incrs {
+            reg.increment(*i as i64);
+            truth += *i as i64;
+        }
+        let sk_vals: Vec<u64> = accs.iter().map(|a| a.publish()).collect();
+        prop_assert_eq!(unblind_total(&[reg.publish()], &sk_vals), truth);
+    }
+}
+
+// ElGamal semantic properties use fewer cases (each involves several
+// 256-bit exponentiations).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn elgamal_roundtrip_and_homomorphism(seed in any::<u64>()) {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = keygen(&gp, &mut rng);
+        let m1 = gp.random_element(&mut rng);
+        let m2 = gp.random_element(&mut rng);
+        let c1 = encrypt(&gp, &kp.public, &m1, &mut rng);
+        let c2 = encrypt(&gp, &kp.public, &m2, &mut rng);
+        prop_assert_eq!(decrypt(&gp, &kp.secret, &c1), m1);
+        let prod = mul_ciphertexts(&gp, &c1, &c2);
+        prop_assert_eq!(decrypt(&gp, &kp.secret, &prod), gp.mul(&m1, &m2));
+        let rr = rerandomize(&gp, &kp.public, &c1, &mut rng);
+        prop_assert_eq!(decrypt(&gp, &kp.secret, &rr), m1);
+    }
+
+    #[test]
+    fn group_exponent_laws(seed in any::<u64>()) {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = gp.random_scalar(&mut rng);
+        let y = gp.random_scalar(&mut rng);
+        prop_assert_eq!(
+            gp.g_pow(&gp.scalar_add(&x, &y)),
+            gp.mul(&gp.g_pow(&x), &gp.g_pow(&y))
+        );
+        prop_assert_eq!(
+            gp.pow(&gp.g_pow(&x), &y),
+            gp.g_pow(&gp.scalar_mul(&x, &y))
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Measurement scheduling rules (§3.1):
+//!
+//! * PrivCount and PSC measurements are never conducted in parallel;
+//! * at least 24 hours of delay separates sequential measurements of
+//!   distinct statistics;
+//! * repeated measurement of the *same* statistic may be sequential
+//!   (the paper repeats measurements to confirm anomalies).
+//!
+//! The [`Accountant`] validates a proposed schedule and keeps the ledger
+//! of what was measured when, which the study harness consults before
+//! launching each experiment.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which measurement system a round uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    /// PrivCount (noisy counts).
+    PrivCount,
+    /// Private Set-union Cardinality (unique counts).
+    Psc,
+}
+
+/// A proposed measurement round.
+#[derive(Clone, Debug)]
+pub struct MeasurementRound {
+    /// Experiment name (e.g. "fig1-exit-streams").
+    pub name: String,
+    /// System used.
+    pub system: System,
+    /// Start time, in hours since the study epoch.
+    pub start_hour: u64,
+    /// Duration in hours (24 for most rounds; 96 for the churn round).
+    pub duration_hours: u64,
+    /// Names of the statistics collected.
+    pub statistics: Vec<String>,
+}
+
+impl MeasurementRound {
+    fn end_hour(&self) -> u64 {
+        self.start_hour + self.duration_hours
+    }
+}
+
+/// Why a round was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Overlaps an already-scheduled round.
+    Overlap {
+        /// The conflicting round's name.
+        with: String,
+    },
+    /// Violates the 24h gap between distinct statistics.
+    InsufficientGap {
+        /// The prior round's name.
+        with: String,
+        /// Hours of gap actually available.
+        gap_hours: u64,
+    },
+    /// Round is degenerate (zero duration or no statistics).
+    Degenerate,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Overlap { with } => {
+                write!(f, "round overlaps already-scheduled round '{with}'")
+            }
+            ScheduleError::InsufficientGap { with, gap_hours } => write!(
+                f,
+                "only {gap_hours}h gap to round '{with}' measuring distinct statistics (need 24h)"
+            ),
+            ScheduleError::Degenerate => write!(f, "round has no duration or no statistics"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The measurement ledger.
+#[derive(Default, Debug)]
+pub struct Accountant {
+    rounds: Vec<MeasurementRound>,
+}
+
+impl Accountant {
+    /// An empty ledger.
+    pub fn new() -> Accountant {
+        Accountant::default()
+    }
+
+    /// Validates and records a round.
+    pub fn schedule(&mut self, round: MeasurementRound) -> Result<(), ScheduleError> {
+        if round.duration_hours == 0 || round.statistics.is_empty() {
+            return Err(ScheduleError::Degenerate);
+        }
+        for prior in &self.rounds {
+            // No overlap with ANY round: PrivCount and PSC are never
+            // parallel, and neither are two rounds of the same system.
+            let overlap =
+                round.start_hour < prior.end_hour() && prior.start_hour < round.end_hour();
+            if overlap {
+                return Err(ScheduleError::Overlap {
+                    with: prior.name.clone(),
+                });
+            }
+            // 24h gap between rounds measuring distinct statistics.
+            let a: BTreeSet<&String> = prior.statistics.iter().collect();
+            let b: BTreeSet<&String> = round.statistics.iter().collect();
+            let same_stats = a == b;
+            if !same_stats {
+                let gap = if round.start_hour >= prior.end_hour() {
+                    round.start_hour - prior.end_hour()
+                } else {
+                    prior.start_hour - round.end_hour()
+                };
+                if gap < 24 {
+                    return Err(ScheduleError::InsufficientGap {
+                        with: prior.name.clone(),
+                        gap_hours: gap,
+                    });
+                }
+            }
+        }
+        self.rounds.push(round);
+        Ok(())
+    }
+
+    /// Recorded rounds in scheduling order.
+    pub fn rounds(&self) -> &[MeasurementRound] {
+        &self.rounds
+    }
+
+    /// First hour at which a new round with the given statistics could
+    /// legally start (conservative: 24h after the last round ends, or
+    /// immediately after it if the statistics are identical).
+    pub fn earliest_start(&self, statistics: &[String]) -> u64 {
+        let mut earliest = 0;
+        for prior in &self.rounds {
+            let a: BTreeSet<&String> = prior.statistics.iter().collect();
+            let b: BTreeSet<&String> = statistics.iter().collect();
+            let needed = if a == b {
+                prior.end_hour()
+            } else {
+                prior.end_hour() + 24
+            };
+            earliest = earliest.max(needed);
+        }
+        earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(name: &str, system: System, start: u64, dur: u64, stats: &[&str]) -> MeasurementRound {
+        MeasurementRound {
+            name: name.into(),
+            system,
+            start_hour: start,
+            duration_hours: dur,
+            statistics: stats.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn sequential_rounds_with_gap_accepted() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::PrivCount, 0, 24, &["streams"]))
+            .unwrap();
+        acc.schedule(round("b", System::Psc, 48, 24, &["unique-slds"]))
+            .unwrap();
+        assert_eq!(acc.rounds().len(), 2);
+    }
+
+    #[test]
+    fn parallel_rounds_rejected() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::PrivCount, 0, 24, &["streams"]))
+            .unwrap();
+        let err = acc
+            .schedule(round("b", System::Psc, 12, 24, &["unique-slds"]))
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::Overlap { with: "a".into() });
+    }
+
+    #[test]
+    fn distinct_stats_need_24h_gap() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::PrivCount, 0, 24, &["streams"]))
+            .unwrap();
+        let err = acc
+            .schedule(round("b", System::PrivCount, 36, 24, &["circuits"]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::InsufficientGap {
+                with: "a".into(),
+                gap_hours: 12
+            }
+        );
+        // At exactly 24h gap it is allowed.
+        acc.schedule(round("c", System::PrivCount, 48, 24, &["circuits"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn same_stats_can_repeat_back_to_back() {
+        // The paper repeated the descriptor-fetch measurement to confirm
+        // the 90% failure anomaly.
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::PrivCount, 0, 24, &["desc-fetch"]))
+            .unwrap();
+        acc.schedule(round("a-repeat", System::PrivCount, 24, 24, &["desc-fetch"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn degenerate_rounds_rejected() {
+        let mut acc = Accountant::new();
+        assert_eq!(
+            acc.schedule(round("z", System::Psc, 0, 0, &["x"])),
+            Err(ScheduleError::Degenerate)
+        );
+        assert_eq!(
+            acc.schedule(round("z", System::Psc, 0, 24, &[])),
+            Err(ScheduleError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn earliest_start_computation() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::PrivCount, 0, 24, &["streams"]))
+            .unwrap();
+        assert_eq!(acc.earliest_start(&["streams".into()]), 24);
+        assert_eq!(acc.earliest_start(&["other".into()]), 48);
+        // Multi-day round pushes things out.
+        acc.schedule(round("churn", System::Psc, 48, 96, &["ips-4day"]))
+            .unwrap();
+        assert_eq!(acc.earliest_start(&["other".into()]), 168);
+    }
+
+    #[test]
+    fn out_of_order_scheduling_checked_both_directions() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("later", System::PrivCount, 100, 24, &["x"]))
+            .unwrap();
+        // A round ending 12h before 'later' starts, different stats.
+        let err = acc
+            .schedule(round("earlier", System::PrivCount, 64, 24, &["y"]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::InsufficientGap { .. }));
+    }
+}

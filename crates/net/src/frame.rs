@@ -1,0 +1,440 @@
+//! Wire format: length-prefixed, type-tagged, checksummed frames.
+//!
+//! A [`Frame`] is the unit of delivery between parties. The payload is an
+//! opaque byte string produced by the protocol crates' own codecs
+//! (implementations of [`WireEncode`]/[`WireDecode`]). The checksum is a
+//! Fletcher-style 32-bit sum that lets the transport detect (injected or
+//! accidental) corruption, mirroring what TLS record MACs give the real
+//! deployments.
+//!
+//! ```text
+//!  0      4      6            10         10+n        14+n
+//!  | magic | type | payload len | payload n | checksum |
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Frame magic: "PMN1".
+pub const MAGIC: u32 = 0x504d_4e31;
+
+/// Errors arising from the wire codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame or message was shorter than its header promised.
+    Truncated,
+    /// Magic number mismatch — not one of our frames.
+    BadMagic,
+    /// Checksum mismatch — corrupted in flight.
+    BadChecksum,
+    /// A field held an invalid value (enum tag, length bound, etc.).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A typed message frame.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-defined message type tag.
+    pub msg_type: u16,
+    /// Opaque payload (protocol codec output).
+    pub payload: Bytes,
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Frame {{ type: {}, payload: {} bytes }}",
+            self.msg_type,
+            self.payload.len()
+        )
+    }
+}
+
+/// Fletcher-32-style checksum (two 16-bit sums over the data).
+fn checksum(data: &[u8]) -> u32 {
+    let mut s1: u32 = 0xf00d;
+    let mut s2: u32 = 0xcafe;
+    for chunk in data.chunks(360) {
+        for &b in chunk {
+            s1 += b as u32;
+            s2 += s1;
+        }
+        s1 %= 65535;
+        s2 %= 65535;
+    }
+    (s2 << 16) | s1
+}
+
+impl Frame {
+    /// Creates a frame with the given type and payload.
+    pub fn new(msg_type: u16, payload: Bytes) -> Frame {
+        Frame { msg_type, payload }
+    }
+
+    /// Creates a frame by encoding a message.
+    pub fn encode_msg<M: WireEncode>(msg_type: u16, msg: &M) -> Frame {
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        Frame::new(msg_type, buf.freeze())
+    }
+
+    /// Decodes the payload as a message of type `M`.
+    pub fn decode_msg<M: WireDecode>(&self) -> Result<M, WireError> {
+        let mut buf = self.payload.clone();
+        let msg = M::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(WireError::Invalid("trailing bytes after message"));
+        }
+        Ok(msg)
+    }
+
+    /// Serializes the frame to its on-the-wire byte form.
+    pub fn to_wire(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(14 + self.payload.len());
+        buf.put_u32(MAGIC);
+        buf.put_u16(self.msg_type);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        let sum = checksum(&buf);
+        buf.put_u32(sum);
+        buf.freeze()
+    }
+
+    /// Parses a frame from wire bytes, verifying magic and checksum.
+    pub fn from_wire(mut data: Bytes) -> Result<Frame, WireError> {
+        if data.len() < 14 {
+            return Err(WireError::Truncated);
+        }
+        let body = data.slice(..data.len() - 4);
+        let magic = data.get_u32();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let msg_type = data.get_u16();
+        let len = data.get_u32() as usize;
+        if data.remaining() != len + 4 {
+            return Err(WireError::Truncated);
+        }
+        let payload = data.slice(..len);
+        data.advance(len);
+        let stated = data.get_u32();
+        if checksum(&body) != stated {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Frame { msg_type, payload })
+    }
+}
+
+/// Types that can serialize themselves onto a byte buffer.
+pub trait WireEncode {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encodes to a standalone byte string.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Types that can parse themselves from a byte buffer.
+pub trait WireDecode: Sized {
+    /// Consumes the canonical encoding of `Self` from `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Decodes from a standalone byte string, requiring full consumption.
+    fn from_bytes(data: &[u8]) -> Result<Self, WireError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let v = Self::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(WireError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+// ----- codec helpers used by protocol crates -----
+
+/// Reads `n` bytes or errors with `Truncated`.
+pub fn get_bytes(buf: &mut Bytes, n: usize) -> Result<Bytes, WireError> {
+    if buf.remaining() < n {
+        return Err(WireError::Truncated);
+    }
+    let out = buf.slice(..n);
+    buf.advance(n);
+    Ok(out)
+}
+
+/// Reads a `u8`.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+/// Reads a big-endian `u16`.
+pub fn get_u16(buf: &mut Bytes) -> Result<u16, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u16())
+}
+
+/// Reads a big-endian `u32`.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+/// Reads a big-endian `u64`.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+/// Reads a big-endian `i64`.
+pub fn get_i64(buf: &mut Bytes) -> Result<i64, WireError> {
+    Ok(get_u64(buf)? as i64)
+}
+
+/// Reads an `f64` (IEEE-754 bits, big-endian).
+pub fn get_f64(buf: &mut Bytes) -> Result<f64, WireError> {
+    Ok(f64::from_bits(get_u64(buf)?))
+}
+
+/// Writes a length-prefixed byte string (u32 length).
+pub fn put_lp_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32(data.len() as u32);
+    buf.put_slice(data);
+}
+
+/// Reads a length-prefixed byte string (u32 length).
+pub fn get_lp_bytes(buf: &mut Bytes) -> Result<Bytes, WireError> {
+    let len = get_u32(buf)? as usize;
+    get_bytes(buf, len)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_lp_str(buf: &mut BytesMut, s: &str) {
+    put_lp_bytes(buf, s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_lp_str(buf: &mut Bytes) -> Result<String, WireError> {
+    let raw = get_lp_bytes(buf)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::Invalid("utf-8 string"))
+}
+
+/// Writes a fixed 32-byte array.
+pub fn put_array32(buf: &mut BytesMut, a: &[u8; 32]) {
+    buf.put_slice(a);
+}
+
+/// Reads a fixed 32-byte array.
+pub fn get_array32(buf: &mut Bytes) -> Result<[u8; 32], WireError> {
+    let raw = get_bytes(buf, 32)?;
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&raw);
+    Ok(out)
+}
+
+/// Writes a `Vec<T: WireEncode>` with a u32 count prefix.
+pub fn put_vec<T: WireEncode>(buf: &mut BytesMut, items: &[T]) {
+    buf.put_u32(items.len() as u32);
+    for item in items {
+        item.encode(buf);
+    }
+}
+
+/// Reads a `Vec<T: WireDecode>` with a u32 count prefix, bounding the
+/// count to `max` to avoid attacker-controlled allocations.
+pub fn get_vec<T: WireDecode>(buf: &mut Bytes, max: usize) -> Result<Vec<T>, WireError> {
+    let n = get_u32(buf)? as usize;
+    if n > max {
+        return Err(WireError::Invalid("vector length exceeds bound"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(buf)?);
+    }
+    Ok(out)
+}
+
+impl WireEncode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(*self);
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_u64(buf)
+    }
+}
+
+impl WireEncode for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64(*self);
+    }
+}
+
+impl WireDecode for i64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_i64(buf)
+    }
+}
+
+impl WireEncode for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.to_bits());
+    }
+}
+
+impl WireDecode for f64 {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_f64(buf)
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_lp_str(buf, self);
+    }
+}
+
+impl WireDecode for String {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        get_lp_str(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame::new(7, Bytes::from_static(b"hello measurement"));
+        let wire = f.to_wire();
+        let back = Frame::from_wire(wire).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(0, Bytes::new());
+        assert_eq!(Frame::from_wire(f.to_wire()).unwrap(), f);
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let f = Frame::new(3, Bytes::from_static(b"payload"));
+        let mut wire = f.to_wire().to_vec();
+        wire[11] ^= 0x40; // flip a payload bit (payload starts at offset 10)
+        assert_eq!(
+            Frame::from_wire(Bytes::from(wire)),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let f = Frame::new(3, Bytes::from_static(b"payload"));
+        let mut wire = f.to_wire().to_vec();
+        wire[0] = 0xff;
+        assert_eq!(Frame::from_wire(Bytes::from(wire)), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let f = Frame::new(3, Bytes::from_static(b"payload"));
+        let wire = f.to_wire();
+        for cut in [0, 5, 13, wire.len() - 1] {
+            assert!(Frame::from_wire(wire.slice(..cut)).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn length_field_lies_detected() {
+        let f = Frame::new(3, Bytes::from_static(b"payload"));
+        let mut wire = f.to_wire().to_vec();
+        wire[9] = 200; // inflate stated payload length
+        assert!(Frame::from_wire(Bytes::from(wire)).is_err());
+    }
+
+    #[test]
+    fn lp_helpers_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_lp_str(&mut buf, "tally-server");
+        put_lp_bytes(&mut buf, &[1, 2, 3]);
+        buf.put_u64(0xdeadbeef);
+        let mut rd = buf.freeze();
+        assert_eq!(get_lp_str(&mut rd).unwrap(), "tally-server");
+        assert_eq!(get_lp_bytes(&mut rd).unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(get_u64(&mut rd).unwrap(), 0xdeadbeef);
+        assert!(!rd.has_remaining());
+    }
+
+    #[test]
+    fn vec_codec_bounds() {
+        let items: Vec<u64> = (0..10).collect();
+        let mut buf = BytesMut::new();
+        put_vec(&mut buf, &items);
+        let mut rd = buf.clone().freeze();
+        assert_eq!(get_vec::<u64>(&mut rd, 10).unwrap(), items);
+        let mut rd2 = buf.freeze();
+        assert_eq!(
+            get_vec::<u64>(&mut rd2, 9),
+            Err(WireError::Invalid("vector length exceeds bound"))
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        put_lp_bytes(&mut buf, &[0xff, 0xfe, 0xfd]);
+        let mut rd = buf.freeze();
+        assert!(get_lp_str(&mut rd).is_err());
+    }
+
+    #[test]
+    fn decode_msg_rejects_trailing() {
+        let mut buf = BytesMut::new();
+        buf.put_u64(42);
+        buf.put_u8(0);
+        let f = Frame::new(1, buf.freeze());
+        assert!(f.decode_msg::<u64>().is_err());
+    }
+
+    #[test]
+    fn checksum_sensitivity() {
+        // Any single-byte change must change the checksum.
+        let base = b"the quick brown onion routes over the lazy relay".to_vec();
+        let c0 = checksum(&base);
+        for i in 0..base.len() {
+            let mut m = base.clone();
+            m[i] ^= 1;
+            assert_ne!(checksum(&m), c0, "byte {i}");
+        }
+    }
+}

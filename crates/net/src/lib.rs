@@ -1,0 +1,36 @@
+//! # pm-net — deployment messaging for the measurement systems
+//!
+//! The original PrivCount and PSC deployments connect their parties
+//! (tally server, share keepers / computation parties, data collectors)
+//! over TLS/TCP. This crate reproduces that layer as an explicit,
+//! inspectable substrate in the style of an event-driven network stack:
+//!
+//! * [`frame`] — a length-prefixed, type-tagged, checksummed wire format
+//!   built directly on [`bytes`] (hand-written codecs, no serde on the
+//!   wire);
+//! * [`transport`] — the [`transport::Switchboard`]: an in-memory message
+//!   fabric over crossbeam channels, plus a fault-injecting wrapper with
+//!   smoltcp-style drop/duplicate/corrupt knobs;
+//! * [`party`] — an event-loop runner that drives protocol state
+//!   machines to completion, with a deterministic single-threaded
+//!   scheduler (for tests) and a threaded runner (one OS thread per
+//!   party, as a real deployment would run one process per party).
+//!
+//! Protocol crates (`privcount`, `psc`) define their message types as
+//! [`frame::WireEncode`]/[`frame::WireDecode`] implementations and state
+//! machines implementing [`party::Node`].
+
+pub mod frame;
+pub mod party;
+pub mod transport;
+
+pub use frame::{Frame, WireDecode, WireEncode, WireError};
+pub use party::{Node, Runner, Step};
+pub use transport::{Endpoint, FaultConfig, PartyId, Switchboard, TransportError};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::frame::{Frame, WireDecode, WireEncode, WireError};
+    pub use crate::party::{Node, Runner, Step};
+    pub use crate::transport::{Endpoint, FaultConfig, PartyId, Switchboard};
+}

@@ -1,0 +1,374 @@
+//! Protocol party runner: drives [`Node`] state machines over the
+//! switchboard.
+//!
+//! Two execution modes:
+//!
+//! * [`Runner::run_deterministic`] — a single-threaded round-robin
+//!   scheduler. Messages are delivered in a reproducible order, which
+//!   makes protocol tests deterministic and debuggable.
+//! * [`Runner::run_threaded`] — one OS thread per party, matching how a
+//!   real deployment runs one process per party. Used by examples and
+//!   larger tests.
+//!
+//! Both run until every node reports [`Step::Done`] (or a node fails).
+
+use crate::transport::{Endpoint, Envelope, PartyId, Switchboard, TransportError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a node wants after handling an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Keep delivering messages.
+    Continue,
+    /// This node has completed its role in the protocol.
+    Done,
+}
+
+/// Errors surfaced by protocol nodes.
+#[derive(Debug, Clone)]
+pub enum NodeError {
+    /// The node received a message it considers fatal to the round.
+    Protocol(String),
+    /// Transport failure.
+    Transport(TransportError),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Protocol(s) => write!(f, "protocol error: {s}"),
+            NodeError::Transport(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<TransportError> for NodeError {
+    fn from(e: TransportError) -> Self {
+        NodeError::Transport(e)
+    }
+}
+
+/// A protocol state machine.
+///
+/// Nodes never block: they are handed their endpoint on start (to send
+/// opening messages) and then receive one envelope at a time.
+pub trait Node: Send {
+    /// Called once before any message delivery; the node may send its
+    /// opening messages through `ep`.
+    fn on_start(&mut self, ep: &Endpoint) -> Result<Step, NodeError>;
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError>;
+
+    /// Human-readable role for diagnostics.
+    fn role(&self) -> &'static str {
+        "node"
+    }
+}
+
+/// Binds nodes to party ids and runs them over a switchboard.
+pub struct Runner {
+    board: Switchboard,
+    nodes: Vec<(PartyId, Box<dyn Node>)>,
+}
+
+impl Runner {
+    /// Creates a runner over the given switchboard.
+    pub fn new(board: Switchboard) -> Runner {
+        Runner {
+            board,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a node under a party id.
+    pub fn add(&mut self, id: impl Into<PartyId>, node: Box<dyn Node>) -> &mut Self {
+        self.nodes.push((id.into(), node));
+        self
+    }
+
+    /// The underlying switchboard.
+    pub fn board(&self) -> &Switchboard {
+        &self.board
+    }
+
+    /// Runs all nodes on a single thread with round-robin delivery until
+    /// all are done and no messages remain in flight.
+    ///
+    /// Returns the nodes (so callers can extract results) in insertion
+    /// order. Wire-corrupted messages are dropped with a count returned.
+    pub fn run_deterministic(self) -> Result<RunOutcome, NodeError> {
+        let mut endpoints: Vec<Endpoint> = Vec::new();
+        let mut nodes = Vec::new();
+        for (id, node) in self.nodes {
+            endpoints.push(self.board.register(id.clone()));
+            nodes.push((id, node, false)); // (id, node, done)
+        }
+        let mut corrupt_dropped = 0u64;
+        // Start phase.
+        for (i, (_, node, done)) in nodes.iter_mut().enumerate() {
+            if matches!(node.on_start(&endpoints[i])?, Step::Done) {
+                *done = true;
+            }
+        }
+        // Delivery loop.
+        loop {
+            let mut delivered_any = false;
+            for (i, (_, node, done)) in nodes.iter_mut().enumerate() {
+                loop {
+                    match endpoints[i].try_recv() {
+                        Ok(env) => {
+                            delivered_any = true;
+                            if *done {
+                                // Late message to a finished node: ignore.
+                                continue;
+                            }
+                            if matches!(node.on_message(&endpoints[i], env)?, Step::Done) {
+                                *done = true;
+                            }
+                        }
+                        Err(TransportError::Empty) => break,
+                        Err(TransportError::Wire(_)) => {
+                            corrupt_dropped += 1;
+                            delivered_any = true;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            let all_done = nodes.iter().all(|(_, _, done)| *done);
+            if !delivered_any {
+                if all_done {
+                    break;
+                }
+                // No progress and not done: the protocol is stuck.
+                let stuck: Vec<String> = nodes
+                    .iter()
+                    .filter(|(_, _, d)| !d)
+                    .map(|(id, node, _)| format!("{id} ({})", node.role()))
+                    .collect();
+                return Err(NodeError::Protocol(format!(
+                    "deadlock: no messages in flight but parties not done: {}",
+                    stuck.join(", ")
+                )));
+            }
+        }
+        Ok(RunOutcome {
+            nodes: nodes
+                .into_iter()
+                .map(|(id, node, _)| (id, node))
+                .collect(),
+            corrupt_dropped,
+        })
+    }
+
+    /// Runs each node on its own OS thread (blocking receive loop), as a
+    /// real per-process deployment would. Panics in node threads are
+    /// surfaced as errors.
+    pub fn run_threaded(self) -> Result<RunOutcome, NodeError> {
+        let board = self.board;
+        let mut handles = Vec::new();
+        // Register all endpoints BEFORE any thread starts so early sends
+        // never hit UnknownParty.
+        let mut prepared: Vec<(PartyId, Box<dyn Node>, Endpoint)> = Vec::new();
+        for (id, node) in self.nodes {
+            let ep = board.register(id.clone());
+            prepared.push((id, node, ep));
+        }
+        for (id, mut node, ep) in prepared {
+            handles.push(std::thread::spawn(move || -> Result<(PartyId, Box<dyn Node>, u64), NodeError> {
+                let mut corrupt = 0u64;
+                let mut step = node.on_start(&ep)?;
+                while step == Step::Continue {
+                    match ep.recv() {
+                        Ok(env) => {
+                            step = node.on_message(&ep, env)?;
+                        }
+                        Err(TransportError::Wire(_)) => {
+                            corrupt += 1;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Ok((id, node, corrupt))
+            }));
+        }
+        let mut nodes = Vec::new();
+        let mut corrupt_dropped = 0;
+        for h in handles {
+            let (id, node, corrupt) = h
+                .join()
+                .map_err(|_| NodeError::Protocol("node thread panicked".into()))??;
+            corrupt_dropped += corrupt;
+            nodes.push((id, node));
+        }
+        Ok(RunOutcome {
+            nodes,
+            corrupt_dropped,
+        })
+    }
+}
+
+/// The result of driving a protocol to completion.
+pub struct RunOutcome {
+    /// The nodes after completion, with their party ids.
+    pub nodes: Vec<(PartyId, Box<dyn Node>)>,
+    /// Messages dropped because they failed wire validation.
+    pub corrupt_dropped: u64,
+}
+
+impl RunOutcome {
+    /// Extracts the node registered under `id`, downcasting is the
+    /// caller's business; this returns the box.
+    pub fn take(&mut self, id: &PartyId) -> Option<Box<dyn Node>> {
+        let idx = self.nodes.iter().position(|(nid, _)| nid == id)?;
+        Some(self.nodes.remove(idx).1)
+    }
+
+    /// Map of party id -> node.
+    pub fn into_map(self) -> HashMap<PartyId, Box<dyn Node>> {
+        self.nodes.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use bytes::Bytes;
+
+    /// Ping: sends `count` pings to "pong", expects echoes back.
+    struct Ping {
+        peer: PartyId,
+        count: u32,
+        acked: u32,
+    }
+
+    /// Pong: echoes until told to stop (msg_type 2).
+    struct Pong {
+        expected: u32,
+        seen: u32,
+    }
+
+    impl Node for Ping {
+        fn on_start(&mut self, ep: &Endpoint) -> Result<Step, NodeError> {
+            for _ in 0..self.count {
+                ep.send(&self.peer, Frame::new(1, Bytes::from_static(b"ping")))?;
+            }
+            Ok(Step::Continue)
+        }
+        fn on_message(&mut self, ep: &Endpoint, _env: Envelope) -> Result<Step, NodeError> {
+            self.acked += 1;
+            if self.acked == self.count {
+                ep.send(&self.peer, Frame::new(2, Bytes::from_static(b"stop")))?;
+                return Ok(Step::Done);
+            }
+            Ok(Step::Continue)
+        }
+        fn role(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    impl Node for Pong {
+        fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+            Ok(Step::Continue)
+        }
+        fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+            if env.frame.msg_type == 2 {
+                assert_eq!(self.seen, self.expected);
+                return Ok(Step::Done);
+            }
+            self.seen += 1;
+            ep.send(&env.from, Frame::new(1, Bytes::from_static(b"pong")))?;
+            Ok(Step::Continue)
+        }
+        fn role(&self) -> &'static str {
+            "pong"
+        }
+    }
+
+    fn build(count: u32) -> Runner {
+        let board = Switchboard::new();
+        let mut runner = Runner::new(board);
+        runner.add(
+            "ping",
+            Box::new(Ping {
+                peer: PartyId::new("pong"),
+                count,
+                acked: 0,
+            }),
+        );
+        runner.add(
+            "pong",
+            Box::new(Pong {
+                expected: count,
+                seen: 0,
+            }),
+        );
+        runner
+    }
+
+    #[test]
+    fn deterministic_run_completes() {
+        let outcome = build(5).run_deterministic().unwrap();
+        assert_eq!(outcome.nodes.len(), 2);
+        assert_eq!(outcome.corrupt_dropped, 0);
+    }
+
+    #[test]
+    fn threaded_run_completes() {
+        let outcome = build(50).run_threaded().unwrap();
+        assert_eq!(outcome.nodes.len(), 2);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // A node that waits forever for a message nobody sends.
+        struct Waiter;
+        impl Node for Waiter {
+            fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+                Ok(Step::Continue)
+            }
+            fn on_message(&mut self, _ep: &Endpoint, _env: Envelope) -> Result<Step, NodeError> {
+                Ok(Step::Done)
+            }
+        }
+        let board = Switchboard::new();
+        let mut runner = Runner::new(board);
+        runner.add("waiter", Box::new(Waiter));
+        match runner.run_deterministic() {
+            Err(NodeError::Protocol(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
+            other => panic!("expected deadlock, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn immediate_done_on_start() {
+        struct Quick;
+        impl Node for Quick {
+            fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+                Ok(Step::Done)
+            }
+            fn on_message(&mut self, _ep: &Endpoint, _env: Envelope) -> Result<Step, NodeError> {
+                unreachable!()
+            }
+        }
+        let board = Switchboard::new();
+        let mut runner = Runner::new(board);
+        runner.add("quick", Box::new(Quick));
+        let outcome = runner.run_deterministic().unwrap();
+        assert_eq!(outcome.nodes.len(), 1);
+    }
+
+    #[test]
+    fn take_by_id() {
+        let mut outcome = build(1).run_deterministic().unwrap();
+        assert!(outcome.take(&PartyId::new("ping")).is_some());
+        assert!(outcome.take(&PartyId::new("ping")).is_none());
+        assert!(outcome.take(&PartyId::new("pong")).is_some());
+    }
+}

@@ -1,0 +1,457 @@
+//! In-memory transport: the [`Switchboard`] message fabric and the
+//! fault-injection layer.
+//!
+//! Every party registers under a [`PartyId`] and receives an
+//! [`Endpoint`]. Sends serialize the frame to wire bytes and enqueue them
+//! on the recipient's channel; receives parse and checksum-verify. The
+//! serialize/parse round trip through real wire bytes is deliberate: it
+//! keeps the codecs honest and gives fault injection something faithful
+//! to corrupt.
+
+use crate::frame::{Frame, WireError};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A party's stable name on the fabric (e.g. `"ts"`, `"sk-1"`, `"dc-7"`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartyId(pub String);
+
+impl PartyId {
+    /// Convenience constructor.
+    pub fn new(s: impl Into<String>) -> PartyId {
+        PartyId(s.into())
+    }
+
+    /// The party name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for PartyId {
+    fn from(s: &str) -> PartyId {
+        PartyId(s.to_string())
+    }
+}
+
+/// A received message: sender plus frame.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Who sent it.
+    pub from: PartyId,
+    /// The delivered frame.
+    pub frame: Frame,
+}
+
+/// Transport-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Recipient is not registered on the switchboard.
+    UnknownParty(String),
+    /// The party's channel is closed (it has shut down).
+    Disconnected,
+    /// No message available (non-blocking receive).
+    Empty,
+    /// The received bytes failed to parse as a frame.
+    Wire(WireError),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownParty(p) => write!(f, "unknown party: {p}"),
+            TransportError::Disconnected => write!(f, "party disconnected"),
+            TransportError::Empty => write!(f, "no message available"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Fault-injection knobs, mirroring smoltcp's example options.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability a sent frame is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a sent frame is delivered twice.
+    pub duplicate_chance: f64,
+    /// Probability one byte of the frame is flipped in flight.
+    pub corrupt_chance: f64,
+    /// RNG seed for deterministic fault schedules.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            duplicate_chance: 0.0,
+            corrupt_chance: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossless configuration (the default).
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// True if any fault is possible.
+    pub fn is_active(&self) -> bool {
+        self.drop_chance > 0.0 || self.duplicate_chance > 0.0 || self.corrupt_chance > 0.0
+    }
+}
+
+type WireMessage = (PartyId, Vec<u8>);
+
+struct SwitchboardInner {
+    channels: HashMap<PartyId, Sender<WireMessage>>,
+    faults: FaultConfig,
+    rng: StdRng,
+    /// Counters for observability: (sent, dropped, duplicated, corrupted).
+    stats: FaultStats,
+}
+
+/// Delivery statistics, for tests and the fault-injection examples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames submitted for delivery.
+    pub sent: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Extra deliveries due to duplication.
+    pub duplicated: u64,
+    /// Frames with a byte flipped.
+    pub corrupted: u64,
+}
+
+/// The in-memory message fabric connecting all parties of a deployment.
+#[derive(Clone)]
+pub struct Switchboard {
+    inner: Arc<Mutex<SwitchboardInner>>,
+}
+
+impl Default for Switchboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Switchboard {
+    /// Creates a lossless switchboard.
+    pub fn new() -> Switchboard {
+        Switchboard::with_faults(FaultConfig::none())
+    }
+
+    /// Creates a switchboard with fault injection enabled.
+    pub fn with_faults(faults: FaultConfig) -> Switchboard {
+        Switchboard {
+            inner: Arc::new(Mutex::new(SwitchboardInner {
+                channels: HashMap::new(),
+                rng: StdRng::seed_from_u64(faults.seed),
+                faults,
+                stats: FaultStats::default(),
+            })),
+        }
+    }
+
+    /// Registers a party and returns its endpoint. Re-registering a name
+    /// replaces the previous endpoint (the old receiver disconnects).
+    pub fn register(&self, id: impl Into<PartyId>) -> Endpoint {
+        let id = id.into();
+        let (tx, rx) = unbounded();
+        self.inner.lock().channels.insert(id.clone(), tx);
+        Endpoint {
+            id,
+            board: self.clone(),
+            rx,
+        }
+    }
+
+    /// Removes a party from the fabric.
+    pub fn deregister(&self, id: &PartyId) {
+        self.inner.lock().channels.remove(id);
+    }
+
+    /// All registered party ids, sorted.
+    pub fn parties(&self) -> Vec<PartyId> {
+        let mut v: Vec<PartyId> = self.inner.lock().channels.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Current fault-injection statistics.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.lock().stats
+    }
+
+    fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError> {
+        let mut inner = self.inner.lock();
+        inner.stats.sent += 1;
+        let mut wire = frame.to_wire().to_vec();
+        if inner.faults.is_active() {
+            let drop_roll: f64 = inner.rng.gen();
+            if drop_roll < inner.faults.drop_chance {
+                inner.stats.dropped += 1;
+                return Ok(()); // silently dropped, like a lossy link
+            }
+            let corrupt_roll: f64 = inner.rng.gen();
+            if corrupt_roll < inner.faults.corrupt_chance && !wire.is_empty() {
+                let idx = inner.rng.gen_range(0..wire.len());
+                let bit = inner.rng.gen_range(0..8);
+                wire[idx] ^= 1 << bit;
+                inner.stats.corrupted += 1;
+            }
+        }
+        let duplicate = inner.faults.is_active() && {
+            let dup_roll: f64 = inner.rng.gen();
+            dup_roll < inner.faults.duplicate_chance
+        };
+        let tx = inner
+            .channels
+            .get(to)
+            .ok_or_else(|| TransportError::UnknownParty(to.0.clone()))?
+            .clone();
+        if duplicate {
+            inner.stats.duplicated += 1;
+        }
+        drop(inner);
+        tx.send((from.clone(), wire.clone()))
+            .map_err(|_| TransportError::Disconnected)?;
+        if duplicate {
+            tx.send((from.clone(), wire))
+                .map_err(|_| TransportError::Disconnected)?;
+        }
+        Ok(())
+    }
+}
+
+/// A party's handle on the switchboard: send to anyone, receive your own
+/// queue.
+pub struct Endpoint {
+    id: PartyId,
+    board: Switchboard,
+    rx: Receiver<WireMessage>,
+}
+
+impl Endpoint {
+    /// This endpoint's party id.
+    pub fn id(&self) -> &PartyId {
+        &self.id
+    }
+
+    /// Sends a frame to `to`.
+    pub fn send(&self, to: &PartyId, frame: Frame) -> Result<(), TransportError> {
+        self.board.deliver(&self.id, to, &frame)
+    }
+
+    /// Sends a frame to every party in `to`.
+    pub fn broadcast(&self, to: &[PartyId], frame: Frame) -> Result<(), TransportError> {
+        for t in to {
+            self.send(t, frame.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Blocking receive. Frames that fail to parse are surfaced as
+    /// [`TransportError::Wire`] so callers can count/ignore them.
+    pub fn recv(&self) -> Result<Envelope, TransportError> {
+        let (from, wire) = self
+            .rx
+            .recv()
+            .map_err(|_| TransportError::Disconnected)?;
+        match Frame::from_wire(wire.into()) {
+            Ok(frame) => Ok(Envelope { from, frame }),
+            Err(e) => Err(TransportError::Wire(e)),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope, TransportError> {
+        let (from, wire) = self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => TransportError::Empty,
+            TryRecvError::Disconnected => TransportError::Disconnected,
+        })?;
+        match Frame::from_wire(wire.into()) {
+            Ok(frame) => Ok(Envelope { from, frame }),
+            Err(e) => Err(TransportError::Wire(e)),
+        }
+    }
+
+    /// Number of messages waiting (approximate under concurrency).
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn frame(t: u16, body: &'static [u8]) -> Frame {
+        Frame::new(t, Bytes::from_static(body))
+    }
+
+    #[test]
+    fn basic_send_recv() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"hi")).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from.as_str(), "a");
+        assert_eq!(env.frame.msg_type, 1);
+        assert_eq!(env.frame.payload.as_ref(), b"hi");
+    }
+
+    #[test]
+    fn unknown_party_errors() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let err = a.send(&PartyId::new("ghost"), frame(1, b"x")).unwrap_err();
+        assert_eq!(err, TransportError::UnknownParty("ghost".into()));
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        let c = board.register("c");
+        a.broadcast(&[b.id().clone(), c.id().clone()], frame(9, b"all"))
+            .unwrap();
+        assert_eq!(b.recv().unwrap().frame.msg_type, 9);
+        assert_eq!(c.recv().unwrap().frame.msg_type, 9);
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        assert_eq!(a.try_recv().unwrap_err(), TransportError::Empty);
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        for i in 0..10u16 {
+            a.send(b.id(), frame(i, b"seq")).unwrap();
+        }
+        for i in 0..10u16 {
+            assert_eq!(b.recv().unwrap().frame.msg_type, i);
+        }
+    }
+
+    #[test]
+    fn drop_faults_lose_messages() {
+        let board = Switchboard::with_faults(FaultConfig {
+            drop_chance: 1.0,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"gone")).unwrap();
+        assert_eq!(b.try_recv().unwrap_err(), TransportError::Empty);
+        assert_eq!(board.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_faults_caught_by_checksum() {
+        let board = Switchboard::with_faults(FaultConfig {
+            corrupt_chance: 1.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"precious data")).unwrap();
+        match b.recv() {
+            Err(TransportError::Wire(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        assert_eq!(board.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn duplicate_faults_deliver_twice() {
+        let board = Switchboard::with_faults(FaultConfig {
+            duplicate_chance: 1.0,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"twice")).unwrap();
+        assert!(b.recv().is_ok());
+        assert!(b.recv().is_ok());
+        assert_eq!(b.try_recv().unwrap_err(), TransportError::Empty);
+    }
+
+    #[test]
+    fn deterministic_fault_schedule() {
+        let run = |seed| {
+            let board = Switchboard::with_faults(FaultConfig {
+                drop_chance: 0.5,
+                seed,
+                ..Default::default()
+            });
+            let a = board.register("a");
+            let b = board.register("b");
+            for _ in 0..100 {
+                a.send(b.id(), frame(1, b"x")).unwrap();
+            }
+            board.fault_stats().dropped
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        let handle = std::thread::spawn(move || {
+            let env = b.recv().unwrap();
+            env.frame.msg_type
+        });
+        a.send(&PartyId::new("b"), frame(42, b"cross-thread")).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn parties_listing() {
+        let board = Switchboard::new();
+        let _a = board.register("ts");
+        let _b = board.register("dc-1");
+        let _c = board.register("sk-1");
+        assert_eq!(
+            board.parties(),
+            vec![PartyId::new("dc-1"), PartyId::new("sk-1"), PartyId::new("ts")]
+        );
+        board.deregister(&PartyId::new("dc-1"));
+        assert_eq!(board.parties().len(), 2);
+    }
+}

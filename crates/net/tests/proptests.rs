@@ -1,0 +1,99 @@
+//! Property tests for the wire format and transport.
+
+use bytes::Bytes;
+use pm_net::frame::{Frame, WireError};
+use pm_net::transport::{FaultConfig, Switchboard};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn frame_roundtrip(msg_type in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let f = Frame::new(msg_type, Bytes::from(payload));
+        let back = Frame::from_wire(f.to_wire()).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn single_bitflip_never_passes(
+        msg_type in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        flip_byte_seed in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let f = Frame::new(msg_type, Bytes::from(payload));
+        let mut wire = f.to_wire().to_vec();
+        let idx = flip_byte_seed % wire.len();
+        wire[idx] ^= 1 << flip_bit;
+        // A flipped frame must never decode to the SAME frame: either it
+        // errors, or (if the flip hit the type field and checksum
+        // happened to still match — impossible with Fletcher over the
+        // body) differs.
+        match Frame::from_wire(Bytes::from(wire)) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_ne!(parsed, f),
+        }
+    }
+
+    #[test]
+    fn truncation_always_detected(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let f = Frame::new(1, Bytes::from(payload));
+        let wire = f.to_wire();
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        if cut < wire.len() {
+            prop_assert!(Frame::from_wire(wire.slice(..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary bytes must be rejected gracefully.
+        let _ = Frame::from_wire(Bytes::from(data));
+    }
+
+    #[test]
+    fn switchboard_delivers_in_order(count in 1usize..50) {
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        for i in 0..count {
+            a.send(b.id(), Frame::new(i as u16, Bytes::new())).unwrap();
+        }
+        for i in 0..count {
+            let env = b.recv().unwrap();
+            prop_assert_eq!(env.frame.msg_type, i as u16);
+        }
+    }
+
+    #[test]
+    fn drop_rate_statistics(seed in any::<u64>()) {
+        let board = Switchboard::with_faults(FaultConfig {
+            drop_chance: 0.5,
+            seed,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        let n = 200;
+        for _ in 0..n {
+            a.send(b.id(), Frame::new(0, Bytes::new())).unwrap();
+        }
+        let stats = board.fault_stats();
+        prop_assert_eq!(stats.sent, n as u64);
+        // Binomial(200, 0.5): dropping outside [60, 140] is ~5σ.
+        prop_assert!((60..=140).contains(&(stats.dropped as usize)), "{}", stats.dropped);
+        prop_assert_eq!(b.pending() as u64 + stats.dropped, n as u64);
+    }
+}
+
+#[test]
+fn decode_rejects_wrong_magic_without_panicking() {
+    let mut wire = Frame::new(1, Bytes::from_static(b"x")).to_wire().to_vec();
+    wire[0] = 0;
+    assert_eq!(
+        Frame::from_wire(Bytes::from(wire)).unwrap_err(),
+        WireError::BadMagic
+    );
+}

@@ -1,0 +1,172 @@
+//! The Data Collector node: one per instrumented relay.
+
+use crate::counter::Schema;
+use crate::messages::{self, tag};
+use pm_crypto::elgamal::{hybrid_encrypt, PublicKey};
+use pm_crypto::group::GroupParams;
+use pm_crypto::secret::BlindedCounter;
+use pm_dp::mechanism::sample_gaussian;
+use pm_net::party::{Node, NodeError, Step};
+use pm_net::transport::{Endpoint, Envelope, PartyId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torsim::TorEvent;
+
+/// The event generator a DC runs during its collection period: it calls
+/// the provided sink once per observed event.
+pub type EventGenerator = Box<dyn FnOnce(&mut dyn FnMut(TorEvent)) + Send>;
+
+/// A Data Collector.
+pub struct DcNode {
+    ts: PartyId,
+    schema: Schema,
+    generator: Option<EventGenerator>,
+    gp: GroupParams,
+    /// Noise σ multiplier for this DC (1/√num_dcs under equal
+    /// allocation; 1.0 or 0.0 under first-DC-only).
+    noise_scale: f64,
+    registers: Vec<BlindedCounter>,
+    rng: StdRng,
+}
+
+impl DcNode {
+    /// Creates a DC bound to a tally server, with its local schema,
+    /// event generator, and noise share.
+    pub fn new(
+        ts: PartyId,
+        schema: Schema,
+        generator: EventGenerator,
+        noise_scale: f64,
+        seed: u64,
+    ) -> DcNode {
+        DcNode {
+            ts,
+            schema,
+            generator: Some(generator),
+            gp: GroupParams::default_params(),
+            noise_scale,
+            registers: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Convenience: a DC whose "collection period" replays a fixed
+    /// event list (used by tests).
+    pub fn with_events(
+        ts: PartyId,
+        schema: Schema,
+        events: Vec<TorEvent>,
+        noise_scale: f64,
+        seed: u64,
+    ) -> DcNode {
+        DcNode::new(
+            ts,
+            schema,
+            Box::new(move |sink| {
+                for ev in events {
+                    sink(ev);
+                }
+            }),
+            noise_scale,
+            seed,
+        )
+    }
+
+    fn on_configure(&mut self, ep: &Endpoint, cfg: messages::Configure) -> Result<(), NodeError> {
+        // Sanity: counter alignment with our local schema.
+        let ours: Vec<&String> = self.schema.counters.iter().map(|c| &c.name).collect();
+        if cfg.counter_names.len() != ours.len()
+            || cfg.counter_names.iter().zip(&ours).any(|(a, b)| &a != b)
+        {
+            return Err(NodeError::Protocol(format!(
+                "counter schema mismatch at {}",
+                ep.id()
+            )));
+        }
+        let num_sks = cfg.sk_keys.len();
+        if num_sks == 0 {
+            return Err(NodeError::Protocol("no share keepers configured".into()));
+        }
+        // Initialize each register with this DC's noise contribution and
+        // fresh blinding shares.
+        let mut per_sk_shares: Vec<Vec<u64>> = vec![Vec::with_capacity(ours.len()); num_sks];
+        self.registers.clear();
+        for spec in &self.schema.counters {
+            let noise = sample_gaussian(spec.sigma * self.noise_scale, &mut self.rng).round() as i64;
+            let (reg, shares) = BlindedCounter::blind(noise, num_sks, &mut self.rng);
+            self.registers.push(reg);
+            for (k, s) in shares.into_iter().enumerate() {
+                per_sk_shares[k].push(s.0);
+            }
+        }
+        // Encrypt each SK's share vector to that SK and route via TS.
+        for (k, (sk_name, sk_key)) in cfg.sk_keys.iter().enumerate() {
+            let mut plain = Vec::with_capacity(per_sk_shares[k].len() * 8);
+            for v in &per_sk_shares[k] {
+                plain.extend_from_slice(&v.to_be_bytes());
+            }
+            let ct = hybrid_encrypt(&self.gp, &PublicKey(*sk_key), &plain, &mut self.rng);
+            let msg = messages::EncryptedShares {
+                sk_name: sk_name.clone(),
+                dc_name: ep.id().as_str().to_string(),
+                kem: ct.kem,
+                payload: ct.payload,
+            };
+            ep.send(&self.ts, messages::frame_of(tag::SHARES, &msg))?;
+        }
+        Ok(())
+    }
+
+    fn on_start(&mut self, ep: &Endpoint) -> Result<(), NodeError> {
+        let generator = self
+            .generator
+            .take()
+            .ok_or_else(|| NodeError::Protocol("collection started twice".into()))?;
+        // Run the collection period: every observed event maps to
+        // counter increments.
+        let mapper = self.schema.mapper.clone();
+        let registers = &mut self.registers;
+        let mut sink = |ev: TorEvent| {
+            mapper(&ev, &mut |idx, delta| {
+                registers[idx].increment(delta);
+            });
+        };
+        generator(&mut sink);
+        // Publish the blinded registers.
+        let msg = messages::Registers {
+            values: self.registers.iter().map(|r| r.publish()).collect(),
+        };
+        ep.send(&self.ts, messages::frame_of(tag::DC_RESULT, &msg))?;
+        Ok(())
+    }
+}
+
+impl Node for DcNode {
+    fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+        Ok(Step::Continue) // wait for Configure
+    }
+
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        match env.frame.msg_type {
+            tag::CONFIGURE => {
+                let cfg: messages::Configure = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad configure: {e}")))?;
+                self.on_configure(ep, cfg)?;
+                Ok(Step::Continue)
+            }
+            tag::START => {
+                self.on_start(ep)?;
+                Ok(Step::Done)
+            }
+            other => Err(NodeError::Protocol(format!(
+                "DC received unexpected message type {other}"
+            ))),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "privcount-dc"
+    }
+}

@@ -1,0 +1,250 @@
+//! PrivCount wire messages and their codecs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pm_crypto::elgamal::HybridCiphertext;
+use pm_crypto::group::GroupElement;
+use pm_net::frame::{
+    get_array32, get_lp_bytes, get_lp_str, get_u32, get_u64, put_lp_bytes, put_lp_str, Frame,
+    WireDecode, WireEncode, WireError,
+};
+
+/// Message type tags.
+pub mod tag {
+    /// SK → TS: public key announcement.
+    pub const SK_KEY: u16 = 1;
+    /// TS → DC: round configuration.
+    pub const CONFIGURE: u16 = 2;
+    /// DC → TS: encrypted blinding shares for one SK.
+    pub const SHARES: u16 = 3;
+    /// TS → SK: forwarded encrypted shares.
+    pub const SHARES_FWD: u16 = 4;
+    /// SK → TS: acknowledgment of absorbed shares.
+    pub const SHARES_ACK: u16 = 5;
+    /// TS → DC: begin collection.
+    pub const START: u16 = 6;
+    /// DC → TS: blinded counter registers.
+    pub const DC_RESULT: u16 = 7;
+    /// TS → SK: end of round; publish share sums.
+    pub const STOP: u16 = 8;
+    /// SK → TS: share-sum registers.
+    pub const SK_RESULT: u16 = 9;
+}
+
+/// SK → TS: announces the SK's hybrid-encryption public key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkKey {
+    /// The SK's ElGamal public key.
+    pub key: GroupElement,
+}
+
+impl WireEncode for SkKey {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.key.to_bytes());
+    }
+}
+
+impl WireDecode for SkKey {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(SkKey {
+            key: GroupElement::from_bytes(&get_array32(buf)?),
+        })
+    }
+}
+
+/// TS → DC: the round configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Configure {
+    /// Counter names (σ values live in the DC's local schema; names let
+    /// the DC sanity-check alignment).
+    pub counter_names: Vec<String>,
+    /// SK party names and public keys, in share order.
+    pub sk_keys: Vec<(String, GroupElement)>,
+}
+
+impl WireEncode for Configure {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.counter_names.len() as u32);
+        for n in &self.counter_names {
+            put_lp_str(buf, n);
+        }
+        buf.put_u32(self.sk_keys.len() as u32);
+        for (name, key) in &self.sk_keys {
+            put_lp_str(buf, name);
+            buf.put_slice(&key.to_bytes());
+        }
+    }
+}
+
+impl WireDecode for Configure {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let n = get_u32(buf)? as usize;
+        if n > 1_000_000 {
+            return Err(WireError::Invalid("too many counters"));
+        }
+        let mut counter_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            counter_names.push(get_lp_str(buf)?);
+        }
+        let k = get_u32(buf)? as usize;
+        if k > 1_000 {
+            return Err(WireError::Invalid("too many share keepers"));
+        }
+        let mut sk_keys = Vec::with_capacity(k);
+        for _ in 0..k {
+            let name = get_lp_str(buf)?;
+            let key = GroupElement::from_bytes(&get_array32(buf)?);
+            sk_keys.push((name, key));
+        }
+        Ok(Configure {
+            counter_names,
+            sk_keys,
+        })
+    }
+}
+
+/// DC → TS (→ SK): hybrid-encrypted blinding shares for one SK.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncryptedShares {
+    /// Destination SK's party name.
+    pub sk_name: String,
+    /// Originating DC's party name (filled by the TS when forwarding).
+    pub dc_name: String,
+    /// Hybrid ciphertext over the `u64` share vector (one per counter).
+    pub kem: GroupElement,
+    /// Encrypted payload.
+    pub payload: Vec<u8>,
+}
+
+impl EncryptedShares {
+    /// Reconstructs the crypto-layer ciphertext.
+    pub fn ciphertext(&self) -> HybridCiphertext {
+        HybridCiphertext {
+            kem: self.kem,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl WireEncode for EncryptedShares {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_lp_str(buf, &self.sk_name);
+        put_lp_str(buf, &self.dc_name);
+        buf.put_slice(&self.kem.to_bytes());
+        put_lp_bytes(buf, &self.payload);
+    }
+}
+
+impl WireDecode for EncryptedShares {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(EncryptedShares {
+            sk_name: get_lp_str(buf)?,
+            dc_name: get_lp_str(buf)?,
+            kem: GroupElement::from_bytes(&get_array32(buf)?),
+            payload: get_lp_bytes(buf)?.to_vec(),
+        })
+    }
+}
+
+/// A vector of u64 registers (used by DC and SK results).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Registers {
+    /// The register values.
+    pub values: Vec<u64>,
+}
+
+impl WireEncode for Registers {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.values.len() as u32);
+        for v in &self.values {
+            buf.put_u64(*v);
+        }
+    }
+}
+
+impl WireDecode for Registers {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let n = get_u32(buf)? as usize;
+        if n > 10_000_000 {
+            return Err(WireError::Invalid("too many registers"));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(get_u64(buf)?);
+        }
+        Ok(Registers { values })
+    }
+}
+
+/// Helper: wraps a message in its tagged frame.
+pub fn frame_of<M: WireEncode>(tag: u16, msg: &M) -> Frame {
+    Frame::encode_msg(tag, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_crypto::group::GroupParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sk_key_roundtrip() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg = SkKey {
+            key: gp.random_element(&mut rng),
+        };
+        let frame = frame_of(tag::SK_KEY, &msg);
+        assert_eq!(frame.decode_msg::<SkKey>().unwrap(), msg);
+    }
+
+    #[test]
+    fn configure_roundtrip() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = Configure {
+            counter_names: vec!["a".into(), "b.c".into()],
+            sk_keys: vec![
+                ("sk-1".into(), gp.random_element(&mut rng)),
+                ("sk-2".into(), gp.random_element(&mut rng)),
+            ],
+        };
+        let frame = frame_of(tag::CONFIGURE, &msg);
+        assert_eq!(frame.decode_msg::<Configure>().unwrap(), msg);
+    }
+
+    #[test]
+    fn shares_roundtrip() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg = EncryptedShares {
+            sk_name: "sk-1".into(),
+            dc_name: "dc-3".into(),
+            kem: gp.random_element(&mut rng),
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let frame = frame_of(tag::SHARES, &msg);
+        assert_eq!(frame.decode_msg::<EncryptedShares>().unwrap(), msg);
+    }
+
+    #[test]
+    fn registers_roundtrip() {
+        let msg = Registers {
+            values: vec![0, u64::MAX, 42],
+        };
+        let frame = frame_of(tag::DC_RESULT, &msg);
+        assert_eq!(frame.decode_msg::<Registers>().unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let msg = SkKey {
+            key: gp.random_element(&mut rng),
+        };
+        let bytes = msg.to_bytes();
+        let mut cut = Bytes::copy_from_slice(&bytes[..16]);
+        assert!(SkKey::decode(&mut cut).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Round driver: wires TS, SKs, and DCs over a switchboard, runs the
+//! protocol to completion, and packages results with confidence
+//! intervals.
+
+use crate::counter::{CounterSpec, EventMapper};
+use crate::dc::{DcNode, EventGenerator};
+use crate::sk::SkNode;
+use crate::ts::{ResultSlot, TsNode};
+use pm_net::party::{NodeError, Runner};
+use pm_net::transport::{FaultConfig, PartyId, Switchboard};
+use pm_stats::ci::Estimate;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How DCs split the per-counter noise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseAllocation {
+    /// Every DC adds `N(0, σ²/num_dcs)`; the published total carries
+    /// exactly `N(0, σ²)` (PrivCount's equal allocation).
+    Equal,
+    /// Only the first DC adds `N(0, σ²)` (used by the ablation bench;
+    /// weaker against DC compromise, same output distribution).
+    FirstDcOnly,
+    /// No noise at all (ground-truth extraction in tests ONLY — never
+    /// differentially private).
+    None,
+}
+
+/// A PrivCount round configuration.
+pub struct RoundConfig {
+    /// The counters to collect.
+    pub counters: Vec<CounterSpec>,
+    /// The shared event-to-counter mapping.
+    pub mapper: EventMapper,
+    /// Number of Share Keepers (the paper deploys 3).
+    pub num_sks: usize,
+    /// Noise allocation across DCs.
+    pub noise: NoiseAllocation,
+    /// Base RNG seed (per-party seeds derive from it).
+    pub seed: u64,
+    /// Run each party on its own OS thread instead of the deterministic
+    /// single-threaded scheduler.
+    pub threaded: bool,
+    /// Optional fault injection on the switchboard.
+    pub faults: FaultConfig,
+}
+
+/// The outcome of a round.
+#[derive(Clone, Debug)]
+pub struct RoundResult {
+    /// Counter specifications (for names and σ).
+    pub counters: Vec<CounterSpec>,
+    /// Noisy totals, one per counter.
+    pub totals: Vec<i64>,
+}
+
+impl RoundResult {
+    /// The noisy total for a counter by name.
+    pub fn total(&self, name: &str) -> i64 {
+        let idx = self
+            .counters
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no counter named {name}"));
+        self.totals[idx]
+    }
+
+    /// The estimate (with 95% CI from the known σ) for a counter.
+    pub fn estimate(&self, name: &str) -> Estimate {
+        let idx = self
+            .counters
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no counter named {name}"));
+        Estimate::gaussian95(self.totals[idx] as f64, self.counters[idx].sigma)
+    }
+
+    /// All (name, estimate) pairs.
+    pub fn estimates(&self) -> Vec<(String, Estimate)> {
+        self.counters
+            .iter()
+            .zip(&self.totals)
+            .map(|(c, t)| (c.name.clone(), Estimate::gaussian95(*t as f64, c.sigma)))
+            .collect()
+    }
+}
+
+/// Runs a full PrivCount round: one DC per entry of `dc_generators`.
+pub fn run_round(
+    cfg: RoundConfig,
+    dc_generators: Vec<EventGenerator>,
+) -> Result<RoundResult, NodeError> {
+    assert!(!dc_generators.is_empty(), "need at least one DC");
+    assert!(cfg.num_sks >= 1, "need at least one SK");
+    let num_dcs = dc_generators.len();
+    let board = Switchboard::with_faults(cfg.faults);
+    let mut runner = Runner::new(board);
+
+    let ts_id = PartyId::new("ts");
+    let dc_names: Vec<PartyId> = (0..num_dcs)
+        .map(|i| PartyId::new(format!("dc-{i}")))
+        .collect();
+    let sk_names: Vec<PartyId> = (0..cfg.num_sks)
+        .map(|i| PartyId::new(format!("sk-{i}")))
+        .collect();
+
+    let slot: ResultSlot = Arc::new(Mutex::new(None));
+    runner.add(
+        ts_id.clone(),
+        Box::new(TsNode::new(
+            cfg.counters.clone(),
+            dc_names.clone(),
+            sk_names.clone(),
+            slot.clone(),
+        )),
+    );
+    for (i, sk) in sk_names.iter().enumerate() {
+        runner.add(
+            sk.clone(),
+            Box::new(SkNode::new(ts_id.clone(), num_dcs, cfg.seed ^ (0x5100 + i as u64))),
+        );
+    }
+    for (i, (dc, generator)) in dc_names.iter().zip(dc_generators).enumerate() {
+        let noise_scale = match cfg.noise {
+            NoiseAllocation::Equal => 1.0 / (num_dcs as f64).sqrt(),
+            NoiseAllocation::FirstDcOnly => {
+                if i == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NoiseAllocation::None => 0.0,
+        };
+        let schema = crate::counter::Schema::new(cfg.counters.clone(), cfg.mapper.clone());
+        runner.add(
+            dc.clone(),
+            Box::new(DcNode::new(
+                ts_id.clone(),
+                schema,
+                generator,
+                noise_scale,
+                cfg.seed ^ (0xDC00 + i as u64),
+            )),
+        );
+    }
+
+    if cfg.threaded {
+        runner.run_threaded()?;
+    } else {
+        runner.run_deterministic()?;
+    }
+    let totals = slot
+        .lock()
+        .take()
+        .ok_or_else(|| NodeError::Protocol("TS produced no result".into()))?;
+    Ok(RoundResult {
+        counters: cfg.counters,
+        totals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use torsim::events::TorEvent;
+    use torsim::ids::{IpAddr, RelayId};
+
+    fn conn_event(ip: u32) -> TorEvent {
+        TorEvent::EntryConnection {
+            relay: RelayId(0),
+            client_ip: IpAddr(ip),
+        }
+    }
+
+    fn counting_config(noise: NoiseAllocation, sigma: f64, threaded: bool) -> RoundConfig {
+        RoundConfig {
+            counters: vec![CounterSpec::with_sigma("connections", sigma)],
+            mapper: StdArc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
+                if matches!(ev, TorEvent::EntryConnection { .. }) {
+                    emit(0, 1);
+                }
+            }),
+            num_sks: 3,
+            noise,
+            seed: 7,
+            threaded,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    fn generators(counts: &[u64]) -> Vec<EventGenerator> {
+        counts
+            .iter()
+            .map(|&n| {
+                let g: EventGenerator = Box::new(move |sink| {
+                    for i in 0..n {
+                        sink(conn_event(i as u32));
+                    }
+                });
+                g
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_round_is_exact() {
+        let result = run_round(
+            counting_config(NoiseAllocation::None, 100.0, false),
+            generators(&[100, 200, 300]),
+        )
+        .unwrap();
+        assert_eq!(result.total("connections"), 600);
+    }
+
+    #[test]
+    fn noisy_round_is_close_and_noisy() {
+        let result = run_round(
+            counting_config(NoiseAllocation::Equal, 50.0, false),
+            generators(&[10_000, 20_000]),
+        )
+        .unwrap();
+        let total = result.total("connections");
+        assert_ne!(total, 30_000, "noise must perturb the exact count");
+        assert!((total - 30_000).abs() < 300, "total {total} too far (σ=50)");
+        let est = result.estimate("connections");
+        assert!(est.ci.contains(30_000.0));
+    }
+
+    #[test]
+    fn threaded_matches_protocol() {
+        let result = run_round(
+            counting_config(NoiseAllocation::None, 1.0, true),
+            generators(&[5, 7, 11, 13]),
+        )
+        .unwrap();
+        assert_eq!(result.total("connections"), 36);
+    }
+
+    #[test]
+    fn first_dc_only_noise() {
+        let result = run_round(
+            counting_config(NoiseAllocation::FirstDcOnly, 25.0, false),
+            generators(&[1000, 1000]),
+        )
+        .unwrap();
+        let total = result.total("connections");
+        assert!((total - 2000).abs() < 150, "{total}");
+    }
+
+    #[test]
+    fn multi_counter_round() {
+        let cfg = RoundConfig {
+            counters: vec![
+                CounterSpec::with_sigma("connections", 0.0),
+                CounterSpec::with_sigma("bytes", 0.0),
+            ],
+            mapper: StdArc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| match ev {
+                TorEvent::EntryConnection { .. } => emit(0, 1),
+                TorEvent::EntryBytes { bytes, .. } => emit(1, *bytes as i64),
+                _ => {}
+            }),
+            num_sks: 2,
+            noise: NoiseAllocation::None,
+            seed: 9,
+            threaded: false,
+            faults: FaultConfig::none(),
+        };
+        let gens: Vec<EventGenerator> = vec![Box::new(|sink| {
+            sink(conn_event(1));
+            sink(TorEvent::EntryBytes {
+                relay: RelayId(0),
+                client_ip: IpAddr(1),
+                bytes: 4096,
+            });
+            sink(conn_event(2));
+        })];
+        let result = run_round(cfg, gens).unwrap();
+        assert_eq!(result.total("connections"), 2);
+        assert_eq!(result.total("bytes"), 4096);
+    }
+
+    #[test]
+    fn equal_noise_variance_totals_sigma() {
+        // Run many noiseless-count rounds and check the spread of the
+        // published totals matches the configured σ.
+        let mut totals = Vec::new();
+        for seed in 0..60u64 {
+            let mut cfg = counting_config(NoiseAllocation::Equal, 40.0, false);
+            cfg.seed = seed;
+            let r = run_round(cfg, generators(&[500, 500, 500])).unwrap();
+            totals.push(r.total("connections") as f64 - 1500.0);
+        }
+        let var: f64 = totals.iter().map(|x| x * x).sum::<f64>() / totals.len() as f64;
+        let sd = var.sqrt();
+        assert!((sd - 40.0).abs() < 12.0, "sd {sd}");
+    }
+}

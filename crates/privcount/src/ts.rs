@@ -1,0 +1,188 @@
+//! The Tally Server node: round orchestration and final aggregation.
+//!
+//! The TS is untrusted for privacy (it sees only blinded registers and
+//! encrypted shares); it exists to coordinate and to publish the final
+//! noisy totals.
+
+use crate::counter::CounterSpec;
+use crate::messages::{self, tag};
+use pm_crypto::group::GroupElement;
+use pm_crypto::secret::unblind_total;
+use pm_net::party::{Node, NodeError, Step};
+use pm_net::transport::{Endpoint, Envelope, PartyId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared slot where the TS deposits the round's totals.
+pub type ResultSlot = Arc<Mutex<Option<Vec<i64>>>>;
+
+enum Phase {
+    AwaitSkKeys,
+    // Shares and acks interleave: an SK acks as soon as its forward
+    // arrives, possibly before other DCs have sent their shares.
+    AwaitSharesAndAcks,
+    AwaitDcResults,
+    AwaitSkResults,
+}
+
+/// The Tally Server.
+pub struct TsNode {
+    counters: Vec<CounterSpec>,
+    dc_names: Vec<PartyId>,
+    sk_names: Vec<PartyId>,
+    phase: Phase,
+    sk_keys: HashMap<PartyId, GroupElement>,
+    shares_seen: usize,
+    acks_seen: usize,
+    dc_results: Vec<Vec<u64>>,
+    sk_results: Vec<Vec<u64>>,
+    result: ResultSlot,
+}
+
+impl TsNode {
+    /// Creates a TS coordinating the given DCs and SKs; totals are
+    /// deposited into `result`.
+    pub fn new(
+        counters: Vec<CounterSpec>,
+        dc_names: Vec<PartyId>,
+        sk_names: Vec<PartyId>,
+        result: ResultSlot,
+    ) -> TsNode {
+        assert!(!dc_names.is_empty() && !sk_names.is_empty());
+        TsNode {
+            counters,
+            dc_names,
+            sk_names,
+            phase: Phase::AwaitSkKeys,
+            sk_keys: HashMap::new(),
+            shares_seen: 0,
+            acks_seen: 0,
+            dc_results: Vec::new(),
+            sk_results: Vec::new(),
+            result,
+        }
+    }
+
+    fn configure_dcs(&mut self, ep: &Endpoint) -> Result<(), NodeError> {
+        let mut sk_keys: Vec<(String, GroupElement)> = self
+            .sk_names
+            .iter()
+            .map(|name| {
+                (
+                    name.as_str().to_string(),
+                    *self.sk_keys.get(name).expect("all SK keys present"),
+                )
+            })
+            .collect();
+        sk_keys.sort_by(|a, b| a.0.cmp(&b.0));
+        let cfg = messages::Configure {
+            counter_names: self.counters.iter().map(|c| c.name.clone()).collect(),
+            sk_keys,
+        };
+        for dc in &self.dc_names {
+            ep.send(dc, messages::frame_of(tag::CONFIGURE, &cfg))?;
+        }
+        Ok(())
+    }
+
+    fn finalize(&mut self) {
+        let n = self.counters.len();
+        let mut totals = Vec::with_capacity(n);
+        for i in 0..n {
+            let dc_vals: Vec<u64> = self.dc_results.iter().map(|r| r[i]).collect();
+            let sk_vals: Vec<u64> = self.sk_results.iter().map(|r| r[i]).collect();
+            totals.push(unblind_total(&dc_vals, &sk_vals));
+        }
+        *self.result.lock() = Some(totals);
+    }
+}
+
+impl Node for TsNode {
+    fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+        Ok(Step::Continue)
+    }
+
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        match (&self.phase, env.frame.msg_type) {
+            (Phase::AwaitSkKeys, tag::SK_KEY) => {
+                let msg: messages::SkKey = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad SK key: {e}")))?;
+                if !self.sk_names.contains(&env.from) {
+                    return Err(NodeError::Protocol(format!(
+                        "SK key from unknown party {}",
+                        env.from
+                    )));
+                }
+                self.sk_keys.insert(env.from.clone(), msg.key);
+                if self.sk_keys.len() == self.sk_names.len() {
+                    self.configure_dcs(ep)?;
+                    self.phase = Phase::AwaitSharesAndAcks;
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitSharesAndAcks, tag::SHARES) => {
+                let msg: messages::EncryptedShares = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad shares: {e}")))?;
+                // Forward to the destination SK (DCs have no SK links).
+                let sk = PartyId::new(msg.sk_name.clone());
+                ep.send(&sk, messages::frame_of(tag::SHARES_FWD, &msg))?;
+                self.shares_seen += 1;
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitSharesAndAcks, tag::SHARES_ACK) => {
+                self.acks_seen += 1;
+                if self.acks_seen == self.dc_names.len() * self.sk_names.len() {
+                    for dc in &self.dc_names {
+                        ep.send(dc, messages::frame_of(tag::START, &messages::Registers { values: vec![] }))?;
+                    }
+                    self.phase = Phase::AwaitDcResults;
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitDcResults, tag::DC_RESULT) => {
+                let msg: messages::Registers = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad DC result: {e}")))?;
+                if msg.values.len() != self.counters.len() {
+                    return Err(NodeError::Protocol("DC result length mismatch".into()));
+                }
+                self.dc_results.push(msg.values);
+                if self.dc_results.len() == self.dc_names.len() {
+                    for sk in &self.sk_names {
+                        ep.send(sk, messages::frame_of(tag::STOP, &messages::Registers { values: vec![] }))?;
+                    }
+                    self.phase = Phase::AwaitSkResults;
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitSkResults, tag::SK_RESULT) => {
+                let msg: messages::Registers = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad SK result: {e}")))?;
+                if msg.values.len() != self.counters.len() {
+                    return Err(NodeError::Protocol("SK result length mismatch".into()));
+                }
+                self.sk_results.push(msg.values);
+                if self.sk_results.len() == self.sk_names.len() {
+                    self.finalize();
+                    return Ok(Step::Done);
+                }
+                Ok(Step::Continue)
+            }
+            (_, other) => Err(NodeError::Protocol(format!(
+                "TS received message type {other} out of phase"
+            ))),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "privcount-ts"
+    }
+}

@@ -1,0 +1,239 @@
+//! The Computation Party node.
+//!
+//! CPs hold shares of the ElGamal decryption key and take turns mixing:
+//! append Binomial noise cells, exponentiate every cell by a fresh
+//! secret (zero-preserving randomization), and shuffle with
+//! rerandomization — each step with a zero-knowledge argument when
+//! verification is enabled.
+
+use crate::messages::{self, tag};
+use pm_crypto::elgamal::{encrypt, exponentiate, Ciphertext, PublicKey};
+use pm_crypto::group::GroupParams;
+use pm_crypto::shuffle::{shuffle, ShuffleProof};
+use pm_crypto::zkp::{DleqProof, SchnorrProof, Transcript};
+use pm_net::party::{Node, NodeError, Step};
+use pm_net::transport::{Endpoint, Envelope, PartyId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Soundness parameter for the cut-and-choose shuffle argument.
+pub const SHUFFLE_ROUNDS: usize = 16;
+
+/// A Computation Party.
+pub struct CpNode {
+    ts: PartyId,
+    gp: GroupParams,
+    secret: pm_crypto::group::Scalar,
+    share: pm_crypto::group::GroupElement,
+    cfg: Option<messages::PscConfigure>,
+    rng: StdRng,
+}
+
+impl CpNode {
+    /// Creates a CP bound to the tally server.
+    pub fn new(ts: PartyId, seed: u64) -> CpNode {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = gp.random_nonzero_scalar(&mut rng);
+        let share = gp.g_pow(&secret);
+        CpNode {
+            ts,
+            gp,
+            secret,
+            share,
+            cfg: None,
+            rng,
+        }
+    }
+
+    /// The transcript binding a CP's key-share proof to its identity.
+    pub fn key_transcript(party: &str) -> Transcript {
+        let mut t = Transcript::new(b"psc/cp-key/v1");
+        t.append(b"party", party.as_bytes());
+        t
+    }
+
+    fn mix(&mut self, ep: &Endpoint, task: messages::MixTask) -> Result<(), NodeError> {
+        let cfg = self
+            .cfg
+            .as_ref()
+            .ok_or_else(|| NodeError::Protocol("mix before configure".into()))?
+            .clone();
+        let key = PublicKey(cfg.joint_key);
+        let mut with_noise = task.cells;
+        // Binomial noise: each appended cell is marked w.p. 1/2. Both
+        // branches are fresh encryptions and indistinguishable.
+        for _ in 0..cfg.noise_flips {
+            let plain = if self.rng.gen::<bool>() {
+                self.gp.random_non_identity(&mut self.rng)
+            } else {
+                self.gp.identity()
+            };
+            with_noise.push(encrypt(&self.gp, &key, &plain, &mut self.rng));
+        }
+        // Zero-preserving exponentiation with a fresh secret.
+        let k = self.gp.random_nonzero_scalar(&mut self.rng);
+        let exp_key = self.gp.g_pow(&k);
+        let post_exp: Vec<Ciphertext> = with_noise
+            .iter()
+            .map(|c| exponentiate(&self.gp, c, &k))
+            .collect();
+        let exp_proofs = if cfg.verify {
+            with_noise
+                .iter()
+                .zip(&post_exp)
+                .enumerate()
+                .map(|(j, (pre, post))| {
+                    let mut ta = exp_transcript(j, false);
+                    let pa = DleqProof::prove(
+                        &self.gp, &k, &pre.a, &exp_key, &post.a, &mut ta, &mut self.rng,
+                    );
+                    let mut tb = exp_transcript(j, true);
+                    let pb = DleqProof::prove(
+                        &self.gp, &k, &pre.b, &exp_key, &post.b, &mut tb, &mut self.rng,
+                    );
+                    (pa, pb)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Rerandomizing shuffle.
+        let (output, witness) = shuffle(&self.gp, &key, &post_exp, &mut self.rng);
+        let shuffle_proof = if cfg.verify {
+            Some(ShuffleProof::prove(
+                &self.gp,
+                &key,
+                &post_exp,
+                &output,
+                &witness,
+                SHUFFLE_ROUNDS,
+                &mut self.rng,
+            ))
+        } else {
+            None
+        };
+        let msg = messages::MixResult {
+            with_noise,
+            exp_key,
+            post_exp,
+            exp_proofs,
+            output,
+            shuffle_proof,
+        };
+        ep.send(&self.ts, messages::frame_of(tag::MIX_RESULT, &msg))?;
+        Ok(())
+    }
+
+    fn decrypt(&mut self, ep: &Endpoint, task: messages::DecryptTask) -> Result<(), NodeError> {
+        let cfg = self
+            .cfg
+            .as_ref()
+            .ok_or_else(|| NodeError::Protocol("decrypt before configure".into()))?
+            .clone();
+        let partials: Vec<_> = task
+            .cells
+            .iter()
+            .map(|c| self.gp.pow(&c.a, &self.secret))
+            .collect();
+        let proofs = if cfg.verify {
+            task.cells
+                .iter()
+                .zip(&partials)
+                .enumerate()
+                .map(|(j, (c, d))| {
+                    let mut t = dec_transcript(j);
+                    DleqProof::prove(
+                        &self.gp,
+                        &self.secret,
+                        &c.a,
+                        &self.share,
+                        d,
+                        &mut t,
+                        &mut self.rng,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let msg = messages::PartialDec {
+            share: self.share,
+            partials,
+            proofs,
+        };
+        ep.send(&self.ts, messages::frame_of(tag::PARTIAL_DEC, &msg))?;
+        Ok(())
+    }
+}
+
+/// Transcript for the exponentiation proof of cell `j` (`b_side` selects
+/// the ciphertext component).
+pub fn exp_transcript(j: usize, b_side: bool) -> Transcript {
+    let mut t = Transcript::new(b"psc/exp/v1");
+    t.append(b"cell", &(j as u64).to_be_bytes());
+    t.append(b"side", &[b_side as u8]);
+    t
+}
+
+/// Transcript for the partial-decryption proof of cell `j`.
+pub fn dec_transcript(j: usize) -> Transcript {
+    let mut t = Transcript::new(b"psc/dec/v1");
+    t.append(b"cell", &(j as u64).to_be_bytes());
+    t
+}
+
+impl Node for CpNode {
+    fn on_start(&mut self, ep: &Endpoint) -> Result<Step, NodeError> {
+        let mut transcript = Self::key_transcript(ep.id().as_str());
+        let proof = SchnorrProof::prove(
+            &self.gp,
+            &self.secret,
+            &self.share,
+            &mut transcript,
+            &mut self.rng,
+        );
+        let msg = messages::CpKey {
+            share: self.share,
+            proof,
+        };
+        ep.send(&self.ts, messages::frame_of(tag::CP_KEY, &msg))?;
+        Ok(Step::Continue)
+    }
+
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        match env.frame.msg_type {
+            tag::CONFIGURE => {
+                let cfg: messages::PscConfigure = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad configure: {e}")))?;
+                self.cfg = Some(cfg);
+                Ok(Step::Continue)
+            }
+            tag::MIX_TASK => {
+                let task: messages::MixTask = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad mix task: {e}")))?;
+                self.mix(ep, task)?;
+                Ok(Step::Continue)
+            }
+            tag::DECRYPT_TASK => {
+                let task: messages::DecryptTask = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad decrypt task: {e}")))?;
+                self.decrypt(ep, task)?;
+                Ok(Step::Done)
+            }
+            other => Err(NodeError::Protocol(format!(
+                "CP received unexpected message type {other}"
+            ))),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "psc-cp"
+    }
+}

@@ -1,0 +1,114 @@
+//! The PSC Data Collector node.
+//!
+//! Extracts items from observed Tor events and marks them in the
+//! oblivious counter table; IP addresses and onion addresses are never
+//! stored (§5.1, §6.1 — "PSC uses oblivious counters").
+
+use crate::items::ItemExtractor;
+use crate::messages::{self, tag};
+use crate::table::ObliviousTable;
+use pm_crypto::elgamal::PublicKey;
+use pm_crypto::group::GroupParams;
+use pm_net::party::{Node, NodeError, Step};
+use pm_net::transport::{Endpoint, Envelope, PartyId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torsim::TorEvent;
+
+/// The event generator a PSC DC runs during its collection period.
+pub type EventGenerator = Box<dyn FnOnce(&mut dyn FnMut(TorEvent)) + Send>;
+
+/// A PSC Data Collector.
+pub struct PscDcNode {
+    ts: PartyId,
+    extractor: ItemExtractor,
+    generator: Option<EventGenerator>,
+    rng: StdRng,
+}
+
+impl PscDcNode {
+    /// Creates a DC with its item extractor and event generator.
+    pub fn new(
+        ts: PartyId,
+        extractor: ItemExtractor,
+        generator: EventGenerator,
+        seed: u64,
+    ) -> PscDcNode {
+        PscDcNode {
+            ts,
+            extractor,
+            generator: Some(generator),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Convenience: a DC that replays fixed events.
+    pub fn with_events(
+        ts: PartyId,
+        extractor: ItemExtractor,
+        events: Vec<TorEvent>,
+        seed: u64,
+    ) -> PscDcNode {
+        PscDcNode::new(
+            ts,
+            extractor,
+            Box::new(move |sink| {
+                for ev in events {
+                    sink(ev);
+                }
+            }),
+            seed,
+        )
+    }
+}
+
+impl Node for PscDcNode {
+    fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+        Ok(Step::Continue) // wait for Configure
+    }
+
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        match env.frame.msg_type {
+            tag::CONFIGURE => {
+                let cfg: messages::PscConfigure = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad configure: {e}")))?;
+                let gp = GroupParams::default_params();
+                if !gp.is_element(&cfg.joint_key) {
+                    return Err(NodeError::Protocol("joint key not a group element".into()));
+                }
+                let mut table = ObliviousTable::new(
+                    gp,
+                    PublicKey(cfg.joint_key),
+                    cfg.salt,
+                    cfg.table_size as usize,
+                );
+                let generator = self
+                    .generator
+                    .take()
+                    .ok_or_else(|| NodeError::Protocol("collection started twice".into()))?;
+                let extractor = self.extractor.clone();
+                let rng = &mut self.rng;
+                let mut sink = |ev: TorEvent| {
+                    if let Some(item) = extractor(&ev) {
+                        table.observe(&item, rng);
+                    }
+                };
+                generator(&mut sink);
+                let msg = messages::DcTable {
+                    cells: table.into_cells(),
+                };
+                ep.send(&self.ts, messages::frame_of(tag::DC_TABLE, &msg))?;
+                Ok(Step::Done)
+            }
+            other => Err(NodeError::Protocol(format!(
+                "PSC DC received unexpected message type {other}"
+            ))),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "psc-dc"
+    }
+}

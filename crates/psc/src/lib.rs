@@ -1,0 +1,48 @@
+//! # psc — Private Set-union Cardinality
+//!
+//! A faithful Rust implementation of PSC (Fenske, Mani, Johnson, Sherr,
+//! CCS 2017) with the paper's enhancements: a Tally Server coordinating
+//! the Data Collectors and Computation Parties, and collection of
+//! PrivCount-style Tor events.
+//!
+//! PSC counts the number of **distinct** items observed across all DCs
+//! — unique client IPs, unique SLDs, unique onion addresses — without
+//! any party ever holding the item set in the clear:
+//!
+//! 1. the CPs jointly generate an ElGamal key (shares with Schnorr
+//!    proofs of knowledge); no strict subset can decrypt;
+//! 2. each DC keeps a table of `b` ElGamal cells; observing an item
+//!    multiplies cell `H(salt‖item) mod b` with a fresh encryption of a
+//!    random group element — an *oblivious counter*: marking cannot be
+//!    read back or undone by the DC;
+//! 3. the TS combines DC tables cellwise (the union becomes "cell is
+//!    non-identity iff any DC marked it");
+//! 4. each CP in turn appends `n` noise cells (each marked with
+//!    probability 1/2 — Binomial noise for differential privacy),
+//!    exponentiates every cell by a fresh secret (zero-preserving
+//!    randomization), and applies a rerandomizing shuffle with a
+//!    cut-and-choose ZK argument;
+//! 5. the CPs jointly decrypt (Chaum–Pedersen-proved partial
+//!    decryptions) and the TS counts non-identity plaintexts.
+//!
+//! The published count equals `occupied(unique items) + Binomial(n·cps,
+//! 1/2)`; `pm_stats::psc_ci` inverts hash collisions and noise into the
+//! cardinality estimate with an exact confidence interval (§3.3).
+
+pub mod cp;
+pub mod dc;
+pub mod items;
+pub mod messages;
+pub mod round;
+pub mod table;
+pub mod ts;
+
+pub use round::{run_psc_round, PscConfig, PscResult};
+pub use table::ObliviousTable;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::items::{self, ItemExtractor};
+    pub use crate::round::{run_psc_round, PscConfig, PscResult};
+    pub use crate::table::ObliviousTable;
+}

@@ -1,0 +1,225 @@
+//! The oblivious counter table held by each Data Collector.
+//!
+//! Each of the `b` cells is an ElGamal ciphertext under the CPs' joint
+//! key. Cells start as the *trivial* encryption of the identity
+//! (`(1, 1)`, randomness 0 — publicly the "unmarked" state). Marking
+//! multiplies the cell by a fresh encryption of a random group element
+//! and rerandomizes, after which the DC itself can neither tell what the
+//! cell contains nor restore it: marking is one-way without the joint
+//! secret key. The DC additionally deduplicates items *within a
+//! collection period* by keyed hash, purely as a performance
+//! optimization — re-marking a marked cell does not change the
+//! protocol's output (the cell stays non-identity).
+
+use pm_crypto::elgamal::{encrypt, mul_ciphertexts, rerandomize, Ciphertext, PublicKey};
+use pm_crypto::group::GroupParams;
+use pm_crypto::sha256::sha256_concat;
+use pm_crypto::u256::U256;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A DC's oblivious counter table.
+pub struct ObliviousTable {
+    gp: GroupParams,
+    key: PublicKey,
+    salt: [u8; 32],
+    cells: Vec<Ciphertext>,
+    /// Keyed hashes of items already marked this period (perf only).
+    seen: HashSet<u64>,
+    /// Count of marking operations performed (for diagnostics).
+    pub marks: u64,
+}
+
+/// The trivial (unmarked) cell: encryption of the identity with
+/// randomness zero.
+pub fn trivial_cell(gp: &GroupParams) -> Ciphertext {
+    Ciphertext {
+        a: gp.identity(),
+        b: gp.identity(),
+    }
+}
+
+impl ObliviousTable {
+    /// Creates a table of `size` unmarked cells under the joint key.
+    pub fn new(gp: GroupParams, key: PublicKey, salt: [u8; 32], size: usize) -> ObliviousTable {
+        assert!(size >= 1);
+        ObliviousTable {
+            gp,
+            key,
+            salt,
+            cells: vec![trivial_cell(&gp); size],
+            seen: HashSet::new(),
+            marks: 0,
+        }
+    }
+
+    /// Table size `b`.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the table has no cells (cannot occur).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell index an item hashes to.
+    pub fn cell_of(&self, item: &[u8]) -> usize {
+        let digest = sha256_concat(&[b"psc-item", &self.salt, item]);
+        let x = U256::from_bytes_be(&digest);
+        // Reduce to the table size; the bias for b ≪ 2^256 is negligible.
+        (x.low_u128() % self.cells.len() as u128) as usize
+    }
+
+    /// Marks an item as observed.
+    pub fn observe<R: Rng + ?Sized>(&mut self, item: &[u8], rng: &mut R) {
+        let digest = sha256_concat(&[b"psc-dedup", &self.salt, item]);
+        let short = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        if !self.seen.insert(short) {
+            return; // already marked this period
+        }
+        let idx = self.cell_of(item);
+        let random_mark = self.gp.random_non_identity(rng);
+        let enc = encrypt(&self.gp, &self.key, &random_mark, rng);
+        let combined = mul_ciphertexts(&self.gp, &self.cells[idx], &enc);
+        self.cells[idx] = rerandomize(&self.gp, &self.key, &combined, rng);
+        self.marks += 1;
+    }
+
+    /// Consumes the table, returning the cells for transmission.
+    pub fn into_cells(self) -> Vec<Ciphertext> {
+        self.cells
+    }
+
+    /// Borrows the cells.
+    pub fn cells(&self) -> &[Ciphertext] {
+        &self.cells
+    }
+}
+
+/// Cellwise product of DC tables: the combined table is non-identity in
+/// exactly the cells some DC marked (up to the negligible chance of
+/// random marks multiplying to the identity).
+pub fn combine_tables(gp: &GroupParams, tables: &[Vec<Ciphertext>]) -> Vec<Ciphertext> {
+    assert!(!tables.is_empty());
+    let b = tables[0].len();
+    assert!(
+        tables.iter().all(|t| t.len() == b),
+        "all DC tables must have equal size"
+    );
+    let mut out = vec![trivial_cell(gp); b];
+    for t in tables {
+        for (o, c) in out.iter_mut().zip(t) {
+            *o = mul_ciphertexts(gp, o, c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_crypto::elgamal::{decrypt, keygen};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (GroupParams, pm_crypto::elgamal::KeyPair, StdRng) {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = keygen(&gp, &mut rng);
+        (gp, kp, rng)
+    }
+
+    #[test]
+    fn unmarked_cells_decrypt_to_identity() {
+        let (gp, kp, _) = setup();
+        let table = ObliviousTable::new(gp, kp.public, [0u8; 32], 8);
+        for cell in table.cells() {
+            assert_eq!(decrypt(&gp, &kp.secret, cell), gp.identity());
+        }
+    }
+
+    #[test]
+    fn marked_cells_decrypt_to_non_identity() {
+        let (gp, kp, mut rng) = setup();
+        let mut table = ObliviousTable::new(gp, kp.public, [1u8; 32], 64);
+        table.observe(b"198.51.100.7", &mut rng);
+        let idx = table.cell_of(b"198.51.100.7");
+        let cells = table.into_cells();
+        assert_ne!(decrypt(&gp, &kp.secret, &cells[idx]), gp.identity());
+        // All other cells still identity.
+        for (i, cell) in cells.iter().enumerate() {
+            if i != idx {
+                assert_eq!(decrypt(&gp, &kp.secret, cell), gp.identity());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_observations_mark_once() {
+        let (gp, kp, mut rng) = setup();
+        let mut table = ObliviousTable::new(gp, kp.public, [2u8; 32], 64);
+        for _ in 0..10 {
+            table.observe(b"same-item", &mut rng);
+        }
+        assert_eq!(table.marks, 1);
+    }
+
+    #[test]
+    fn remarking_same_cell_stays_non_identity() {
+        let (gp, kp, mut rng) = setup();
+        // Size-1 table: every item collides.
+        let mut table = ObliviousTable::new(gp, kp.public, [3u8; 32], 1);
+        table.observe(b"a", &mut rng);
+        table.observe(b"b", &mut rng);
+        table.observe(b"c", &mut rng);
+        assert_eq!(table.marks, 3);
+        let cells = table.into_cells();
+        assert_ne!(decrypt(&gp, &kp.secret, &cells[0]), gp.identity());
+    }
+
+    #[test]
+    fn salt_changes_cell_assignment() {
+        let (gp, kp, _) = setup();
+        let t1 = ObliviousTable::new(gp, kp.public, [4u8; 32], 1 << 16);
+        let t2 = ObliviousTable::new(gp, kp.public, [5u8; 32], 1 << 16);
+        // Over several items, at least one should map differently.
+        let differs = (0..20).any(|i| {
+            let item = format!("item-{i}");
+            t1.cell_of(item.as_bytes()) != t2.cell_of(item.as_bytes())
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn combine_is_cellwise_or() {
+        let (gp, kp, mut rng) = setup();
+        let mut t1 = ObliviousTable::new(gp, kp.public, [6u8; 32], 32);
+        let mut t2 = ObliviousTable::new(gp, kp.public, [6u8; 32], 32);
+        t1.observe(b"alpha", &mut rng);
+        t2.observe(b"beta", &mut rng);
+        t2.observe(b"alpha", &mut rng); // seen at both DCs
+        let ia = t1.cell_of(b"alpha");
+        let ib = t1.cell_of(b"beta");
+        let combined = combine_tables(&gp, &[t1.into_cells(), t2.into_cells()]);
+        let marked: Vec<usize> = combined
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| decrypt(&gp, &kp.secret, c) != gp.identity())
+            .map(|(i, _)| i)
+            .collect();
+        let mut expect = vec![ia, ib];
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(marked, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal size")]
+    fn combine_rejects_mismatched_tables() {
+        let (gp, kp, _) = setup();
+        let t1 = ObliviousTable::new(gp, kp.public, [7u8; 32], 8);
+        let t2 = ObliviousTable::new(gp, kp.public, [7u8; 32], 16);
+        combine_tables(&gp, &[t1.into_cells(), t2.into_cells()]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The PSC Tally Server: coordinates the round and verifies proofs.
+//!
+//! The TS is this paper's addition to the original PSC design (§3.1):
+//! it sequences the DCs and CPs, relays the mixing pipeline, verifies
+//! every zero-knowledge argument (all proofs are non-interactive and
+//! publicly verifiable, so any party could re-check them), and publishes
+//! the final noisy marked-cell count.
+
+use crate::cp::{dec_transcript, exp_transcript, CpNode};
+use crate::messages::{self, tag};
+use crate::table::combine_tables;
+use pm_crypto::elgamal::{combine_partial_decryptions, Ciphertext};
+use pm_crypto::group::{GroupElement, GroupParams};
+use pm_net::party::{Node, NodeError, Step};
+use pm_net::transport::{Endpoint, Envelope, PartyId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The raw outcome the TS publishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawCount {
+    /// Non-identity cells in the decrypted table (occupied + noise).
+    pub marked: u64,
+    /// Table size `b` (noise cells excluded).
+    pub table_size: u64,
+    /// Total noise cells appended across CPs.
+    pub noise_total: u64,
+}
+
+/// Shared slot for the round outcome.
+pub type PscResultSlot = Arc<Mutex<Option<RawCount>>>;
+
+enum Phase {
+    AwaitCpKeys,
+    AwaitTables,
+    Mixing { stage: usize },
+    AwaitPartials,
+}
+
+/// The PSC Tally Server.
+pub struct PscTsNode {
+    gp: GroupParams,
+    dc_names: Vec<PartyId>,
+    cp_names: Vec<PartyId>,
+    table_size: u32,
+    noise_flips: u32,
+    salt: [u8; 32],
+    verify: bool,
+    phase: Phase,
+    cp_keys: Vec<Option<GroupElement>>,
+    joint_key: Option<GroupElement>,
+    tables: Vec<Vec<Ciphertext>>,
+    /// The input the TS handed to the CP currently mixing.
+    mix_input: Vec<Ciphertext>,
+    final_table: Vec<Ciphertext>,
+    partials: Vec<Option<Vec<GroupElement>>>,
+    result: PscResultSlot,
+}
+
+impl PscTsNode {
+    /// Creates the TS for a round.
+    pub fn new(
+        dc_names: Vec<PartyId>,
+        cp_names: Vec<PartyId>,
+        table_size: u32,
+        noise_flips: u32,
+        salt: [u8; 32],
+        verify: bool,
+        result: PscResultSlot,
+    ) -> PscTsNode {
+        assert!(!dc_names.is_empty() && !cp_names.is_empty());
+        let ncp = cp_names.len();
+        PscTsNode {
+            gp: GroupParams::default_params(),
+            dc_names,
+            cp_names,
+            table_size,
+            noise_flips,
+            salt,
+            verify,
+            phase: Phase::AwaitCpKeys,
+            cp_keys: vec![None; ncp],
+            joint_key: None,
+            tables: Vec::new(),
+            mix_input: Vec::new(),
+            final_table: Vec::new(),
+            partials: vec![None; ncp],
+            result,
+        }
+    }
+
+    fn cp_index(&self, id: &PartyId) -> Result<usize, NodeError> {
+        self.cp_names
+            .iter()
+            .position(|c| c == id)
+            .ok_or_else(|| NodeError::Protocol(format!("message from unknown CP {id}")))
+    }
+
+    fn verify_mix(&self, msg: &messages::MixResult) -> Result<(), NodeError> {
+        let joint = pm_crypto::elgamal::PublicKey(self.joint_key.expect("configured"));
+        let n_in = self.mix_input.len();
+        if msg.with_noise.len() != n_in + self.noise_flips as usize {
+            return Err(NodeError::Protocol("noise extension length wrong".into()));
+        }
+        if msg.with_noise[..n_in] != self.mix_input[..] {
+            return Err(NodeError::Protocol("CP altered the input table".into()));
+        }
+        if msg.post_exp.len() != msg.with_noise.len()
+            || msg.output.len() != msg.with_noise.len()
+        {
+            return Err(NodeError::Protocol("mix stage length mismatch".into()));
+        }
+        if self.verify {
+            if msg.exp_proofs.len() != msg.with_noise.len() {
+                return Err(NodeError::Protocol("missing exponentiation proofs".into()));
+            }
+            for (j, ((pre, post), (pa, pb))) in msg
+                .with_noise
+                .iter()
+                .zip(&msg.post_exp)
+                .zip(&msg.exp_proofs)
+                .enumerate()
+            {
+                let mut ta = exp_transcript(j, false);
+                if !pa.verify(&self.gp, &pre.a, &msg.exp_key, &post.a, &mut ta) {
+                    return Err(NodeError::Protocol(format!(
+                        "exponentiation proof (a) failed at cell {j}"
+                    )));
+                }
+                let mut tb = exp_transcript(j, true);
+                if !pb.verify(&self.gp, &pre.b, &msg.exp_key, &post.b, &mut tb) {
+                    return Err(NodeError::Protocol(format!(
+                        "exponentiation proof (b) failed at cell {j}"
+                    )));
+                }
+            }
+            let proof = msg
+                .shuffle_proof
+                .as_ref()
+                .ok_or_else(|| NodeError::Protocol("missing shuffle proof".into()))?;
+            if !proof.verify(&self.gp, &joint, &msg.post_exp, &msg.output) {
+                return Err(NodeError::Protocol("shuffle proof failed".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(&mut self) -> Result<(), NodeError> {
+        let partials: Vec<&Vec<GroupElement>> = self
+            .partials
+            .iter()
+            .map(|p| p.as_ref().expect("all partials present"))
+            .collect();
+        let mut marked = 0u64;
+        for (j, cell) in self.final_table.iter().enumerate() {
+            let cell_partials: Vec<GroupElement> =
+                partials.iter().map(|p| p[j]).collect();
+            let plain = combine_partial_decryptions(&self.gp, cell, &cell_partials);
+            if plain != self.gp.identity() {
+                marked += 1;
+            }
+        }
+        *self.result.lock() = Some(RawCount {
+            marked,
+            table_size: self.table_size as u64,
+            noise_total: self.noise_flips as u64 * self.cp_names.len() as u64,
+        });
+        Ok(())
+    }
+}
+
+impl Node for PscTsNode {
+    fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+        Ok(Step::Continue)
+    }
+
+    fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        match (&self.phase, env.frame.msg_type) {
+            (Phase::AwaitCpKeys, tag::CP_KEY) => {
+                let msg: messages::CpKey = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad CP key: {e}")))?;
+                let idx = self.cp_index(&env.from)?;
+                let mut transcript = CpNode::key_transcript(env.from.as_str());
+                if !msg.proof.verify(&self.gp, &msg.share, &mut transcript) {
+                    return Err(NodeError::Protocol(format!(
+                        "key-share proof from {} failed",
+                        env.from
+                    )));
+                }
+                self.cp_keys[idx] = Some(msg.share);
+                if self.cp_keys.iter().all(|k| k.is_some()) {
+                    let mut joint = self.gp.identity();
+                    for k in self.cp_keys.iter().flatten() {
+                        joint = self.gp.mul(&joint, k);
+                    }
+                    self.joint_key = Some(joint);
+                    let cfg = messages::PscConfigure {
+                        joint_key: joint,
+                        table_size: self.table_size,
+                        noise_flips: self.noise_flips,
+                        salt: self.salt,
+                        verify: self.verify,
+                    };
+                    for p in self.dc_names.iter().chain(self.cp_names.iter()) {
+                        ep.send(p, messages::frame_of(tag::CONFIGURE, &cfg))?;
+                    }
+                    self.phase = Phase::AwaitTables;
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitTables, tag::DC_TABLE) => {
+                let msg: messages::DcTable = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad DC table: {e}")))?;
+                if msg.cells.len() != self.table_size as usize {
+                    return Err(NodeError::Protocol("DC table size mismatch".into()));
+                }
+                self.tables.push(msg.cells);
+                if self.tables.len() == self.dc_names.len() {
+                    let combined = combine_tables(&self.gp, &self.tables);
+                    self.tables.clear();
+                    self.mix_input = combined.clone();
+                    let task = messages::MixTask { cells: combined };
+                    ep.send(&self.cp_names[0], messages::frame_of(tag::MIX_TASK, &task))?;
+                    self.phase = Phase::Mixing { stage: 0 };
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::Mixing { stage }, tag::MIX_RESULT) => {
+                let stage = *stage;
+                let idx = self.cp_index(&env.from)?;
+                if idx != stage {
+                    return Err(NodeError::Protocol(format!(
+                        "mix result from CP {idx} during stage {stage}"
+                    )));
+                }
+                let msg: messages::MixResult = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad mix result: {e}")))?;
+                self.verify_mix(&msg)?;
+                if stage + 1 < self.cp_names.len() {
+                    self.mix_input = msg.output.clone();
+                    let task = messages::MixTask { cells: msg.output };
+                    ep.send(
+                        &self.cp_names[stage + 1],
+                        messages::frame_of(tag::MIX_TASK, &task),
+                    )?;
+                    self.phase = Phase::Mixing { stage: stage + 1 };
+                } else {
+                    self.final_table = msg.output.clone();
+                    let task = messages::DecryptTask { cells: msg.output };
+                    for cp in &self.cp_names {
+                        ep.send(cp, messages::frame_of(tag::DECRYPT_TASK, &task))?;
+                    }
+                    self.phase = Phase::AwaitPartials;
+                }
+                Ok(Step::Continue)
+            }
+            (Phase::AwaitPartials, tag::PARTIAL_DEC) => {
+                let msg: messages::PartialDec = env
+                    .frame
+                    .decode_msg()
+                    .map_err(|e| NodeError::Protocol(format!("bad partial dec: {e}")))?;
+                let idx = self.cp_index(&env.from)?;
+                // The share must be the one registered during keygen —
+                // otherwise a CP could decrypt under a different key.
+                if Some(msg.share) != self.cp_keys[idx] {
+                    return Err(NodeError::Protocol(format!(
+                        "CP {} partial decryption under wrong key share",
+                        env.from
+                    )));
+                }
+                if msg.partials.len() != self.final_table.len() {
+                    return Err(NodeError::Protocol("partials length mismatch".into()));
+                }
+                if self.verify {
+                    if msg.proofs.len() != msg.partials.len() {
+                        return Err(NodeError::Protocol("missing decryption proofs".into()));
+                    }
+                    for (j, (cell, (d, proof))) in self
+                        .final_table
+                        .iter()
+                        .zip(msg.partials.iter().zip(&msg.proofs))
+                        .enumerate()
+                    {
+                        let mut t = dec_transcript(j);
+                        if !proof.verify(&self.gp, &cell.a, &msg.share, d, &mut t) {
+                            return Err(NodeError::Protocol(format!(
+                                "decryption proof from {} failed at cell {j}",
+                                env.from
+                            )));
+                        }
+                    }
+                }
+                self.partials[idx] = Some(msg.partials);
+                if self.partials.iter().all(|p| p.is_some()) {
+                    self.finalize()?;
+                    return Ok(Step::Done);
+                }
+                Ok(Step::Continue)
+            }
+            (_, other) => Err(NodeError::Protocol(format!(
+                "PSC TS received message type {other} out of phase"
+            ))),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        "psc-ts"
+    }
+}

@@ -1,0 +1,41 @@
+//! # pm-stats — statistical analysis for privacy-preserving measurement
+//!
+//! Implements §3.3 of the paper ("Statistical Analysis") and the
+//! model-fitting used in §4–§6:
+//!
+//! * [`ci`] — confidence intervals for Gaussian-noised counts and their
+//!   propagation through division by an observed weight fraction;
+//! * [`occupancy`] — the exact distribution of occupied hash-table cells
+//!   (balls-into-bins), used to correct PSC's collision undercount;
+//! * [`psc_ci`] — exact confidence intervals for the true cardinality
+//!   behind a PSC observation (occupancy ⊛ binomial noise, inverted by
+//!   the paper's dynamic-programming algorithm);
+//! * [`sampling`] — alias-method categorical sampling and Zipf samplers
+//!   for the power-law destination models;
+//! * [`powerlaw`] — Monte-Carlo extrapolation of network-wide unique
+//!   counts from local unique counts (§4.3);
+//! * [`guards`] — the promiscuous/selective guard-contact model of §5.1
+//!   (Table 3);
+//! * [`extrapolate`] — HSDir-replication extrapolation (§6.1) and the
+//!   distribution-free `[x, x/p]` range rule.
+
+pub mod ci;
+pub mod extrapolate;
+pub mod guards;
+pub mod occupancy;
+pub mod powerlaw;
+pub mod psc_ci;
+pub mod sampling;
+
+pub use ci::{Estimate, Interval};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::ci::{Estimate, Interval};
+    pub use crate::extrapolate::{hsdir_observe_fraction, range_rule};
+    pub use crate::guards::{fit_guard_model, GuardModelFit, GuardObservation};
+    pub use crate::occupancy::OccupancyDist;
+    pub use crate::powerlaw::{extrapolate_unique_count, PowerLawConfig};
+    pub use crate::psc_ci::psc_confidence_interval;
+    pub use crate::sampling::{AliasTable, ZipfSampler};
+}

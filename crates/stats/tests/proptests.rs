@@ -1,0 +1,104 @@
+//! Property tests for the statistical machinery.
+
+use pm_stats::ci::{Estimate, Interval};
+use pm_stats::occupancy::OccupancyDist;
+use pm_stats::psc_ci::psc_confidence_interval;
+use pm_stats::sampling::{AliasTable, ZipfSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn interval_ops_are_consistent(
+        a in -1e6f64..1e6, b in -1e6f64..1e6,
+        c in -1e6f64..1e6, d in -1e6f64..1e6,
+    ) {
+        let x = Interval::new(a, b);
+        let y = Interval::new(c, d);
+        // Hull contains both; intersection (when present) is inside both.
+        let hull = x.hull(&y);
+        prop_assert!(hull.lo <= x.lo && hull.hi >= x.hi);
+        prop_assert!(hull.lo <= y.lo && hull.hi >= y.hi);
+        if let Some(i) = x.intersect(&y) {
+            prop_assert!(i.lo >= x.lo - 1e-9 && i.hi <= x.hi + 1e-9);
+            prop_assert!(i.lo >= y.lo - 1e-9 && i.hi <= y.hi + 1e-9);
+            prop_assert!(i.lo <= i.hi);
+        }
+    }
+
+    #[test]
+    fn estimate_scaling_preserves_coverage(
+        value in 0.0f64..1e9,
+        sigma in 0.1f64..1e6,
+        fraction in 0.001f64..1.0,
+    ) {
+        let e = Estimate::gaussian95(value, sigma);
+        let scaled = e.scale_to_network(fraction);
+        // The scaled CI is the scaled endpoints.
+        prop_assert!((scaled.value - value / fraction).abs() < 1e-6 * (1.0 + value / fraction));
+        prop_assert!(scaled.ci.contains(scaled.value));
+        let rel_before = e.ci.width() / (1.0 + e.value.abs());
+        let rel_after = scaled.ci.width() / (1.0 + scaled.value.abs());
+        // Relative width is preserved (up to the +1 regularizer).
+        prop_assert!((rel_before - rel_after).abs() < rel_before + 1e-9);
+    }
+
+    #[test]
+    fn occupancy_mean_bounded(bins in 1u64..5000, balls in 0u64..5000) {
+        let m = OccupancyDist::mean_exact(bins, balls);
+        prop_assert!(m >= 0.0);
+        prop_assert!(m <= bins.min(balls) as f64 + 1e-9);
+        // Monotone in balls.
+        let m2 = OccupancyDist::mean_exact(bins, balls + 1);
+        prop_assert!(m2 >= m - 1e-9);
+    }
+
+    #[test]
+    fn occupancy_variance_nonneg(bins in 2u64..3000, balls in 0u64..3000) {
+        prop_assert!(OccupancyDist::variance_exact(bins, balls) >= 0.0);
+    }
+
+    #[test]
+    fn psc_ci_contains_point_estimate(
+        bins_bits in 8u32..14,
+        occupied_frac in 0.01f64..0.5,
+        noise in 0u64..256,
+    ) {
+        let bins = 1u64 << bins_bits;
+        let occupied = (bins as f64 * occupied_frac) as i64;
+        let observed = occupied + (noise / 2) as i64;
+        let est = psc_confidence_interval(bins, observed, noise, 0.95);
+        prop_assert!(est.ci.lo <= est.ci.hi);
+        // The point estimate lies within (or extremely near) the CI.
+        prop_assert!(
+            est.value >= est.ci.lo - 1.0 && est.value <= est.ci.hi + est.ci.width().max(2.0),
+            "point {} vs CI [{}; {}]", est.value, est.ci.lo, est.ci.hi
+        );
+        // And exceeds the collision-corrected minimum.
+        prop_assert!(est.value >= 0.0);
+    }
+
+    #[test]
+    fn alias_table_total_preserved(weights in proptest::collection::vec(0.0f64..100.0, 1..64)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+            // Never sample a zero-weight category.
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight category {idx}");
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range(n in 1usize..5000, s in 0.2f64..2.5, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+}

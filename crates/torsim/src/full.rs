@@ -1,0 +1,390 @@
+//! Full end-to-end simulation (small scale).
+//!
+//! Unlike [`crate::sampled`], this mode actually runs path selection:
+//! clients pick weighted guards, build circuits through the consensus,
+//! open streams to sampled destinations; onion services publish
+//! descriptors to their responsible HSDirs on the hash ring; clients
+//! fetch descriptors and build rendezvous circuits. Events are emitted
+//! at whichever relay observes them — instrumented or not — and the
+//! caller receives only the instrumented relays' view, plus the full
+//! ground-truth tallies for verification.
+//!
+//! This is the mode integration tests use to validate that the
+//! *inference* pipeline (observed count ÷ weight fraction) recovers
+//! ground truth without being told the truth.
+
+use crate::events::{AddrKind, DescFetchOutcome, PortClass, RendOutcome, TorEvent};
+use crate::geo::GeoDb;
+use crate::hashring::HsDirRing;
+use crate::ids::{OnionAddr, RelayId};
+use crate::relay::{Consensus, Position, RelayFlags};
+use crate::sites::SiteList;
+use crate::workload::{DomainMix, DomainSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a full simulation day.
+#[derive(Clone, Debug)]
+pub struct FullSimConfig {
+    /// Number of clients.
+    pub clients: u64,
+    /// Guards contacted per client.
+    pub guards_per_client: u32,
+    /// Connections per client per day.
+    pub connections_per_client: f64,
+    /// Circuits per connection.
+    pub circuits_per_connection: f64,
+    /// Initial streams per circuit (1 for web circuits).
+    pub subsequent_streams_per_circuit: f64,
+    /// Mean bytes per connection.
+    pub bytes_per_connection: f64,
+    /// Number of onion services.
+    pub onion_services: u64,
+    /// Descriptor fetch attempts per day (across all clients).
+    pub desc_fetches: u64,
+    /// Fraction of fetches targeting unpublished (stale) addresses.
+    pub stale_fetch_fraction: f64,
+    /// Rendezvous circuits per day.
+    pub rendezvous_circuits: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FullSimConfig {
+    fn default() -> Self {
+        FullSimConfig {
+            clients: 2_000,
+            guards_per_client: 3,
+            connections_per_client: 3.0,
+            circuits_per_connection: 8.0,
+            subsequent_streams_per_circuit: 18.0,
+            bytes_per_connection: 3_500_000.0,
+            onion_services: 200,
+            desc_fetches: 5_000,
+            stale_fetch_fraction: 0.9,
+            rendezvous_circuits: 3_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Ground truth accumulated while simulating (network-wide totals).
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Total exit streams (initial + subsequent).
+    pub exit_streams: u64,
+    /// Initial exit streams.
+    pub initial_streams: u64,
+    /// Client connections.
+    pub connections: u64,
+    /// Client circuits.
+    pub circuits: u64,
+    /// Client bytes.
+    pub bytes: u64,
+    /// Unique client IPs.
+    pub unique_ips: u64,
+    /// Unique onion addresses published.
+    pub published_addresses: u64,
+    /// Descriptor fetch attempts.
+    pub desc_fetches: u64,
+    /// Failed descriptor fetches.
+    pub desc_fetch_failures: u64,
+    /// Rendezvous circuits.
+    pub rend_circuits: u64,
+}
+
+/// The full simulator.
+pub struct FullSim<'a> {
+    consensus: &'a Consensus,
+    sites: &'a SiteList,
+    geo: &'a GeoDb,
+    cfg: FullSimConfig,
+}
+
+impl<'a> FullSim<'a> {
+    /// Creates a simulator.
+    pub fn new(
+        consensus: &'a Consensus,
+        sites: &'a SiteList,
+        geo: &'a GeoDb,
+        cfg: FullSimConfig,
+    ) -> FullSim<'a> {
+        FullSim {
+            consensus,
+            sites,
+            geo,
+            cfg,
+        }
+    }
+
+    /// Runs one simulated day. Returns the events observed at
+    /// *instrumented* relays and the network-wide ground truth.
+    pub fn run_day(&self, mix: &DomainMix) -> (Vec<TorEvent>, GroundTruth) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut events = Vec::new();
+        let mut truth = GroundTruth::default();
+        let sampler = DomainSampler::new(self.sites, mix);
+
+        let guard_sampler = self.consensus.sampler(Position::Guard);
+        let middle_sampler = self.consensus.sampler(Position::Middle);
+        let exit_sampler = self.consensus.sampler(Position::Exit);
+        let rp_sampler = self.consensus.sampler(Position::Rendezvous);
+        let hsdirs: Vec<RelayId> = self
+            .consensus
+            .relays()
+            .iter()
+            .filter(|r| r.flags.contains(RelayFlags::HSDIR))
+            .map(|r| r.id)
+            .collect();
+        let ring = HsDirRing::v2(&hsdirs);
+
+        let instrumented = |id: RelayId| self.consensus.relay(id).instrumented;
+        let emit = |ev: TorEvent, events: &mut Vec<TorEvent>| {
+            if instrumented(ev.relay()) {
+                events.push(ev);
+            }
+        };
+
+        // ---- clients ----
+        truth.unique_ips = self.cfg.clients;
+        for c in 0..self.cfg.clients {
+            let ip = {
+                let mut iprng = StdRng::seed_from_u64(self.cfg.seed ^ (c.wrapping_mul(0x9e3779b97f4a7c15)));
+                self.geo.sample_ip(&mut iprng)
+            };
+            let n_conn = sample_count(self.cfg.connections_per_client, &mut rng);
+            for _k in 0..n_conn {
+                // Each connection's guard is drawn by weight. (Real
+                // clients pin 1 data + 2 directory guards; drawing
+                // DISTINCT guards per client inflates small relays'
+                // inclusion probability above their weight, which would
+                // bias volume inference. The guards-per-client structure
+                // matters only for unique-IP analyses, which the sampled
+                // mode models explicitly.)
+                let guard = guard_sampler.sample(&mut rng);
+                truth.connections += 1;
+                emit(
+                    TorEvent::EntryConnection {
+                        relay: guard,
+                        client_ip: ip,
+                    },
+                    &mut events,
+                );
+                let bytes = (self.cfg.bytes_per_connection
+                    * (0.5 + rng.gen::<f64>())) as u64;
+                truth.bytes += bytes;
+                emit(
+                    TorEvent::EntryBytes {
+                        relay: guard,
+                        client_ip: ip,
+                        bytes,
+                    },
+                    &mut events,
+                );
+                let n_circ = sample_count(self.cfg.circuits_per_connection, &mut rng);
+                for _ in 0..n_circ {
+                    truth.circuits += 1;
+                    emit(
+                        TorEvent::EntryCircuit {
+                            relay: guard,
+                            client_ip: ip,
+                        },
+                        &mut events,
+                    );
+                    let _middle = middle_sampler.sample(&mut rng);
+                    let exit = exit_sampler.sample(&mut rng);
+                    // Initial stream with a sampled destination.
+                    truth.exit_streams += 1;
+                    truth.initial_streams += 1;
+                    emit(
+                        TorEvent::ExitStream {
+                            relay: exit,
+                            initial: true,
+                            addr: AddrKind::Hostname,
+                            port: PortClass::Web,
+                            domain: Some(sampler.sample(&mut rng)),
+                        },
+                        &mut events,
+                    );
+                    // Subsequent streams (embedded resources).
+                    let subs = sample_count(self.cfg.subsequent_streams_per_circuit, &mut rng);
+                    for _ in 0..subs {
+                        truth.exit_streams += 1;
+                        emit(
+                            TorEvent::ExitStream {
+                                relay: exit,
+                                initial: false,
+                                addr: AddrKind::Hostname,
+                                port: PortClass::Web,
+                                domain: None,
+                            },
+                            &mut events,
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- onion services: publishes ----
+        truth.published_addresses = self.cfg.onion_services;
+        for s in 0..self.cfg.onion_services {
+            let addr = OnionAddr::from_index(s);
+            for dir in ring.responsible(&addr, 0) {
+                emit(
+                    TorEvent::HsDescPublish { relay: dir, addr },
+                    &mut events,
+                );
+            }
+        }
+
+        // ---- descriptor fetches ----
+        for _ in 0..self.cfg.desc_fetches {
+            truth.desc_fetches += 1;
+            let stale = rng.gen::<f64>() < self.cfg.stale_fetch_fraction;
+            let (addr, outcome) = if stale {
+                truth.desc_fetch_failures += 1;
+                // Target an address that no service published.
+                let idx = 1_000_000 + rng.gen_range(0..10 * self.cfg.desc_fetches.max(1));
+                (OnionAddr::from_index(idx), DescFetchOutcome::NotFound)
+            } else {
+                let idx = rng.gen_range(0..self.cfg.onion_services);
+                (OnionAddr::from_index(idx), DescFetchOutcome::Success)
+            };
+            // The client asks one of the address's responsible dirs.
+            let dirs = ring.responsible(&addr, 0);
+            let dir = dirs[rng.gen_range(0..dirs.len())];
+            emit(
+                TorEvent::HsDescFetch {
+                    relay: dir,
+                    addr: Some(addr),
+                    outcome,
+                },
+                &mut events,
+            );
+        }
+
+        // ---- rendezvous ----
+        for _ in 0..self.cfg.rendezvous_circuits {
+            truth.rend_circuits += 1;
+            let rp = rp_sampler.sample(&mut rng);
+            let u: f64 = rng.gen();
+            let (outcome, payload) = if u < 0.08 {
+                (RendOutcome::ActiveSuccess, rng.gen_range(10_000..2_000_000))
+            } else if u < 0.125 {
+                (RendOutcome::ConnClosed, 0)
+            } else {
+                (RendOutcome::Expired, 0)
+            };
+            emit(
+                TorEvent::RendCircuit {
+                    relay: rp,
+                    outcome,
+                    payload_bytes: payload,
+                },
+                &mut events,
+            );
+        }
+
+        (events, truth)
+    }
+}
+
+/// Samples an integer count with the given mean (Poisson-ish: geometric
+/// jitter around the mean for small means).
+fn sample_count<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    crate::sampled::poisson_approx(mean, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::SiteListConfig;
+
+    fn setup() -> (Consensus, SiteList, GeoDb) {
+        let consensus = Consensus::paper_deployment(300, 0.05, 0.05, 0.05);
+        let sites = SiteList::new(SiteListConfig {
+            alexa_size: 20_000,
+            long_tail_size: 50_000,
+            seed: 9,
+        });
+        let geo = GeoDb::paper_default();
+        (consensus, sites, geo)
+    }
+
+    #[test]
+    fn observed_fraction_tracks_weight() {
+        let (consensus, sites, geo) = setup();
+        let cfg = FullSimConfig {
+            clients: 500,
+            ..Default::default()
+        };
+        let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+        let (events, truth) = sim.run_day(&DomainMix::paper_default());
+
+        let observed_streams = events
+            .iter()
+            .filter(|e| matches!(e, TorEvent::ExitStream { .. }))
+            .count() as f64;
+        let exit_frac = consensus.instrumented_fraction(Position::Exit);
+        let inferred = observed_streams / exit_frac;
+        let rel_err = (inferred - truth.exit_streams as f64).abs() / truth.exit_streams as f64;
+        assert!(rel_err < 0.15, "inferred {inferred}, truth {}", truth.exit_streams);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (consensus, sites, geo) = setup();
+        let cfg = FullSimConfig {
+            clients: 100,
+            seed: 42,
+            ..Default::default()
+        };
+        let (e1, t1) = FullSim::new(&consensus, &sites, &geo, cfg.clone()).run_day(&DomainMix::paper_default());
+        let (e2, t2) = FullSim::new(&consensus, &sites, &geo, cfg).run_day(&DomainMix::paper_default());
+        assert_eq!(e1.len(), e2.len());
+        assert_eq!(t1.exit_streams, t2.exit_streams);
+        assert_eq!(t1.bytes, t2.bytes);
+    }
+
+    #[test]
+    fn fetch_failures_dominate_when_configured() {
+        let (consensus, sites, geo) = setup();
+        let cfg = FullSimConfig {
+            clients: 50,
+            desc_fetches: 2_000,
+            stale_fetch_fraction: 0.9,
+            ..Default::default()
+        };
+        let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+        let (_, truth) = sim.run_day(&DomainMix::paper_default());
+        let frac = truth.desc_fetch_failures as f64 / truth.desc_fetches as f64;
+        assert!((frac - 0.9).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn publishes_land_on_responsible_dirs_only() {
+        let (consensus, sites, geo) = setup();
+        let cfg = FullSimConfig {
+            clients: 10,
+            onion_services: 50,
+            ..Default::default()
+        };
+        let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+        let (events, _) = sim.run_day(&DomainMix::paper_default());
+        let hsdirs: Vec<RelayId> = consensus
+            .relays()
+            .iter()
+            .filter(|r| r.flags.contains(RelayFlags::HSDIR))
+            .map(|r| r.id)
+            .collect();
+        let ring = HsDirRing::v2(&hsdirs);
+        for ev in &events {
+            if let TorEvent::HsDescPublish { relay, addr } = ev {
+                assert!(
+                    ring.responsible(addr, 0).contains(relay),
+                    "publish at non-responsible dir"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic MaxMind-like IP→country database.
+//!
+//! The paper resolves client IPs with GeoLite2 (§5.2). We substitute a
+//! deterministic allocation of the IPv4 space: each of 250 countries
+//! owns a contiguous block sized by its share of the simulated Tor
+//! client population, and lookup is a binary search over block starts —
+//! the same longest-range-match semantics as a real geo database.
+//!
+//! The default population shares are calibrated to Figure 4: US, RU and
+//! DE lead; the UAE (AE) has a *small* connection share (its anomaly is
+//! in circuits, which is a workload property, not a geo one).
+
+use crate::ids::{CountryCode, IpAddr};
+use rand::Rng;
+
+/// One country's allocation.
+#[derive(Clone, Debug)]
+struct CountryBlock {
+    code: CountryCode,
+    /// First IP of the block (inclusive).
+    start: u32,
+    /// Share of the client population.
+    share: f64,
+}
+
+/// The IP→country database.
+#[derive(Clone, Debug)]
+pub struct GeoDb {
+    blocks: Vec<CountryBlock>,
+}
+
+/// Population shares for the countries Figure 4 names, roughly matching
+/// the relative bar heights of the *connections* panel; the remainder is
+/// spread over filler countries.
+const NAMED_SHARES: [(&str, f64); 24] = [
+    ("US", 0.210),
+    ("RU", 0.160),
+    ("DE", 0.120),
+    ("UA", 0.055),
+    ("FR", 0.050),
+    ("VE", 0.030),
+    ("NA", 0.022),
+    ("NZ", 0.020),
+    ("BV", 0.015),
+    ("CA", 0.025),
+    ("GB", 0.030),
+    ("SC", 0.010),
+    ("MX", 0.012),
+    ("IM", 0.008),
+    ("BR", 0.015),
+    ("SK", 0.008),
+    ("ES", 0.014),
+    ("AR", 0.010),
+    ("SE", 0.012),
+    ("PL", 0.015),
+    ("AE", 0.006),
+    ("VG", 0.004),
+    ("NL", 0.015),
+    ("IT", 0.013),
+];
+
+/// Total number of countries in the database (the paper's universe).
+pub const NUM_COUNTRIES: usize = 250;
+
+impl GeoDb {
+    /// Builds the default paper-calibrated database.
+    pub fn paper_default() -> GeoDb {
+        let mut shares: Vec<(CountryCode, f64)> = NAMED_SHARES
+            .iter()
+            .map(|(c, s)| (CountryCode::new(c), *s))
+            .collect();
+        let named_total: f64 = shares.iter().map(|(_, s)| s).sum();
+        let filler = NUM_COUNTRIES - shares.len();
+        // Filler countries get geometrically decaying slices of the rest
+        // so that some are common and many are rare (a realistic tail).
+        let remaining = 1.0 - named_total;
+        let decay: f64 = 0.985;
+        let norm: f64 = (0..filler).map(|i| decay.powi(i as i32)).sum();
+        let used: std::collections::HashSet<CountryCode> =
+            shares.iter().map(|(c, _)| *c).collect();
+        let mut candidates = (0..26 * 26).map(|i| {
+            CountryCode([b'A' + (i / 26) as u8, b'A' + (i % 26) as u8])
+        });
+        for i in 0..filler {
+            let code = candidates
+                .by_ref()
+                .find(|c| !used.contains(c))
+                .expect("enough synthetic codes");
+            let share = remaining * decay.powi(i as i32) / norm;
+            shares.push((code, share));
+        }
+        GeoDb::from_shares(&shares)
+    }
+
+    /// Builds a database from explicit (country, share) pairs.
+    pub fn from_shares(shares: &[(CountryCode, f64)]) -> GeoDb {
+        assert!(!shares.is_empty());
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!(total > 0.0);
+        let mut blocks = Vec::with_capacity(shares.len());
+        let mut cursor: u64 = 0;
+        let space = u32::MAX as u64 + 1;
+        for (code, share) in shares {
+            blocks.push(CountryBlock {
+                code: *code,
+                start: cursor as u32,
+                share: share / total,
+            });
+            cursor += ((share / total) * space as f64) as u64;
+            cursor = cursor.min(space - 1);
+        }
+        GeoDb { blocks }
+    }
+
+    /// Number of countries.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if empty (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All country codes.
+    pub fn countries(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        self.blocks.iter().map(|b| b.code)
+    }
+
+    /// The population share of a country.
+    pub fn share(&self, code: CountryCode) -> f64 {
+        self.blocks
+            .iter()
+            .find(|b| b.code == code)
+            .map(|b| b.share)
+            .unwrap_or(0.0)
+    }
+
+    /// Country of an IP (binary search over block starts).
+    pub fn country_of(&self, ip: IpAddr) -> CountryCode {
+        let idx = self
+            .blocks
+            .partition_point(|b| b.start <= ip.0)
+            .saturating_sub(1);
+        self.blocks[idx].code
+    }
+
+    /// Samples a client IP: first a country by population share, then a
+    /// uniform IP within its block.
+    pub fn sample_ip<R: Rng + ?Sized>(&self, rng: &mut R) -> IpAddr {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut idx = self.blocks.len() - 1;
+        for (i, b) in self.blocks.iter().enumerate() {
+            acc += b.share;
+            if u <= acc {
+                idx = i;
+                break;
+            }
+        }
+        self.sample_ip_in(self.blocks[idx].code, rng)
+            .expect("block exists")
+    }
+
+    /// Samples an IP within a specific country's block.
+    pub fn sample_ip_in<R: Rng + ?Sized>(
+        &self,
+        code: CountryCode,
+        rng: &mut R,
+    ) -> Option<IpAddr> {
+        let i = self.blocks.iter().position(|b| b.code == code)?;
+        let start = self.blocks[i].start;
+        let end = if i + 1 < self.blocks.len() {
+            self.blocks[i + 1].start
+        } else {
+            u32::MAX
+        };
+        if end <= start {
+            // Degenerately small share: return the block start.
+            return Some(IpAddr(start));
+        }
+        Some(IpAddr(rng.gen_range(start..end)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_db_has_250_countries() {
+        let db = GeoDb::paper_default();
+        assert_eq!(db.len(), NUM_COUNTRIES);
+        let mut codes: Vec<CountryCode> = db.countries().collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), NUM_COUNTRIES, "codes must be unique");
+    }
+
+    #[test]
+    fn lookup_inverts_sampling() {
+        let db = GeoDb::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for code in [CountryCode::new("US"), CountryCode::new("AE")] {
+            for _ in 0..100 {
+                let ip = db.sample_ip_in(code, &mut rng).unwrap();
+                assert_eq!(db.country_of(ip), code, "ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn population_shares_respected() {
+        let db = GeoDb::paper_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut us = 0u64;
+        let mut ru = 0u64;
+        for _ in 0..n {
+            let c = db.country_of(db.sample_ip(&mut rng));
+            if c == CountryCode::new("US") {
+                us += 1;
+            } else if c == CountryCode::new("RU") {
+                ru += 1;
+            }
+        }
+        let us_frac = us as f64 / n as f64;
+        let ru_frac = ru as f64 / n as f64;
+        assert!((us_frac - 0.21).abs() < 0.01, "US {us_frac}");
+        assert!((ru_frac - 0.16).abs() < 0.01, "RU {ru_frac}");
+    }
+
+    #[test]
+    fn top_countries_ordered_like_figure4() {
+        let db = GeoDb::paper_default();
+        let us = db.share(CountryCode::new("US"));
+        let ru = db.share(CountryCode::new("RU"));
+        let de = db.share(CountryCode::new("DE"));
+        let ae = db.share(CountryCode::new("AE"));
+        assert!(us > ru && ru > de, "US > RU > DE");
+        assert!(ae < de / 5.0, "AE connection share is small");
+    }
+
+    #[test]
+    fn boundary_ips() {
+        let db = GeoDb::paper_default();
+        // First and last IPs resolve without panicking.
+        let _ = db.country_of(IpAddr(0));
+        let _ = db.country_of(IpAddr(u32::MAX));
+    }
+
+    #[test]
+    fn custom_shares() {
+        let db = GeoDb::from_shares(&[
+            (CountryCode::new("AA"), 3.0),
+            (CountryCode::new("BB"), 1.0),
+        ]);
+        assert!((db.share(CountryCode::new("AA")) - 0.75).abs() < 1e-12);
+        assert_eq!(db.country_of(IpAddr(0)), CountryCode::new("AA"));
+        assert_eq!(db.country_of(IpAddr(u32::MAX)), CountryCode::new("BB"));
+    }
+}

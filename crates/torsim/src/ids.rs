@@ -1,0 +1,156 @@
+//! Identifier types used across the simulator.
+
+use std::fmt;
+
+/// A relay, by index into the consensus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelayId(pub u32);
+
+/// A client, by index into the simulated population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+/// A synthetic IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Canonical byte encoding (for PSC item hashing).
+    pub fn to_bytes(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Debug for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A domain in the synthetic site universe.
+///
+/// Indexes into [`crate::sites::SiteList`] when below the Alexa universe
+/// size; larger values denote long-tail (non-Alexa) domains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u64);
+
+/// A v2 onion-service address (80-bit, base32 in reality; kept as the
+/// raw 10 bytes here).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OnionAddr(pub [u8; 10]);
+
+impl OnionAddr {
+    /// Derives an address from a service index (stand-in for the hash of
+    /// the service public key).
+    pub fn from_index(i: u64) -> OnionAddr {
+        let digest = pm_crypto::sha256::sha256_concat(&[b"onion-addr", &i.to_be_bytes()]);
+        let mut a = [0u8; 10];
+        a.copy_from_slice(&digest[..10]);
+        OnionAddr(a)
+    }
+
+    /// Canonical byte encoding (for PSC item hashing).
+    pub fn to_bytes(self) -> [u8; 10] {
+        self.0
+    }
+}
+
+impl fmt::Debug for OnionAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // base32 lowercase, like real .onion names.
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz234567";
+        let mut s = String::with_capacity(16);
+        let mut acc: u32 = 0;
+        let mut bits = 0;
+        for &byte in &self.0 {
+            acc = (acc << 8) | byte as u32;
+            bits += 8;
+            while bits >= 5 {
+                bits -= 5;
+                s.push(ALPHABET[((acc >> bits) & 31) as usize] as char);
+            }
+        }
+        write!(f, "{s}.onion")
+    }
+}
+
+/// ISO-3166-style two-letter country code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// From a two-character string.
+    pub fn new(s: &str) -> CountryCode {
+        let b = s.as_bytes();
+        assert_eq!(b.len(), 2, "country codes are two letters");
+        CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("ascii")
+    }
+}
+
+impl fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// An autonomous-system number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsNumber(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_formatting() {
+        let ip = IpAddr(0xC0A80101);
+        assert_eq!(format!("{ip}"), "192.168.1.1");
+    }
+
+    #[test]
+    fn onion_addr_deterministic_and_distinct() {
+        let a = OnionAddr::from_index(1);
+        let b = OnionAddr::from_index(1);
+        let c = OnionAddr::from_index(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn onion_addr_formats_like_onion() {
+        let s = format!("{:?}", OnionAddr::from_index(7));
+        assert!(s.ends_with(".onion"));
+        assert_eq!(s.len(), 16 + 6); // 16 base32 chars + ".onion"
+    }
+
+    #[test]
+    fn country_code() {
+        let us = CountryCode::new("us");
+        assert_eq!(us.as_str(), "US");
+        assert_eq!(us, CountryCode::new("US"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two letters")]
+    fn country_code_validates() {
+        CountryCode::new("usa");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the Tor network simulator substrates.
+
+use pm_stats::guards::observe_probability;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torsim::churn::ChurnModel;
+use torsim::geo::GeoDb;
+use torsim::hashring::HsDirRing;
+use torsim::ids::{CountryCode, IpAddr, OnionAddr, RelayId};
+use torsim::relay::{Consensus, Position, Relay, RelayFlags};
+use torsim::sampled::{binomial_approx, poisson_approx};
+use torsim::sites::{SiteList, SiteListConfig};
+
+proptest! {
+    #[test]
+    fn geo_lookup_total(ip in any::<u32>()) {
+        // Every IP resolves to some country of the 250.
+        let db = GeoDb::paper_default();
+        let c = db.country_of(IpAddr(ip));
+        prop_assert!(db.countries().any(|x| x == c));
+    }
+
+    #[test]
+    fn geo_sample_roundtrip(seed in any::<u64>()) {
+        let db = GeoDb::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ip = db.sample_ip(&mut rng);
+        let c = db.country_of(ip);
+        // Sampling within that country must map back to it.
+        let ip2 = db.sample_ip_in(c, &mut rng).unwrap();
+        prop_assert_eq!(db.country_of(ip2), c);
+    }
+
+    #[test]
+    fn hashring_responsible_is_subset_and_deterministic(
+        n_dirs in 2u32..64,
+        addr_idx in any::<u64>(),
+        day in 0u64..30,
+    ) {
+        let dirs: Vec<RelayId> = (0..n_dirs).map(RelayId).collect();
+        let ring = HsDirRing::v2(&dirs);
+        let addr = OnionAddr::from_index(addr_idx);
+        let r1 = ring.responsible(&addr, day);
+        let r2 = ring.responsible(&addr, day);
+        prop_assert_eq!(&r1, &r2);
+        prop_assert!(!r1.is_empty());
+        prop_assert!(r1.len() <= 6);
+        for d in &r1 {
+            prop_assert!(d.0 < n_dirs);
+        }
+        // No duplicates.
+        let mut sorted = r1.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), r1.len());
+    }
+
+    #[test]
+    fn site_names_deterministic_and_classified(rank in 1u64..20_000) {
+        let sites = SiteList::new(SiteListConfig {
+            alexa_size: 20_000,
+            long_tail_size: 1_000,
+            seed: 3,
+        });
+        let d = sites.domain_of_rank(rank);
+        prop_assert_eq!(sites.domain_name(d.clone()), sites.domain_name(d));
+        prop_assert!(sites.in_alexa(d));
+        prop_assert_eq!(sites.rank(d), Some(rank));
+        // The name ends with its TLD.
+        let name = sites.domain_name(d);
+        let tld = sites.tld(d);
+        prop_assert!(name.ends_with(tld), "{} vs {}", name, tld);
+    }
+
+    #[test]
+    fn churn_arithmetic(daily in 10u64..5000, churn_frac in 0.0f64..1.0, days in 1u64..6) {
+        let new_per_day = (daily as f64 * churn_frac) as u64;
+        let m = ChurnModel::new(daily, new_per_day, 1);
+        prop_assert_eq!(m.unique_over(days), daily + (days - 1) * new_per_day);
+        // Monotone in days.
+        prop_assert!(m.unique_over(days + 1) >= m.unique_over(days));
+    }
+
+    #[test]
+    fn poisson_approx_nonneg_and_near_mean(mean in 0.0f64..1e5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = poisson_approx(mean, &mut rng);
+        // Within 10 standard deviations (overwhelming probability).
+        let sd = mean.sqrt().max(1.0);
+        prop_assert!((draw as f64 - mean).abs() < 10.0 * sd + 10.0);
+    }
+
+    #[test]
+    fn binomial_approx_in_range(n in 0u64..100_000, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = binomial_approx(n, p, &mut rng);
+        prop_assert!(draw <= n);
+    }
+
+    #[test]
+    fn consensus_fraction_bounded(ours_weight in 0.1f64..100.0, bg_weight in 1.0f64..1000.0) {
+        let relays = vec![
+            Relay {
+                id: RelayId(0),
+                nickname: "bg".into(),
+                weight: bg_weight,
+                flags: RelayFlags::FAST.union(RelayFlags::EXIT),
+                instrumented: false,
+            },
+            Relay {
+                id: RelayId(1),
+                nickname: "ours".into(),
+                weight: ours_weight,
+                flags: RelayFlags::FAST.union(RelayFlags::EXIT),
+                instrumented: true,
+            },
+        ];
+        let c = Consensus::new(relays);
+        let f = c.instrumented_fraction(Position::Exit);
+        prop_assert!(f > 0.0 && f < 1.0);
+        prop_assert!((f - ours_weight / (ours_weight + bg_weight)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_probability_model_consistency(w in 0.0001f64..0.2, g in 1u32..10) {
+        // The generation-side model and the analysis-side model agree by
+        // construction; pin the identity used across tab3/tab5.
+        let p = observe_probability(w, g);
+        let manual = 1.0 - (1.0 - w).powi(g as i32);
+        prop_assert!((p - manual).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn country_codes_unique_across_db() {
+    let db = GeoDb::paper_default();
+    let mut seen = std::collections::HashSet::new();
+    for c in db.countries() {
+        assert!(seen.insert(c), "duplicate country {c}");
+    }
+    assert!(seen.contains(&CountryCode::new("US")));
+    assert!(seen.contains(&CountryCode::new("AE")));
+}

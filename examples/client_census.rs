@@ -1,0 +1,34 @@
+//! Client census: how many people use Tor, and from where?
+//!
+//! ```text
+//! cargo run --release --example client_census -- [scale]
+//! ```
+//!
+//! Reproduces §5: PrivCount counts connections/circuits/bytes (Table 4),
+//! PSC counts unique client IPs and the 4-day churn (Table 5), and the
+//! promiscuous/selective model fit (Table 3) shows why the paper
+//! concludes Tor has ~8M daily users — four times the Tor Metrics
+//! estimate of the time.
+
+use torstudy::deployment::Deployment;
+use torstudy::experiments::{tab3, tab4, tab5};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(5e-3);
+    eprintln!("# running client measurements at scale {scale}");
+    let dep = Deployment::at_scale(scale, 2018);
+
+    println!("{}", tab4::run(&dep));
+    println!("{}", tab5::run(&dep));
+    println!("{}", tab3::run(&dep));
+
+    println!(
+        "The guard-model fit above is the paper's core §5.1 result: a single \
+         guards-per-client parameter cannot explain both measurements, but \
+         ~15-22k promiscuous clients (bridges, tor2web, busy NATs) plus \
+         selective clients on 3 guards can — implying ~11M daily client IPs."
+    );
+}

@@ -1,0 +1,41 @@
+//! Exit-domain study: which websites do Tor users visit?
+//!
+//! ```text
+//! cargo run --release --example exit_domains -- [scale]
+//! ```
+//!
+//! Reproduces the paper's §4 headline findings from a single simulated
+//! day: ~40% of primary domains are torproject.org, ~10% are in the
+//! amazon sibling family, and ~80% are in the Alexa top list —
+//! measured with real PrivCount rounds over the synthetic Tor network.
+
+use torstudy::deployment::Deployment;
+use torstudy::experiments::{fig2, fig3};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a float"))
+        .unwrap_or(5e-3);
+    eprintln!("# running exit-domain measurements at scale {scale}");
+    let dep = Deployment::at_scale(scale, 2018);
+
+    let fig2 = fig2::run(&dep);
+    println!("{fig2}");
+
+    let fig3 = fig3::run(&dep);
+    println!("{fig3}");
+
+    // The §4.3 conclusion in one number: Alexa coverage of Tor traffic.
+    let alexa_pct: f64 = fig2
+        .rows
+        .iter()
+        .find(|r| r.label == "rank other (non-Alexa)")
+        .map(|r| 100.0 - r.measured.split('%').next().unwrap().parse::<f64>().unwrap())
+        .unwrap();
+    println!(
+        "≈{alexa_pct:.0}% of primary domains fall in the Alexa top list — \
+         \"the Alexa top sites list provides a reasonable representation of \
+         destinations visited by Tor users\" (§4.3)"
+    );
+}

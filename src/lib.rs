@@ -1,0 +1,26 @@
+//! # tor-measure — reproduction of "Understanding Tor Usage with
+//! Privacy-Preserving Measurement" (Mani et al., IMC 2018)
+//!
+//! This root crate re-exports the workspace members and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use pm_crypto as crypto;
+pub use pm_dp as dp;
+pub use pm_net as net;
+pub use pm_stats as stats;
+pub use privcount;
+pub use psc;
+pub use torsim;
+pub use torstudy;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use pm_dp::prelude::*;
+    pub use pm_stats::prelude::*;
+    pub use privcount::prelude::*;
+    pub use psc::prelude::*;
+    pub use torsim::prelude::*;
+    pub use torstudy::prelude::*;
+}

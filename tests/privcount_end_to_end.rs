@@ -1,0 +1,177 @@
+//! Integration: PrivCount over the FULL Tor simulation.
+//!
+//! Unlike the per-crate unit tests, these runs exercise the entire
+//! stack: weighted path selection in the simulated consensus, event
+//! emission at instrumented relays, DC collection, the blinding
+//! protocol over the switchboard, TS aggregation, and the §3.3
+//! inference — verifying that the pipeline recovers ground truth it was
+//! never told.
+
+use privcount::counter::CounterSpec;
+use privcount::round::{run_round, NoiseAllocation, RoundConfig};
+use std::sync::Arc;
+use torsim::events::TorEvent;
+use torsim::full::{FullSim, FullSimConfig};
+use torsim::geo::GeoDb;
+use torsim::relay::{Consensus, Position};
+use torsim::sites::{SiteList, SiteListConfig};
+use torsim::workload::DomainMix;
+
+fn setup() -> (Consensus, SiteList, GeoDb) {
+    let consensus = Consensus::paper_deployment(600, 0.05, 0.04, 0.04);
+    let sites = SiteList::new(SiteListConfig {
+        alexa_size: 20_000,
+        long_tail_size: 50_000,
+        seed: 1,
+    });
+    let geo = GeoDb::paper_default();
+    (consensus, sites, geo)
+}
+
+/// Splits the instrumented relays' events into one event list per DC.
+fn split_by_relay(events: Vec<TorEvent>) -> Vec<Vec<TorEvent>> {
+    let mut by_relay: std::collections::BTreeMap<u32, Vec<TorEvent>> = Default::default();
+    for ev in events {
+        by_relay.entry(ev.relay().0).or_default().push(ev);
+    }
+    by_relay.into_values().collect()
+}
+
+#[test]
+fn inference_recovers_ground_truth_from_full_simulation() {
+    let (consensus, sites, geo) = setup();
+    let cfg = FullSimConfig {
+        clients: 1_500,
+        seed: 42,
+        ..Default::default()
+    };
+    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let (events, truth) = sim.run_day(&DomainMix::paper_default());
+    assert!(!events.is_empty());
+
+    // One DC per instrumented relay that saw traffic.
+    let per_dc = split_by_relay(events);
+    let round = RoundConfig {
+        counters: vec![
+            CounterSpec::with_sigma("streams", 50.0),
+            CounterSpec::with_sigma("connections", 10.0),
+            CounterSpec::with_sigma("bytes", 1e6),
+        ],
+        mapper: Arc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| match ev {
+            TorEvent::ExitStream { .. } => emit(0, 1),
+            TorEvent::EntryConnection { .. } => emit(1, 1),
+            TorEvent::EntryBytes { bytes, .. } => emit(2, *bytes as i64),
+            _ => {}
+        }),
+        num_sks: 3,
+        noise: NoiseAllocation::Equal,
+        seed: 7,
+        threaded: false,
+        faults: Default::default(),
+    };
+    let generators = per_dc
+        .into_iter()
+        .map(|evs| {
+            let g: privcount::dc::EventGenerator = Box::new(move |sink| {
+                for ev in evs {
+                    sink(ev);
+                }
+            });
+            g
+        })
+        .collect();
+    let result = run_round(round, generators).expect("round");
+
+    // Infer network-wide totals by dividing by the instrumented weight
+    // fractions — the measurement never saw `truth`.
+    let exit_frac = consensus.instrumented_fraction(Position::Exit);
+    let guard_frac = consensus.instrumented_fraction(Position::Guard);
+    let streams = result.estimate("streams").scale_to_network(exit_frac);
+    let conns = result.estimate("connections").scale_to_network(guard_frac);
+    let bytes = result.estimate("bytes").scale_to_network(guard_frac);
+
+    let rel = |est: f64, truth: f64| (est - truth).abs() / truth;
+    assert!(
+        rel(streams.value, truth.exit_streams as f64) < 0.15,
+        "streams {} vs {}",
+        streams.value,
+        truth.exit_streams
+    );
+    assert!(
+        rel(conns.value, truth.connections as f64) < 0.15,
+        "connections {} vs {}",
+        conns.value,
+        truth.connections
+    );
+    assert!(
+        rel(bytes.value, truth.bytes as f64) < 0.15,
+        "bytes {} vs {}",
+        bytes.value,
+        truth.bytes
+    );
+}
+
+#[test]
+fn noise_floor_hides_small_counts() {
+    // A counter whose true value is far below σ must be statistically
+    // indistinguishable from zero — the privacy property the paper
+    // relies on when reporting "most likely zero" values (§4.2).
+    let (consensus, sites, geo) = setup();
+    let cfg = FullSimConfig {
+        clients: 30,
+        seed: 43,
+        ..Default::default()
+    };
+    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let (events, _) = sim.run_day(&DomainMix::paper_default());
+    let round = RoundConfig {
+        counters: vec![CounterSpec::with_sigma("rare", 1e6)],
+        mapper: Arc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
+            if matches!(ev, TorEvent::HsDescFetch { .. }) {
+                emit(0, 1);
+            }
+        }),
+        num_sks: 3,
+        noise: NoiseAllocation::Equal,
+        seed: 11,
+        threaded: false,
+        faults: Default::default(),
+    };
+    let generators = vec![{
+        let g: privcount::dc::EventGenerator = Box::new(move |sink| {
+            for ev in events {
+                sink(ev);
+            }
+        });
+        g
+    }];
+    let result = run_round(round, generators).expect("round");
+    let est = result.estimate("rare");
+    // CI must comfortably include zero.
+    assert!(est.ci.contains(0.0), "{est}");
+}
+
+#[test]
+fn dropped_party_aborts_cleanly() {
+    // Dropping ALL protocol traffic to one SK must abort the round with
+    // a protocol error, not hang or produce bogus output.
+    let round = RoundConfig {
+        counters: vec![CounterSpec::with_sigma("c", 0.0)],
+        mapper: Arc::new(|_: &TorEvent, _: &mut dyn FnMut(usize, i64)| {}),
+        num_sks: 2,
+        noise: NoiseAllocation::None,
+        seed: 13,
+        threaded: false,
+        faults: pm_net::transport::FaultConfig {
+            drop_chance: 1.0, // every frame lost
+            ..Default::default()
+        },
+    };
+    let generators = vec![{
+        let g: privcount::dc::EventGenerator = Box::new(|_sink| {});
+        g
+    }];
+    let err = run_round(round, generators).expect_err("must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock") || msg.contains("no result"), "{msg}");
+}

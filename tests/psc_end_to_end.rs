@@ -1,0 +1,136 @@
+//! Integration: PSC over the full simulation, including verified runs
+//! and the statistical estimator chain.
+
+use psc::items;
+use psc::round::{run_psc_round, PscConfig};
+use std::collections::HashSet;
+use torsim::events::TorEvent;
+use torsim::full::{FullSim, FullSimConfig};
+use torsim::geo::GeoDb;
+use torsim::relay::Consensus;
+use torsim::sites::{SiteList, SiteListConfig};
+use torsim::workload::DomainMix;
+
+fn simulate(clients: u64, seed: u64) -> (Vec<TorEvent>, u64) {
+    let consensus = Consensus::paper_deployment(400, 0.06, 0.05, 0.05);
+    let sites = SiteList::new(SiteListConfig {
+        alexa_size: 20_000,
+        long_tail_size: 50_000,
+        seed: 2,
+    });
+    let geo = GeoDb::paper_default();
+    let cfg = FullSimConfig {
+        clients,
+        seed,
+        ..Default::default()
+    };
+    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let (events, _) = sim.run_day(&DomainMix::paper_default());
+    // Ground truth unique IPs among the events our relays actually saw.
+    let unique: HashSet<_> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TorEvent::EntryConnection { client_ip, .. } => Some(*client_ip),
+            _ => None,
+        })
+        .collect();
+    (events, unique.len() as u64)
+}
+
+fn dc_generators(events: Vec<TorEvent>, num_dcs: usize) -> Vec<psc::dc::EventGenerator> {
+    let mut buckets: Vec<Vec<TorEvent>> = vec![Vec::new(); num_dcs];
+    for (i, ev) in events.into_iter().enumerate() {
+        buckets[i % num_dcs].push(ev);
+    }
+    buckets
+        .into_iter()
+        .map(|evs| {
+            let g: psc::dc::EventGenerator = Box::new(move |sink| {
+                for ev in evs {
+                    sink(ev);
+                }
+            });
+            g
+        })
+        .collect()
+}
+
+#[test]
+fn psc_counts_unique_ips_from_full_simulation() {
+    let (events, truth_unique) = simulate(1200, 17);
+    assert!(truth_unique > 100, "{truth_unique}");
+    let cfg = PscConfig {
+        table_size: (truth_unique as u32 * 8).next_power_of_two(),
+        noise_flips_per_cp: 128,
+        num_cps: 3,
+        verify: false,
+        seed: 3,
+        threaded: false,
+        faults: Default::default(),
+    };
+    let result = run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 4))
+        .expect("round");
+    let est = result.estimate(0.95);
+    assert!(
+        est.ci.contains(truth_unique as f64),
+        "truth {truth_unique} not in {est}"
+    );
+    // Point estimate within 15% (binomial noise sd ≈ 10 on ~180 truth).
+    let rel = (est.value - truth_unique as f64).abs() / truth_unique as f64;
+    assert!(rel < 0.15, "{est} vs {truth_unique}");
+}
+
+#[test]
+fn verified_psc_round_over_threads() {
+    // Small verified run with one OS thread per party: all ZK proofs
+    // generated and checked.
+    let (events, truth_unique) = simulate(40, 19);
+    let cfg = PscConfig {
+        table_size: 512,
+        noise_flips_per_cp: 16,
+        num_cps: 2,
+        verify: true,
+        seed: 5,
+        threaded: true,
+        faults: Default::default(),
+    };
+    let result = run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 2))
+        .expect("verified round");
+    let est = result.estimate(0.95);
+    assert!(
+        est.ci.contains(truth_unique as f64),
+        "truth {truth_unique} not in {est}"
+    );
+}
+
+#[test]
+fn psc_and_privcount_agree_on_volume_vs_uniqueness() {
+    // The two systems answer different questions about the same events:
+    // PrivCount's connection count exceeds PSC's unique-IP count exactly
+    // when clients make repeat connections.
+    let (events, truth_unique) = simulate(300, 23);
+    let total_connections = events
+        .iter()
+        .filter(|ev| matches!(ev, TorEvent::EntryConnection { .. }))
+        .count() as u64;
+    assert!(total_connections > truth_unique);
+
+    let cfg = PscConfig {
+        table_size: 8192,
+        noise_flips_per_cp: 0,
+        num_cps: 2,
+        verify: false,
+        seed: 7,
+        threaded: false,
+        faults: Default::default(),
+    };
+    let result = run_psc_round(
+        cfg,
+        items::unique_client_ips(),
+        dc_generators(events, 3),
+    )
+    .expect("round");
+    // Noiseless: marked cells ≤ unique (collisions) and close to it.
+    assert!(result.raw.marked <= truth_unique);
+    assert!(result.raw.marked as f64 > truth_unique as f64 * 0.95);
+}

@@ -1,0 +1,85 @@
+//! Integration: the full study harness — every experiment runs, every
+//! report compares measured vs truth vs paper, and the headline results
+//! reproduce at test scale.
+
+use torstudy::deployment::Deployment;
+use torstudy::runner::{registry, run_some};
+
+#[test]
+fn every_experiment_produces_a_report() {
+    // Tiny scale: validates wiring of all 12 experiments end to end.
+    let dep = Deployment::at_scale(5e-4, 101);
+    let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+    let reports = run_some(&dep, &ids);
+    assert_eq!(reports.len(), 14);
+    for report in &reports {
+        assert!(!report.rows.is_empty(), "{} has no rows", report.id);
+        for row in &report.rows {
+            assert!(!row.measured.is_empty(), "{}: empty measured", report.id);
+            assert!(!row.paper.is_empty(), "{}: empty paper column", report.id);
+        }
+        // Every report renders.
+        let text = report.render_text();
+        assert!(text.contains(&report.id));
+        let csv = report.render_csv();
+        assert!(csv.lines().count() == report.rows.len() + 1);
+    }
+}
+
+#[test]
+fn headline_findings_reproduce() {
+    let dep = Deployment::at_scale(2e-3, 103);
+    let reports = run_some(&dep, &["F1", "F2", "T7"]);
+    let by_id = |id: &str| reports.iter().find(|r| r.id == id).unwrap();
+
+    // ~2 billion streams/day, ~5% initial.
+    let f1 = by_id("F1");
+    let total: f64 = f1.rows[0]
+        .measured
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((total - 2.0e9).abs() / 2.0e9 < 0.1, "{total:e}");
+
+    // ~40% torproject.org.
+    let f2 = by_id("F2");
+    let tp: f64 = f2
+        .rows
+        .iter()
+        .find(|r| r.label == "torproject.org")
+        .unwrap()
+        .measured
+        .split('%')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((tp - 40.0).abs() < 4.0, "torproject {tp}%");
+
+    // ~90% descriptor fetch failures.
+    let t7 = by_id("T7");
+    let fail: f64 = t7
+        .rows
+        .iter()
+        .find(|r| r.label == "Fail fraction")
+        .unwrap()
+        .measured
+        .split('%')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((fail - 90.9).abs() < 3.0, "fail {fail}%");
+}
+
+#[test]
+fn reports_are_deterministic_given_seed() {
+    let run = |seed| {
+        let dep = Deployment::at_scale(1e-3, seed);
+        run_some(&dep, &["T4"])[0].render_text()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8), "different seeds draw different noise");
+}
