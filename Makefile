@@ -1,0 +1,39 @@
+# Developer/CI entry points. `make verify` is the gate CI runs and the
+# tier-1 bar every PR must hold.
+
+CARGO ?= cargo
+
+.PHONY: verify fmt fmt-check clippy build test test-crates bench golden
+
+verify: fmt-check clippy build test test-crates
+
+fmt:
+	$(CARGO) fmt --all
+
+fmt-check:
+	$(CARGO) fmt --all -- --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+# Tier-1 bar: the root package's unit + integration tests.
+test:
+	$(CARGO) test -q
+
+# Member-crate unit tests (torsim streams, shard accumulators, runner,
+# crypto proptests, …) — the root package run above does not cover
+# these.
+test-crates:
+	$(CARGO) test -q --workspace --exclude tor-measure
+
+# Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
+bench:
+	$(CARGO) bench -p pm-bench --bench pipeline
+
+# Regenerate the committed golden report snapshots after an intentional
+# output change.
+golden:
+	UPDATE_GOLDEN=1 $(CARGO) test --release --test golden_reports

@@ -1,9 +1,7 @@
 //! Microbenchmarks of the cryptographic substrate.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use pm_crypto::elgamal::{
-    decrypt, encrypt, keygen, mul_ciphertexts, rerandomize,
-};
+use pm_crypto::elgamal::{decrypt, encrypt, keygen, mul_ciphertexts, rerandomize};
 use pm_crypto::group::GroupParams;
 use pm_crypto::sha256::sha256;
 use pm_crypto::shuffle::{shuffle, ShuffleProof};

@@ -1,0 +1,160 @@
+//! Sharded-pipeline benchmarks: 1-shard vs N-shard ingestion throughput
+//! and sequential vs parallel experiment execution. Results are printed
+//! and exported to `BENCH_pipeline.json` at the workspace root, so runs
+//! on different machines (this container is single-core; CI and
+//! laptops are not) can be compared. The ≥2× ingestion-speedup
+//! acceptance target applies to multi-core hosts.
+
+use criterion::{Criterion, Measurement, Throughput};
+use pm_bench::BENCH_SCALE;
+use std::collections::HashSet;
+use std::sync::Arc;
+use torsim::geo::GeoDb;
+use torsim::ids::RelayId;
+use torsim::sites::{SiteList, SiteListConfig};
+use torsim::stream::StreamSim;
+use torsim::workload::Workload;
+use torstudy::deployment::Deployment;
+use torstudy::runner::{plan_schedule, run_plan, PlannedRound};
+
+/// Shard counts the ingestion benches sweep (the acceptance comparison
+/// is 1 vs 8).
+const SHARD_SWEEP: [usize; 3] = [1, 4, 8];
+
+/// Scale for the ingestion benches: large enough (~600k exit-stream
+/// events) that per-event generation dominates each shard's fixed
+/// setup cost (one `DomainSampler` alias-table build per shard), which
+/// is what sharding parallelizes. At `BENCH_SCALE` the fixed setup
+/// dominates and the sweep would measure K sampler builds instead.
+const INGEST_SCALE: f64 = 2e-2;
+
+fn stream_sim() -> (StreamSim, Workload) {
+    let sites = Arc::new(SiteList::new(SiteListConfig {
+        alexa_size: 20_000,
+        long_tail_size: 50_000,
+        seed: 2018,
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
+    (
+        StreamSim::new(sites, geo, vec![RelayId(0)], 2018),
+        Workload::paper_default(),
+    )
+}
+
+/// Event volume of one exit-stream generation at the bench scale.
+fn exit_stream_events(sim: &StreamSim, w: &Workload) -> u64 {
+    let mut n = 0u64;
+    sim.exit_streams(&w.exit, 0.015, INGEST_SCALE, false, 1, "count")
+        .for_each(|_| n += 1);
+    n
+}
+
+fn bench_privcount_ingest(c: &mut Criterion) {
+    let (sim, w) = stream_sim();
+    let events = exit_stream_events(&sim, &w);
+    let schema = privcount::queries::exit_streams(0.3, 1e-11);
+    let mut group = c.benchmark_group("ingest_privcount");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for k in SHARD_SWEEP {
+        group.bench_function(format!("shards_{k}"), |b| {
+            b.iter(|| {
+                let stream = sim.exit_streams(&w.exit, 0.015, INGEST_SCALE, false, k, "b");
+                privcount::shard::ingest_stream(stream, &schema)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_psc_accumulate(c: &mut Criterion) {
+    let (sim, w) = stream_sim();
+    let extractor = psc::items::unique_client_ips();
+    let salt = [2u8; 32];
+    let mut events = 0u64;
+    sim.client_ips(&w.clients, 0.03, 1e-2, 0, 1, "count")
+        .for_each(|_| events += 1);
+    let mut group = c.benchmark_group("accumulate_psc");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for k in SHARD_SWEEP {
+        group.bench_function(format!("shards_{k}"), |b| {
+            b.iter(|| {
+                let stream = sim.client_ips(&w.clients, 0.03, 1e-2, 0, k, "b");
+                psc::shard::accumulate_stream(stream, &extractor, &salt, 1 << 14)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The registry's cheap PrivCount entries (PSC rounds are dominated by
+/// fixed crypto cost, which parallelism across rounds does not hide on
+/// small machines and which would push a bench iteration past a
+/// minute).
+fn fast_plan() -> Vec<PlannedRound> {
+    let fast: HashSet<&str> = ["T1", "F1", "F2", "F3", "T4", "F4", "T8", "X1", "X2"]
+        .into_iter()
+        .collect();
+    plan_schedule()
+        .0
+        .into_iter()
+        .filter(|p| fast.contains(p.entry.id))
+        .collect()
+}
+
+fn bench_run_all(c: &mut Criterion) {
+    let dep = Deployment::at_scale(BENCH_SCALE, 2018);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("run_all");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| run_plan(&dep, fast_plan(), 1));
+    });
+    group.bench_function(format!("parallel_{cores}"), |b| {
+        b.iter(|| run_plan(&dep, fast_plan(), cores));
+    });
+    group.finish();
+}
+
+fn export_json(measurements: &[Measurement]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"bench_scale\": {BENCH_SCALE},\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let rate = match m.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                format!(", \"rate_per_s\": {:.1}", n as f64 * 1e9 / m.median_ns)
+            }
+            None => String::new(),
+        };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}{}}}{}\n",
+            m.id,
+            m.median_ns,
+            m.samples,
+            rate,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_privcount_ingest(&mut criterion);
+    bench_psc_accumulate(&mut criterion);
+    bench_run_all(&mut criterion);
+    export_json(&criterion.take_measurements());
+}

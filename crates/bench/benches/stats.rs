@@ -26,9 +26,7 @@ fn bench_psc_ci(c: &mut Criterion) {
         b.iter(|| psc_confidence_interval(black_box(4096), black_box(900), 256, 0.95));
     });
     c.bench_function("psc_ci/normal_large", |b| {
-        b.iter(|| {
-            psc_confidence_interval(black_box(1 << 22), black_box(460_000), 10_000, 0.95)
-        });
+        b.iter(|| psc_confidence_interval(black_box(1 << 22), black_box(460_000), 10_000, 0.95));
     });
 }
 

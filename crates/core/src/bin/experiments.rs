@@ -35,9 +35,7 @@ fn main() {
             }
             "--csv" => csv = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [--scale S] [--seed N] [--only T4,F1,...] [--csv]"
-                );
+                eprintln!("usage: experiments [--scale S] [--seed N] [--only T4,F1,...] [--csv]");
                 return;
             }
             other => {

@@ -69,6 +69,15 @@ impl Default for PaperWeights {
     }
 }
 
+/// Default ingestion shard count: the machine's parallelism, capped so
+/// shard-thread fan-out stays sane under the parallel experiment runner.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
 /// The simulated deployment.
 pub struct Deployment {
     /// The synthetic site universe.
@@ -93,7 +102,19 @@ pub struct Deployment {
     /// Number of CPs (the Table 5 IP run used 2 due to an outage; we
     /// default to 3).
     pub num_cps: usize,
+    /// Ingestion shards per DC event stream. Reports are bit-identical
+    /// for every value (shard-count invariance — see
+    /// `torsim::stream`), so this defaults to the machine's available
+    /// parallelism and only affects wall-clock time.
+    pub shards: usize,
 }
+
+// Experiments share `&Deployment` across the parallel runner's worker
+// threads and the per-DC ingestion shards.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<Deployment>();
+};
 
 impl Deployment {
     /// Builds a deployment at the given scale. Scale 1.0 is paper scale
@@ -122,7 +143,15 @@ impl Deployment {
             relays: (0..16).map(RelayId).collect(),
             num_sks: 3,
             num_cps: 3,
+            shards: default_shards(),
         }
+    }
+
+    /// Overrides the ingestion shard count (1 = sequential).
+    pub fn with_shards(mut self, shards: usize) -> Deployment {
+        assert!(shards >= 1);
+        self.shards = shards;
+        self
     }
 
     /// The 6 exit relays (plus the dual-role relay carries exit traffic

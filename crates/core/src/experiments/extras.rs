@@ -2,9 +2,9 @@
 //! figure: the Alexa-categories measurement and the AS-hotspot check.
 
 use crate::deployment::Deployment;
-use crate::experiments::{client_traffic_generators, exit_generators, privcount_round};
+use crate::experiments::{client_traffic_streams, exit_streams, privcount_round};
 use crate::report::{fmt_pct, Report, ReportRow};
-use privcount::{queries, run_round};
+use privcount::{queries, run_round_streams};
 use std::sync::Arc;
 
 /// §4.3 "Alexa Categories": the category containing amazon.com accounted
@@ -13,8 +13,8 @@ pub fn run_categories(dep: &Deployment) -> Report {
     let fraction = 0.021; // 2018-01-29 measurement: 2.1% exit weight
     let schema = queries::category_histogram(Arc::clone(&dep.sites), dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "extra-categories");
-    let gens = exit_generators(dep, fraction, true, 6, "extra-categories");
-    let result = run_round(cfg, gens).expect("categories round");
+    let gens = exit_streams(dep, fraction, true, 6, "extra-categories");
+    let result = run_round_streams(cfg, gens).expect("categories round");
     let total = result.estimate("category.total");
 
     let mut report = Report::new("X1", "Primary domains by Alexa category (§4.3 text)");
@@ -49,8 +49,8 @@ pub fn run_as_hotspots(dep: &Deployment) -> Report {
     let fraction = dep.weights.tab4_entry; // 2018-05-01 guard measurement
     let schema = queries::as_histogram(Arc::clone(&dep.asdb), dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "extra-as");
-    let gens = client_traffic_generators(dep, fraction, 10, "extra-as");
-    let result = run_round(cfg, gens).expect("as round");
+    let gens = client_traffic_streams(dep, fraction, 10, "extra-as");
+    let result = run_round_streams(cfg, gens).expect("as round");
     let total = result.estimate("as.total");
     let outside = result.estimate("as.outside_top1000").ratio(&total);
 
@@ -104,7 +104,10 @@ mod tests {
             .unwrap()
             .parse()
             .unwrap();
-        assert!((amazon_pct - 12.5).abs() < 3.5, "amazon category {amazon_pct}%");
+        assert!(
+            (amazon_pct - 12.5).abs() < 3.5,
+            "amazon category {amazon_pct}%"
+        );
     }
 
     #[test]

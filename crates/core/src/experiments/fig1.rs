@@ -2,17 +2,17 @@
 //! class), inferred network-wide.
 
 use crate::deployment::Deployment;
-use crate::experiments::{exit_generators, privcount_round};
+use crate::experiments::{exit_streams, privcount_round};
 use crate::report::{fmt_count, fmt_estimate, Report, ReportRow};
-use privcount::{queries, run_round};
+use privcount::{queries, run_round_streams};
 
 /// Runs the Figure 1 measurement.
 pub fn run(dep: &Deployment) -> Report {
     let fraction = dep.weights.fig1_exit;
     let schema = queries::exit_streams(dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "fig1");
-    let gens = exit_generators(dep, fraction, false, 6, "fig1");
-    let result = run_round(cfg, gens).expect("fig1 round");
+    let gens = exit_streams(dep, fraction, false, 6, "fig1");
+    let result = run_round_streams(cfg, gens).expect("fig1 round");
 
     let net = |name: &str| dep.to_network(result.estimate(name), fraction);
     let total = net("streams.total");

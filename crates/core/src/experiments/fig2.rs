@@ -2,9 +2,9 @@
 //! sibling family.
 
 use crate::deployment::Deployment;
-use crate::experiments::{exit_generators, privcount_round};
+use crate::experiments::{exit_streams, privcount_round};
 use crate::report::{fmt_pct, Report, ReportRow};
-use privcount::{queries, run_round};
+use privcount::{queries, run_round_streams};
 use std::sync::Arc;
 use torsim::sites::Family;
 
@@ -14,9 +14,7 @@ const PAPER_RANK_PCT: [f64; 8] = [8.4, 5.1, 6.2, 4.3, 7.7, 7.0, 21.7, 40.1];
 
 /// Paper percentages for the sibling families (bottom plot), in
 /// `Family::ALL` order, then other.
-const PAPER_FAMILY_PCT: [f64; 12] = [
-    2.4, 0.1, 0.3, 0.0, 0.0, 0.2, 0.0, 0.1, 9.7, 0.4, 39.0, 48.1,
-];
+const PAPER_FAMILY_PCT: [f64; 12] = [2.4, 0.1, 0.3, 0.0, 0.0, 0.2, 0.0, 0.1, 9.7, 0.4, 39.0, 48.1];
 
 /// Runs both Figure 2 measurements.
 pub fn run(dep: &Deployment) -> Report {
@@ -29,8 +27,8 @@ pub fn run(dep: &Deployment) -> Report {
     let fraction = dep.weights.fig2_rank_exit;
     let schema = queries::alexa_rank_histogram(Arc::clone(&dep.sites), dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "fig2-rank");
-    let gens = exit_generators(dep, fraction, true, 6, "fig2-rank");
-    let result = run_round(cfg, gens).expect("fig2 rank round");
+    let gens = exit_streams(dep, fraction, true, 6, "fig2-rank");
+    let result = run_round_streams(cfg, gens).expect("fig2 rank round");
     let total = result.estimate("rank.total");
     let labels = [
         "rank (0,10]",
@@ -64,11 +62,10 @@ pub fn run(dep: &Deployment) -> Report {
 
     // --- siblings measurement (separate day & weight) ---
     let fraction = dep.weights.fig2_siblings_exit;
-    let schema =
-        queries::alexa_siblings_histogram(Arc::clone(&dep.sites), dep.eps(), dep.delta());
+    let schema = queries::alexa_siblings_histogram(Arc::clone(&dep.sites), dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "fig2-siblings");
-    let gens = exit_generators(dep, fraction, true, 6, "fig2-siblings");
-    let result = run_round(cfg, gens).expect("fig2 siblings round");
+    let gens = exit_streams(dep, fraction, true, 6, "fig2-siblings");
+    let result = run_round_streams(cfg, gens).expect("fig2 siblings round");
     let total = result.estimate("family.total");
     for (i, fam) in Family::ALL.iter().enumerate() {
         let pct = result
@@ -101,12 +98,7 @@ mod tests {
     use super::*;
 
     fn pct_of(row: &ReportRow) -> f64 {
-        row.measured
-            .split('%')
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap()
+        row.measured.split('%').next().unwrap().parse().unwrap()
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! Alexa-member sites.
 
 use crate::deployment::Deployment;
-use crate::experiments::{exit_generators, privcount_round};
+use crate::experiments::{exit_streams, privcount_round};
 use crate::report::{fmt_pct, Report, ReportRow};
-use privcount::{queries, run_round};
+use privcount::{queries, run_round_streams};
 use std::sync::Arc;
 use torsim::sites::MEASURED_TLDS;
 
@@ -29,15 +29,11 @@ pub fn run(dep: &Deployment) -> Report {
         (true, dep.weights.fig3_alexa_exit, &PAPER_ALEXA_PCT),
     ] {
         let tag = if alexa_only { "alexa" } else { "all" };
-        let schema = queries::tld_histogram(
-            Arc::clone(&dep.sites),
-            alexa_only,
-            dep.eps(),
-            dep.delta(),
-        );
+        let schema =
+            queries::tld_histogram(Arc::clone(&dep.sites), alexa_only, dep.eps(), dep.delta());
         let cfg = privcount_round(dep, schema, &format!("fig3-{tag}"));
-        let gens = exit_generators(dep, fraction, true, 6, &format!("fig3-{tag}"));
-        let result = run_round(cfg, gens).expect("fig3 round");
+        let gens = exit_streams(dep, fraction, true, 6, &format!("fig3-{tag}"));
+        let result = run_round_streams(cfg, gens).expect("fig3 round");
         let total = result.estimate("tld.total");
         for (i, tld) in MEASURED_TLDS.iter().enumerate() {
             let pct = result.estimate(&format!("tld.{tld}")).ratio(&total);

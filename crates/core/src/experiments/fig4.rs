@@ -2,10 +2,10 @@
 //! including the UAE circuit anomaly.
 
 use crate::deployment::Deployment;
-use crate::experiments::{client_traffic_generators, privcount_round};
+use crate::experiments::{client_traffic_streams, privcount_round};
 use crate::report::{fmt_count, Report, ReportRow};
 use privcount::queries::{self, CountryStat};
-use privcount::run_round;
+use privcount::run_round_streams;
 use std::sync::Arc;
 
 /// Countries the paper's three panels name, in panel order.
@@ -24,11 +24,10 @@ pub fn run(dep: &Deployment) -> Report {
         (CountryStat::Bytes, "bytes", &PAPER_BYTES_TOP[..]),
         (CountryStat::Circuits, "circuits", &PAPER_CIRC_TOP[..]),
     ] {
-        let schema =
-            queries::country_histogram(Arc::clone(&dep.geo), stat, dep.eps(), dep.delta());
+        let schema = queries::country_histogram(Arc::clone(&dep.geo), stat, dep.eps(), dep.delta());
         let cfg = privcount_round(dep, schema, &format!("fig4-{label}"));
-        let gens = client_traffic_generators(dep, fraction, 10, &format!("fig4-{label}"));
-        let result = run_round(cfg, gens).expect("fig4 round");
+        let gens = client_traffic_streams(dep, fraction, 10, &format!("fig4-{label}"));
+        let result = run_round_streams(cfg, gens).expect("fig4 round");
 
         // Rank countries by estimate; report the top 10, marking
         // noise-dominated entries the way the paper drops them.
@@ -52,7 +51,11 @@ pub fn run(dep: &Deployment) -> Report {
                 format!(
                     "{}{}",
                     fmt_count(net.value),
-                    if significant { "" } else { " (noise-dominated)" }
+                    if significant {
+                        ""
+                    } else {
+                        " (noise-dominated)"
+                    }
                 ),
                 "(geo-configured)",
                 if rank < paper_top.len() {

@@ -21,180 +21,147 @@ pub mod tab7;
 pub mod tab8;
 
 use crate::deployment::Deployment;
-use privcount::dc::EventGenerator;
 use pm_stats::sampling::derive_seed;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use torsim::ids::RelayId;
-use torsim::sampled::SampledSim;
+use torsim::stream::{EventStream, StreamSim};
 
-/// Builds one exit-stream generator per DC; each DC carries an equal
-/// slice of the measuring set's weight.
-pub(crate) fn exit_generators(
+/// A [`StreamSim`] attributing one DC's events to its relay, seeded for
+/// the experiment.
+fn dc_stream_sim(dep: &Deployment, relay: u32, label: &str) -> StreamSim {
+    StreamSim::new(
+        Arc::clone(&dep.sites),
+        Arc::clone(&dep.geo),
+        vec![RelayId(relay)],
+        derive_seed(dep.seed, label),
+    )
+}
+
+/// Builds one exit-stream event stream per DC; each DC carries an equal
+/// slice of the measuring set's weight and ingests `dep.shards` shards
+/// in parallel.
+pub(crate) fn exit_streams(
     dep: &Deployment,
     fraction: f64,
     only_initial: bool,
     num_dcs: usize,
     label: &str,
-) -> Vec<EventGenerator> {
-    let truth = dep.workload.exit.clone();
+) -> Vec<EventStream> {
+    let per_dc = fraction / num_dcs as f64;
     (0..num_dcs)
         .map(|i| {
-            let sites = Arc::clone(&dep.sites);
-            let geo = Arc::clone(&dep.geo);
-            let truth = truth.clone();
-            let scale = dep.scale;
-            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
-            let per_dc = fraction / num_dcs as f64;
-            let g: EventGenerator = Box::new(move |sink| {
-                let sim = SampledSim::new(&sites, &geo, vec![RelayId(i as u32)]);
-                let mut rng = StdRng::seed_from_u64(seed);
-                sim.exit_streams(&truth, per_dc, scale, only_initial, &mut rng, |ev| sink(ev));
-            });
-            g
+            let label = format!("{label}/dc{i}");
+            dc_stream_sim(dep, i as u32, &label).exit_streams(
+                &dep.workload.exit,
+                per_dc,
+                dep.scale,
+                only_initial,
+                dep.shards,
+                &label,
+            )
         })
         .collect()
 }
 
-/// Builds client-traffic generators (connections/circuits/bytes).
-pub(crate) fn client_traffic_generators(
+/// Builds client-traffic streams (connections/circuits/bytes), one per
+/// DC.
+pub(crate) fn client_traffic_streams(
     dep: &Deployment,
     fraction: f64,
     num_dcs: usize,
     label: &str,
-) -> Vec<EventGenerator> {
-    let truth = dep.workload.clients.clone();
+) -> Vec<EventStream> {
+    let per_dc = fraction / num_dcs as f64;
     (0..num_dcs)
         .map(|i| {
-            let sites = Arc::clone(&dep.sites);
-            let geo = Arc::clone(&dep.geo);
-            let truth = truth.clone();
-            let scale = dep.scale;
-            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
-            let per_dc = fraction / num_dcs as f64;
-            let g: EventGenerator = Box::new(move |sink| {
-                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
-                let mut rng = StdRng::seed_from_u64(seed);
-                sim.client_traffic(&truth, per_dc, scale, &mut rng, |ev| sink(ev));
-            });
-            g
+            let label = format!("{label}/dc{i}");
+            dc_stream_sim(dep, 6 + i as u32, &label).client_traffic(
+                &dep.workload.clients,
+                per_dc,
+                dep.scale,
+                dep.shards,
+                &label,
+            )
         })
         .collect()
 }
 
-/// Builds a single generator emitting the unique-client-IP pool for a
-/// day (PSC measurements split the pool across DCs internally; union
-/// semantics make the split irrelevant).
-pub(crate) fn client_ip_generator(
+/// Builds the unique-client-IP pool stream for a day (PSC measurements
+/// split the pool across DCs internally; union semantics make the split
+/// irrelevant).
+pub(crate) fn client_ip_stream(
     dep: &Deployment,
     observe_prob: f64,
     day: u64,
     label: &str,
-) -> EventGenerator {
-    let truth = dep.workload.clients.clone();
-    let sites = Arc::clone(&dep.sites);
-    let geo = Arc::clone(&dep.geo);
-    let scale = dep.scale;
-    let seed = derive_seed(dep.seed, label);
-    Box::new(move |sink| {
-        let sim = SampledSim::new(&sites, &geo, vec![RelayId(6)]);
-        let mut rng = StdRng::seed_from_u64(seed);
-        sim.client_ips(&truth, observe_prob, scale, day, &mut rng, |ev| sink(ev));
-    })
+) -> EventStream {
+    dc_stream_sim(dep, 6, label).client_ips(
+        &dep.workload.clients,
+        observe_prob,
+        dep.scale,
+        day,
+        dep.shards,
+        label,
+    )
 }
 
-/// Builds HSDir publish generators.
-pub(crate) fn publish_generator(
-    dep: &Deployment,
-    observe_prob: f64,
-    label: &str,
-) -> EventGenerator {
-    let truth = dep.workload.onion.clone();
-    let sites = Arc::clone(&dep.sites);
-    let geo = Arc::clone(&dep.geo);
-    let scale = dep.scale;
-    let seed = derive_seed(dep.seed, label);
-    Box::new(move |sink| {
-        let sim = SampledSim::new(&sites, &geo, vec![RelayId(6)]);
-        let mut rng = StdRng::seed_from_u64(seed);
-        sim.hsdir_publishes(&truth, observe_prob, scale, &mut rng, |ev| sink(ev));
-    })
+/// Builds the HSDir publish stream.
+pub(crate) fn publish_stream(dep: &Deployment, observe_prob: f64, label: &str) -> EventStream {
+    dc_stream_sim(dep, 6, label).hsdir_publishes(
+        &dep.workload.onion,
+        observe_prob,
+        dep.scale,
+        dep.shards,
+        label,
+    )
 }
 
-/// Builds HSDir fetch generators.
-pub(crate) fn fetch_generators(
+/// Builds HSDir fetch streams, one per DC.
+pub(crate) fn fetch_streams(
     dep: &Deployment,
     event_fraction: f64,
     addr_observe_prob: f64,
     num_dcs: usize,
     label: &str,
-) -> Vec<EventGenerator> {
-    let truth = dep.workload.onion.clone();
+) -> Vec<EventStream> {
+    // Events split across DCs; each DC keeps the full address-level
+    // observation probability so the success stream is never starved
+    // (address identity across DCs only matters for PSC uniqueness
+    // rounds, which use num_dcs = 1).
+    let per_dc_events = event_fraction / num_dcs as f64;
     (0..num_dcs)
         .map(|i| {
-            let sites = Arc::clone(&dep.sites);
-            let geo = Arc::clone(&dep.geo);
-            let truth = truth.clone();
-            let scale = dep.scale;
-            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
-            // Events split across DCs; each DC keeps the full
-            // address-level observation probability so the success
-            // stream is never starved (address identity across DCs only
-            // matters for PSC uniqueness rounds, which use num_dcs = 1).
-            let per_dc_events = event_fraction / num_dcs as f64;
-            let per_dc_addr = addr_observe_prob;
-            let g: EventGenerator = Box::new(move |sink| {
-                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
-                let mut rng = StdRng::seed_from_u64(seed);
-                sim.hsdir_fetches(
-                    &truth,
-                    per_dc_events,
-                    per_dc_addr,
-                    scale,
-                    &mut rng,
-                    |ev| sink(ev),
-                );
-            });
-            g
+            let label = format!("{label}/dc{i}");
+            dc_stream_sim(dep, 6 + i as u32, &label).hsdir_fetches(
+                &dep.workload.onion,
+                per_dc_events,
+                addr_observe_prob,
+                dep.scale,
+                dep.shards,
+                &label,
+            )
         })
         .collect()
 }
 
-/// Builds rendezvous generators.
-pub(crate) fn rend_generators(
+/// Builds rendezvous streams, one per DC.
+pub(crate) fn rend_streams(
     dep: &Deployment,
     fraction: f64,
     num_dcs: usize,
     label: &str,
-) -> Vec<EventGenerator> {
-    let truth = dep.workload.onion.clone();
+) -> Vec<EventStream> {
+    let per_dc = fraction / num_dcs as f64;
     (0..num_dcs)
         .map(|i| {
-            let sites = Arc::clone(&dep.sites);
-            let geo = Arc::clone(&dep.geo);
-            let truth = truth.clone();
-            let scale = dep.scale;
-            let seed = derive_seed(dep.seed, &format!("{label}/dc{i}"));
-            let per_dc = fraction / num_dcs as f64;
-            let g: EventGenerator = Box::new(move |sink| {
-                let sim = SampledSim::new(&sites, &geo, vec![RelayId(6 + i as u32)]);
-                let mut rng = StdRng::seed_from_u64(seed);
-                sim.rendezvous(&truth, per_dc, scale, &mut rng, |ev| sink(ev));
-            });
-            g
-        })
-        .collect()
-}
-
-/// Wraps privcount generators as PSC generators (same signature).
-pub(crate) fn as_psc_generators(
-    gens: Vec<EventGenerator>,
-) -> Vec<psc::dc::EventGenerator> {
-    gens.into_iter()
-        .map(|g| {
-            let pg: psc::dc::EventGenerator = g;
-            pg
+            let label = format!("{label}/dc{i}");
+            dc_stream_sim(dep, 6 + i as u32, &label).rendezvous(
+                &dep.workload.onion,
+                per_dc,
+                dep.scale,
+                dep.shards,
+                &label,
+            )
         })
         .collect()
 }
@@ -225,7 +192,9 @@ pub(crate) fn psc_round(
     sensitivity: u64,
     label: &str,
 ) -> psc::round::PscConfig {
-    let table_size = ((expected_unique * 4.0) as u32).next_power_of_two().max(256);
+    let table_size = ((expected_unique * 4.0) as u32)
+        .next_power_of_two()
+        .max(256);
     // Each honest CP's noise must alone satisfy (ε, δ); the calibration
     // uses the paper's ε with a practical δ for the binomial mechanism.
     // Like the Gaussian σ, the noise shrinks with the deployment scale:

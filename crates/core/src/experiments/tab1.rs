@@ -27,8 +27,10 @@ pub fn run(_dep: &Deployment) -> Report {
             "Table 1",
         ));
     }
-    report.note("σ shown for a dedicated counter consuming the full round budget; rounds \
-                 with k counters give each ε/k (see pm-dp::budget)");
+    report.note(
+        "σ shown for a dedicated counter consuming the full round budget; rounds \
+                 with k counters give each ε/k (see pm-dp::budget)",
+    );
     report
 }
 

@@ -2,10 +2,10 @@
 //! Monte-Carlo power-law extrapolation of network-wide Alexa SLDs.
 
 use crate::deployment::Deployment;
-use crate::experiments::{as_psc_generators, exit_generators, psc_round};
+use crate::experiments::{exit_streams, psc_round};
 use crate::report::{fmt_count, fmt_estimate, Report, ReportRow};
 use pm_stats::powerlaw::{extrapolate_unique_count, PowerLawConfig};
-use psc::{items, run_psc_round};
+use psc::{items, run_psc_round_streams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -15,9 +15,10 @@ use std::sync::Arc;
 pub fn run(dep: &Deployment) -> Report {
     let fraction = dep.weights.tab2_exit;
     // Expected draw count sizes the tables.
-    let draws =
-        dep.workload.exit.streams_per_day * dep.workload.exit.initial_fraction * fraction
-            * dep.scale;
+    let draws = dep.workload.exit.streams_per_day
+        * dep.workload.exit.initial_fraction
+        * fraction
+        * dep.scale;
 
     let mut report = Report::new("T2", "Locally observed unique second-level domains (PSC)");
 
@@ -29,15 +30,15 @@ pub fn run(dep: &Deployment) -> Report {
         (true, truth_alexa, "Alexa SLDs", "35,660 [34,789; 37,393]"),
     ] {
         let cfg = psc_round(dep, draws, 20, &format!("tab2-{label}"));
-        let gens = as_psc_generators(exit_generators(
+        let gens = exit_streams(
             dep,
             fraction,
             true,
             5, // 5 of the 6 exits, as in the paper
             &format!("tab2-{label}"),
-        ));
+        );
         let extractor = items::unique_slds(Arc::clone(&dep.sites), alexa_only);
-        let result = run_psc_round(cfg, extractor, gens).expect("tab2 round");
+        let result = run_psc_round_streams(cfg, extractor, gens).expect("tab2 round");
         let est = result.estimate(0.95);
         report.row(ReportRow::new(
             format!("unique {label} (at scale)"),
@@ -55,9 +56,7 @@ pub fn run(dep: &Deployment) -> Report {
                 match_tolerance: 0.02,
             };
             let mut rng = StdRng::seed_from_u64(dep.seed ^ 0x71ab2);
-            if let Some(net) =
-                extrapolate_unique_count(est.value.round() as u64, &cfg, &mut rng)
-            {
+            if let Some(net) = extrapolate_unique_count(est.value.round() as u64, &cfg, &mut rng) {
                 let net_truth = network_truth_alexa_uniques(dep);
                 report.row(ReportRow::new(
                     "network-wide Alexa SLDs (MC extrapolation)",
@@ -88,8 +87,8 @@ fn ground_truth_uniques(dep: &Deployment, fraction: f64) -> (u64, u64) {
         ("tab2-SLDs", &mut all, &ex_all),
         ("tab2-Alexa SLDs", &mut alexa, &ex_alexa),
     ] {
-        for g in exit_generators(dep, fraction, true, 5, label) {
-            g(&mut |ev| {
+        for g in exit_streams(dep, fraction, true, 5, label) {
+            g.for_each(|ev| {
                 if let Some(item) = ex(&ev) {
                     set.insert(item);
                 }
@@ -104,8 +103,8 @@ fn ground_truth_uniques(dep: &Deployment, fraction: f64) -> (u64, u64) {
 fn network_truth_alexa_uniques(dep: &Deployment) -> u64 {
     let mut set = HashSet::new();
     let ex = items::unique_slds(Arc::clone(&dep.sites), true);
-    for g in exit_generators(dep, 1.0, true, 5, "tab2-network-truth") {
-        g(&mut |ev| {
+    for g in exit_streams(dep, 1.0, true, 5, "tab2-network-truth") {
+        g.for_each(|ev| {
             if let Some(item) = ex(&ev) {
                 set.insert(item);
             }

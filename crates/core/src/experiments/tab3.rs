@@ -3,11 +3,11 @@
 //! feasibility analysis.
 
 use crate::deployment::Deployment;
-use crate::experiments::{client_ip_generator, psc_round};
+use crate::experiments::{client_ip_stream, psc_round};
 use crate::report::{fmt_count, Report, ReportRow};
 use pm_stats::guards::{fit_guard_model, single_g_consistency, GuardObservation};
-use psc::dc::EventGenerator;
-use psc::{items, run_psc_round};
+use psc::{items, run_psc_round_streams};
+use torsim::stream::EventStream;
 
 /// Runs the Table 3 analysis.
 pub fn run(dep: &Deployment) -> Report {
@@ -21,12 +21,13 @@ pub fn run(dep: &Deployment) -> Report {
         .enumerate()
     {
         let observe = 1.0 - (1.0 - w).powi(g_true as i32);
-        let expected =
-            truth.selective_ips as f64 * dep.scale * observe + truth.promiscuous_ips as f64 * dep.scale;
+        let expected = truth.selective_ips as f64 * dep.scale * observe
+            + truth.promiscuous_ips as f64 * dep.scale;
         let cfg = psc_round(dep, expected, 4, &format!("tab3-{idx}"));
-        let gens: Vec<EventGenerator> =
-            vec![client_ip_generator(dep, observe, 0, &format!("tab3-{idx}"))];
-        let result = run_psc_round(cfg, items::unique_client_ips(), gens).expect("tab3 round");
+        let gens: Vec<EventStream> =
+            vec![client_ip_stream(dep, observe, 0, &format!("tab3-{idx}"))];
+        let result =
+            run_psc_round_streams(cfg, items::unique_client_ips(), gens).expect("tab3 round");
         let est = result.estimate(0.95);
         report.row(ReportRow::new(
             format!("unique IPs at {:.2}% guard weight (at scale)", w * 100.0),
@@ -123,14 +124,23 @@ mod tests {
             .iter()
             .find(|r| r.label.starts_with("g = 3"))
             .expect("g=3 row");
-        assert!(row.measured.contains("IPs ["), "fit failed: {}", row.measured);
+        assert!(
+            row.measured.contains("IPs ["),
+            "fit failed: {}",
+            row.measured
+        );
         // Parse the network-IP interval.
         let ips_part = row.measured.split("IPs [").nth(1).unwrap();
         let mut bounds = ips_part.trim_end_matches(']').split(';');
-        let lo: f64 = bounds.next().unwrap().trim().parse::<f64>().unwrap_or_else(|_| {
-            // engineering notation fallback
-            ips_part.split(';').next().unwrap().trim().parse().unwrap()
-        });
+        let lo: f64 = bounds
+            .next()
+            .unwrap()
+            .trim()
+            .parse::<f64>()
+            .unwrap_or_else(|_| {
+                // engineering notation fallback
+                ips_part.split(';').next().unwrap().trim().parse().unwrap()
+            });
         let hi_str = bounds.next().unwrap().trim();
         let hi: f64 = hi_str.parse().unwrap();
         let truth = 11_018_500.0;

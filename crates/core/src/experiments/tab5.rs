@@ -2,11 +2,11 @@
 //! the 4-day measurement, and the derived churn rate.
 
 use crate::deployment::Deployment;
-use crate::experiments::{client_ip_generator, psc_round};
+use crate::experiments::{client_ip_stream, psc_round};
 use crate::report::{fmt_count, fmt_estimate, Report, ReportRow};
-use psc::dc::EventGenerator;
-use psc::{items, run_psc_round};
+use psc::{items, run_psc_round_streams};
 use std::sync::Arc;
+use torsim::stream::EventStream;
 
 /// Runs the Table 5 measurements.
 pub fn run(dep: &Deployment) -> Report {
@@ -21,8 +21,8 @@ pub fn run(dep: &Deployment) -> Report {
 
     // --- one-day unique IPs ---
     let cfg = psc_round(dep, expected_ips, 4, "tab5-ips");
-    let gens: Vec<EventGenerator> = vec![client_ip_generator(dep, observe, 0, "tab5-ips")];
-    let result = run_psc_round(cfg, items::unique_client_ips(), gens).expect("tab5 ips");
+    let gens: Vec<EventStream> = vec![client_ip_stream(dep, observe, 0, "tab5-ips")];
+    let result = run_psc_round_streams(cfg, items::unique_client_ips(), gens).expect("tab5 ips");
     let est_1day = result.estimate(0.95);
     report.row(ReportRow::new(
         "IPs (1 day, at scale)",
@@ -35,14 +35,15 @@ pub fn run(dep: &Deployment) -> Report {
     let mut country_estimates = Vec::new();
     for run_idx in 0..2 {
         let cfg = psc_round(dep, 260.0, 4, &format!("tab5-countries-{run_idx}"));
-        let gens: Vec<EventGenerator> = vec![client_ip_generator(
+        let gens: Vec<EventStream> = vec![client_ip_stream(
             dep,
             observe,
             run_idx,
             &format!("tab5-countries-{run_idx}"),
         )];
-        let result = run_psc_round(cfg, items::unique_countries(Arc::clone(&dep.geo)), gens)
-            .expect("tab5 countries");
+        let result =
+            run_psc_round_streams(cfg, items::unique_countries(Arc::clone(&dep.geo)), gens)
+                .expect("tab5 countries");
         country_estimates.push(result.estimate(0.95));
     }
     let avg = pm_stats::Estimate::with_ci(
@@ -58,8 +59,8 @@ pub fn run(dep: &Deployment) -> Report {
 
     // --- ASes ---
     let cfg = psc_round(dep, expected_ips / 2.0, 4, "tab5-ases");
-    let gens: Vec<EventGenerator> = vec![client_ip_generator(dep, observe, 0, "tab5-ases")];
-    let result = run_psc_round(cfg, items::unique_ases(Arc::clone(&dep.asdb)), gens)
+    let gens: Vec<EventStream> = vec![client_ip_stream(dep, observe, 0, "tab5-ases")];
+    let result = run_psc_round_streams(cfg, items::unique_ases(Arc::clone(&dep.asdb)), gens)
         .expect("tab5 ases");
     let est_as = result.estimate(0.95);
     report.row(ReportRow::new(
@@ -73,17 +74,12 @@ pub fn run(dep: &Deployment) -> Report {
     let churn = truth.daily_churn_fraction;
     let expected_4day = expected_ips * (1.0 + 3.0 * churn);
     let cfg = psc_round(dep, expected_4day, 4 * 3, "tab5-ips4");
-    let gens: Vec<EventGenerator> = vec![Box::new({
-        let dep_gens: Vec<EventGenerator> = (0..4)
-            .map(|day| client_ip_generator(dep, observe, day, "tab5-ips"))
-            .collect();
-        move |sink: &mut dyn FnMut(torsim::TorEvent)| {
-            for g in dep_gens {
-                g(sink);
-            }
-        }
-    })];
-    let result = run_psc_round(cfg, items::unique_client_ips(), gens).expect("tab5 ips4");
+    let gens: Vec<EventStream> = vec![EventStream::chain(
+        (0..4)
+            .map(|day| client_ip_stream(dep, observe, day, "tab5-ips"))
+            .collect(),
+    )];
+    let result = run_psc_round_streams(cfg, items::unique_client_ips(), gens).expect("tab5 ips4");
     let est_4day = result.estimate(0.95);
     report.row(ReportRow::new(
         "IPs (4 days, at scale)",

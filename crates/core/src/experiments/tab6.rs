@@ -2,24 +2,28 @@
 //! via PSC at the HSDirs with replication-based extrapolation (§6.1).
 
 use crate::deployment::Deployment;
-use crate::experiments::{as_psc_generators, fetch_generators, psc_round, publish_generator};
+use crate::experiments::{fetch_streams, psc_round, publish_stream};
 use crate::report::{fmt_count, fmt_estimate, Report, ReportRow};
 use pm_stats::extrapolate::{hsdir_extrapolate, hsdir_observe_fraction};
-use psc::dc::EventGenerator;
-use psc::{items, run_psc_round};
+use psc::{items, run_psc_round_streams};
+use torsim::stream::EventStream;
 
 /// Runs the Table 6 measurements.
 pub fn run(dep: &Deployment) -> Report {
     let t = &dep.workload.onion;
-    let mut report = Report::new("T6", "Network-wide unique v2 onion addresses (PSC + extrapolation)");
+    let mut report = Report::new(
+        "T6",
+        "Network-wide unique v2 onion addresses (PSC + extrapolation)",
+    );
 
     // --- published addresses ---
     let w_pub = dep.weights.tab6_publish;
     let observe_pub = hsdir_observe_fraction(w_pub, 2);
     let expected = t.published_addresses as f64 * dep.scale * observe_pub;
     let cfg = psc_round(dep, expected.max(64.0), 3, "tab6-pub");
-    let gens: Vec<EventGenerator> = vec![publish_generator(dep, observe_pub, "tab6-pub")];
-    let result = run_psc_round(cfg, items::unique_onions_published(), gens).expect("tab6 pub");
+    let gens: Vec<EventStream> = vec![publish_stream(dep, observe_pub, "tab6-pub")];
+    let result =
+        run_psc_round_streams(cfg, items::unique_onions_published(), gens).expect("tab6 pub");
     let local = result.estimate(0.95);
     report.row(ReportRow::new(
         "published, observed locally (at scale)",
@@ -40,14 +44,9 @@ pub fn run(dep: &Deployment) -> Report {
     let observe_fetch = hsdir_observe_fraction(w_fetch, 6);
     let expected = t.fetched_addresses as f64 * dep.scale * observe_fetch;
     let cfg = psc_round(dep, expected.max(64.0), 30, "tab6-fetch");
-    let gens = as_psc_generators(fetch_generators(
-        dep,
-        w_fetch,
-        observe_fetch,
-        1,
-        "tab6-fetch",
-    ));
-    let result = run_psc_round(cfg, items::unique_onions_fetched(), gens).expect("tab6 fetch");
+    let gens = fetch_streams(dep, w_fetch, observe_fetch, 1, "tab6-fetch");
+    let result =
+        run_psc_round_streams(cfg, items::unique_onions_fetched(), gens).expect("tab6 fetch");
     let local = result.estimate(0.95);
     report.row(ReportRow::new(
         "fetched, observed locally (at scale)",

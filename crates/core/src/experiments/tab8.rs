@@ -2,17 +2,17 @@
 //! volume.
 
 use crate::deployment::Deployment;
-use crate::experiments::{privcount_round, rend_generators};
+use crate::experiments::{privcount_round, rend_streams};
 use crate::report::{fmt_count, fmt_estimate, fmt_pct, fmt_tib, Report, ReportRow};
-use privcount::{queries, run_round};
+use privcount::{queries, run_round_streams};
 
 /// Runs the Table 8 measurement.
 pub fn run(dep: &Deployment) -> Report {
     let fraction = dep.weights.tab8_rend;
     let schema = queries::rendezvous(dep.eps(), dep.delta());
     let cfg = privcount_round(dep, schema, "tab8");
-    let gens = rend_generators(dep, fraction, 10, "tab8");
-    let result = run_round(cfg, gens).expect("tab8 round");
+    let gens = rend_streams(dep, fraction, 10, "tab8");
+    let result = run_round_streams(cfg, gens).expect("tab8 round");
 
     let circuits = dep.to_network(result.estimate("rend.circuits"), fraction);
     let local_total = result.estimate("rend.circuits");
@@ -21,9 +21,8 @@ pub fn run(dep: &Deployment) -> Report {
     let expired = result.estimate("rend.failed.expired");
     let payload = dep.to_network(result.estimate("rend.payload_bytes"), fraction);
     let gbit_s = payload.value * 8.0 / 86_400.0 / 1e9;
-    let per_circuit_kib = payload.value
-        / (circuits.value * succeeded.ratio(&local_total).value)
-        / 1024.0;
+    let per_circuit_kib =
+        payload.value / (circuits.value * succeeded.ratio(&local_total).value) / 1024.0;
 
     let t = &dep.workload.onion;
     let mut report = Report::new("T8", "Network-wide rendezvous statistics");
@@ -74,7 +73,10 @@ pub fn run(dep: &Deployment) -> Report {
     report.row(ReportRow::new(
         "Cell payload / circuit",
         format!("{per_circuit_kib:.0} KiB/circ."),
-        format!("{:.0} KiB/circ.", t.mean_payload_per_active_circuit() / 1024.0),
+        format!(
+            "{:.0} KiB/circ.",
+            t.mean_payload_per_active_circuit() / 1024.0
+        ),
         "730 KiB/circ. [341; 2,070]",
     ));
     report.note(format!(

@@ -17,6 +17,39 @@
 //! rescaled back for the paper comparison; unique counts are compared
 //! at scale against the simulator's ground truth, with the paper values
 //! shown for shape (EXPERIMENTS.md discusses each case).
+//!
+//! # Parallel execution model
+//!
+//! The study parallelizes on two independent axes, both contracted to
+//! be **invisible in the results**:
+//!
+//! * **Across experiments** — [`runner::run_all`] first schedules the
+//!   whole registry through the §3.1 [`Accountant`]
+//!   ([`runner::plan_schedule`]), which validates the *logical*
+//!   schedule (simulated measurement time). It then executes the
+//!   planned rounds on a bounded thread pool: rounds that repeat a
+//!   statistic are dependency-ordered; all other accepted rounds have
+//!   pairwise-disjoint logical intervals, share no data, and run
+//!   wall-clock-concurrently. Reports return in registry order, byte
+//!   for byte equal to [`runner::run_all_sequential`]'s (pinned by
+//!   `tests/runner_parallel.rs`).
+//! * **Within an experiment** — each DC's collection period ingests a
+//!   sharded [`torsim::stream::EventStream`]: [`Deployment::shards`]
+//!   independent, deterministically seeded sub-generators folded on one
+//!   thread each into per-shard accumulators (`privcount::shard`,
+//!   `psc::shard`) and combined with an associative merge; noise,
+//!   blinding, and oblivious-table marking happen exactly once at
+//!   merge. Results are bit-identical for every shard count
+//!   ("shard-count invariance", pinned by `tests/shard_invariance.rs`),
+//!   so the shard count defaults to the host's parallelism and only
+//!   affects wall-clock time.
+//!
+//! Experiments derive all randomness from the deployment seed — never
+//! from execution order, thread identity, or time — which is what makes
+//! both axes results-invisible.
+//!
+//! [`Accountant`]: pm_dp::accountant::Accountant
+//! [`Deployment::shards`]: deployment::Deployment::shards
 
 pub mod deployment;
 pub mod experiments;

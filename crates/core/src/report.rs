@@ -190,8 +190,18 @@ mod tests {
     #[test]
     fn render_aligns_and_contains_rows() {
         let mut r = Report::new("T4", "Network-wide client usage");
-        r.row(ReportRow::new("Data (TiB)", "520 [505; 535]", "517", "517 [504; 530]"));
-        r.row(ReportRow::new("Connections", "1.49e8", "1.48e8", "1.48e8 [1.43e8; 1.53e8]"));
+        r.row(ReportRow::new(
+            "Data (TiB)",
+            "520 [505; 535]",
+            "517",
+            "517 [504; 530]",
+        ));
+        r.row(ReportRow::new(
+            "Connections",
+            "1.49e8",
+            "1.48e8",
+            "1.48e8 [1.43e8; 1.53e8]",
+        ));
         r.note("scale 0.01");
         let text = r.render_text();
         assert!(text.contains("T4"));

@@ -1,9 +1,33 @@
-//! Runs experiments under the paper's scheduling rules.
+//! Runs experiments under the paper's scheduling rules, in parallel.
+//!
+//! The §3.1 rules constrain the study's *logical* schedule — hours of
+//! simulated measurement time — not wall-clock execution. [`run_all`]
+//! therefore separates the two:
+//!
+//! 1. **Plan** ([`plan_schedule`]): every registry entry is scheduled
+//!    through the [`Accountant`], which rejects logically-overlapping
+//!    rounds and enforces the 24-hour gap between distinct statistics.
+//!    Planning is sequential and happens before any experiment runs; an
+//!    invalid registry panics here, never mid-execution.
+//! 2. **Execute**: a dependency graph over the planned rounds is run on
+//!    a bounded thread pool. Edges order rounds that measure the same
+//!    statistic (repeat measurements must retain their scheduled
+//!    order); rounds whose logical intervals are disjoint — which §3.1
+//!    guarantees for every accepted schedule — share no data and may
+//!    execute wall-clock-concurrently. Reports are returned in registry
+//!    order regardless of completion order.
+//!
+//! [`run_all_sequential`] preserves the classic one-at-a-time execution
+//! and produces the identical reports (experiments derive all
+//! randomness from the deployment seed, not from execution order — the
+//! equivalence is pinned by `tests/runner_parallel.rs`).
 
 use crate::deployment::Deployment;
 use crate::experiments;
 use crate::report::Report;
+use parking_lot::Mutex;
 use pm_dp::accountant::{Accountant, MeasurementRound, System};
+use std::sync::Condvar;
 
 /// An experiment's registry entry.
 pub struct ExperimentEntry {
@@ -20,29 +44,116 @@ pub struct ExperimentEntry {
 /// All experiments in the paper's running order.
 pub fn registry() -> Vec<ExperimentEntry> {
     vec![
-        ExperimentEntry { id: "T1", system: System::PrivCount, duration_hours: 24, run: experiments::tab1::run },
-        ExperimentEntry { id: "F1", system: System::PrivCount, duration_hours: 24, run: experiments::fig1::run },
-        ExperimentEntry { id: "F2", system: System::PrivCount, duration_hours: 24, run: experiments::fig2::run },
-        ExperimentEntry { id: "F3", system: System::PrivCount, duration_hours: 24, run: experiments::fig3::run },
-        ExperimentEntry { id: "T2", system: System::Psc, duration_hours: 24, run: experiments::tab2::run },
-        ExperimentEntry { id: "T4", system: System::PrivCount, duration_hours: 24, run: experiments::tab4::run },
-        ExperimentEntry { id: "T5", system: System::Psc, duration_hours: 96, run: experiments::tab5::run },
-        ExperimentEntry { id: "T3", system: System::Psc, duration_hours: 48, run: experiments::tab3::run },
-        ExperimentEntry { id: "F4", system: System::PrivCount, duration_hours: 24, run: experiments::fig4::run },
-        ExperimentEntry { id: "T6", system: System::Psc, duration_hours: 48, run: experiments::tab6::run },
-        ExperimentEntry { id: "T7", system: System::PrivCount, duration_hours: 24, run: experiments::tab7::run },
-        ExperimentEntry { id: "T8", system: System::PrivCount, duration_hours: 24, run: experiments::tab8::run },
+        ExperimentEntry {
+            id: "T1",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::tab1::run,
+        },
+        ExperimentEntry {
+            id: "F1",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::fig1::run,
+        },
+        ExperimentEntry {
+            id: "F2",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::fig2::run,
+        },
+        ExperimentEntry {
+            id: "F3",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::fig3::run,
+        },
+        ExperimentEntry {
+            id: "T2",
+            system: System::Psc,
+            duration_hours: 24,
+            run: experiments::tab2::run,
+        },
+        ExperimentEntry {
+            id: "T4",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::tab4::run,
+        },
+        ExperimentEntry {
+            id: "T5",
+            system: System::Psc,
+            duration_hours: 96,
+            run: experiments::tab5::run,
+        },
+        ExperimentEntry {
+            id: "T3",
+            system: System::Psc,
+            duration_hours: 48,
+            run: experiments::tab3::run,
+        },
+        ExperimentEntry {
+            id: "F4",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::fig4::run,
+        },
+        ExperimentEntry {
+            id: "T6",
+            system: System::Psc,
+            duration_hours: 48,
+            run: experiments::tab6::run,
+        },
+        ExperimentEntry {
+            id: "T7",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::tab7::run,
+        },
+        ExperimentEntry {
+            id: "T8",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::tab8::run,
+        },
         // Text-only results (§4.3 categories, §5.2 AS hotspots).
-        ExperimentEntry { id: "X1", system: System::PrivCount, duration_hours: 24, run: experiments::extras::run_categories },
-        ExperimentEntry { id: "X2", system: System::PrivCount, duration_hours: 24, run: experiments::extras::run_as_hotspots },
+        ExperimentEntry {
+            id: "X1",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::extras::run_categories,
+        },
+        ExperimentEntry {
+            id: "X2",
+            system: System::PrivCount,
+            duration_hours: 24,
+            run: experiments::extras::run_as_hotspots,
+        },
     ]
 }
 
-/// Runs every experiment in sequence, validating the schedule against
-/// the §3.1 rules (no parallel rounds; 24h between distinct statistics).
-pub fn run_all(dep: &Deployment) -> Vec<Report> {
+/// One planned round: a registry entry with its accountant-validated
+/// logical interval and execution dependencies.
+pub struct PlannedRound {
+    /// The experiment.
+    pub entry: ExperimentEntry,
+    /// Scheduled start, hours since study epoch.
+    pub start_hour: u64,
+    /// Scheduled end.
+    pub end_hour: u64,
+    /// Indices of planned rounds that must complete first (same
+    /// statistic measured earlier in the schedule).
+    pub deps: Vec<usize>,
+}
+
+/// Schedules the whole registry through the [`Accountant`], returning
+/// the planned rounds (registry order) alongside the filled ledger.
+///
+/// Panics if the registry violates §3.1 — the registry is static, so a
+/// violation is a programming error, caught by `schedule_is_valid`.
+pub fn plan_schedule() -> (Vec<PlannedRound>, Accountant) {
     let mut accountant = Accountant::new();
-    let mut reports = Vec::new();
+    let mut planned: Vec<PlannedRound> = Vec::new();
     for entry in registry() {
         let stats = vec![entry.id.to_string()];
         let start = accountant.earliest_start(&stats);
@@ -55,9 +166,137 @@ pub fn run_all(dep: &Deployment) -> Vec<Report> {
                 statistics: stats,
             })
             .expect("registry schedule is valid");
-        reports.push((entry.run)(dep));
+        // Repeat measurements of a statistic must keep schedule order;
+        // everything else is logically disjoint (the accountant accepted
+        // it) and free to execute concurrently.
+        let deps = planned
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.entry.id == entry.id)
+            .map(|(i, _)| i)
+            .collect();
+        let end = start + entry.duration_hours;
+        planned.push(PlannedRound {
+            entry,
+            start_hour: start,
+            end_hour: end,
+            deps,
+        });
     }
+    (planned, accountant)
+}
+
+struct ExecState {
+    /// Unmet dependency count per round; usize::MAX marks "claimed".
+    pending: Vec<usize>,
+    reports: Vec<Option<Report>>,
+    completed: usize,
+    /// First panic payload from a round; set once, aborts the pool.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Executes planned rounds on up to `workers` threads, honouring the
+/// dependency graph, and returns reports in plan (= registry) order.
+fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) -> Vec<Report> {
+    let n = planned.len();
+    let workers = workers.clamp(1, n.max(1));
+    let state = Mutex::new(ExecState {
+        pending: planned.iter().map(|p| p.deps.len()).collect(),
+        reports: (0..n).map(|_| None).collect(),
+        completed: 0,
+        panic: None,
+    });
+    let ready = Condvar::new();
+    let planned = &planned;
+    let state = &state;
+    let ready = &ready;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let idx = {
+                    let mut guard = state.lock();
+                    loop {
+                        if guard.completed == n || guard.panic.is_some() {
+                            return;
+                        }
+                        let next = guard.pending.iter().position(|&unmet| unmet == 0);
+                        match next {
+                            Some(i) => {
+                                guard.pending[i] = usize::MAX; // claimed
+                                break i;
+                            }
+                            // Everything runnable is claimed; wait for a
+                            // completion to release dependents.
+                            None => {
+                                guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+                            }
+                        }
+                    }
+                };
+                // Catch panics so a crashing round aborts the pool and
+                // re-raises on the caller, instead of leaving the other
+                // workers waiting forever on a completion count that can
+                // no longer be reached.
+                let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (planned[idx].entry.run)(dep)
+                }));
+                let mut guard = state.lock();
+                match report {
+                    Ok(report) => {
+                        guard.reports[idx] = Some(report);
+                        guard.completed += 1;
+                        for (j, p) in planned.iter().enumerate() {
+                            if p.deps.contains(&idx) {
+                                guard.pending[j] -= 1;
+                            }
+                        }
+                    }
+                    Err(payload) => {
+                        guard.panic.get_or_insert(payload);
+                    }
+                }
+                drop(guard);
+                ready.notify_all();
+            });
+        }
+    });
+    let mut guard = state.lock();
+    if let Some(payload) = guard.panic.take() {
+        std::panic::resume_unwind(payload);
+    }
+    let reports: Vec<Report> = guard
+        .reports
+        .iter_mut()
+        .map(|slot| slot.take().expect("round completed"))
+        .collect();
     reports
+}
+
+/// Executes an explicit plan on up to `workers` threads, honouring its
+/// dependency graph; reports come back in plan order. Public so tests
+/// can drive synthetic plans with instrumented run functions; study
+/// code should call [`run_all`].
+pub fn run_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) -> Vec<Report> {
+    execute_plan(dep, planned, workers)
+}
+
+/// Runs every experiment: the schedule is validated against the §3.1
+/// rules up front, then logically-disjoint rounds execute concurrently
+/// on a thread pool. Reports come back in registry order, identical to
+/// [`run_all_sequential`]'s.
+pub fn run_all(dep: &Deployment) -> Vec<Report> {
+    let (planned, _accountant) = plan_schedule();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    execute_plan(dep, planned, workers)
+}
+
+/// Runs every experiment one at a time, in registry order — the
+/// pre-parallelism baseline, kept for comparison tests and profiling.
+pub fn run_all_sequential(dep: &Deployment) -> Vec<Report> {
+    let (planned, _accountant) = plan_schedule();
+    planned.iter().map(|p| (p.entry.run)(dep)).collect()
 }
 
 /// Runs a subset of experiments by id.
@@ -76,7 +315,9 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
-        for want in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3", "F4"] {
+        for want in [
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "F1", "F2", "F3", "F4",
+        ] {
             assert!(ids.contains(&want), "missing {want}");
         }
         assert_eq!(ids.len(), 14);
@@ -85,19 +326,100 @@ mod tests {
     #[test]
     fn schedule_is_valid() {
         // The scheduling logic alone (no experiment execution).
-        let mut acc = Accountant::new();
-        for e in registry() {
-            let stats = vec![e.id.to_string()];
-            let start = acc.earliest_start(&stats);
-            acc.schedule(MeasurementRound {
-                name: e.id.to_string(),
-                system: e.system,
-                start_hour: start,
-                duration_hours: e.duration_hours,
-                statistics: stats,
-            })
-            .unwrap();
+        let (planned, accountant) = plan_schedule();
+        assert_eq!(accountant.rounds().len(), 14);
+        assert_eq!(planned.len(), 14);
+        // §3.1: planned logical intervals are pairwise disjoint.
+        for (i, a) in planned.iter().enumerate() {
+            for b in planned.iter().skip(i + 1) {
+                assert!(
+                    a.end_hour <= b.start_hour || b.end_hour <= a.start_hour,
+                    "rounds {} and {} overlap logically",
+                    a.entry.id,
+                    b.entry.id
+                );
+            }
         }
-        assert_eq!(acc.rounds().len(), 14);
+    }
+
+    #[test]
+    fn distinct_statistics_have_no_deps() {
+        // All 14 registry statistics are distinct, so the dependency
+        // graph is empty and every round is logically concurrent.
+        let (planned, _) = plan_schedule();
+        assert!(planned.iter().all(|p| p.deps.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "round exploded")]
+    fn panicking_round_propagates_instead_of_hanging() {
+        let planned: Vec<PlannedRound> = (0..3)
+            .map(|i| PlannedRound {
+                entry: ExperimentEntry {
+                    id: "P",
+                    system: System::PrivCount,
+                    duration_hours: 24,
+                    run: if i == 1 {
+                        |_| panic!("round exploded")
+                    } else {
+                        |_| Report::new("ok", "t")
+                    },
+                },
+                start_hour: 24 * i as u64,
+                end_hour: 24 * (i + 1) as u64,
+                deps: Vec::new(),
+            })
+            .collect();
+        let dep = crate::deployment::Deployment::at_scale(1e-4, 1);
+        // Must re-raise the round's panic on the caller; before the
+        // catch_unwind in execute_plan this deadlocked the pool.
+        let _ = execute_plan(&dep, planned, 2);
+    }
+
+    #[test]
+    fn executor_honours_dependencies() {
+        // A synthetic plan with a chain: each round appends its index
+        // under a lock; deps must be respected whatever the pool does.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DONE_MASK: AtomicUsize = AtomicUsize::new(0);
+        DONE_MASK.store(0, Ordering::SeqCst);
+
+        fn mk(idx: usize) -> fn(&crate::deployment::Deployment) -> Report {
+            // Each round asserts all earlier rounds in its chain ran.
+            match idx {
+                0 => |_| {
+                    DONE_MASK.fetch_or(1, Ordering::SeqCst);
+                    Report::new("0", "t")
+                },
+                1 => |_| {
+                    assert!(DONE_MASK.load(Ordering::SeqCst) & 1 == 1, "dep not met");
+                    DONE_MASK.fetch_or(2, Ordering::SeqCst);
+                    Report::new("1", "t")
+                },
+                _ => |_| {
+                    assert!(DONE_MASK.load(Ordering::SeqCst) & 3 == 3, "deps not met");
+                    Report::new("2", "t")
+                },
+            }
+        }
+        let planned: Vec<PlannedRound> = (0..3)
+            .map(|i| PlannedRound {
+                entry: ExperimentEntry {
+                    id: "X",
+                    system: System::PrivCount,
+                    duration_hours: 24,
+                    run: mk(i),
+                },
+                start_hour: 24 * i as u64,
+                end_hour: 24 * (i + 1) as u64,
+                deps: (0..i).collect(),
+            })
+            .collect();
+        let dep = crate::deployment::Deployment::at_scale(1e-4, 1);
+        let reports = execute_plan(&dep, planned, 3);
+        assert_eq!(
+            reports.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["0", "1", "2"]
+        );
     }
 }

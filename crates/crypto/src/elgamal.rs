@@ -264,7 +264,10 @@ mod tests {
         let (gp, kp, mut rng) = setup();
         let m = gp.random_element(&mut rng);
         let r = gp.random_scalar(&mut rng);
-        assert_eq!(encrypt_with(&gp, &kp.public, &m, &r), encrypt_with(&gp, &kp.public, &m, &r));
+        assert_eq!(
+            encrypt_with(&gp, &kp.public, &m, &r),
+            encrypt_with(&gp, &kp.public, &m, &r)
+        );
     }
 
     #[test]

@@ -307,7 +307,10 @@ mod tests {
         // (g^x)^y = (g^y)^x
         assert_eq!(gp.pow(&gp.g_pow(&x), &y), gp.pow(&gp.g_pow(&y), &x));
         // g^q = 1 (order q)
-        assert_eq!(gp.pow(&gp.generator(), &Scalar(gp.q().wrapping_sub(&U256::ZERO))), gp.identity());
+        assert_eq!(
+            gp.pow(&gp.generator(), &Scalar(gp.q().wrapping_sub(&U256::ZERO))),
+            gp.identity()
+        );
     }
 
     #[test]
@@ -318,10 +321,7 @@ mod tests {
         let b = gp.random_scalar(&mut rng);
         assert_eq!(gp.scalar_mul(&a, &gp.scalar_inv(&a)), gp.scalar_from_u64(1));
         assert_eq!(gp.scalar_add(&b, &gp.scalar_neg(&b)), Scalar::ZERO);
-        assert_eq!(
-            gp.scalar_sub(&gp.scalar_add(&a, &b), &b),
-            a
-        );
+        assert_eq!(gp.scalar_sub(&gp.scalar_add(&a, &b), &b), a);
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl Modulus {
     /// Montgomery product `a * b * 2^-256 mod m` (CIOS).
     fn montmul(&self, a: &U256, b: &U256) -> U256 {
         let mut t = [0u64; 6]; // 4 limbs + 2 overflow words
+        #[allow(clippy::needless_range_loop)] // limb arithmetic reads clearest indexed
         for i in 0..4 {
             // t += a[i] * b
             let mut carry: u64 = 0;
@@ -195,7 +196,7 @@ impl Modulus {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> U256 {
         let bits = self.m.bits();
         let top_limbs = bits.div_ceil(64) as usize;
-        let top_mask = if bits % 64 == 0 {
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -355,7 +356,10 @@ mod tests {
             let a: u64 = rng.gen_range(0..p);
             let b: u64 = rng.gen_range(0..p);
             let expect = ((a as u128 * b as u128) % p as u128) as u64;
-            assert_eq!(m.mul(&U256::from_u64(a), &U256::from_u64(b)).low_u64(), expect);
+            assert_eq!(
+                m.mul(&U256::from_u64(a), &U256::from_u64(b)).low_u64(),
+                expect
+            );
         }
     }
 
@@ -423,13 +427,25 @@ mod tests {
     fn miller_rabin_knowns() {
         let mut rng = StdRng::seed_from_u64(11);
         for p in [2u64, 3, 5, 7, 61, 89, 127, 8191, 131071, 524287, 2147483647] {
-            assert!(is_probable_prime(&U256::from_u64(p), 16, &mut rng), "{p} is prime");
+            assert!(
+                is_probable_prime(&U256::from_u64(p), 16, &mut rng),
+                "{p} is prime"
+            );
         }
-        for c in [1u64, 4, 6, 9, 15, 21, 25, 341, 561, 645, 1105, 1729, 2465, 2821, 6601] {
-            assert!(!is_probable_prime(&U256::from_u64(c), 16, &mut rng), "{c} is composite");
+        for c in [
+            1u64, 4, 6, 9, 15, 21, 25, 341, 561, 645, 1105, 1729, 2465, 2821, 6601,
+        ] {
+            assert!(
+                !is_probable_prime(&U256::from_u64(c), 16, &mut rng),
+                "{c} is composite"
+            );
         }
         // 2^61 - 1 is prime; 2^67 - 1 = 193707721 * 761838257287 is not.
-        assert!(is_probable_prime(&U256::from_u64((1 << 61) - 1), 16, &mut rng));
+        assert!(is_probable_prime(
+            &U256::from_u64((1 << 61) - 1),
+            16,
+            &mut rng
+        ));
         let c67 = U256::from_u128((1u128 << 67) - 1);
         assert!(!is_probable_prime(&c67, 16, &mut rng));
     }

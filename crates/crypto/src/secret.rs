@@ -136,7 +136,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (mut reg, shares) = BlindedCounter::blind(-1000, 2, &mut rng);
         reg.increment(250);
-        let mut accs = vec![ShareAccumulator::default(); 2];
+        let mut accs = [ShareAccumulator::default(); 2];
         for (k, s) in shares.into_iter().enumerate() {
             accs[k].absorb(s);
         }
@@ -150,10 +150,7 @@ mod tests {
         let (reg, shares) = BlindedCounter::blind(12345, 3, &mut rng);
         // Tally with only 2 of 3 SK shares: result is effectively random,
         // definitely not the true value (w.p. 1 - 2^-64).
-        let partial = unblind_total(
-            &[reg.publish()],
-            &[shares[0].0, shares[1].0],
-        );
+        let partial = unblind_total(&[reg.publish()], &[shares[0].0, shares[1].0]);
         assert_ne!(partial, 12345);
     }
 

@@ -162,7 +162,7 @@ fn first_primes(n: usize) -> Vec<u64> {
     let mut primes = Vec::with_capacity(n);
     let mut cand = 2u64;
     while primes.len() < n {
-        if primes.iter().all(|p| cand % p != 0) {
+        if primes.iter().all(|p| !cand.is_multiple_of(*p)) {
             primes.push(cand);
         }
         cand += 1;
@@ -175,7 +175,7 @@ fn isqrt_u128(x: u128) -> u128 {
     let mut lo = 0u128;
     let mut hi = 1u128 << 64;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if mid.checked_mul(mid).map(|m| m <= x).unwrap_or(false) {
             lo = mid;
         } else {
@@ -190,7 +190,7 @@ fn icbrt_u128(x: u128) -> u128 {
     let mut lo = 0u128;
     let mut hi = 1u128 << 43;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let cube = mid.checked_mul(mid).and_then(|m| m.checked_mul(mid));
         if cube.map(|c| c <= x).unwrap_or(false) {
             lo = mid;
@@ -271,7 +271,9 @@ mod tests {
     fn two_block_vector() {
         // NIST test vector for a 56-byte message (forces two-block padding).
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

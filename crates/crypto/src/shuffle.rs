@@ -206,9 +206,7 @@ impl ShuffleProof {
                 // shadow slot k(i) = sw.perm⁻¹(w.perm[i]) rerandomized by
                 // w.rerand[i] - sw.rerand[k(i)].
                 let sw_inv = sw.perm.inverse();
-                let comp = Permutation(
-                    (0..n).map(|i| sw_inv.0[w.perm.0[i]]).collect(),
-                );
+                let comp = Permutation((0..n).map(|i| sw_inv.0[w.perm.0[i]]).collect());
                 let rerand: Vec<Scalar> = (0..n)
                     .map(|i| gp.scalar_sub(&w.rerand[i], &sw.rerand[comp.0[i]]))
                     .collect();

@@ -70,6 +70,7 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
+        #[allow(clippy::needless_range_loop)] // limb arithmetic reads clearest indexed
         for i in 0..4 {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
@@ -83,6 +84,7 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
+        #[allow(clippy::needless_range_loop)] // limb arithmetic reads clearest indexed
         for i in 0..4 {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
@@ -124,7 +126,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u64 = 0;
             for j in 0..4 {
-                let acc = t[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry as u128;
+                let acc =
+                    t[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry as u128;
                 t[i + j] = acc as u64;
                 carry = (acc >> 64) as u64;
             }
@@ -169,6 +172,7 @@ impl U256 {
         let limb = (n / 64) as usize;
         let sh = n % 64;
         let mut out = [0u64; 4];
+        #[allow(clippy::needless_range_loop)] // limb arithmetic reads clearest indexed
         for i in 0..4 - limb {
             let mut v = self.0[i + limb] >> sh;
             if sh > 0 && i + limb + 1 < 4 {
@@ -330,7 +334,12 @@ mod tests {
 
     #[test]
     fn bytes_roundtrip() {
-        let a = U256([0x1122334455667788, 0x99aabbccddeeff00, 0xdeadbeefcafebabe, 0x0123456789abcdef]);
+        let a = U256([
+            0x1122334455667788,
+            0x99aabbccddeeff00,
+            0xdeadbeefcafebabe,
+            0x0123456789abcdef,
+        ]);
         assert_eq!(U256::from_bytes_be(&a.to_bytes_be()), a);
         let be = a.to_bytes_be();
         assert_eq!(be[0], 0x01);

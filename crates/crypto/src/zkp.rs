@@ -272,13 +272,30 @@ mod tests {
         let ct = crate::elgamal::encrypt(&gp, &kp.public, &m, &mut rng);
         let d = crate::elgamal::partial_decrypt(&gp, &kp.secret, &ct);
         let proof = DleqProof::prove(
-            &gp, &kp.secret.0, &ct.a, &kp.public.0, &d,
-            &mut Transcript::new(b"psc.decrypt"), &mut rng,
+            &gp,
+            &kp.secret.0,
+            &ct.a,
+            &kp.public.0,
+            &d,
+            &mut Transcript::new(b"psc.decrypt"),
+            &mut rng,
         );
-        assert!(proof.verify(&gp, &ct.a, &kp.public.0, &d, &mut Transcript::new(b"psc.decrypt")));
+        assert!(proof.verify(
+            &gp,
+            &ct.a,
+            &kp.public.0,
+            &d,
+            &mut Transcript::new(b"psc.decrypt")
+        ));
         // A lying decryptor (wrong d) fails.
         let bad = gp.mul(&d, &gp.generator());
-        assert!(!proof.verify(&gp, &ct.a, &kp.public.0, &bad, &mut Transcript::new(b"psc.decrypt")));
+        assert!(!proof.verify(
+            &gp,
+            &ct.a,
+            &kp.public.0,
+            &bad,
+            &mut Transcript::new(b"psc.decrypt")
+        ));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! big integers and modular arithmetic, and semantic invariants of the
 //! higher-level primitives.
 
-use pm_crypto::elgamal::{
-    decrypt, encrypt, keygen, mul_ciphertexts, rerandomize,
-};
+use pm_crypto::elgamal::{decrypt, encrypt, keygen, mul_ciphertexts, rerandomize};
 use pm_crypto::group::GroupParams;
 use pm_crypto::modarith::Modulus;
 use pm_crypto::secret::{unblind_total, BlindedCounter, ShareAccumulator};

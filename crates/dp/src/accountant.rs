@@ -214,8 +214,14 @@ mod tests {
         let mut acc = Accountant::new();
         acc.schedule(round("a", System::PrivCount, 0, 24, &["desc-fetch"]))
             .unwrap();
-        acc.schedule(round("a-repeat", System::PrivCount, 24, 24, &["desc-fetch"]))
-            .unwrap();
+        acc.schedule(round(
+            "a-repeat",
+            System::PrivCount,
+            24,
+            24,
+            &["desc-fetch"],
+        ))
+        .unwrap();
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! *computed*, not just transcribed, and a unit test pins the result to
 //! Table 1.
 
-use crate::bounds::Action;
 #[cfg(test)]
 use crate::bounds::bound_for;
+use crate::bounds::Action;
 
 /// MiB, as used by the byte-valued bounds.
 const MB: u64 = 1 << 20;
@@ -69,7 +69,10 @@ pub fn chat() -> ActivityModel {
             // background building: 300 + 180 + introduction-point and
             // directory circuits (~171 for 90 contacts' lookups and
             // retries).
-            (Action::CircuitThroughGuard, background_circuits + rendezvous + 171),
+            (
+                Action::CircuitThroughGuard,
+                background_circuits + rendezvous + 171,
+            ),
             (Action::FetchDescriptor, 25),
         ],
     }
@@ -133,7 +136,11 @@ pub fn derived_bound(action: Action) -> u64 {
 pub fn defining_activity(action: Action) -> Option<&'static str> {
     let bound = derived_bound(action);
     for model in [web_browsing(), chat(), onionsite()] {
-        if model.actions.iter().any(|(a, v)| *a == action && *v == bound) {
+        if model
+            .actions
+            .iter()
+            .any(|(a, v)| *a == action && *v == bound)
+        {
             return Some(model.name);
         }
     }
@@ -170,8 +177,14 @@ mod tests {
             Some("Chat")
         );
         // Onionsite defines the descriptor bounds.
-        assert_eq!(defining_activity(Action::UploadDescriptor), Some("Onionsite"));
-        assert_eq!(defining_activity(Action::FetchDescriptor), Some("Onionsite"));
+        assert_eq!(
+            defining_activity(Action::UploadDescriptor),
+            Some("Onionsite")
+        );
+        assert_eq!(
+            defining_activity(Action::FetchDescriptor),
+            Some("Onionsite")
+        );
         // Baseline-only actions have no defining activity.
         assert_eq!(defining_activity(Action::TcpConnectionToGuard), None);
         assert_eq!(defining_activity(Action::NewIpDay1), None);

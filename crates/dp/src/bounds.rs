@@ -70,18 +70,66 @@ pub fn paper_action_bounds() -> Vec<ActionBound> {
     use Action::*;
     use DefiningActivity::*;
     vec![
-        ActionBound { action: ConnectToDomain, daily_bound: 20, defining: Web },
-        ActionBound { action: ExitData, daily_bound: 400 * MB, defining: Web },
-        ActionBound { action: NewIpDay1, daily_bound: 4, defining: NotApplicable },
-        ActionBound { action: NewIpMultiDay, daily_bound: 3, defining: NotApplicable },
-        ActionBound { action: TcpConnectionToGuard, daily_bound: 12, defining: NotApplicable },
-        ActionBound { action: CircuitThroughGuard, daily_bound: 651, defining: Chat },
-        ActionBound { action: EntryData, daily_bound: 407 * MB, defining: Web },
-        ActionBound { action: UploadDescriptor, daily_bound: 450, defining: Onionsite },
-        ActionBound { action: UploadNewOnionAddress, daily_bound: 3, defining: Onionsite },
-        ActionBound { action: FetchDescriptor, daily_bound: 30, defining: Onionsite },
-        ActionBound { action: RendezvousConnection, daily_bound: 180, defining: Chat },
-        ActionBound { action: RendezvousData, daily_bound: 400 * MB, defining: WebOrOnionsite },
+        ActionBound {
+            action: ConnectToDomain,
+            daily_bound: 20,
+            defining: Web,
+        },
+        ActionBound {
+            action: ExitData,
+            daily_bound: 400 * MB,
+            defining: Web,
+        },
+        ActionBound {
+            action: NewIpDay1,
+            daily_bound: 4,
+            defining: NotApplicable,
+        },
+        ActionBound {
+            action: NewIpMultiDay,
+            daily_bound: 3,
+            defining: NotApplicable,
+        },
+        ActionBound {
+            action: TcpConnectionToGuard,
+            daily_bound: 12,
+            defining: NotApplicable,
+        },
+        ActionBound {
+            action: CircuitThroughGuard,
+            daily_bound: 651,
+            defining: Chat,
+        },
+        ActionBound {
+            action: EntryData,
+            daily_bound: 407 * MB,
+            defining: Web,
+        },
+        ActionBound {
+            action: UploadDescriptor,
+            daily_bound: 450,
+            defining: Onionsite,
+        },
+        ActionBound {
+            action: UploadNewOnionAddress,
+            daily_bound: 3,
+            defining: Onionsite,
+        },
+        ActionBound {
+            action: FetchDescriptor,
+            daily_bound: 30,
+            defining: Onionsite,
+        },
+        ActionBound {
+            action: RendezvousConnection,
+            daily_bound: 180,
+            defining: Chat,
+        },
+        ActionBound {
+            action: RendezvousData,
+            daily_bound: 400 * MB,
+            defining: WebOrOnionsite,
+        },
     ]
 }
 

@@ -54,7 +54,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -176,14 +176,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0);
     // Lanczos coefficients (g = 7, n = 9).
     const COEF: [f64; 9] = [
-        0.99999999999980993,
+        0.999_999_999_999_809_9,
         676.5203681218851,
         -1259.1392167224028,
-        771.32342877765313,
-        -176.61502916214059,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507343278686905,
         -0.13857109526572012,
-        9.9843695780195716e-6,
+        9.984_369_578_019_572e-6,
         1.5056327351493116e-7,
     ];
     if x < 0.5 {
@@ -348,7 +348,11 @@ mod tests {
         let pmf: Vec<f64> = row.iter().map(|c| c / total).collect();
         let mut expect = 0f64;
         for x in 0..=n as usize {
-            let q = if x < k as usize { 0.0 } else { pmf[x - k as usize] };
+            let q = if x < k as usize {
+                0.0
+            } else {
+                pmf[x - k as usize]
+            };
             let d = pmf[x] - eps.exp() * q;
             if d > 0.0 {
                 expect += d;

@@ -362,7 +362,10 @@ mod tests {
         let f = Frame::new(3, Bytes::from_static(b"payload"));
         let mut wire = f.to_wire().to_vec();
         wire[0] = 0xff;
-        assert_eq!(Frame::from_wire(Bytes::from(wire)), Err(WireError::BadMagic));
+        assert_eq!(
+            Frame::from_wire(Bytes::from(wire)),
+            Err(WireError::BadMagic)
+        );
     }
 
     #[test]

@@ -157,10 +157,7 @@ impl Runner {
             }
         }
         Ok(RunOutcome {
-            nodes: nodes
-                .into_iter()
-                .map(|(id, node, _)| (id, node))
-                .collect(),
+            nodes: nodes.into_iter().map(|(id, node, _)| (id, node)).collect(),
             corrupt_dropped,
         })
     }
@@ -179,22 +176,24 @@ impl Runner {
             prepared.push((id, node, ep));
         }
         for (id, mut node, ep) in prepared {
-            handles.push(std::thread::spawn(move || -> Result<(PartyId, Box<dyn Node>, u64), NodeError> {
-                let mut corrupt = 0u64;
-                let mut step = node.on_start(&ep)?;
-                while step == Step::Continue {
-                    match ep.recv() {
-                        Ok(env) => {
-                            step = node.on_message(&ep, env)?;
+            handles.push(std::thread::spawn(
+                move || -> Result<(PartyId, Box<dyn Node>, u64), NodeError> {
+                    let mut corrupt = 0u64;
+                    let mut step = node.on_start(&ep)?;
+                    while step == Step::Continue {
+                        match ep.recv() {
+                            Ok(env) => {
+                                step = node.on_message(&ep, env)?;
+                            }
+                            Err(TransportError::Wire(_)) => {
+                                corrupt += 1;
+                            }
+                            Err(e) => return Err(e.into()),
                         }
-                        Err(TransportError::Wire(_)) => {
-                            corrupt += 1;
-                        }
-                        Err(e) => return Err(e.into()),
                     }
-                }
-                Ok((id, node, corrupt))
-            }));
+                    Ok((id, node, corrupt))
+                },
+            ));
         }
         let mut nodes = Vec::new();
         let mut corrupt_dropped = 0;

@@ -218,8 +218,8 @@ impl Switchboard {
             let corrupt_roll: f64 = inner.rng.gen();
             if corrupt_roll < inner.faults.corrupt_chance && !wire.is_empty() {
                 let idx = inner.rng.gen_range(0..wire.len());
-                let bit = inner.rng.gen_range(0..8);
-                wire[idx] ^= 1 << bit;
+                let bit = inner.rng.gen_range(0..8u32);
+                wire[idx] ^= 1u8 << bit;
                 inner.stats.corrupted += 1;
             }
         }
@@ -276,10 +276,7 @@ impl Endpoint {
     /// Blocking receive. Frames that fail to parse are surfaced as
     /// [`TransportError::Wire`] so callers can count/ignore them.
     pub fn recv(&self) -> Result<Envelope, TransportError> {
-        let (from, wire) = self
-            .rx
-            .recv()
-            .map_err(|_| TransportError::Disconnected)?;
+        let (from, wire) = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
         match Frame::from_wire(wire.into()) {
             Ok(frame) => Ok(Envelope { from, frame }),
             Err(e) => Err(TransportError::Wire(e)),
@@ -437,7 +434,8 @@ mod tests {
             let env = b.recv().unwrap();
             env.frame.msg_type
         });
-        a.send(&PartyId::new("b"), frame(42, b"cross-thread")).unwrap();
+        a.send(&PartyId::new("b"), frame(42, b"cross-thread"))
+            .unwrap();
         assert_eq!(handle.join().unwrap(), 42);
     }
 
@@ -449,7 +447,11 @@ mod tests {
         let _c = board.register("sk-1");
         assert_eq!(
             board.parties(),
-            vec![PartyId::new("dc-1"), PartyId::new("sk-1"), PartyId::new("ts")]
+            vec![
+                PartyId::new("dc-1"),
+                PartyId::new("sk-1"),
+                PartyId::new("ts")
+            ]
         );
         board.deregister(&PartyId::new("dc-1"));
         assert_eq!(board.parties().len(), 2);

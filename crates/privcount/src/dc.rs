@@ -16,11 +16,21 @@ use torsim::TorEvent;
 /// the provided sink once per observed event.
 pub type EventGenerator = Box<dyn FnOnce(&mut dyn FnMut(TorEvent)) + Send>;
 
+/// What a DC ingests during its collection period.
+pub enum DcSource {
+    /// A sequential generator (the classic single-pass path).
+    Generator(EventGenerator),
+    /// A sharded stream, ingested shard-parallel with per-shard
+    /// accumulators and a single batched register update at merge (see
+    /// [`crate::shard`]).
+    Stream(torsim::stream::EventStream),
+}
+
 /// A Data Collector.
 pub struct DcNode {
     ts: PartyId,
     schema: Schema,
-    generator: Option<EventGenerator>,
+    source: Option<DcSource>,
     gp: GroupParams,
     /// Noise σ multiplier for this DC (1/√num_dcs under equal
     /// allocation; 1.0 or 0.0 under first-DC-only).
@@ -39,10 +49,38 @@ impl DcNode {
         noise_scale: f64,
         seed: u64,
     ) -> DcNode {
+        DcNode::with_source(
+            ts,
+            schema,
+            DcSource::Generator(generator),
+            noise_scale,
+            seed,
+        )
+    }
+
+    /// Creates a DC that ingests a sharded event stream.
+    pub fn streaming(
+        ts: PartyId,
+        schema: Schema,
+        stream: torsim::stream::EventStream,
+        noise_scale: f64,
+        seed: u64,
+    ) -> DcNode {
+        DcNode::with_source(ts, schema, DcSource::Stream(stream), noise_scale, seed)
+    }
+
+    /// Creates a DC over any [`DcSource`].
+    pub fn with_source(
+        ts: PartyId,
+        schema: Schema,
+        source: DcSource,
+        noise_scale: f64,
+        seed: u64,
+    ) -> DcNode {
         DcNode {
             ts,
             schema,
-            generator: Some(generator),
+            source: Some(source),
             gp: GroupParams::default_params(),
             noise_scale,
             registers: Vec::new(),
@@ -92,7 +130,8 @@ impl DcNode {
         let mut per_sk_shares: Vec<Vec<u64>> = vec![Vec::with_capacity(ours.len()); num_sks];
         self.registers.clear();
         for spec in &self.schema.counters {
-            let noise = sample_gaussian(spec.sigma * self.noise_scale, &mut self.rng).round() as i64;
+            let noise =
+                sample_gaussian(spec.sigma * self.noise_scale, &mut self.rng).round() as i64;
             let (reg, shares) = BlindedCounter::blind(noise, num_sks, &mut self.rng);
             self.registers.push(reg);
             for (k, s) in shares.into_iter().enumerate() {
@@ -118,20 +157,34 @@ impl DcNode {
     }
 
     fn on_start(&mut self, ep: &Endpoint) -> Result<(), NodeError> {
-        let generator = self
-            .generator
+        let source = self
+            .source
             .take()
             .ok_or_else(|| NodeError::Protocol("collection started twice".into()))?;
         // Run the collection period: every observed event maps to
         // counter increments.
-        let mapper = self.schema.mapper.clone();
-        let registers = &mut self.registers;
-        let mut sink = |ev: TorEvent| {
-            mapper(&ev, &mut |idx, delta| {
-                registers[idx].increment(delta);
-            });
-        };
-        generator(&mut sink);
+        match source {
+            DcSource::Generator(generator) => {
+                let mapper = self.schema.mapper.clone();
+                let registers = &mut self.registers;
+                let mut sink = |ev: TorEvent| {
+                    mapper(&ev, &mut |idx, delta| {
+                        registers[idx].increment(delta);
+                    });
+                };
+                generator(&mut sink);
+            }
+            DcSource::Stream(stream) => {
+                // Shard-parallel fold, then one batched update per
+                // counter. The registers already carry this DC's noise
+                // and blinding from Configure; the merge applies the
+                // observed totals exactly once.
+                let totals = crate::shard::ingest_stream(stream, &self.schema);
+                for (reg, total) in self.registers.iter_mut().zip(totals) {
+                    reg.increment(total);
+                }
+            }
+        }
         // Publish the blinded registers.
         let msg = messages::Registers {
             values: self.registers.iter().map(|r| r.publish()).collect(),

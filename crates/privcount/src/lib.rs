@@ -32,15 +32,16 @@ pub mod dc;
 pub mod messages;
 pub mod queries;
 pub mod round;
+pub mod shard;
 pub mod sk;
 pub mod ts;
 
 pub use counter::{CounterSpec, EventMapper, Schema};
-pub use round::{run_round, RoundConfig, RoundResult};
+pub use round::{run_round, run_round_streams, RoundConfig, RoundResult};
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::counter::{CounterSpec, EventMapper, Schema};
     pub use crate::queries;
-    pub use crate::round::{run_round, RoundConfig, RoundResult};
+    pub use crate::round::{run_round, run_round_streams, RoundConfig, RoundResult};
 }

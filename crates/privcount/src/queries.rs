@@ -21,11 +21,7 @@ use torsim::sites::{Family, SiteList, MEASURED_TLDS};
 /// allowance used for the total-streams sensitivity.
 pub const STREAMS_PER_DOMAIN: f64 = 100.0;
 
-fn specs_equal_budget(
-    names_and_sens: &[(&str, f64)],
-    eps: f64,
-    delta: f64,
-) -> Vec<CounterSpec> {
+fn specs_equal_budget(names_and_sens: &[(&str, f64)], eps: f64, delta: f64) -> Vec<CounterSpec> {
     let n = names_and_sens.len();
     let eps_each = eps / n as f64;
     let delta_each = allocate_delta(n, delta);
@@ -127,12 +123,20 @@ pub fn alexa_siblings_histogram(sites: Arc<SiteList>, eps: f64, delta: f64) -> S
     let (delta_bin, delta_total) = (delta / 2.0, delta / 2.0);
     let mut specs: Vec<CounterSpec> = Family::ALL
         .iter()
-        .map(|f| {
-            CounterSpec::calibrated(format!("family.{}", f.basename()), d, eps_bin, delta_bin)
-        })
+        .map(|f| CounterSpec::calibrated(format!("family.{}", f.basename()), d, eps_bin, delta_bin))
         .collect();
-    specs.push(CounterSpec::calibrated("family.other", d, eps_bin, delta_bin));
-    specs.push(CounterSpec::calibrated("family.total", d, eps_total, delta_total));
+    specs.push(CounterSpec::calibrated(
+        "family.other",
+        d,
+        eps_bin,
+        delta_bin,
+    ));
+    specs.push(CounterSpec::calibrated(
+        "family.total",
+        d,
+        eps_total,
+        delta_total,
+    ));
     let mapper: EventMapper = Arc::new(move |ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
         let Some(domain) = primary_domain(ev) else {
             return;
@@ -163,8 +167,18 @@ pub fn tld_histogram(sites: Arc<SiteList>, alexa_only: bool, eps: f64, delta: f6
         .map(|t| CounterSpec::calibrated(format!("tld.{t}"), d, eps_bin, delta_bin))
         .collect();
     specs.push(CounterSpec::calibrated("tld.other", d, eps_bin, delta_bin));
-    specs.push(CounterSpec::calibrated("tld.torproject", d, eps_bin, delta_bin));
-    specs.push(CounterSpec::calibrated("tld.total", d, eps_total, delta_total));
+    specs.push(CounterSpec::calibrated(
+        "tld.torproject",
+        d,
+        eps_bin,
+        delta_bin,
+    ));
+    specs.push(CounterSpec::calibrated(
+        "tld.total",
+        d,
+        eps_total,
+        delta_total,
+    ));
     let other_idx = MEASURED_TLDS.len();
     let torproject_idx = other_idx + 1;
     let total_idx = other_idx + 2;
@@ -212,12 +226,13 @@ pub fn client_traffic(eps: f64, delta: f64) -> Schema {
         eps,
         delta,
     );
-    let mapper: EventMapper = Arc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| match ev {
-        TorEvent::EntryConnection { .. } => emit(0, 1),
-        TorEvent::EntryCircuit { .. } => emit(1, 1),
-        TorEvent::EntryBytes { bytes, .. } => emit(2, *bytes as i64),
-        _ => {}
-    });
+    let mapper: EventMapper =
+        Arc::new(|ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| match ev {
+            TorEvent::EntryConnection { .. } => emit(0, 1),
+            TorEvent::EntryCircuit { .. } => emit(1, 1),
+            TorEvent::EntryBytes { bytes, .. } => emit(2, *bytes as i64),
+            _ => {}
+        });
     Schema::new(specs, mapper)
 }
 
@@ -234,12 +249,7 @@ pub enum CountryStat {
 }
 
 /// Figure 4: one counter per country for the chosen statistic.
-pub fn country_histogram(
-    geo: Arc<GeoDb>,
-    stat: CountryStat,
-    eps: f64,
-    delta: f64,
-) -> Schema {
+pub fn country_histogram(geo: Arc<GeoDb>, stat: CountryStat, eps: f64, delta: f64) -> Schema {
     let sens = match stat {
         CountryStat::Connections => bound_for(Action::TcpConnectionToGuard) as f64,
         CountryStat::Bytes => bound_for(Action::EntryData) as f64,
@@ -253,19 +263,19 @@ pub fn country_histogram(
         .iter()
         .map(|c| CounterSpec::calibrated(format!("country.{c}"), sens, eps, delta))
         .collect();
-    let index: std::collections::HashMap<CountryCode, usize> = countries
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (*c, i))
-        .collect();
+    let index: std::collections::HashMap<CountryCode, usize> =
+        countries.iter().enumerate().map(|(i, c)| (*c, i)).collect();
     let mapper: EventMapper = Arc::new(move |ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
         let (ip, delta_v) = match (stat, ev) {
             (CountryStat::Connections, TorEvent::EntryConnection { client_ip, .. }) => {
                 (*client_ip, 1)
             }
-            (CountryStat::Bytes, TorEvent::EntryBytes { client_ip, bytes, .. }) => {
-                (*client_ip, *bytes as i64)
-            }
+            (
+                CountryStat::Bytes,
+                TorEvent::EntryBytes {
+                    client_ip, bytes, ..
+                },
+            ) => (*client_ip, *bytes as i64),
             (CountryStat::Circuits, TorEvent::EntryCircuit { client_ip, .. }) => (*client_ip, 1),
             _ => return,
         };
@@ -370,8 +380,18 @@ pub fn category_histogram(sites: Arc<SiteList>, eps: f64, delta: f64) -> Schema 
     let mut specs: Vec<CounterSpec> = (0..num_categories)
         .map(|c| CounterSpec::calibrated(format!("category.{c}"), d, eps_bin, delta_bin))
         .collect();
-    specs.push(CounterSpec::calibrated("category.none", d, eps_bin, delta_bin));
-    specs.push(CounterSpec::calibrated("category.total", d, eps_total, delta_total));
+    specs.push(CounterSpec::calibrated(
+        "category.none",
+        d,
+        eps_bin,
+        delta_bin,
+    ));
+    specs.push(CounterSpec::calibrated(
+        "category.total",
+        d,
+        eps_total,
+        delta_total,
+    ));
     let none_idx = num_categories;
     let total_idx = num_categories + 1;
     let mapper: EventMapper = Arc::new(move |ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
@@ -391,11 +411,7 @@ pub fn category_histogram(sites: Arc<SiteList>, eps: f64, delta: f64) -> Schema 
 /// bucket plus the outside-top-1000 remainder, for hotspot detection.
 /// Buckets of 50 ranks keep the schema at 21 counters while preserving
 /// the top-1000 vs rest comparison.
-pub fn as_histogram(
-    asdb: Arc<torsim::asn::AsDb>,
-    eps: f64,
-    delta: f64,
-) -> Schema {
+pub fn as_histogram(asdb: Arc<torsim::asn::AsDb>, eps: f64, delta: f64) -> Schema {
     let sens = bound_for(Action::TcpConnectionToGuard) as f64;
     let buckets = 20usize; // ranks 1..=1000 in buckets of 50
     let (eps_bin, eps_total) = (eps / 2.0, eps / 2.0);
@@ -410,8 +426,18 @@ pub fn as_histogram(
             )
         })
         .collect();
-    specs.push(CounterSpec::calibrated("as.outside_top1000", sens, eps_bin, delta_bin));
-    specs.push(CounterSpec::calibrated("as.total", sens, eps_total, delta_total));
+    specs.push(CounterSpec::calibrated(
+        "as.outside_top1000",
+        sens,
+        eps_bin,
+        delta_bin,
+    ));
+    specs.push(CounterSpec::calibrated(
+        "as.total",
+        sens,
+        eps_total,
+        delta_total,
+    ));
     let outside_idx = buckets;
     let total_idx = buckets + 1;
     let mapper: EventMapper = Arc::new(move |ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
@@ -516,10 +542,10 @@ mod tests {
         let s = sites();
         let schema = alexa_rank_histogram(s.clone(), 0.3, 1e-11);
         let events = vec![
-            initial_stream(s.domain_of_rank(1)),              // set 0
-            initial_stream(s.domain_of_rank(500)),            // set 2
-            initial_stream(s.domain_of_rank(10_244)),         // torproject
-            initial_stream(s.long_tail_domain(3)),            // other
+            initial_stream(s.domain_of_rank(1)),      // set 0
+            initial_stream(s.domain_of_rank(500)),    // set 2
+            initial_stream(s.domain_of_rank(10_244)), // torproject
+            initial_stream(s.long_tail_domain(3)),    // other
         ];
         let c = run_schema(&schema, &events);
         assert_eq!(c[0], 1);
@@ -614,14 +640,14 @@ mod tests {
 
     #[test]
     fn hsdir_fetch_outcomes() {
-        let is_public = Arc::new(|a: &OnionAddr| a.0[0] % 2 == 0);
+        let is_public = Arc::new(|a: &OnionAddr| a.0[0].is_multiple_of(2));
         let schema = hsdir_fetches(is_public.clone(), 0.3, 1e-11);
         // Find one public and one private address under the classifier.
         let mut public = None;
         let mut private = None;
         for i in 0..100 {
             let a = OnionAddr::from_index(i);
-            if a.0[0] % 2 == 0 && public.is_none() {
+            if a.0[0].is_multiple_of(2) && public.is_none() {
                 public = Some(a);
             }
             if a.0[0] % 2 == 1 && private.is_none() {
@@ -703,7 +729,12 @@ mod tests {
         assert!((h.counters[0].sigma - single.sigma).abs() < 1e-9);
         // Overlapping counters still split sequentially.
         let few = exit_streams(0.3, 1e-11);
-        let s_total = few.counters.iter().find(|c| c.name == "streams.initial").unwrap().sigma;
+        let s_total = few
+            .counters
+            .iter()
+            .find(|c| c.name == "streams.initial")
+            .unwrap()
+            .sigma;
         let s_solo = CounterSpec::calibrated("solo", 20.0, 0.3, 1e-11).sigma;
         assert!(s_total > s_solo);
     }

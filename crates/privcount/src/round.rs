@@ -3,13 +3,13 @@
 //! intervals.
 
 use crate::counter::{CounterSpec, EventMapper};
-use crate::dc::{DcNode, EventGenerator};
+use crate::dc::{DcNode, DcSource, EventGenerator};
 use crate::sk::SkNode;
 use crate::ts::{ResultSlot, TsNode};
+use parking_lot::Mutex;
 use pm_net::party::{NodeError, Runner};
 use pm_net::transport::{FaultConfig, PartyId, Switchboard};
 use pm_stats::ci::Estimate;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// How DCs split the per-counter noise.
@@ -90,9 +90,30 @@ pub fn run_round(
     cfg: RoundConfig,
     dc_generators: Vec<EventGenerator>,
 ) -> Result<RoundResult, NodeError> {
-    assert!(!dc_generators.is_empty(), "need at least one DC");
+    run_round_sources(
+        cfg,
+        dc_generators.into_iter().map(DcSource::Generator).collect(),
+    )
+}
+
+/// Runs a full PrivCount round with sharded streaming ingestion: one DC
+/// per stream, each folding its shards in parallel (see
+/// [`crate::shard`]).
+pub fn run_round_streams(
+    cfg: RoundConfig,
+    dc_streams: Vec<torsim::stream::EventStream>,
+) -> Result<RoundResult, NodeError> {
+    run_round_sources(cfg, dc_streams.into_iter().map(DcSource::Stream).collect())
+}
+
+/// Runs a full PrivCount round over arbitrary DC sources.
+pub fn run_round_sources(
+    cfg: RoundConfig,
+    dc_sources: Vec<DcSource>,
+) -> Result<RoundResult, NodeError> {
+    assert!(!dc_sources.is_empty(), "need at least one DC");
     assert!(cfg.num_sks >= 1, "need at least one SK");
-    let num_dcs = dc_generators.len();
+    let num_dcs = dc_sources.len();
     let board = Switchboard::with_faults(cfg.faults);
     let mut runner = Runner::new(board);
 
@@ -117,10 +138,14 @@ pub fn run_round(
     for (i, sk) in sk_names.iter().enumerate() {
         runner.add(
             sk.clone(),
-            Box::new(SkNode::new(ts_id.clone(), num_dcs, cfg.seed ^ (0x5100 + i as u64))),
+            Box::new(SkNode::new(
+                ts_id.clone(),
+                num_dcs,
+                cfg.seed ^ (0x5100 + i as u64),
+            )),
         );
     }
-    for (i, (dc, generator)) in dc_names.iter().zip(dc_generators).enumerate() {
+    for (i, (dc, source)) in dc_names.iter().zip(dc_sources).enumerate() {
         let noise_scale = match cfg.noise {
             NoiseAllocation::Equal => 1.0 / (num_dcs as f64).sqrt(),
             NoiseAllocation::FirstDcOnly => {
@@ -135,10 +160,10 @@ pub fn run_round(
         let schema = crate::counter::Schema::new(cfg.counters.clone(), cfg.mapper.clone());
         runner.add(
             dc.clone(),
-            Box::new(DcNode::new(
+            Box::new(DcNode::with_source(
                 ts_id.clone(),
                 schema,
-                generator,
+                source,
                 noise_scale,
                 cfg.seed ^ (0xDC00 + i as u64),
             )),

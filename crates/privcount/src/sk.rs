@@ -42,7 +42,7 @@ impl SkNode {
 
     fn absorb(&mut self, msg: messages::EncryptedShares) -> Result<(), NodeError> {
         let plain = hybrid_decrypt(&self.gp, &self.keypair.secret, &msg.ciphertext());
-        if plain.len() % 8 != 0 {
+        if !plain.len().is_multiple_of(8) {
             return Err(NodeError::Protocol(format!(
                 "share payload from {} has invalid length {}",
                 msg.dc_name,

@@ -6,17 +6,18 @@
 
 use crate::counter::CounterSpec;
 use crate::messages::{self, tag};
+use parking_lot::Mutex;
 use pm_crypto::group::GroupElement;
 use pm_crypto::secret::unblind_total;
 use pm_net::party::{Node, NodeError, Step};
 use pm_net::transport::{Endpoint, Envelope, PartyId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Shared slot where the TS deposits the round's totals.
 pub type ResultSlot = Arc<Mutex<Option<Vec<i64>>>>;
 
+#[allow(clippy::enum_variant_names)] // every phase awaits a protocol message
 enum Phase {
     AwaitSkKeys,
     // Shares and acks interleave: an SK acks as soon as its forward
@@ -138,7 +139,10 @@ impl Node for TsNode {
                 self.acks_seen += 1;
                 if self.acks_seen == self.dc_names.len() * self.sk_names.len() {
                     for dc in &self.dc_names {
-                        ep.send(dc, messages::frame_of(tag::START, &messages::Registers { values: vec![] }))?;
+                        ep.send(
+                            dc,
+                            messages::frame_of(tag::START, &messages::Registers { values: vec![] }),
+                        )?;
                     }
                     self.phase = Phase::AwaitDcResults;
                 }
@@ -155,7 +159,10 @@ impl Node for TsNode {
                 self.dc_results.push(msg.values);
                 if self.dc_results.len() == self.dc_names.len() {
                     for sk in &self.sk_names {
-                        ep.send(sk, messages::frame_of(tag::STOP, &messages::Registers { values: vec![] }))?;
+                        ep.send(
+                            sk,
+                            messages::frame_of(tag::STOP, &messages::Registers { values: vec![] }),
+                        )?;
                     }
                     self.phase = Phase::AwaitSkResults;
                 }

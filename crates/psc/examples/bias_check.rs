@@ -33,12 +33,20 @@ fn main() {
         let r = run_psc_round(cfg, items::unique_client_ips(), gens).unwrap();
         let est = r.estimate(0.95);
         errs.push(est.value - truth as f64);
-        if est.ci.contains(truth as f64) { covered += 1; }
+        if est.ci.contains(truth as f64) {
+            covered += 1;
+        }
         println!(
             "seed {seed}: est {:.1} CI [{:.0};{:.0}] covered={}",
-            est.value, est.ci.lo, est.ci.hi, est.ci.contains(truth as f64)
+            est.value,
+            est.ci.lo,
+            est.ci.hi,
+            est.ci.contains(truth as f64)
         );
     }
     let mean: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
-    println!("mean error {mean:.2}, covered {covered}/20 (per-run noise sd ~{:.0})", (6000f64).sqrt() / 2.0);
+    println!(
+        "mean error {mean:.2}, covered {covered}/20 (per-run noise sd ~{:.0})",
+        (6000f64).sqrt() / 2.0
+    );
 }

@@ -86,11 +86,23 @@ impl CpNode {
                 .map(|(j, (pre, post))| {
                     let mut ta = exp_transcript(j, false);
                     let pa = DleqProof::prove(
-                        &self.gp, &k, &pre.a, &exp_key, &post.a, &mut ta, &mut self.rng,
+                        &self.gp,
+                        &k,
+                        &pre.a,
+                        &exp_key,
+                        &post.a,
+                        &mut ta,
+                        &mut self.rng,
                     );
                     let mut tb = exp_transcript(j, true);
                     let pb = DleqProof::prove(
-                        &self.gp, &k, &pre.b, &exp_key, &post.b, &mut tb, &mut self.rng,
+                        &self.gp,
+                        &k,
+                        &pre.b,
+                        &exp_key,
+                        &post.b,
+                        &mut tb,
+                        &mut self.rng,
                     );
                     (pa, pb)
                 })

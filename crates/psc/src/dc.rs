@@ -18,11 +18,20 @@ use torsim::TorEvent;
 /// The event generator a PSC DC runs during its collection period.
 pub type EventGenerator = Box<dyn FnOnce(&mut dyn FnMut(TorEvent)) + Send>;
 
+/// What a PSC DC ingests during its collection period.
+pub enum PscSource {
+    /// A sequential generator (the classic per-item marking path).
+    Generator(EventGenerator),
+    /// A sharded stream: crypto-free shard-parallel accumulation, then
+    /// one marking pass over the merged cells (see [`crate::shard`]).
+    Stream(torsim::stream::EventStream),
+}
+
 /// A PSC Data Collector.
 pub struct PscDcNode {
     ts: PartyId,
     extractor: ItemExtractor,
-    generator: Option<EventGenerator>,
+    source: Option<PscSource>,
     rng: StdRng,
 }
 
@@ -34,10 +43,30 @@ impl PscDcNode {
         generator: EventGenerator,
         seed: u64,
     ) -> PscDcNode {
+        PscDcNode::with_source(ts, extractor, PscSource::Generator(generator), seed)
+    }
+
+    /// Creates a DC that ingests a sharded event stream.
+    pub fn streaming(
+        ts: PartyId,
+        extractor: ItemExtractor,
+        stream: torsim::stream::EventStream,
+        seed: u64,
+    ) -> PscDcNode {
+        PscDcNode::with_source(ts, extractor, PscSource::Stream(stream), seed)
+    }
+
+    /// Creates a DC over any [`PscSource`].
+    pub fn with_source(
+        ts: PartyId,
+        extractor: ItemExtractor,
+        source: PscSource,
+        seed: u64,
+    ) -> PscDcNode {
         PscDcNode {
             ts,
             extractor,
-            generator: Some(generator),
+            source: Some(source),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -84,18 +113,30 @@ impl Node for PscDcNode {
                     cfg.salt,
                     cfg.table_size as usize,
                 );
-                let generator = self
-                    .generator
+                let source = self
+                    .source
                     .take()
                     .ok_or_else(|| NodeError::Protocol("collection started twice".into()))?;
-                let extractor = self.extractor.clone();
-                let rng = &mut self.rng;
-                let mut sink = |ev: TorEvent| {
-                    if let Some(item) = extractor(&ev) {
-                        table.observe(&item, rng);
+                match source {
+                    PscSource::Generator(generator) => {
+                        let extractor = self.extractor.clone();
+                        let rng = &mut self.rng;
+                        let mut sink = |ev: TorEvent| {
+                            if let Some(item) = extractor(&ev) {
+                                table.observe(&item, rng);
+                            }
+                        };
+                        generator(&mut sink);
                     }
-                };
-                generator(&mut sink);
+                    PscSource::Stream(stream) => {
+                        crate::shard::mark_stream(
+                            stream,
+                            &self.extractor,
+                            &mut table,
+                            &mut self.rng,
+                        );
+                    }
+                }
                 let msg = messages::DcTable {
                     cells: table.into_cells(),
                 };

@@ -2,9 +2,9 @@
 //! of, per paper statistic.
 
 use std::sync::Arc;
+use torsim::asn::AsDb;
 use torsim::events::{DescFetchOutcome, TorEvent};
 use torsim::geo::GeoDb;
-use torsim::asn::AsDb;
 use torsim::sites::SiteList;
 
 /// Extracts the (optional) item from an event. Returning `None` skips
@@ -22,9 +22,7 @@ pub fn unique_client_ips() -> ItemExtractor {
 /// Unique client countries (Table 5).
 pub fn unique_countries(geo: Arc<GeoDb>) -> ItemExtractor {
     Arc::new(move |ev| match ev {
-        TorEvent::EntryConnection { client_ip, .. } => {
-            Some(geo.country_of(*client_ip).0.to_vec())
-        }
+        TorEvent::EntryConnection { client_ip, .. } => Some(geo.country_of(*client_ip).0.to_vec()),
         _ => None,
     })
 }
@@ -193,6 +191,10 @@ mod tests {
         assert_eq!(pubs(&pub_ev), Some(addr.to_bytes().to_vec()));
         assert_eq!(pubs(&fetch_ok), None);
         assert_eq!(fetched(&fetch_ok), Some(addr.to_bytes().to_vec()));
-        assert_eq!(fetched(&fetch_fail), None, "failed fetches carry no descriptor");
+        assert_eq!(
+            fetched(&fetch_fail),
+            None,
+            "failed fetches carry no descriptor"
+        );
     }
 }

@@ -34,10 +34,11 @@ pub mod dc;
 pub mod items;
 pub mod messages;
 pub mod round;
+pub mod shard;
 pub mod table;
 pub mod ts;
 
-pub use round::{run_psc_round, PscConfig, PscResult};
+pub use round::{run_psc_round, run_psc_round_streams, PscConfig, PscResult};
 pub use table::ObliviousTable;
 
 /// Convenience prelude.

@@ -6,8 +6,7 @@ use pm_crypto::group::{GroupElement, Scalar};
 use pm_crypto::shuffle::{Permutation, RoundOpening, ShuffleProof};
 use pm_crypto::zkp::{DleqProof, SchnorrProof};
 use pm_net::frame::{
-    get_array32, get_lp_str, get_u32, get_u8, put_lp_str, Frame, WireDecode, WireEncode,
-    WireError,
+    get_array32, get_lp_str, get_u32, get_u8, put_lp_str, Frame, WireDecode, WireEncode, WireError,
 };
 
 /// Message type tags.

@@ -1,14 +1,14 @@
 //! PSC round driver.
 
 use crate::cp::CpNode;
-use crate::dc::{EventGenerator, PscDcNode};
+use crate::dc::{EventGenerator, PscDcNode, PscSource};
 use crate::items::ItemExtractor;
 use crate::ts::{PscResultSlot, PscTsNode, RawCount};
+use parking_lot::Mutex;
 use pm_net::party::{NodeError, Runner};
 use pm_net::transport::{FaultConfig, PartyId, Switchboard};
 use pm_stats::ci::Estimate;
 use pm_stats::psc_ci::psc_confidence_interval;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// PSC round configuration.
@@ -78,13 +78,44 @@ pub fn run_psc_round(
     extractor: ItemExtractor,
     dc_generators: Vec<EventGenerator>,
 ) -> Result<PscResult, NodeError> {
-    assert!(!dc_generators.is_empty(), "need at least one DC");
+    run_psc_round_sources(
+        cfg,
+        extractor,
+        dc_generators
+            .into_iter()
+            .map(PscSource::Generator)
+            .collect(),
+    )
+}
+
+/// Runs a full PSC round with sharded streaming ingestion: one DC per
+/// stream, accumulating shard-parallel and marking once at merge (see
+/// [`crate::shard`]).
+pub fn run_psc_round_streams(
+    cfg: PscConfig,
+    extractor: ItemExtractor,
+    dc_streams: Vec<torsim::stream::EventStream>,
+) -> Result<PscResult, NodeError> {
+    run_psc_round_sources(
+        cfg,
+        extractor,
+        dc_streams.into_iter().map(PscSource::Stream).collect(),
+    )
+}
+
+/// Runs a full PSC round over arbitrary DC sources.
+pub fn run_psc_round_sources(
+    cfg: PscConfig,
+    extractor: ItemExtractor,
+    dc_sources: Vec<PscSource>,
+) -> Result<PscResult, NodeError> {
+    assert!(!dc_sources.is_empty(), "need at least one DC");
     assert!(cfg.num_cps >= 1, "need at least one CP");
     let board = Switchboard::with_faults(cfg.faults);
     let mut runner = Runner::new(board);
 
     let ts_id = PartyId::new("psc-ts");
-    let dc_names: Vec<PartyId> = (0..dc_generators.len())
+    let dc_names: Vec<PartyId> = (0..dc_sources.len())
         .map(|i| PartyId::new(format!("psc-dc-{i}")))
         .collect();
     let cp_names: Vec<PartyId> = (0..cfg.num_cps)
@@ -111,16 +142,19 @@ pub fn run_psc_round(
     for (i, cp) in cp_names.iter().enumerate() {
         runner.add(
             cp.clone(),
-            Box::new(CpNode::new(ts_id.clone(), cfg.seed ^ (0xC9_0000 + i as u64))),
+            Box::new(CpNode::new(
+                ts_id.clone(),
+                cfg.seed ^ (0xC9_0000 + i as u64),
+            )),
         );
     }
-    for (i, (dc, generator)) in dc_names.iter().zip(dc_generators).enumerate() {
+    for (i, (dc, source)) in dc_names.iter().zip(dc_sources).enumerate() {
         runner.add(
             dc.clone(),
-            Box::new(PscDcNode::new(
+            Box::new(PscDcNode::with_source(
                 ts_id.clone(),
                 extractor.clone(),
-                generator,
+                source,
                 cfg.seed ^ (0xDC_0000 + i as u64),
             )),
         );
@@ -277,8 +311,7 @@ mod tests {
             faults: FaultConfig::none(),
         };
         let ips: Vec<u32> = (0..40).collect();
-        let result = run_psc_round(cfg, items::unique_client_ips(), generators(vec![ips]))
-            .unwrap();
+        let result = run_psc_round(cfg, items::unique_client_ips(), generators(vec![ips])).unwrap();
         assert!(result.raw.marked < 40, "collisions must undercount");
         let est = result.estimate(0.95);
         // The exact CI inverts the occupancy distribution; 40 must be

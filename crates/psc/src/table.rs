@@ -39,6 +39,23 @@ pub fn trivial_cell(gp: &GroupParams) -> Ciphertext {
     }
 }
 
+/// The cell index an item hashes to, as a pure function of the round
+/// salt and table size. Shard accumulators ([`crate::shard`]) use this
+/// to pre-bucket items without touching the ciphertext table.
+pub fn cell_index(salt: &[u8; 32], table_size: usize, item: &[u8]) -> usize {
+    let digest = sha256_concat(&[b"psc-item", salt, item]);
+    let x = U256::from_bytes_be(&digest);
+    // Reduce to the table size; the bias for b ≪ 2^256 is negligible.
+    (x.low_u128() % table_size as u128) as usize
+}
+
+/// The keyed dedup hash of an item (performance-only within-period
+/// dedup, see [`ObliviousTable::observe`]).
+pub fn dedup_key(salt: &[u8; 32], item: &[u8]) -> u64 {
+    let digest = sha256_concat(&[b"psc-dedup", salt, item]);
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
 impl ObliviousTable {
     /// Creates a table of `size` unmarked cells under the joint key.
     pub fn new(gp: GroupParams, key: PublicKey, salt: [u8; 32], size: usize) -> ObliviousTable {
@@ -58,6 +75,11 @@ impl ObliviousTable {
         self.cells.len()
     }
 
+    /// The round salt keying this table's hashes.
+    pub fn salt(&self) -> &[u8; 32] {
+        &self.salt
+    }
+
     /// True if the table has no cells (cannot occur).
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
@@ -65,25 +87,44 @@ impl ObliviousTable {
 
     /// The cell index an item hashes to.
     pub fn cell_of(&self, item: &[u8]) -> usize {
-        let digest = sha256_concat(&[b"psc-item", &self.salt, item]);
-        let x = U256::from_bytes_be(&digest);
-        // Reduce to the table size; the bias for b ≪ 2^256 is negligible.
-        (x.low_u128() % self.cells.len() as u128) as usize
+        cell_index(&self.salt, self.cells.len(), item)
     }
 
     /// Marks an item as observed.
     pub fn observe<R: Rng + ?Sized>(&mut self, item: &[u8], rng: &mut R) {
-        let digest = sha256_concat(&[b"psc-dedup", &self.salt, item]);
-        let short = u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"));
+        let short = dedup_key(&self.salt, item);
         if !self.seen.insert(short) {
             return; // already marked this period
         }
         let idx = self.cell_of(item);
+        self.mark_cell(idx, rng);
+    }
+
+    /// Marks one cell directly: multiplies it by a fresh encryption of a
+    /// random group element and rerandomizes. Used by the sharded path,
+    /// where items are pre-bucketed into cell indices
+    /// ([`crate::shard`]) and the ciphertext work happens exactly once
+    /// per occupied cell at merge.
+    pub fn mark_cell<R: Rng + ?Sized>(&mut self, idx: usize, rng: &mut R) {
         let random_mark = self.gp.random_non_identity(rng);
         let enc = encrypt(&self.gp, &self.key, &random_mark, rng);
         let combined = mul_ciphertexts(&self.gp, &self.cells[idx], &enc);
         self.cells[idx] = rerandomize(&self.gp, &self.key, &combined, rng);
         self.marks += 1;
+    }
+
+    /// Marks a set of cells in ascending index order with a single RNG —
+    /// the deterministic merge step of the sharded path. Ciphertext
+    /// randomness is consumed in cell order, so the resulting table is
+    /// bit-identical however the cells were accumulated.
+    pub fn mark_cells<R: Rng + ?Sized>(
+        &mut self,
+        cells: impl IntoIterator<Item = usize>,
+        rng: &mut R,
+    ) {
+        for idx in cells {
+            self.mark_cell(idx, rng);
+        }
     }
 
     /// Consumes the table, returning the cells for transmission.

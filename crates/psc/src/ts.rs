@@ -9,11 +9,11 @@
 use crate::cp::{dec_transcript, exp_transcript, CpNode};
 use crate::messages::{self, tag};
 use crate::table::combine_tables;
+use parking_lot::Mutex;
 use pm_crypto::elgamal::{combine_partial_decryptions, Ciphertext};
 use pm_crypto::group::{GroupElement, GroupParams};
 use pm_net::party::{Node, NodeError, Step};
 use pm_net::transport::{Endpoint, Envelope, PartyId};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The raw outcome the TS publishes.
@@ -105,9 +105,7 @@ impl PscTsNode {
         if msg.with_noise[..n_in] != self.mix_input[..] {
             return Err(NodeError::Protocol("CP altered the input table".into()));
         }
-        if msg.post_exp.len() != msg.with_noise.len()
-            || msg.output.len() != msg.with_noise.len()
-        {
+        if msg.post_exp.len() != msg.with_noise.len() || msg.output.len() != msg.with_noise.len() {
             return Err(NodeError::Protocol("mix stage length mismatch".into()));
         }
         if self.verify {
@@ -153,8 +151,7 @@ impl PscTsNode {
             .collect();
         let mut marked = 0u64;
         for (j, cell) in self.final_table.iter().enumerate() {
-            let cell_partials: Vec<GroupElement> =
-                partials.iter().map(|p| p[j]).collect();
+            let cell_partials: Vec<GroupElement> = partials.iter().map(|p| p[j]).collect();
             let plain = combine_partial_decryptions(&self.gp, cell, &cell_partials);
             if plain != self.gp.identity() {
                 marked += 1;

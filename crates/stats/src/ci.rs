@@ -186,7 +186,10 @@ mod tests {
         let network = local.scale_to_network(0.015);
         assert!((network.value - 2.133e9).abs() < 5e7);
         let half_width = (network.ci.hi - network.ci.lo) / 2.0;
-        assert!((half_width - 4.05e8).abs() < 2e7, "half width {half_width:e}");
+        assert!(
+            (half_width - 4.05e8).abs() < 2e7,
+            "half width {half_width:e}"
+        );
     }
 
     #[test]

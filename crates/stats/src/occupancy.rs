@@ -258,8 +258,6 @@ mod tests {
         let d = OccupancyDist::exact(1 << 16, 20_000);
         let (lo, hi) = d.support();
         assert!(hi - lo < 4_000, "window {} too wide", hi - lo);
-        assert!(
-            (d.mean() - OccupancyDist::mean_exact(1 << 16, 20_000)).abs() < 1e-3
-        );
+        assert!((d.mean() - OccupancyDist::mean_exact(1 << 16, 20_000)).abs() < 1e-3);
     }
 }

@@ -71,12 +71,7 @@ fn observation_cdf(bins: u64, u: u64, noise_flips: u64, k: i64) -> f64 {
 ///
 /// Returns the point estimate (collision-corrected mean inversion after
 /// subtracting expected noise) and the test-inversion interval.
-pub fn psc_confidence_interval(
-    bins: u64,
-    observed: i64,
-    noise_flips: u64,
-    conf: f64,
-) -> Estimate {
+pub fn psc_confidence_interval(bins: u64, observed: i64, noise_flips: u64, conf: f64) -> Estimate {
     assert!(conf > 0.0 && conf < 1.0);
     let tail = (1.0 - conf) / 2.0;
     // Point estimate: subtract expected noise, invert the occupancy mean.
@@ -88,14 +83,13 @@ pub fn psc_confidence_interval(
     // The observation is stochastically increasing in u, so both
     // boundaries are found by binary search.
     let accept_low = |u: u64| observation_cdf(bins, u, noise_flips, observed) > tail;
-    let accept_high = |u: u64| {
-        1.0 - observation_cdf(bins, u, noise_flips, observed - 1) > tail
-    };
+    let accept_high = |u: u64| 1.0 - observation_cdf(bins, u, noise_flips, observed - 1) > tail;
 
     // Upper bound of search: invert the mean at the most optimistic
     // occupied count, padded generously.
-    let max_occ = (denoised + 6.0 * ((noise_flips as f64 / 4.0).sqrt() + (bins as f64).sqrt()) + 10.0)
-        .min(bins as f64 * (1.0 - 1e-12));
+    let max_occ =
+        (denoised + 6.0 * ((noise_flips as f64 / 4.0).sqrt() + (bins as f64).sqrt()) + 10.0)
+            .min(bins as f64 * (1.0 - 1e-12));
     let mut u_max = OccupancyDist::invert_mean(bins, max_occ).ceil() as u64 + 10;
     // Guard: if accept_low still holds at u_max, extend (rare: saturated
     // tables).
@@ -171,10 +165,7 @@ mod tests {
         let expect_occupied = OccupancyDist::mean_exact(bins, u_true).round() as i64;
         let est = psc_confidence_interval(bins, expect_occupied, 0, 0.95);
         assert!(est.value > expect_occupied as f64);
-        assert!(
-            est.ci.contains(u_true as f64),
-            "true {u_true} not in {est}"
-        );
+        assert!(est.ci.contains(u_true as f64), "true {u_true} not in {est}");
     }
 
     #[test]

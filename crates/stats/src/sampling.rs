@@ -26,7 +26,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .inspect(|w| {
-                assert!(w.is_finite() && **w >= 0.0, "weights must be finite and >= 0");
+                assert!(
+                    w.is_finite() && **w >= 0.0,
+                    "weights must be finite and >= 0"
+                );
             })
             .sum();
         assert!(total > 0.0, "total weight must be positive");

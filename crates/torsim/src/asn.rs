@@ -133,10 +133,7 @@ mod tests {
             seen.insert(db.as_of(IpAddr(rng.gen())).0);
         }
         let count = seen.len();
-        assert!(
-            count > 4_000 && count < 45_000,
-            "observed {count} ASes"
-        );
+        assert!(count > 4_000 && count < 45_000, "observed {count} ASes");
         assert!(count < db.distinct_assigned() + 1);
     }
 

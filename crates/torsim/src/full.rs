@@ -149,7 +149,8 @@ impl<'a> FullSim<'a> {
         truth.unique_ips = self.cfg.clients;
         for c in 0..self.cfg.clients {
             let ip = {
-                let mut iprng = StdRng::seed_from_u64(self.cfg.seed ^ (c.wrapping_mul(0x9e3779b97f4a7c15)));
+                let mut iprng =
+                    StdRng::seed_from_u64(self.cfg.seed ^ (c.wrapping_mul(0x9e3779b97f4a7c15)));
                 self.geo.sample_ip(&mut iprng)
             };
             let n_conn = sample_count(self.cfg.connections_per_client, &mut rng);
@@ -170,8 +171,7 @@ impl<'a> FullSim<'a> {
                     },
                     &mut events,
                 );
-                let bytes = (self.cfg.bytes_per_connection
-                    * (0.5 + rng.gen::<f64>())) as u64;
+                let bytes = (self.cfg.bytes_per_connection * (0.5 + rng.gen::<f64>())) as u64;
                 truth.bytes += bytes;
                 emit(
                     TorEvent::EntryBytes {
@@ -230,10 +230,7 @@ impl<'a> FullSim<'a> {
         for s in 0..self.cfg.onion_services {
             let addr = OnionAddr::from_index(s);
             for dir in ring.responsible(&addr, 0) {
-                emit(
-                    TorEvent::HsDescPublish { relay: dir, addr },
-                    &mut events,
-                );
+                emit(TorEvent::HsDescPublish { relay: dir, addr }, &mut events);
             }
         }
 
@@ -328,7 +325,11 @@ mod tests {
         let exit_frac = consensus.instrumented_fraction(Position::Exit);
         let inferred = observed_streams / exit_frac;
         let rel_err = (inferred - truth.exit_streams as f64).abs() / truth.exit_streams as f64;
-        assert!(rel_err < 0.15, "inferred {inferred}, truth {}", truth.exit_streams);
+        assert!(
+            rel_err < 0.15,
+            "inferred {inferred}, truth {}",
+            truth.exit_streams
+        );
     }
 
     #[test]
@@ -339,8 +340,10 @@ mod tests {
             seed: 42,
             ..Default::default()
         };
-        let (e1, t1) = FullSim::new(&consensus, &sites, &geo, cfg.clone()).run_day(&DomainMix::paper_default());
-        let (e2, t2) = FullSim::new(&consensus, &sites, &geo, cfg).run_day(&DomainMix::paper_default());
+        let (e1, t1) = FullSim::new(&consensus, &sites, &geo, cfg.clone())
+            .run_day(&DomainMix::paper_default());
+        let (e2, t2) =
+            FullSim::new(&consensus, &sites, &geo, cfg).run_day(&DomainMix::paper_default());
         assert_eq!(e1.len(), e2.len());
         assert_eq!(t1.exit_streams, t2.exit_streams);
         assert_eq!(t1.bytes, t2.bytes);

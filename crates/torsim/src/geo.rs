@@ -76,11 +76,9 @@ impl GeoDb {
         let remaining = 1.0 - named_total;
         let decay: f64 = 0.985;
         let norm: f64 = (0..filler).map(|i| decay.powi(i as i32)).sum();
-        let used: std::collections::HashSet<CountryCode> =
-            shares.iter().map(|(c, _)| *c).collect();
-        let mut candidates = (0..26 * 26).map(|i| {
-            CountryCode([b'A' + (i / 26) as u8, b'A' + (i % 26) as u8])
-        });
+        let used: std::collections::HashSet<CountryCode> = shares.iter().map(|(c, _)| *c).collect();
+        let mut candidates =
+            (0..26 * 26).map(|i| CountryCode([b'A' + (i / 26) as u8, b'A' + (i % 26) as u8]));
         for i in 0..filler {
             let code = candidates
                 .by_ref()
@@ -163,11 +161,7 @@ impl GeoDb {
     }
 
     /// Samples an IP within a specific country's block.
-    pub fn sample_ip_in<R: Rng + ?Sized>(
-        &self,
-        code: CountryCode,
-        rng: &mut R,
-    ) -> Option<IpAddr> {
+    pub fn sample_ip_in<R: Rng + ?Sized>(&self, code: CountryCode, rng: &mut R) -> Option<IpAddr> {
         let i = self.blocks.iter().position(|b| b.code == code)?;
         let start = self.blocks[i].start;
         let end = if i + 1 < self.blocks.len() {
@@ -253,10 +247,8 @@ mod tests {
 
     #[test]
     fn custom_shares() {
-        let db = GeoDb::from_shares(&[
-            (CountryCode::new("AA"), 3.0),
-            (CountryCode::new("BB"), 1.0),
-        ]);
+        let db =
+            GeoDb::from_shares(&[(CountryCode::new("AA"), 3.0), (CountryCode::new("BB"), 1.0)]);
         assert!((db.share(CountryCode::new("AA")) - 0.75).abs() < 1e-12);
         assert_eq!(db.country_of(IpAddr(0)), CountryCode::new("AA"));
         assert_eq!(db.country_of(IpAddr(u32::MAX)), CountryCode::new("BB"));

@@ -63,9 +63,7 @@ impl HsDirRing {
         let start = self
             .ring
             .partition_point(|(pos, _)| pos.as_slice() <= desc_id.as_slice());
-        (0..take)
-            .map(|k| self.ring[(start + k) % n].1)
-            .collect()
+        (0..take).map(|k| self.ring[(start + k) % n].1).collect()
     }
 
     /// All HSDirs responsible for an address on a given day, over all

@@ -35,6 +35,7 @@ pub mod ids;
 pub mod relay;
 pub mod sampled;
 pub mod sites;
+pub mod stream;
 pub mod v3;
 pub mod workload;
 
@@ -48,9 +49,7 @@ pub const DAY_SECS: u64 = 86_400;
 pub mod prelude {
     pub use crate::asn::AsDb;
     pub use crate::churn::ChurnModel;
-    pub use crate::events::{
-        AddrKind, DescFetchOutcome, PortClass, RendOutcome, TorEvent,
-    };
+    pub use crate::events::{AddrKind, DescFetchOutcome, PortClass, RendOutcome, TorEvent};
     pub use crate::full::{FullSim, FullSimConfig};
     pub use crate::geo::GeoDb;
     pub use crate::hashring::HsDirRing;
@@ -58,6 +57,7 @@ pub mod prelude {
     pub use crate::relay::{Consensus, Relay, RelayFlags};
     pub use crate::sampled::SampledSim;
     pub use crate::sites::{SiteList, SiteListConfig};
+    pub use crate::stream::{EventStream, StreamSim};
     pub use crate::workload::{ClientTruth, ExitTruth, OnionTruth, Workload};
     pub use crate::DAY_SECS;
 }

@@ -166,7 +166,9 @@ impl Consensus {
         let w = 1.0;
         for i in 0..n_background {
             let flags = match i % 3 {
-                0 => RelayFlags::FAST.union(RelayFlags::GUARD).union(RelayFlags::HSDIR),
+                0 => RelayFlags::FAST
+                    .union(RelayFlags::GUARD)
+                    .union(RelayFlags::HSDIR),
                 1 => RelayFlags::FAST.union(RelayFlags::EXIT),
                 _ => RelayFlags::FAST,
             };

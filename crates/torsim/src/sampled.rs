@@ -23,6 +23,48 @@ use pm_stats::sampling::{AliasTable, ZipfSampler};
 use rand::Rng;
 
 /// The sampled-observation generator.
+/// Pre-built per-country sampling tables for
+/// [`SampledSim::client_traffic_with`]: the expensive, site-independent
+/// setup (three alias tables over ~250 countries), built once and
+/// shared across shards/partitions.
+pub struct ClientTrafficTables {
+    countries: Vec<CountryCode>,
+    conn_alias: AliasTable,
+    circ_alias: AliasTable,
+    byte_alias: AliasTable,
+}
+
+impl ClientTrafficTables {
+    /// Builds the samplers for the three statistics.
+    pub fn new(geo: &GeoDb, truth: &ClientTruth) -> ClientTrafficTables {
+        let countries: Vec<CountryCode> = geo.countries().collect();
+        let conn_w: Vec<f64> = countries.iter().map(|c| geo.share(*c)).collect();
+        let boost = |boosts: &[(CountryCode, f64)], c: CountryCode| -> f64 {
+            boosts
+                .iter()
+                .find(|(bc, _)| *bc == c)
+                .map(|(_, m)| *m)
+                .unwrap_or(1.0)
+        };
+        let circ_w: Vec<f64> = countries
+            .iter()
+            .zip(&conn_w)
+            .map(|(c, w)| w * boost(&truth.circuit_boost, *c))
+            .collect();
+        let byte_w: Vec<f64> = countries
+            .iter()
+            .zip(&conn_w)
+            .map(|(c, w)| w * boost(&truth.byte_boost, *c))
+            .collect();
+        ClientTrafficTables {
+            conn_alias: AliasTable::new(&conn_w),
+            circ_alias: AliasTable::new(&circ_w),
+            byte_alias: AliasTable::new(&byte_w),
+            countries,
+        }
+    }
+}
+
 pub struct SampledSim<'a> {
     /// Site universe for domain events.
     pub sites: &'a SiteList,
@@ -102,9 +144,26 @@ impl<'a> SampledSim<'a> {
         scale: f64,
         only_initial: bool,
         rng: &mut R,
-        mut f: impl FnMut(TorEvent),
+        f: impl FnMut(TorEvent),
     ) {
         let sampler = DomainSampler::new(self.sites, &truth.mix);
+        self.exit_streams_with(&sampler, truth, fraction, scale, only_initial, rng, f);
+    }
+
+    /// [`Self::exit_streams`] with a caller-built [`DomainSampler`], so
+    /// sharded generation can amortize the alias-table construction
+    /// across many partitions (see [`crate::stream`]).
+    #[allow(clippy::too_many_arguments)] // mirrors exit_streams plus the shared sampler
+    pub fn exit_streams_with<R: Rng + ?Sized>(
+        &self,
+        sampler: &DomainSampler<'_>,
+        truth: &ExitTruth,
+        fraction: f64,
+        scale: f64,
+        only_initial: bool,
+        rng: &mut R,
+        mut f: impl FnMut(TorEvent),
+    ) {
         let total = truth.streams_per_day * fraction * scale;
         let initial_total = poisson_approx(total * truth.initial_fraction, rng);
         let subsequent_total = if only_initial {
@@ -160,31 +219,30 @@ impl<'a> SampledSim<'a> {
         fraction: f64,
         scale: f64,
         rng: &mut R,
+        f: impl FnMut(TorEvent),
+    ) {
+        let tables = ClientTrafficTables::new(self.geo, truth);
+        self.client_traffic_with(&tables, truth, fraction, scale, rng, f);
+    }
+
+    /// [`Self::client_traffic`] with pre-built sampling tables, so
+    /// sharded generation amortizes the per-country alias construction
+    /// across partitions (see [`crate::stream`]).
+    pub fn client_traffic_with<R: Rng + ?Sized>(
+        &self,
+        tables: &ClientTrafficTables,
+        truth: &ClientTruth,
+        fraction: f64,
+        scale: f64,
+        rng: &mut R,
         mut f: impl FnMut(TorEvent),
     ) {
-        // Per-country samplers for the three statistics.
-        let countries: Vec<CountryCode> = self.geo.countries().collect();
-        let conn_w: Vec<f64> = countries.iter().map(|c| self.geo.share(*c)).collect();
-        let boost = |boosts: &[(CountryCode, f64)], c: CountryCode| -> f64 {
-            boosts
-                .iter()
-                .find(|(bc, _)| *bc == c)
-                .map(|(_, m)| *m)
-                .unwrap_or(1.0)
-        };
-        let circ_w: Vec<f64> = countries
-            .iter()
-            .zip(&conn_w)
-            .map(|(c, w)| w * boost(&truth.circuit_boost, *c))
-            .collect();
-        let byte_w: Vec<f64> = countries
-            .iter()
-            .zip(&conn_w)
-            .map(|(c, w)| w * boost(&truth.byte_boost, *c))
-            .collect();
-        let conn_alias = AliasTable::new(&conn_w);
-        let circ_alias = AliasTable::new(&circ_w);
-        let byte_alias = AliasTable::new(&byte_w);
+        let ClientTrafficTables {
+            countries,
+            conn_alias,
+            circ_alias,
+            byte_alias,
+        } = tables;
 
         let n_conn = poisson_approx(truth.connections_per_day * fraction * scale, rng);
         let n_circ = poisson_approx(truth.circuits_per_day * fraction * scale, rng);
@@ -200,7 +258,7 @@ impl<'a> SampledSim<'a> {
         };
 
         for i in 0..n_conn {
-            let ip = sample_ip(&conn_alias, rng);
+            let ip = sample_ip(conn_alias, rng);
             f(TorEvent::EntryConnection {
                 relay: self.relay_for(i),
                 client_ip: ip,
@@ -208,7 +266,7 @@ impl<'a> SampledSim<'a> {
             // Attach the byte report to the connection (as Tor does at
             // connection end), but with byte-weighted country so the
             // Figure 4 byte panel can differ from the connection panel.
-            let bip = sample_ip(&byte_alias, rng);
+            let bip = sample_ip(byte_alias, rng);
             // Log-normal-ish positive skew around the mean.
             let factor = (sample_gaussian(0.75, rng)).exp();
             let bytes = (mean_bytes * factor / 1.32) as u64; // E[e^N(0,.75²)]≈1.32
@@ -219,7 +277,7 @@ impl<'a> SampledSim<'a> {
             });
         }
         for i in 0..n_circ {
-            let ip = sample_ip(&circ_alias, rng);
+            let ip = sample_ip(circ_alias, rng);
             f(TorEvent::EntryCircuit {
                 relay: self.relay_for(i),
                 client_ip: ip,
@@ -314,9 +372,23 @@ impl<'a> SampledSim<'a> {
         addr_observe_prob: f64,
         scale: f64,
         rng: &mut R,
-        mut f: impl FnMut(TorEvent),
+        f: impl FnMut(TorEvent),
     ) {
-        // Observed address support: which fetched addresses we can see.
+        let observed = Self::fetch_support(truth, addr_observe_prob, scale, rng);
+        self.hsdir_fetch_events(truth, &observed, event_fraction, scale, rng, f);
+    }
+
+    /// Draws the observed-address support for fetch generation: which of
+    /// the network's fetched addresses have one of our relays in their
+    /// responsible HSDir set. Split out so sharded generation
+    /// ([`crate::stream`]) can derive the support once from a dedicated
+    /// RNG and share it across shards.
+    pub fn fetch_support<R: Rng + ?Sized>(
+        truth: &OnionTruth,
+        addr_observe_prob: f64,
+        scale: f64,
+        rng: &mut R,
+    ) -> Vec<u64> {
         let universe = (truth.fetched_addresses as f64 * scale) as u64;
         let mut observed: Vec<u64> = Vec::new();
         for idx in 0..universe {
@@ -324,8 +396,24 @@ impl<'a> SampledSim<'a> {
                 observed.push(idx);
             }
         }
+        observed
+    }
+
+    /// Generates fetch events over a precomputed observed-address
+    /// support (see [`Self::fetch_support`]).
+    pub fn hsdir_fetch_events<R: Rng + ?Sized>(
+        &self,
+        truth: &OnionTruth,
+        observed: &[u64],
+        event_fraction: f64,
+        scale: f64,
+        rng: &mut R,
+        mut f: impl FnMut(TorEvent),
+    ) {
         let success_events = poisson_approx(
-            truth.fetch_attempts_per_day * (1.0 - truth.fetch_fail_fraction) * event_fraction
+            truth.fetch_attempts_per_day
+                * (1.0 - truth.fetch_fail_fraction)
+                * event_fraction
                 * scale,
             rng,
         );
@@ -361,10 +449,7 @@ impl<'a> SampledSim<'a> {
             } else {
                 // Outdated bot lists: addresses that are never published.
                 let idx = 1_000_000_000 + stale_zipf.sample_index(rng) as u64;
-                (
-                    Some(OnionAddr::from_index(idx)),
-                    DescFetchOutcome::NotFound,
-                )
+                (Some(OnionAddr::from_index(idx)), DescFetchOutcome::NotFound)
             };
             f(TorEvent::HsDescFetch {
                 relay: self.relay_for(i),
@@ -378,7 +463,7 @@ impl<'a> SampledSim<'a> {
     /// Whether a synthetic onion address is in the public (ahmia-like)
     /// index, matching the generation scheme in [`Self::hsdir_fetches`].
     pub fn is_public_address(addr_index: u64) -> bool {
-        addr_index % 2 == 0 && addr_index < 1_000_000_000
+        addr_index.is_multiple_of(2) && addr_index < 1_000_000_000
     }
 
     /// Generates rendezvous-circuit events (Table 8). `fraction` is the
@@ -491,7 +576,7 @@ mod tests {
         let mut conn = 0u64;
         let mut circ_ae = 0u64;
         let mut circ = 0u64;
-        sim.client_traffic(&truth, 0.0144, 2e-4, &mut rng, |ev| match ev {
+        sim.client_traffic(&truth, 0.0144, 8e-4, &mut rng, |ev| match ev {
             TorEvent::EntryConnection { client_ip, .. } => {
                 conn += 1;
                 if geo.country_of(client_ip) == CountryCode::new("US") {
@@ -530,7 +615,10 @@ mod tests {
         // Expected: 11e6×0.01×0.0354 + 185 ≈ 3.9k + 185.
         let expect = 11.0e6 * 1e-2 * observe + 185.0;
         let got = ips.len() as f64;
-        assert!((got - expect).abs() < expect * 0.1, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < expect * 0.1,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -541,7 +629,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut success = 0u64;
         let mut fail = 0u64;
-        sim.hsdir_fetches(&truth, 0.00465, 0.0276, 1e-3, &mut rng, |ev| {
+        // 1e-2 scale keeps the observed-address support comfortably
+        // non-empty (at 1e-3 the Binomial(60, 0.0276) support is empty
+        // ~19% of the time) and the fail-rate sd inside the tolerance.
+        sim.hsdir_fetches(&truth, 0.00465, 0.0276, 1e-2, &mut rng, |ev| {
             if let TorEvent::HsDescFetch { outcome, addr, .. } = ev {
                 let _ = addr;
                 match outcome {
@@ -602,6 +693,9 @@ mod tests {
         });
         let expect = 70_826.0 * 0.1 * observe;
         let got = addrs.len() as f64;
-        assert!((got - expect).abs() < expect * 0.15, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < expect * 0.15,
+            "got {got}, expect {expect}"
+        );
     }
 }

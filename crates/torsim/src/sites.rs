@@ -156,27 +156,30 @@ pub struct SiteList {
 /// reproduce Figure 3 (com/net dominate; ru is the largest ccTLD;
 /// a sizeable "other" bucket).
 const TLD_WEIGHTS: [(usize, f64); 15] = [
-    (0, 0.52),          // com
-    (1, 0.035),         // org (torproject dominates .org separately)
-    (2, 0.060),         // net
-    (3, 0.008),         // br
-    (4, 0.006),         // cn
-    (5, 0.016),         // de
-    (6, 0.010),         // fr
-    (7, 0.006),         // in
-    (8, 0.005),         // ir
-    (9, 0.006),         // it
-    (10, 0.012),        // jp
-    (11, 0.008),        // pl
-    (12, 0.042),        // ru
-    (13, 0.012),        // uk
+    (0, 0.52),           // com
+    (1, 0.035),          // org (torproject dominates .org separately)
+    (2, 0.060),          // net
+    (3, 0.008),          // br
+    (4, 0.006),          // cn
+    (5, 0.016),          // de
+    (6, 0.010),          // fr
+    (7, 0.006),          // in
+    (8, 0.005),          // ir
+    (9, 0.006),          // it
+    (10, 0.012),         // jp
+    (11, 0.008),         // pl
+    (12, 0.042),         // ru
+    (13, 0.012),         // uk
     (usize::MAX, 0.214), // other TLDs
 ];
 
 impl SiteList {
     /// Builds the universe.
     pub fn new(cfg: SiteListConfig) -> SiteList {
-        assert!(cfg.alexa_size >= 11_000, "universe must include all family head ranks");
+        assert!(
+            cfg.alexa_size >= 11_000,
+            "universe must include all family head ranks"
+        );
         let mut family_by_rank = HashMap::new();
         for fam in Family::ALL {
             family_by_rank.insert(fam.head_rank(), fam);
@@ -190,8 +193,8 @@ impl SiteList {
                     fam.basename().as_bytes(),
                     &probe.to_be_bytes(),
                 ]);
-                let rank = 11 + u64::from_be_bytes(h[..8].try_into().unwrap())
-                    % (cfg.alexa_size - 11);
+                let rank =
+                    11 + u64::from_be_bytes(h[..8].try_into().unwrap()) % (cfg.alexa_size - 11);
                 probe += 1;
                 if let std::collections::hash_map::Entry::Vacant(e) = family_by_rank.entry(rank) {
                     e.insert(fam);
@@ -251,7 +254,8 @@ impl SiteList {
 
     /// The sibling family of a domain, if any.
     pub fn family(&self, d: DomainId) -> Option<Family> {
-        self.rank(d).and_then(|r| self.family_by_rank.get(&r).copied())
+        self.rank(d)
+            .and_then(|r| self.family_by_rank.get(&r).copied())
     }
 
     /// The Figure 2 rank-set index of an Alexa rank:
@@ -381,7 +385,11 @@ mod tests {
             }
         }
         for fam in Family::ALL {
-            assert_eq!(counts.get(&fam).copied().unwrap_or(0), fam.size(), "{fam:?}");
+            assert_eq!(
+                counts.get(&fam).copied().unwrap_or(0),
+                fam.size(),
+                "{fam:?}"
+            );
         }
     }
 

@@ -1,0 +1,583 @@
+//! Sharded streaming event generation.
+//!
+//! An [`EventStream`] is a set of `K` independent *shards*, each a
+//! deferred generator emitting a slice of one relay's observed events.
+//! Shards are built so that the **multiset of emitted events is
+//! bit-identical for every shard count `K`** under the same seed — the
+//! pipeline's load-bearing correctness contract ("shard-count
+//! invariance", enforced by `tests/shard_invariance.rs` and property
+//! tests in this crate). Downstream accumulators
+//! (`privcount::shard`, `psc::shard`) fold each shard independently —
+//! typically one OS thread per shard via
+//! [`EventStream::fold_parallel`] — and combine per-shard results with
+//! an associative, order-insensitive `merge`.
+//!
+//! # How invariance is achieved
+//!
+//! Two construction schemes, chosen per source:
+//!
+//! * **Partitioned generation** — the stream is divided into a *fixed*
+//!   number of logical partitions ([`PARTITIONS`]), independent of `K`.
+//!   Partition `p` draws from its own RNG seeded by
+//!   `derive_seed(seed, "<label>/part<p>")` and generates `1/PARTITIONS`
+//!   of the configured mean volume (Poisson thinning: a
+//!   `Poisson(λ)` total is distributed identically to the sum of
+//!   `PARTITIONS` independent `Poisson(λ/PARTITIONS)` draws). Shard `j`
+//!   of `K` runs partitions `{p : p ≡ j (mod K)}` in ascending order,
+//!   so the union over shards is the same set of partitions — hence the
+//!   same events — for every `K`. Used for the high-volume streams
+//!   (exit streams, client traffic, rendezvous, HSDir fetches), where
+//!   generation itself is the hot path.
+//! * **Replayed generation** — sources whose output is a single
+//!   deterministic sequence with *union semantics over a shared
+//!   universe* (the unique-client-IP pool, the published-address
+//!   universe) cannot be mean-split without changing what "unique"
+//!   means. Each shard replays the full generator from the same
+//!   dedicated RNG and emits only events whose global index `i`
+//!   satisfies `i ≡ j (mod K)`. Exactly the unsharded event sequence is
+//!   emitted, split `K` ways, at the cost of `K` replays — acceptable
+//!   because these sources are orders of magnitude smaller than the
+//!   stream sources.
+//!
+//! Sources that need shared randomness across shards (the fetch
+//! support, the client-IP pool size) draw it from a *dedicated* RNG
+//! seeded by `derive_seed(seed, "<label>/support")`, recomputed
+//! identically inside every shard so no shard ordering can perturb it.
+//!
+//! The `full` simulation mode is covered by [`EventStream::from_events`]:
+//! materialized event lists shard by index filter.
+
+use crate::events::TorEvent;
+use crate::geo::GeoDb;
+use crate::ids::RelayId;
+use crate::sampled::{ClientTrafficTables, SampledSim};
+use crate::sites::SiteList;
+use crate::workload::{ClientTruth, DomainSampler, DomainSamplerTables, ExitTruth, OnionTruth};
+use pm_stats::sampling::derive_seed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Fixed partition count for mean-split sources. Constant across shard
+/// counts by design: shard `j` of `K` owns partitions `p ≡ j (mod K)`.
+pub const PARTITIONS: usize = 64;
+
+/// One shard's deferred generator.
+pub type ShardFn = Box<dyn FnOnce(&mut dyn FnMut(TorEvent)) + Send>;
+
+/// A sharded, deferred event stream (see module docs).
+pub struct EventStream {
+    shards: Vec<ShardFn>,
+}
+
+impl EventStream {
+    /// Builds a stream from explicit shard generators.
+    pub fn from_shards(shards: Vec<ShardFn>) -> EventStream {
+        assert!(!shards.is_empty(), "stream needs at least one shard");
+        EventStream { shards }
+    }
+
+    /// Shards a materialized event list by index filter (covers the
+    /// `full` simulation mode, whose events are produced in one pass).
+    pub fn from_events(events: Vec<TorEvent>, shards: usize) -> EventStream {
+        let shards = shards.max(1);
+        let events = Arc::new(events);
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let events = Arc::clone(&events);
+                    let f: ShardFn = Box::new(move |sink| {
+                        for ev in events.iter().skip(j).step_by(shards) {
+                            sink(*ev);
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Concatenates streams shard-wise: shard `j` of the result runs
+    /// shard `j` of each input in order. All inputs must have the same
+    /// shard count. Each input's shard-count invariance carries over to
+    /// the concatenation (used for multi-day collection periods).
+    pub fn chain(streams: Vec<EventStream>) -> EventStream {
+        assert!(!streams.is_empty());
+        let k = streams[0].num_shards();
+        assert!(
+            streams.iter().all(|s| s.num_shards() == k),
+            "chained streams must have equal shard counts"
+        );
+        let mut per_shard: Vec<Vec<ShardFn>> = (0..k).map(|_| Vec::new()).collect();
+        for stream in streams {
+            for (j, shard) in stream.shards.into_iter().enumerate() {
+                per_shard[j].push(shard);
+            }
+        }
+        EventStream::from_shards(
+            per_shard
+                .into_iter()
+                .map(|parts| {
+                    let f: ShardFn = Box::new(move |sink| {
+                        for part in parts {
+                            part(sink);
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs every shard on the calling thread, in shard order.
+    pub fn for_each(self, mut sink: impl FnMut(TorEvent)) {
+        for shard in self.shards {
+            shard(&mut sink);
+        }
+    }
+
+    /// Degrades the stream to a single sequential generator closure.
+    pub fn into_generator(self) -> ShardFn {
+        Box::new(move |sink| {
+            for shard in self.shards {
+                shard(sink);
+            }
+        })
+    }
+
+    /// Folds every shard into its own accumulator — one OS thread per
+    /// shard when there is more than one — and returns the accumulators
+    /// in shard order. Callers combine them with an associative merge;
+    /// any order-insensitive merge preserves shard-count invariance.
+    pub fn fold_parallel<A, I, F>(self, make: I, ingest: F) -> Vec<A>
+    where
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, TorEvent) + Sync,
+    {
+        if self.shards.len() == 1 {
+            let mut acc = make(0);
+            for shard in self.shards {
+                shard(&mut |ev| ingest(&mut acc, ev));
+            }
+            return vec![acc];
+        }
+        let shards = self.shards;
+        std::thread::scope(|scope| {
+            let make = &make;
+            let ingest = &ingest;
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(j, shard)| {
+                    scope.spawn(move || {
+                        let mut acc = make(j);
+                        shard(&mut |ev| ingest(&mut acc, ev));
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream shard panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Builds sharded [`EventStream`]s over the sampled-observation model —
+/// the streaming counterpart of [`SampledSim`].
+#[derive(Clone)]
+pub struct StreamSim {
+    /// Site universe for domain events.
+    pub sites: Arc<SiteList>,
+    /// Geo database for client IPs.
+    pub geo: Arc<GeoDb>,
+    /// Instrumented relays to attribute events to.
+    pub relays: Vec<RelayId>,
+    /// Base seed; per-partition RNGs derive from it.
+    pub seed: u64,
+}
+
+/// The partition indices a shard owns, in ascending order.
+fn shard_partitions(shard: usize, num_shards: usize) -> impl Iterator<Item = usize> {
+    (0..PARTITIONS).filter(move |p| p % num_shards == shard)
+}
+
+impl StreamSim {
+    /// Creates a stream builder attributing events to `relays`.
+    pub fn new(
+        sites: Arc<SiteList>,
+        geo: Arc<GeoDb>,
+        relays: Vec<RelayId>,
+        seed: u64,
+    ) -> StreamSim {
+        assert!(!relays.is_empty());
+        StreamSim {
+            sites,
+            geo,
+            relays,
+            seed,
+        }
+    }
+
+    fn partition_rng(&self, label: &str, p: usize) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.seed, &format!("{label}/part{p}")))
+    }
+
+    fn support_rng(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.seed, &format!("{label}/support")))
+    }
+
+    /// Sharded [`SampledSim::exit_streams`]: each shard builds the
+    /// domain sampler once and generates its partitions' share of the
+    /// Poisson volume.
+    pub fn exit_streams(
+        &self,
+        truth: &ExitTruth,
+        fraction: f64,
+        scale: f64,
+        only_initial: bool,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.clamp(1, PARTITIONS);
+        let per_part = scale / PARTITIONS as f64;
+        // One alias-table build shared by every shard: the tables are the
+        // sampler's only expensive part, and rebuilding them per shard
+        // would put a K-proportional serial cost in front of the
+        // parallel section.
+        let tables = Arc::new(DomainSamplerTables::new(&self.sites, &truth.mix));
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let tables = Arc::clone(&tables);
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        let sampler = DomainSampler::with_tables(&this.sites, tables);
+                        for p in shard_partitions(j, shards) {
+                            let mut rng = this.partition_rng(&label, p);
+                            sim.exit_streams_with(
+                                &sampler,
+                                &truth,
+                                fraction,
+                                per_part,
+                                only_initial,
+                                &mut rng,
+                                &mut *sink,
+                            );
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Sharded [`SampledSim::client_traffic`].
+    pub fn client_traffic(
+        &self,
+        truth: &ClientTruth,
+        fraction: f64,
+        scale: f64,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.clamp(1, PARTITIONS);
+        let per_part = scale / PARTITIONS as f64;
+        // Like exit_streams' sampler tables: one per-country alias build
+        // shared by every shard and partition.
+        let tables = Arc::new(ClientTrafficTables::new(&self.geo, truth));
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let tables = Arc::clone(&tables);
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        for p in shard_partitions(j, shards) {
+                            let mut rng = this.partition_rng(&label, p);
+                            sim.client_traffic_with(
+                                &tables, &truth, fraction, per_part, &mut rng, &mut *sink,
+                            );
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Sharded [`SampledSim::rendezvous`].
+    pub fn rendezvous(
+        &self,
+        truth: &OnionTruth,
+        fraction: f64,
+        scale: f64,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.clamp(1, PARTITIONS);
+        let per_part = scale / PARTITIONS as f64;
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        for p in shard_partitions(j, shards) {
+                            let mut rng = this.partition_rng(&label, p);
+                            sim.rendezvous(&truth, fraction, per_part, &mut rng, &mut *sink);
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Sharded [`SampledSim::hsdir_fetches`]. The observed-address
+    /// support is drawn from a dedicated support RNG and recomputed
+    /// identically inside every shard, so the success stream covers the
+    /// same support regardless of `K`; event volumes mean-split across
+    /// partitions.
+    pub fn hsdir_fetches(
+        &self,
+        truth: &OnionTruth,
+        event_fraction: f64,
+        addr_observe_prob: f64,
+        scale: f64,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.clamp(1, PARTITIONS);
+        let per_part_events = 1.0 / PARTITIONS as f64;
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        let mut srng = this.support_rng(&label);
+                        let observed =
+                            SampledSim::fetch_support(&truth, addr_observe_prob, scale, &mut srng);
+                        for p in shard_partitions(j, shards) {
+                            let mut rng = this.partition_rng(&label, p);
+                            sim.hsdir_fetch_events(
+                                &truth,
+                                &observed,
+                                event_fraction * per_part_events,
+                                scale,
+                                &mut rng,
+                                &mut *sink,
+                            );
+                        }
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Sharded [`SampledSim::client_ips`]: replayed generation (the
+    /// unique-IP pool has union semantics over a shared universe — see
+    /// module docs). Every shard replays the full pool from the same
+    /// dedicated RNG and keeps events with index `≡ shard (mod K)`.
+    pub fn client_ips(
+        &self,
+        truth: &ClientTruth,
+        observe_prob: f64,
+        scale: f64,
+        day: u64,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.max(1);
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        let mut rng = this.support_rng(&label);
+                        let mut i = 0usize;
+                        sim.client_ips(&truth, observe_prob, scale, day, &mut rng, |ev| {
+                            if i % shards == j {
+                                sink(ev);
+                            }
+                            i += 1;
+                        });
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+
+    /// Sharded [`SampledSim::hsdir_publishes`]: replayed generation
+    /// (per-address observation over a shared universe).
+    pub fn hsdir_publishes(
+        &self,
+        truth: &OnionTruth,
+        observe_prob: f64,
+        scale: f64,
+        shards: usize,
+        label: &str,
+    ) -> EventStream {
+        let shards = shards.max(1);
+        EventStream::from_shards(
+            (0..shards)
+                .map(|j| {
+                    let this = self.clone();
+                    let truth = truth.clone();
+                    let label = label.to_string();
+                    let f: ShardFn = Box::new(move |sink| {
+                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+                        let mut rng = this.support_rng(&label);
+                        let mut i = 0usize;
+                        sim.hsdir_publishes(&truth, observe_prob, scale, &mut rng, |ev| {
+                            if i % shards == j {
+                                sink(ev);
+                            }
+                            i += 1;
+                        });
+                    });
+                    f
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::SiteListConfig;
+    use crate::workload::Workload;
+
+    fn setup() -> StreamSim {
+        let sites = Arc::new(SiteList::new(SiteListConfig {
+            alexa_size: 20_000,
+            long_tail_size: 50_000,
+            seed: 5,
+        }));
+        let geo = Arc::new(GeoDb::paper_default());
+        StreamSim::new(sites, geo, vec![RelayId(0), RelayId(1)], 99)
+    }
+
+    /// Canonical multiset fingerprint of a stream's output.
+    fn collect_sorted(stream: EventStream) -> Vec<String> {
+        let mut out = Vec::new();
+        stream.for_each(|ev| out.push(format!("{ev:?}")));
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn exit_stream_invariant_in_shard_count() {
+        let sim = setup();
+        let truth = Workload::paper_default().exit;
+        let base = collect_sorted(sim.exit_streams(&truth, 0.015, 1e-4, false, 1, "x"));
+        assert!(base.len() > 1000, "{}", base.len());
+        for k in [2, 4, 16] {
+            let k_events = collect_sorted(sim.exit_streams(&truth, 0.015, 1e-4, false, k, "x"));
+            assert_eq!(base, k_events, "shard count {k} changed the stream");
+        }
+    }
+
+    #[test]
+    fn client_ips_invariant_and_matches_replay() {
+        let sim = setup();
+        let truth = Workload::paper_default().clients;
+        let base = collect_sorted(sim.client_ips(&truth, 0.03, 1e-2, 0, 1, "ips"));
+        assert!(base.len() > 100);
+        for k in [3, 8] {
+            let k_events = collect_sorted(sim.client_ips(&truth, 0.03, 1e-2, 0, k, "ips"));
+            assert_eq!(base, k_events);
+        }
+    }
+
+    #[test]
+    fn fetches_and_publishes_invariant() {
+        let sim = setup();
+        let truth = Workload::paper_default().onion;
+        let base = collect_sorted(sim.hsdir_fetches(&truth, 0.005, 0.03, 1e-2, 1, "f"));
+        for k in [4, 7] {
+            assert_eq!(
+                base,
+                collect_sorted(sim.hsdir_fetches(&truth, 0.005, 0.03, 1e-2, k, "f"))
+            );
+        }
+        let base = collect_sorted(sim.hsdir_publishes(&truth, 0.05, 0.1, 1, "p"));
+        assert!(!base.is_empty());
+        for k in [2, 5] {
+            assert_eq!(
+                base,
+                collect_sorted(sim.hsdir_publishes(&truth, 0.05, 0.1, k, "p"))
+            );
+        }
+    }
+
+    #[test]
+    fn from_events_partitions_exactly() {
+        let events: Vec<TorEvent> = (0..100)
+            .map(|i| TorEvent::EntryConnection {
+                relay: RelayId(i % 3),
+                client_ip: crate::ids::IpAddr(i),
+            })
+            .collect();
+        let base = collect_sorted(EventStream::from_events(events.clone(), 1));
+        assert_eq!(base.len(), 100);
+        for k in [2, 3, 7] {
+            assert_eq!(
+                base,
+                collect_sorted(EventStream::from_events(events.clone(), k))
+            );
+        }
+    }
+
+    #[test]
+    fn fold_parallel_matches_sequential() {
+        let sim = setup();
+        let truth = Workload::paper_default().exit;
+        let mut seq = 0u64;
+        sim.exit_streams(&truth, 0.015, 1e-4, false, 1, "fold")
+            .for_each(|_| seq += 1);
+        let parts = sim
+            .exit_streams(&truth, 0.015, 1e-4, false, 8, "fold")
+            .fold_parallel(|_| 0u64, |acc, _| *acc += 1);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().sum::<u64>(), seq);
+    }
+
+    #[test]
+    fn generation_statistics_preserved() {
+        // The mean-split must not change the configured volume.
+        let sim = setup();
+        let truth = Workload::paper_default().exit;
+        let mut total = 0u64;
+        sim.exit_streams(&truth, 0.015, 1e-4, false, 4, "stats")
+            .for_each(|_| total += 1);
+        let expect = 2.0e9 * 0.015 * 1e-4;
+        assert!(
+            (total as f64 - expect).abs() < expect * 0.1,
+            "{total} vs {expect}"
+        );
+    }
+}

@@ -17,6 +17,7 @@ use crate::ids::{CountryCode, DomainId};
 use crate::sites::{Family, SiteList};
 use pm_stats::sampling::AliasTable;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Exit-traffic ground truth (§4, Figures 1–3, Table 2).
 #[derive(Clone, Debug)]
@@ -86,13 +87,13 @@ impl DomainMix {
             amazon_head: 0.076,
             google_head: 0.010,
             other_heads: vec![
-                (2, 0.001),   // youtube
-                (3, 0.003),   // facebook
-                (4, 0.0004),  // baidu
-                (5, 0.0004),  // wikipedia
-                (6, 0.002),   // yahoo
-                (8, 0.0004),  // reddit
-                (9, 0.001),   // qq
+                (2, 0.001),  // youtube
+                (3, 0.003),  // facebook
+                (4, 0.0004), // baidu
+                (5, 0.0004), // wikipedia
+                (6, 0.002),  // yahoo
+                (8, 0.0004), // reddit
+                (9, 0.001),  // qq
             ],
             family_siblings: vec![
                 (Family::Google, 0.014),
@@ -113,6 +114,14 @@ impl DomainMix {
 /// draws are O(1)).
 pub struct DomainSampler<'a> {
     sites: &'a SiteList,
+    tables: Arc<DomainSamplerTables>,
+}
+
+/// The expensive, site-*independent* part of a [`DomainSampler`]: alias
+/// tables and category layout. Owned and `Send + Sync`, so one build
+/// can be shared across shard threads (`torsim::stream` builds these
+/// once per stream instead of once per shard).
+pub struct DomainSamplerTables {
     /// Category alias: indexes into `categories`.
     category_alias: AliasTable,
     categories: Vec<Category>,
@@ -132,9 +141,11 @@ enum Category {
     LongTail,
 }
 
-impl<'a> DomainSampler<'a> {
-    /// Builds the sampler for a site universe.
-    pub fn new(sites: &'a SiteList, mix: &DomainMix) -> DomainSampler<'a> {
+impl DomainSamplerTables {
+    /// Builds the sampling tables for a site universe. The tables
+    /// depend only on the universe's *shape* (sizes, families), not on
+    /// the site list's storage, so they own no borrow of it.
+    pub fn new(sites: &SiteList, mix: &DomainMix) -> DomainSamplerTables {
         let mut categories = Vec::new();
         let mut weights = Vec::new();
 
@@ -197,8 +208,7 @@ impl<'a> DomainSampler<'a> {
             .collect();
         let long_tail_table = AliasTable::new(&tail_w);
 
-        DomainSampler {
-            sites,
+        DomainSamplerTables {
             category_alias: AliasTable::new(&weights),
             categories,
             set_tables,
@@ -206,30 +216,52 @@ impl<'a> DomainSampler<'a> {
             long_tail_table,
         }
     }
+}
+
+impl<'a> DomainSampler<'a> {
+    /// Builds the sampler for a site universe.
+    pub fn new(sites: &'a SiteList, mix: &DomainMix) -> DomainSampler<'a> {
+        DomainSampler {
+            sites,
+            tables: Arc::new(DomainSamplerTables::new(sites, mix)),
+        }
+    }
+
+    /// Wraps pre-built tables (they must come from the same site
+    /// universe) — the cheap path shard threads use.
+    pub fn with_tables(sites: &'a SiteList, tables: Arc<DomainSamplerTables>) -> DomainSampler<'a> {
+        DomainSampler { sites, tables }
+    }
+
+    /// Shares this sampler's tables (for reuse via [`Self::with_tables`]).
+    pub fn tables(&self) -> Arc<DomainSamplerTables> {
+        Arc::clone(&self.tables)
+    }
 
     /// Draws a destination domain.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DomainId {
-        match self.categories[self.category_alias.sample(rng)] {
+        let t = &*self.tables;
+        match t.categories[t.category_alias.sample(rng)] {
             Category::Torproject => self.sites.domain_of_rank(Family::Torproject.head_rank()),
             Category::Head(rank) => self.sites.domain_of_rank(rank),
             Category::FamilySibling(i) => {
-                let members = &self.family_members[i].1;
+                let members = &t.family_members[i].1;
                 self.sites
                     .domain_of_rank(members[rng.gen_range(0..members.len())])
             }
             Category::RankSet(i) => {
                 // set_tables parallel the *retained* rank sets; find it.
-                let pos = self
+                let pos = t
                     .categories
                     .iter()
                     .filter(|c| matches!(c, Category::RankSet(j) if *j < i))
                     .count();
-                let (lo, table) = &self.set_tables[pos];
+                let (lo, table) = &t.set_tables[pos];
                 self.sites.domain_of_rank(lo + table.sample(rng) as u64)
             }
             Category::LongTail => self
                 .sites
-                .long_tail_domain(self.long_tail_table.sample(rng) as u64),
+                .long_tail_domain(t.long_tail_table.sample(rng) as u64),
         }
     }
 }
@@ -282,10 +314,7 @@ impl ClientTruth {
                 (CountryCode::new("FR"), 3.2),
                 (CountryCode::new("PL"), 6.0),
             ],
-            byte_boost: vec![
-                (CountryCode::new("GB"), 1.8),
-                (CountryCode::new("UA"), 1.3),
-            ],
+            byte_boost: vec![(CountryCode::new("GB"), 1.8), (CountryCode::new("UA"), 1.3)],
         }
     }
 

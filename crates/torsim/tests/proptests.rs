@@ -64,7 +64,7 @@ proptest! {
             seed: 3,
         });
         let d = sites.domain_of_rank(rank);
-        prop_assert_eq!(sites.domain_name(d.clone()), sites.domain_name(d));
+        prop_assert_eq!(sites.domain_name(d), sites.domain_name(d));
         prop_assert!(sites.in_alexa(d));
         prop_assert_eq!(sites.rank(d), Some(rank));
         // The name ends with its TLD.

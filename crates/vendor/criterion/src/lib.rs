@@ -1,0 +1,254 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size` / `throughput`),
+//! [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
+//! timed over `sample_size` samples after a short warm-up; the median
+//! per-iteration time (and derived throughput) is printed. Measurements
+//! for every benchmark run are also recorded so custom `main`s can
+//! export them (see [`Criterion::take_measurements`]).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput labelling for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One benchmark's recorded result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 12,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+/// Passed to benchmark closures to time the workload.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that makes one
+        // sample take ≥ ~1ms, so cheap closures aren't all timer noise.
+        let mut iters: u64 = 1;
+        let per_iter_estimate = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        let _ = per_iter_estimate;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.samples = samples.len();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(
+    id: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> Measurement {
+    let mut b = Bencher {
+        sample_size,
+        median_ns: 0.0,
+        samples: 0,
+    };
+    f(&mut b);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 * 1e9 / b.median_ns),
+        Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 * 1e9 / b.median_ns),
+    });
+    println!(
+        "bench: {:<48} {:>12}/iter{}",
+        id,
+        fmt_ns(b.median_ns),
+        rate.unwrap_or_default()
+    );
+    Measurement {
+        id,
+        median_ns: b.median_ns,
+        samples: b.samples,
+        throughput,
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let m = run_one(id.to_string(), self.sample_size, None, &mut f);
+        self.measurements.push(m);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Drains all measurements recorded so far (for custom exporters).
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        let m = run_one(full, sample_size, self.throughput, &mut f);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurement() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "noop");
+        assert!(ms[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("work", |b| b.iter(|| black_box((0..100u64).sum::<u64>())));
+            g.finish();
+        }
+        let ms = c.take_measurements();
+        assert_eq!(ms[0].id, "g/work");
+        assert_eq!(ms[0].samples, 5);
+        assert!(matches!(ms[0].throughput, Some(Throughput::Elements(10))));
+    }
+}

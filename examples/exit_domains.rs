@@ -31,7 +31,15 @@ fn main() {
         .rows
         .iter()
         .find(|r| r.label == "rank other (non-Alexa)")
-        .map(|r| 100.0 - r.measured.split('%').next().unwrap().parse::<f64>().unwrap())
+        .map(|r| {
+            100.0
+                - r.measured
+                    .split('%')
+                    .next()
+                    .unwrap()
+                    .parse::<f64>()
+                    .unwrap()
+        })
         .unwrap();
     println!(
         "≈{alexa_pct:.0}% of primary domains fall in the Alexa top list — \

@@ -13,8 +13,8 @@
 
 use privcount::counter::CounterSpec;
 use privcount::round::{run_round, NoiseAllocation, RoundConfig};
-use psc::round::{run_psc_round, PscConfig};
 use psc::items;
+use psc::round::{run_psc_round, PscConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -107,8 +107,7 @@ fn main() {
             g
         })
         .collect();
-    let result = run_psc_round(cfg, items::unique_client_ips(), generators)
-        .expect("psc round");
+    let result = run_psc_round(cfg, items::unique_client_ips(), generators).expect("psc round");
     let est = result.estimate(0.95);
     println!(
         "PSC:       unique IPs = {est} (raw marked cells: {}, noise flips: {})",

@@ -1,0 +1,63 @@
+//! Golden-report regression tests: the rendered output of a fixed
+//! `run_some(dep, ["T1", "F1", "T2"])` run is committed under
+//! `tests/golden/` and diffed on every run, so pipeline refactors
+//! provably preserve experiment outputs down to the formatted digit.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+//!
+//! then commit the updated snapshot with a note explaining what moved.
+
+use torstudy::deployment::Deployment;
+use torstudy::runner::run_some;
+
+const GOLDEN_PATH: &str = "tests/golden/reports_T1_F1_T2.txt";
+const SCALE: f64 = 1e-4;
+const SEED: u64 = 2018;
+
+fn golden_run() -> String {
+    // Shard count pinned: invariance makes it irrelevant to the output
+    // (see tests/shard_invariance.rs), but pinning keeps the snapshot's
+    // provenance independent of the host's core count by construction.
+    let dep = Deployment::at_scale(SCALE, SEED).with_shards(4);
+    let reports = run_some(&dep, &["T1", "F1", "T2"]);
+    assert_eq!(reports.len(), 3);
+    let mut out = String::new();
+    for r in &reports {
+        out.push_str(&r.render_text());
+        out.push('\n');
+        out.push_str(&r.render_csv());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn reports_match_committed_snapshot() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let got = golden_run();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("missing golden snapshot; run with UPDATE_GOLDEN=1 to create it");
+    if want != got {
+        // Locate the first diverging line for a readable failure.
+        let (mut line, mut a, mut b) = (0usize, "", "");
+        for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+            if w != g {
+                (line, a, b) = (i + 1, w, g);
+                break;
+            }
+        }
+        panic!(
+            "golden snapshot mismatch at {GOLDEN_PATH}:{line}\n  \
+             want: {a}\n  got:  {b}\n\
+             (if the change is intentional, regenerate with UPDATE_GOLDEN=1)"
+        );
+    }
+}

@@ -59,8 +59,7 @@ fn psc_table_is_unreadable_without_joint_key() {
     // Full decryption with both shares does reveal the mark.
     let d1 = pm_crypto::elgamal::partial_decrypt(&gp, &cp1.secret, &cells[marked_idx]);
     let d2 = pm_crypto::elgamal::partial_decrypt(&gp, &cp2.secret, &cells[marked_idx]);
-    let plain =
-        pm_crypto::elgamal::combine_partial_decryptions(&gp, &cells[marked_idx], &[d1, d2]);
+    let plain = pm_crypto::elgamal::combine_partial_decryptions(&gp, &cells[marked_idx], &[d1, d2]);
     assert_ne!(plain, gp.identity());
 }
 
@@ -117,7 +116,7 @@ fn privcount_without_one_sk_reveals_nothing() {
     let truth = 1_000_000i64;
     let (mut reg, shares) = BlindedCounter::blind(0, 3, &mut rng);
     reg.increment(truth);
-    let mut accs = vec![ShareAccumulator::default(); 3];
+    let mut accs = [ShareAccumulator::default(); 3];
     for (k, s) in shares.into_iter().enumerate() {
         accs[k].absorb(s);
     }

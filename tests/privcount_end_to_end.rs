@@ -41,7 +41,9 @@ fn split_by_relay(events: Vec<TorEvent>) -> Vec<Vec<TorEvent>> {
 fn inference_recovers_ground_truth_from_full_simulation() {
     let (consensus, sites, geo) = setup();
     let cfg = FullSimConfig {
-        clients: 1_500,
+        // 4k clients keep the instrumented-guard sampling noise well
+        // inside the 15% inference tolerance.
+        clients: 4_000,
         seed: 42,
         ..Default::default()
     };
@@ -173,5 +175,8 @@ fn dropped_party_aborts_cleanly() {
     }];
     let err = run_round(round, generators).expect_err("must fail");
     let msg = err.to_string();
-    assert!(msg.contains("deadlock") || msg.contains("no result"), "{msg}");
+    assert!(
+        msg.contains("deadlock") || msg.contains("no result"),
+        "{msg}"
+    );
 }

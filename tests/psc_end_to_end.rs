@@ -68,8 +68,8 @@ fn psc_counts_unique_ips_from_full_simulation() {
         threaded: false,
         faults: Default::default(),
     };
-    let result = run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 4))
-        .expect("round");
+    let result =
+        run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 4)).expect("round");
     let est = result.estimate(0.95);
     assert!(
         est.ci.contains(truth_unique as f64),
@@ -124,12 +124,8 @@ fn psc_and_privcount_agree_on_volume_vs_uniqueness() {
         threaded: false,
         faults: Default::default(),
     };
-    let result = run_psc_round(
-        cfg,
-        items::unique_client_ips(),
-        dc_generators(events, 3),
-    )
-    .expect("round");
+    let result =
+        run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 3)).expect("round");
     // Noiseless: marked cells ≤ unique (collisions) and close to it.
     assert!(result.raw.marked <= truth_unique);
     assert!(result.raw.marked as f64 > truth_unique as f64 * 0.95);
