@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy build test test-crates bench golden
+.PHONY: verify fmt fmt-check clippy build test test-crates doc bench golden
 
-verify: fmt-check clippy build test test-crates
+verify: fmt-check clippy doc build test test-crates
 
 fmt:
 	$(CARGO) fmt --all
@@ -15,6 +15,11 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# API docs must build warning-free: broken intra-doc links and doc
+# drift (e.g. module docs describing a removed scheme) fail the gate.
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
 
 build:
 	$(CARGO) build --release

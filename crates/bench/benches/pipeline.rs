@@ -9,11 +9,13 @@ use criterion::{Criterion, Measurement, Throughput};
 use pm_bench::BENCH_SCALE;
 use std::collections::HashSet;
 use std::sync::Arc;
+use torsim::full::{FullSim, FullSimConfig};
 use torsim::geo::GeoDb;
 use torsim::ids::RelayId;
+use torsim::relay::Consensus;
 use torsim::sites::{SiteList, SiteListConfig};
 use torsim::stream::StreamSim;
-use torsim::workload::Workload;
+use torsim::workload::{DomainMix, Workload};
 use torstudy::deployment::Deployment;
 use torstudy::runner::{plan_schedule, run_plan, PlannedRound};
 
@@ -88,6 +90,44 @@ fn bench_psc_accumulate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-mode ingestion: `FullSim::stream_day` generation (truth pass +
+/// native event shards, real path selection throughout) folded into
+/// PrivCount counter accumulators — the path that used to materialize a
+/// `Vec<TorEvent>` and re-slice it with `EventStream::from_events`.
+/// Throughput is counted in *observed* (instrumented-relay) events; the
+/// generated world is ~20× larger.
+fn bench_fullsim_ingest(c: &mut Criterion) {
+    let consensus = Arc::new(Consensus::paper_deployment(400, 0.05, 0.04, 0.04));
+    let sites = Arc::new(SiteList::new(SiteListConfig {
+        alexa_size: 20_000,
+        long_tail_size: 50_000,
+        seed: 2018,
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
+    let cfg = FullSimConfig {
+        clients: 2_000,
+        seed: 2018,
+        ..Default::default()
+    };
+    let sim = FullSim::new(consensus, sites, geo, cfg);
+    let mix = DomainMix::paper_default();
+    let schema = privcount::queries::exit_streams(0.3, 1e-11);
+    let mut events = 0u64;
+    sim.stream_day(&mix, 1).0.for_each(|_| events += 1);
+    let mut group = c.benchmark_group("ingest_fullsim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for k in SHARD_SWEEP {
+        group.bench_function(format!("shards_{k}"), |b| {
+            b.iter(|| {
+                let (stream, truth) = sim.stream_day(&mix, k);
+                (privcount::shard::ingest_stream(stream, &schema), truth)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The registry's cheap PrivCount entries (PSC rounds are dominated by
 /// fixed crypto cost, which parallelism across rounds does not hide on
 /// small machines and which would push a bench iteration past a
@@ -154,6 +194,7 @@ fn export_json(measurements: &[Measurement]) {
 fn main() {
     let mut criterion = Criterion::default();
     bench_privcount_ingest(&mut criterion);
+    bench_fullsim_ingest(&mut criterion);
     bench_psc_accumulate(&mut criterion);
     bench_run_all(&mut criterion);
     export_json(&criterion.take_measurements());

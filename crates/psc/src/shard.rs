@@ -6,8 +6,7 @@
 //! 1. **Accumulate** (shard-parallel, crypto-free): each shard of a
 //!    [`torsim::stream::EventStream`] extracts items and pre-buckets
 //!    them into *cell indices* of the oblivious table using the pure
-//!    [`cell_index`](crate::table::cell_index) /
-//!    [`dedup_key`](crate::table::dedup_key) hashes. The accumulator is
+//!    [`cell_index`] / [`dedup_key`] hashes. The accumulator is
 //!    a plain set; merge is set union — commutative and associative, so
 //!    the merged cell set is identical for every shard count.
 //! 2. **Mark** (sequential, crypto-heavy, exactly once): the merged

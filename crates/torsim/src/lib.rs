@@ -12,6 +12,8 @@
 //!   weighted guards, build circuits through a consensus, open streams,
 //!   publish/fetch onion descriptors. Used by tests and examples where
 //!   every byte of the pipeline should flow through real path selection.
+//!   Generates natively sharded streams ([`full::FullSim::stream_day`])
+//!   under the same shard-count-invariance contract as [`stream`].
 //! * [`sampled`] — the paper-scale mode: given a configured ground truth
 //!   (e.g. 2×10⁹ daily exit streams) and the instrumented relays'
 //!   weight fractions, it generates exactly the event sample those

@@ -44,8 +44,14 @@
 //! seeded by `derive_seed(seed, "<label>/support")`, recomputed
 //! identically inside every shard so no shard ordering can perturb it.
 //!
-//! The `full` simulation mode is covered by [`EventStream::from_events`]:
-//! materialized event lists shard by index filter.
+//! The `full` simulation mode generates natively sharded streams with
+//! the same contract: [`crate::full::FullSim::stream_day`] partitions
+//! clients, descriptor fetches, rendezvous circuits, and service
+//! publishes across the fixed [`PARTITIONS`] with per-partition
+//! counts/paths RNGs, and accumulates ground truth per partition with
+//! an associative merge (see `torsim::full` module docs).
+//! [`EventStream::from_events`] remains as a generic adapter for
+//! already-materialized event lists (fixtures, replayed captures).
 
 use crate::events::TorEvent;
 use crate::geo::GeoDb;
@@ -77,8 +83,10 @@ impl EventStream {
         EventStream { shards }
     }
 
-    /// Shards a materialized event list by index filter (covers the
-    /// `full` simulation mode, whose events are produced in one pass).
+    /// Shards a materialized event list by index filter — an adapter
+    /// for event lists that already exist in memory (test fixtures,
+    /// replayed captures); the simulation modes generate their shards
+    /// natively.
     pub fn from_events(events: Vec<TorEvent>, shards: usize) -> EventStream {
         let shards = shards.max(1);
         let events = Arc::new(events);
@@ -132,6 +140,14 @@ impl EventStream {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Decomposes the stream into its shard generators, e.g. to hand
+    /// each shard to its own Data Collector (the generator types are
+    /// identical). The multiset union of the shards' output is the
+    /// stream's output.
+    pub fn into_shards(self) -> Vec<ShardFn> {
+        self.shards
     }
 
     /// Runs every shard on the calling thread, in shard order.
@@ -204,8 +220,11 @@ pub struct StreamSim {
     pub seed: u64,
 }
 
-/// The partition indices a shard owns, in ascending order.
-fn shard_partitions(shard: usize, num_shards: usize) -> impl Iterator<Item = usize> {
+/// The partition indices a shard owns, in ascending order — the single
+/// definition of the ownership rule `p ≡ shard (mod num_shards)`, used
+/// by every sharded source (the `StreamSim` sources and the full mode)
+/// so the modes cannot diverge on it.
+pub(crate) fn shard_partitions(shard: usize, num_shards: usize) -> impl Iterator<Item = usize> {
     (0..PARTITIONS).filter(move |p| p % num_shards == shard)
 }
 

@@ -5,6 +5,7 @@
 //! produce (stream volume at a given exit fraction), their inferred
 //! network-wide values must agree within sampling error.
 
+use std::sync::Arc;
 use torsim::events::TorEvent;
 use torsim::full::{FullSim, FullSimConfig};
 use torsim::geo::GeoDb;
@@ -16,28 +17,41 @@ use torsim::workload::{DomainMix, ExitTruth};
 
 #[test]
 fn sampled_mode_matches_full_mode_inference() {
-    let sites = SiteList::new(SiteListConfig {
+    let sites = Arc::new(SiteList::new(SiteListConfig {
         alexa_size: 20_000,
         long_tail_size: 50_000,
         seed: 5,
-    });
-    let geo = GeoDb::paper_default();
-    let consensus = Consensus::paper_deployment(500, 0.04, 0.04, 0.04);
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
+    let consensus = Arc::new(Consensus::paper_deployment(500, 0.04, 0.04, 0.04));
     let exit_frac = consensus.instrumented_fraction(Position::Exit);
 
-    // Full mode: simulate, observe at instrumented exits, infer totals.
+    // Full mode: simulate in 4 native shards, observe at instrumented
+    // exits with a parallel fold, infer totals.
     let cfg = FullSimConfig {
         clients: 2_000,
         seed: 77,
         ..Default::default()
     };
-    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
-    let (events, truth) = sim.run_day(&DomainMix::paper_default());
-    let full_observed = events
-        .iter()
-        .filter(|e| matches!(e, TorEvent::ExitStream { .. }))
-        .count() as f64;
-    let full_inferred = full_observed / exit_frac;
+    let sim = FullSim::new(
+        Arc::clone(&consensus),
+        Arc::clone(&sites),
+        Arc::clone(&geo),
+        cfg,
+    );
+    let (stream, truth) = sim.stream_day(&DomainMix::paper_default(), 4);
+    let full_observed: u64 = stream
+        .fold_parallel(
+            |_| 0u64,
+            |acc, ev| {
+                if matches!(ev, TorEvent::ExitStream { .. }) {
+                    *acc += 1;
+                }
+            },
+        )
+        .into_iter()
+        .sum();
+    let full_inferred = full_observed as f64 / exit_frac;
 
     // Sampled mode: configure the ground truth the full sim produced and
     // generate the same observation directly.
@@ -77,19 +91,19 @@ fn sampled_mode_matches_full_mode_inference() {
 fn sampled_initial_fraction_matches_full_mode() {
     // The primary-domain denominator (initial streams) is shape-critical
     // for every §4 analysis; both modes must produce the same fraction.
-    let sites = SiteList::new(SiteListConfig {
+    let sites = Arc::new(SiteList::new(SiteListConfig {
         alexa_size: 20_000,
         long_tail_size: 50_000,
         seed: 6,
-    });
-    let geo = GeoDb::paper_default();
-    let consensus = Consensus::paper_deployment(300, 0.08, 0.05, 0.05);
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
+    let consensus = Arc::new(Consensus::paper_deployment(300, 0.08, 0.05, 0.05));
     let cfg = FullSimConfig {
         clients: 1_000,
         seed: 79,
         ..Default::default()
     };
-    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let sim = FullSim::new(consensus, Arc::clone(&sites), Arc::clone(&geo), cfg);
     let (_, truth) = sim.run_day(&DomainMix::paper_default());
     let full_fraction = truth.initial_streams as f64 / truth.exit_streams as f64;
 

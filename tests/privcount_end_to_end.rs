@@ -17,24 +17,15 @@ use torsim::relay::{Consensus, Position};
 use torsim::sites::{SiteList, SiteListConfig};
 use torsim::workload::DomainMix;
 
-fn setup() -> (Consensus, SiteList, GeoDb) {
-    let consensus = Consensus::paper_deployment(600, 0.05, 0.04, 0.04);
-    let sites = SiteList::new(SiteListConfig {
+fn setup() -> (Arc<Consensus>, Arc<SiteList>, Arc<GeoDb>) {
+    let consensus = Arc::new(Consensus::paper_deployment(600, 0.05, 0.04, 0.04));
+    let sites = Arc::new(SiteList::new(SiteListConfig {
         alexa_size: 20_000,
         long_tail_size: 50_000,
         seed: 1,
-    });
-    let geo = GeoDb::paper_default();
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
     (consensus, sites, geo)
-}
-
-/// Splits the instrumented relays' events into one event list per DC.
-fn split_by_relay(events: Vec<TorEvent>) -> Vec<Vec<TorEvent>> {
-    let mut by_relay: std::collections::BTreeMap<u32, Vec<TorEvent>> = Default::default();
-    for ev in events {
-        by_relay.entry(ev.relay().0).or_default().push(ev);
-    }
-    by_relay.into_values().collect()
 }
 
 #[test]
@@ -47,12 +38,11 @@ fn inference_recovers_ground_truth_from_full_simulation() {
         seed: 42,
         ..Default::default()
     };
-    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
-    let (events, truth) = sim.run_day(&DomainMix::paper_default());
-    assert!(!events.is_empty());
-
-    // One DC per instrumented relay that saw traffic.
-    let per_dc = split_by_relay(events);
+    let sim = FullSim::new(Arc::clone(&consensus), sites, geo, cfg);
+    // Four native shards, each handed to its own DC: the generator
+    // types are identical, so full-mode generation feeds the DCs
+    // without ever materializing the event list.
+    let (stream, truth) = sim.stream_day(&DomainMix::paper_default(), 4);
     let round = RoundConfig {
         counters: vec![
             CounterSpec::with_sigma("streams", 50.0),
@@ -71,17 +61,7 @@ fn inference_recovers_ground_truth_from_full_simulation() {
         threaded: false,
         faults: Default::default(),
     };
-    let generators = per_dc
-        .into_iter()
-        .map(|evs| {
-            let g: privcount::dc::EventGenerator = Box::new(move |sink| {
-                for ev in evs {
-                    sink(ev);
-                }
-            });
-            g
-        })
-        .collect();
+    let generators: Vec<privcount::dc::EventGenerator> = stream.into_shards();
     let result = run_round(round, generators).expect("round");
 
     // Infer network-wide totals by dividing by the instrumented weight
@@ -124,7 +104,7 @@ fn noise_floor_hides_small_counts() {
         seed: 43,
         ..Default::default()
     };
-    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let sim = FullSim::new(consensus, sites, geo, cfg);
     let (events, _) = sim.run_day(&DomainMix::paper_default());
     let round = RoundConfig {
         counters: vec![CounterSpec::with_sigma("rare", 1e6)],

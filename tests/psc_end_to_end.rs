@@ -4,6 +4,7 @@
 use psc::items;
 use psc::round::{run_psc_round, PscConfig};
 use std::collections::HashSet;
+use std::sync::Arc;
 use torsim::events::TorEvent;
 use torsim::full::{FullSim, FullSimConfig};
 use torsim::geo::GeoDb;
@@ -12,19 +13,19 @@ use torsim::sites::{SiteList, SiteListConfig};
 use torsim::workload::DomainMix;
 
 fn simulate(clients: u64, seed: u64) -> (Vec<TorEvent>, u64) {
-    let consensus = Consensus::paper_deployment(400, 0.06, 0.05, 0.05);
-    let sites = SiteList::new(SiteListConfig {
+    let consensus = Arc::new(Consensus::paper_deployment(400, 0.06, 0.05, 0.05));
+    let sites = Arc::new(SiteList::new(SiteListConfig {
         alexa_size: 20_000,
         long_tail_size: 50_000,
         seed: 2,
-    });
-    let geo = GeoDb::paper_default();
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
     let cfg = FullSimConfig {
         clients,
         seed,
         ..Default::default()
     };
-    let sim = FullSim::new(&consensus, &sites, &geo, cfg);
+    let sim = FullSim::new(consensus, sites, geo, cfg);
     let (events, _) = sim.run_day(&DomainMix::paper_default());
     // Ground truth unique IPs among the events our relays actually saw.
     let unique: HashSet<_> = events

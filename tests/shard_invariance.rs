@@ -10,11 +10,13 @@
 //!   3. PSC experiment reports (oblivious-table marking at merge).
 
 use std::sync::Arc;
+use torsim::full::{FullSim, FullSimConfig};
 use torsim::geo::GeoDb;
 use torsim::ids::RelayId;
+use torsim::relay::Consensus;
 use torsim::sites::{SiteList, SiteListConfig};
 use torsim::stream::{EventStream, StreamSim};
-use torsim::workload::Workload;
+use torsim::workload::{DomainMix, Workload};
 use torstudy::deployment::Deployment;
 use torstudy::runner::run_some;
 
@@ -82,6 +84,65 @@ fn every_stream_source_is_shard_count_invariant() {
             );
         }
     }
+}
+
+fn full_sim() -> FullSim {
+    let consensus = Arc::new(Consensus::paper_deployment(300, 0.05, 0.05, 0.05));
+    let sites = Arc::new(SiteList::new(SiteListConfig {
+        alexa_size: 20_000,
+        long_tail_size: 50_000,
+        seed: 11,
+    }));
+    let geo = Arc::new(GeoDb::paper_default());
+    FullSim::new(
+        consensus,
+        sites,
+        geo,
+        FullSimConfig {
+            clients: 400,
+            seed: 4242,
+            ..Default::default()
+        },
+    )
+}
+
+/// Layer 1, full mode: `FullSim::stream_day` emits a bit-identical
+/// event multiset *and* an identical merged `GroundTruth` for
+/// K = 1, 4, 16 — the same contract as the sampled sources, but over
+/// real path selection.
+#[test]
+fn full_sim_is_shard_count_invariant() {
+    let sim = full_sim();
+    let mix = DomainMix::paper_default();
+    let (stream, base_truth) = sim.stream_day(&mix, 1);
+    let base = stream_fingerprint(stream);
+    assert!(!base.is_empty(), "empty full-mode baseline stream");
+    for k in SHARD_COUNTS {
+        let (stream, truth) = sim.stream_day(&mix, k);
+        assert_eq!(
+            base,
+            stream_fingerprint(stream),
+            "full mode: K={k} changed the event multiset"
+        );
+        assert_eq!(
+            base_truth, truth,
+            "full mode: K={k} changed the merged ground truth"
+        );
+    }
+}
+
+/// Full mode: the single-pass legacy entry point is exactly the K = 1
+/// stream, events (in order) and truth both.
+#[test]
+fn full_sim_run_day_matches_stream_day_k1() {
+    let sim = full_sim();
+    let mix = DomainMix::paper_default();
+    let (events, truth) = sim.run_day(&mix);
+    let (stream, stream_truth) = sim.stream_day(&mix, 1);
+    let mut streamed = Vec::new();
+    stream.for_each(|ev| streamed.push(ev));
+    assert_eq!(events, streamed, "run_day diverged from stream_day(K=1)");
+    assert_eq!(truth, stream_truth);
 }
 
 fn rendered(reports: &[torstudy::Report]) -> String {
