@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy build test test-crates doc bench golden
+.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript doc bench golden
 
-verify: fmt-check clippy doc build test test-crates
+verify: fmt-check clippy doc build test test-crates test-transcript
 
 fmt:
 	$(CARGO) fmt --all
@@ -33,6 +33,18 @@ test:
 # these.
 test-crates:
 	$(CARGO) test -q --workspace --exclude tor-measure
+
+# Transcript-equality suites rerun under varied harness --test-threads
+# counts: the batched-mix and per-link-delivery contracts are about
+# scheduling, so one lucky interleaving in the default run must not be
+# the only evidence. (The suites also run once each in the targets
+# above; these reruns pin them under serial and oversubscribed
+# schedules.)
+test-transcript:
+	$(CARGO) test -q -p psc --test mix_equivalence -- --test-threads=1
+	$(CARGO) test -q -p psc --test mix_equivalence -- --test-threads=8
+	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=1
+	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=4
 
 # Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
 bench:

@@ -42,6 +42,7 @@ fn ablate_psc_verification(c: &mut Criterion) {
                     seed: 1,
                     threaded: false,
                     faults: Default::default(),
+                    ..Default::default()
                 };
                 let gens = vec![{
                     let evs = events(50);

@@ -7,6 +7,10 @@
 
 use criterion::{Criterion, Measurement, Throughput};
 use pm_bench::BENCH_SCALE;
+use pm_crypto::elgamal::{encrypt, keygen, Ciphertext};
+use pm_crypto::group::GroupParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashSet;
 use std::sync::Arc;
 use torsim::full::{FullSim, FullSimConfig};
@@ -128,6 +132,52 @@ fn bench_fullsim_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Table sizes the PSC mix sweep covers (cells per hop; noise rides on
+/// top).
+const MIX_TABLE_SWEEP: [usize; 2] = [128, 512];
+/// Batch-phase thread counts the PSC mix sweep covers.
+const MIX_THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// One CP mixing hop (`psc::cp::mix_message_batched`, verification
+/// off) over table size × thread count. The transcript is bit-identical
+/// across the whole sweep — pinned by the `mix_equivalence` proptests —
+/// so this measures pure execution shape: per-cell ElGamal work chunked
+/// across threads with shared fixed-base tables. Expect parity on this
+/// single-core container and speedup on real hardware.
+fn bench_psc_mix(c: &mut Criterion) {
+    let gp = GroupParams::default_params();
+    let mut rng = StdRng::seed_from_u64(2018);
+    let kp = keygen(&gp, &mut rng);
+    for size in MIX_TABLE_SWEEP {
+        let cells: Vec<Ciphertext> = (0..size)
+            .map(|_| {
+                let m = gp.random_element(&mut rng);
+                encrypt(&gp, &kp.public, &m, &mut rng)
+            })
+            .collect();
+        let mut group = c.benchmark_group(format!("psc_mix_b{size}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(size as u64));
+        for threads in MIX_THREAD_SWEEP {
+            group.bench_function(format!("threads_{threads}"), |b| {
+                b.iter(|| {
+                    let mut cp_rng = StdRng::seed_from_u64(7);
+                    psc::cp::mix_message_batched(
+                        &gp,
+                        &kp.public,
+                        16,
+                        false,
+                        cells.clone(),
+                        &mut cp_rng,
+                        threads,
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The registry's cheap PrivCount entries (PSC rounds are dominated by
 /// fixed crypto cost, which parallelism across rounds does not hide on
 /// small machines and which would push a bench iteration past a
@@ -196,6 +246,7 @@ fn main() {
     bench_privcount_ingest(&mut criterion);
     bench_fullsim_ingest(&mut criterion);
     bench_psc_accumulate(&mut criterion);
+    bench_psc_mix(&mut criterion);
     bench_run_all(&mut criterion);
     export_json(&criterion.take_measurements());
 }

@@ -94,6 +94,7 @@ fn bench_psc_round(c: &mut Criterion) {
                     seed: 2,
                     threaded: false,
                     faults: Default::default(),
+                    ..Default::default()
                 };
                 let generators = vec![{
                     let evs = events(100);

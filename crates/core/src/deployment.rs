@@ -78,6 +78,12 @@ pub fn default_shards() -> usize {
         .clamp(1, 16)
 }
 
+/// Default cap on wall-clock-concurrent PSC rounds in the parallel
+/// experiment runner. Each in-flight PSC round pins a full oblivious
+/// table (plus its mix copies) in memory, so unlike PrivCount rounds
+/// they must not scale out to `available_parallelism` unchecked.
+pub const DEFAULT_MAX_CONCURRENT_PSC_ROUNDS: usize = 4;
+
 /// The simulated deployment.
 pub struct Deployment {
     /// The synthetic site universe.
@@ -107,6 +113,11 @@ pub struct Deployment {
     /// `torsim::stream`), so this defaults to the machine's available
     /// parallelism and only affects wall-clock time.
     pub shards: usize,
+    /// Upper bound on PSC rounds the parallel experiment runner holds
+    /// in flight at once (each pins an oblivious table in memory);
+    /// PrivCount rounds are not throttled. Like `shards`, this cannot
+    /// change any report — only memory footprint and wall-clock shape.
+    pub max_concurrent_psc_rounds: usize,
 }
 
 // Experiments share `&Deployment` across the parallel runner's worker
@@ -144,6 +155,7 @@ impl Deployment {
             num_sks: 3,
             num_cps: 3,
             shards: default_shards(),
+            max_concurrent_psc_rounds: DEFAULT_MAX_CONCURRENT_PSC_ROUNDS,
         }
     }
 
@@ -151,6 +163,14 @@ impl Deployment {
     pub fn with_shards(mut self, shards: usize) -> Deployment {
         assert!(shards >= 1);
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the concurrent-PSC-round cap (1 = PSC rounds run one
+    /// at a time; PrivCount rounds still parallelize freely).
+    pub fn with_max_concurrent_psc_rounds(mut self, cap: usize) -> Deployment {
+        assert!(cap >= 1);
+        self.max_concurrent_psc_rounds = cap;
         self
     }
 

@@ -202,6 +202,14 @@ pub(crate) fn psc_round(
     // sensitivity (and thus flips, which grow as k²) scales by scale².
     let full = pm_dp::mechanism::binomial_flips_for(sensitivity, dep.eps(), 1e-6);
     let flips = ((full as f64 * dep.scale * dep.scale).ceil() as u32).max(16);
+    // Batch-phase threads share the machine with up to
+    // `max_concurrent_psc_rounds` sibling rounds under the parallel
+    // runner; splitting the parallelism between them avoids
+    // oversubscription without changing a single transcript byte.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mix_threads = (cores / dep.max_concurrent_psc_rounds).max(1);
     psc::round::PscConfig {
         table_size,
         noise_flips_per_cp: flips,
@@ -210,5 +218,9 @@ pub(crate) fn psc_round(
         seed: derive_seed(dep.seed, label),
         threaded: false,
         faults: pm_net::transport::FaultConfig::none(),
+        mix: psc::cp::MixStrategy::Batched {
+            threads: mix_threads,
+        },
+        ..Default::default()
     }
 }

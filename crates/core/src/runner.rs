@@ -15,7 +15,11 @@
 //!    order); rounds whose logical intervals are disjoint — which §3.1
 //!    guarantees for every accepted schedule — share no data and may
 //!    execute wall-clock-concurrently. Reports are returned in registry
-//!    order regardless of completion order.
+//!    order regardless of completion order. PSC rounds are additionally
+//!    throttled by [`Deployment::max_concurrent_psc_rounds`]: each
+//!    in-flight PSC round pins an oblivious table in memory, so only
+//!    that many may run at once while PrivCount rounds fill the
+//!    remaining workers.
 //!
 //! [`run_all_sequential`] preserves the classic one-at-a-time execution
 //! and produces the identical reports (experiments derive all
@@ -191,23 +195,34 @@ struct ExecState {
     pending: Vec<usize>,
     reports: Vec<Option<Report>>,
     completed: usize,
+    /// PSC rounds currently in flight, bounded by
+    /// [`Deployment::max_concurrent_psc_rounds`].
+    psc_running: usize,
     /// First panic payload from a round; set once, aborts the pool.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 /// Executes planned rounds on up to `workers` threads, honouring the
-/// dependency graph, and returns reports in plan (= registry) order.
+/// dependency graph and the deployment's concurrent-PSC-round cap, and
+/// returns reports in plan (= registry) order.
 fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) -> Vec<Report> {
     let n = planned.len();
     let workers = workers.clamp(1, n.max(1));
+    let psc_cap = dep.max_concurrent_psc_rounds.max(1);
+    let is_psc: Vec<bool> = planned
+        .iter()
+        .map(|p| p.entry.system == System::Psc)
+        .collect();
     let state = Mutex::new(ExecState {
         pending: planned.iter().map(|p| p.deps.len()).collect(),
         reports: (0..n).map(|_| None).collect(),
         completed: 0,
+        psc_running: 0,
         panic: None,
     });
     let ready = Condvar::new();
     let planned = &planned;
+    let is_psc = &is_psc;
     let state = &state;
     let ready = &ready;
     std::thread::scope(|scope| {
@@ -219,14 +234,25 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
                         if guard.completed == n || guard.panic.is_some() {
                             return;
                         }
-                        let next = guard.pending.iter().position(|&unmet| unmet == 0);
+                        // A PSC round is only claimable while a memory
+                        // slot is free; PrivCount rounds always are.
+                        let psc_open = guard.psc_running < psc_cap;
+                        let next = guard
+                            .pending
+                            .iter()
+                            .enumerate()
+                            .position(|(i, &unmet)| unmet == 0 && (psc_open || !is_psc[i]));
                         match next {
                             Some(i) => {
                                 guard.pending[i] = usize::MAX; // claimed
+                                if is_psc[i] {
+                                    guard.psc_running += 1;
+                                }
                                 break i;
                             }
-                            // Everything runnable is claimed; wait for a
-                            // completion to release dependents.
+                            // Everything runnable is claimed or over the
+                            // PSC cap; wait for a completion to release
+                            // dependents or a PSC slot.
                             None => {
                                 guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
                             }
@@ -241,6 +267,9 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
                     (planned[idx].entry.run)(dep)
                 }));
                 let mut guard = state.lock();
+                if is_psc[idx] {
+                    guard.psc_running -= 1;
+                }
                 match report {
                     Ok(report) => {
                         guard.reports[idx] = Some(report);

@@ -1,0 +1,205 @@
+//! Batched group operations: fixed-base precomputation and chunked
+//! data-parallel maps.
+//!
+//! A PSC mixing hop performs thousands of exponentiations, and most of
+//! them share one of two bases — the group generator `g` (every
+//! encryption and rerandomization computes `g^r`) and the joint public
+//! key `y` (the matching `y^r`). [`FixedBasePowers`] trades a one-time
+//! table build for a ~4× cheaper per-exponentiation cost: with a 4-bit
+//! window over a 256-bit exponent, each `pow` is at most 63
+//! multiplications instead of a full square-and-multiply ladder. The
+//! result is the *same group element* as [`GroupParams::pow`] — callers
+//! relying on bit-identical transcripts can adopt the tables freely.
+//!
+//! [`par_map_indexed`] is the execution half: it evaluates a pure
+//! per-index function over `0..n` on a bounded number of scoped
+//! threads, writing each result into its own slot, so the output vector
+//! is independent of the thread count by construction.
+
+use crate::elgamal::{Ciphertext, PublicKey};
+use crate::group::{GroupElement, GroupParams, Scalar};
+
+/// 4-bit fixed-window exponentiation table for one base.
+///
+/// `table[w][j] = base^(j · 2^(4w))` for `j in 0..16`, covering 256-bit
+/// exponents with 64 windows.
+#[derive(Clone, Debug)]
+pub struct FixedBasePowers {
+    base: GroupElement,
+    table: Vec<[GroupElement; 16]>,
+}
+
+/// Number of 4-bit windows in a 256-bit exponent.
+const WINDOWS: usize = 64;
+
+impl FixedBasePowers {
+    /// Builds the window table for `base` (≈ 960 group
+    /// multiplications; amortized over every subsequent [`Self::pow`]).
+    pub fn new(gp: &GroupParams, base: &GroupElement) -> FixedBasePowers {
+        let mut table = Vec::with_capacity(WINDOWS);
+        // `step` is base^(2^(4w)) entering window w.
+        let mut step = *base;
+        for _ in 0..WINDOWS {
+            let mut row = [gp.identity(); 16];
+            for j in 1..16 {
+                row[j] = gp.mul(&row[j - 1], &step);
+            }
+            // base^(2^(4(w+1))) = (base^(2^(4w)))^16 = row[15] · step.
+            step = gp.mul(&row[15], &step);
+            table.push(row);
+        }
+        FixedBasePowers { base: *base, table }
+    }
+
+    /// The base this table was built for.
+    pub fn base(&self) -> &GroupElement {
+        &self.base
+    }
+
+    /// `base^e`, identical in value to `gp.pow(base, e)`.
+    pub fn pow(&self, gp: &GroupParams, e: &Scalar) -> GroupElement {
+        let limbs = &e.0 .0;
+        let mut acc = gp.identity();
+        for (w, row) in self.table.iter().enumerate() {
+            let nibble = ((limbs[w / 16] >> (4 * (w % 16))) & 0xF) as usize;
+            if nibble != 0 {
+                acc = gp.mul(&acc, &row[nibble]);
+            }
+        }
+        acc
+    }
+}
+
+/// Fixed-base tables for one ElGamal public key: the generator `g` and
+/// the key element `y`, the two bases every encryption and
+/// rerandomization exponentiates.
+#[derive(Clone, Debug)]
+pub struct PrecomputedKey {
+    /// The public key the tables serve.
+    pub key: PublicKey,
+    g: FixedBasePowers,
+    y: FixedBasePowers,
+}
+
+impl PrecomputedKey {
+    /// Builds both tables for `key`.
+    pub fn new(gp: &GroupParams, key: &PublicKey) -> PrecomputedKey {
+        PrecomputedKey {
+            key: *key,
+            g: FixedBasePowers::new(gp, &gp.generator()),
+            y: FixedBasePowers::new(gp, &key.0),
+        }
+    }
+
+    /// `g^e` through the table.
+    pub fn g_pow(&self, gp: &GroupParams, e: &Scalar) -> GroupElement {
+        self.g.pow(gp, e)
+    }
+
+    /// `y^e` through the table.
+    pub fn y_pow(&self, gp: &GroupParams, e: &Scalar) -> GroupElement {
+        self.y.pow(gp, e)
+    }
+
+    /// [`crate::elgamal::encrypt_with`] through the tables: encrypts `m`
+    /// under the key with caller-chosen randomness `r`.
+    pub fn encrypt_with(&self, gp: &GroupParams, m: &GroupElement, r: &Scalar) -> Ciphertext {
+        Ciphertext {
+            a: self.g_pow(gp, r),
+            b: gp.mul(m, &self.y_pow(gp, r)),
+        }
+    }
+
+    /// [`crate::elgamal::rerandomize_with`] through the tables.
+    pub fn rerandomize_with(&self, gp: &GroupParams, ct: &Ciphertext, s: &Scalar) -> Ciphertext {
+        Ciphertext {
+            a: gp.mul(&ct.a, &self.g_pow(gp, s)),
+            b: gp.mul(&ct.b, &self.y_pow(gp, s)),
+        }
+    }
+}
+
+/// Evaluates `f(i)` for `i in 0..n` on up to `threads` scoped OS
+/// threads, returning results in index order.
+///
+/// Each index owns exactly one output slot, so the result — unlike the
+/// schedule — is independent of the thread count. `threads <= 1` (or a
+/// single item) runs inline with no thread spawned.
+pub fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elgamal::{encrypt_with, keygen, rerandomize_with};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_base_matches_plain_pow() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = gp.random_element(&mut rng);
+        let fb = FixedBasePowers::new(&gp, &base);
+        for _ in 0..20 {
+            let e = gp.random_scalar(&mut rng);
+            assert_eq!(fb.pow(&gp, &e), gp.pow(&base, &e));
+        }
+        // Edge exponents.
+        assert_eq!(fb.pow(&gp, &Scalar::ZERO), gp.identity());
+        assert_eq!(fb.pow(&gp, &gp.scalar_from_u64(1)), base);
+    }
+
+    #[test]
+    fn precomputed_key_matches_reference_ops() {
+        let gp = GroupParams::default_params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = keygen(&gp, &mut rng);
+        let pk = PrecomputedKey::new(&gp, &kp.public);
+        for _ in 0..10 {
+            let m = gp.random_element(&mut rng);
+            let r = gp.random_scalar(&mut rng);
+            let ct = pk.encrypt_with(&gp, &m, &r);
+            assert_eq!(ct, encrypt_with(&gp, &kp.public, &m, &r));
+            let s = gp.random_scalar(&mut rng);
+            assert_eq!(
+                pk.rerandomize_with(&gp, &ct, &s),
+                rerandomize_with(&gp, &kp.public, &ct, &s)
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_is_thread_count_invariant() {
+        let base: Vec<u64> = (0..97).map(|i| i * i + 1).collect();
+        let expect: Vec<u64> = base.iter().map(|x| x.wrapping_mul(31)).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let got = par_map_indexed(base.len(), threads, |i| base[i].wrapping_mul(31));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+}

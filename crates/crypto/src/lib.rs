@@ -12,7 +12,9 @@
 //! * zero-knowledge proofs: Schnorr proofs of knowledge and
 //!   Chaum–Pedersen equality proofs ([`zkp`]);
 //! * a rerandomizing verifiable shuffle ([`shuffle`]);
-//! * additive secret sharing over `Z_{2^64}` ([`secret`]).
+//! * additive secret sharing over `Z_{2^64}` ([`secret`]);
+//! * batched operation support: fixed-base exponentiation tables and
+//!   chunked parallel maps ([`batch`]), used by PSC's batched mixing.
 //!
 //! ## Security disclaimer
 //!
@@ -23,6 +25,7 @@
 //! deployments would swap in ≥2048-bit parameters generated with
 //! [`group::GroupParams::generate`].
 
+pub mod batch;
 pub mod elgamal;
 pub mod group;
 pub mod hmac;

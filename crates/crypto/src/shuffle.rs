@@ -172,8 +172,6 @@ impl ShuffleProof {
         rounds: usize,
         rng: &mut R,
     ) -> ShuffleProof {
-        let n = input.len();
-        debug_assert_eq!(output.len(), n);
         // Generate shadows.
         let mut shadow_witnesses = Vec::with_capacity(rounds);
         let mut shadows = Vec::with_capacity(rounds);
@@ -182,6 +180,30 @@ impl ShuffleProof {
             shadows.push(shadow);
             shadow_witnesses.push(sw);
         }
+        Self::from_parts(gp, y, input, output, w, shadow_witnesses, shadows)
+    }
+
+    /// Assembles the argument from pre-generated shadow shuffles.
+    ///
+    /// `shadows[r]` must be the shuffle of `input` under
+    /// `shadow_witnesses[r]`. PSC's batched mixing computes the shadows
+    /// concurrently (their witnesses drawn sequentially up front) and
+    /// finishes here; the proof is bit-identical to
+    /// [`ShuffleProof::prove`] fed the same witnesses. The Fiat–Shamir
+    /// challenge and the openings draw no randomness.
+    pub fn from_parts(
+        gp: &GroupParams,
+        y: &PublicKey,
+        input: &[Ciphertext],
+        output: &[Ciphertext],
+        w: &ShuffleWitness,
+        shadow_witnesses: Vec<ShuffleWitness>,
+        shadows: Vec<Vec<Ciphertext>>,
+    ) -> ShuffleProof {
+        let n = input.len();
+        debug_assert_eq!(output.len(), n);
+        let rounds = shadows.len();
+        debug_assert_eq!(shadow_witnesses.len(), rounds);
         // Fiat–Shamir challenge over (input, output, shadows).
         let mut tr = Transcript::new(b"pm-crypto/shuffle-proof/v1");
         tr.append_element(b"pk", &y.0);

@@ -147,6 +147,26 @@ impl DleqProof {
         rng: &mut R,
     ) -> DleqProof {
         let w = gp.random_scalar(rng);
+        Self::prove_with_nonce(gp, x, a, y, d, transcript, &w)
+    }
+
+    /// Proves with a caller-supplied commitment nonce `w`.
+    ///
+    /// Callers that batch proof generation (PSC's parallel mixing) draw
+    /// every nonce from a single RNG in a canonical sequential order,
+    /// then prove cells concurrently; the proof is identical to
+    /// [`DleqProof::prove`] fed the same nonce. `w` must be fresh and
+    /// uniform per proof — reuse leaks `x`.
+    pub fn prove_with_nonce(
+        gp: &GroupParams,
+        x: &Scalar,
+        a: &GroupElement,
+        y: &GroupElement,
+        d: &GroupElement,
+        transcript: &mut Transcript,
+        w: &Scalar,
+    ) -> DleqProof {
+        let w = *w;
         let t1 = gp.g_pow(&w);
         let t2 = gp.pow(a, &w);
         transcript.append_element(b"dleq.a", a);

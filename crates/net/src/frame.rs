@@ -139,6 +139,16 @@ impl Frame {
     }
 }
 
+/// Flips one bit of a serialized frame in place — the transport's
+/// corruption fault. Lives next to the codec because the detection
+/// contract is the codec's: any single-bit flip anywhere in the wire
+/// image must surface as a [`WireError`] from [`Frame::from_wire`]
+/// (bad magic, truncation, or checksum mismatch), never as a silently
+/// altered message.
+pub fn flip_wire_bit(wire: &mut [u8], idx: usize, bit: u32) {
+    wire[idx] ^= 1u8 << (bit % 8);
+}
+
 /// Types that can serialize themselves onto a byte buffer.
 pub trait WireEncode {
     /// Appends the canonical encoding of `self` to `buf`.

@@ -8,9 +8,12 @@
 //! * [`frame`] — a length-prefixed, type-tagged, checksummed wire format
 //!   built directly on [`bytes`] (hand-written codecs, no serde on the
 //!   wire);
-//! * [`transport`] — the [`transport::Switchboard`]: an in-memory message
-//!   fabric over crossbeam channels, plus a fault-injecting wrapper with
-//!   smoltcp-style drop/duplicate/corrupt knobs;
+//! * [`transport`] — the [`transport::Switchboard`]: an in-memory
+//!   message fabric with one mailbox per ordered `(from, to)` party
+//!   link, so traffic on disjoint links never serializes behind a
+//!   shared lock, plus per-link fault injection with smoltcp-style
+//!   drop/duplicate/corrupt knobs (a single-lock fabric is kept as the
+//!   regression baseline);
 //! * [`party`] — an event-loop runner that drives protocol state
 //!   machines to completion, with a deterministic single-threaded
 //!   scheduler (for tests) and a threaded runner (one OS thread per

@@ -11,6 +11,14 @@
 //!   larger tests.
 //!
 //! Both run until every node reports [`Step::Done`] (or a node fails).
+//!
+//! Both modes sit on the switchboard's per-link mailboxes: the
+//! deterministic scheduler drains each endpoint's arrival tokens in a
+//! reproducible round-robin, while the threaded runner's parties send
+//! and receive on disjoint links without convoying behind a shared
+//! delivery lock. Protocol state machines may rely on per-sender FIFO
+//! order only — cross-sender arrival order is a schedule artifact in
+//! either mode.
 
 use crate::transport::{Endpoint, Envelope, PartyId, Switchboard, TransportError};
 use std::collections::HashMap;

@@ -18,6 +18,7 @@ fn main() {
             seed,
             threaded: false,
             faults: Default::default(),
+            ..Default::default()
         };
         let gens = vec![{
             let g: psc::dc::EventGenerator = Box::new(move |sink| {

@@ -5,11 +5,35 @@
 //! secret (zero-preserving randomization), and shuffle with
 //! rerandomization — each step with a zero-knowledge argument when
 //! verification is enabled.
+//!
+//! # Concurrency model
+//!
+//! A mixing hop is thousands of independent per-cell exponentiations
+//! fed by one sequential RNG. The batched execution path
+//! ([`MixStrategy::Batched`]) splits the hop into two phases so the
+//! cell work parallelizes without the transcript noticing:
+//!
+//! 1. **Derive** ([`MixRandomness::derive`]): every scalar, nonce, and
+//!    permutation the hop will consume is drawn from the CP's RNG in
+//!    the exact order the sequential reference implementation draws
+//!    them. This phase is cheap (no group exponentiations) and strictly
+//!    sequential.
+//! 2. **Batch**: the per-cell ciphertext work — noise encryptions,
+//!    zero-preserving exponentiation, Chaum–Pedersen proofs, the
+//!    shuffle, and the shadow shuffles of the cut-and-choose argument —
+//!    runs chunked across threads
+//!    ([`pm_crypto::batch::par_map_indexed`]), with fixed-base power
+//!    tables ([`pm_crypto::batch::PrecomputedKey`]) shared for the
+//!    `g^r`/`y^r` exponentiations. Each cell owns its output slot, so
+//!    the serialized [`messages::MixResult`] is bit-identical to the
+//!    sequential reference at every thread count — pinned by the
+//!    `mix_equivalence` proptests and the end-to-end transcript tests.
 
 use crate::messages::{self, tag};
+use pm_crypto::batch::{par_map_indexed, PrecomputedKey};
 use pm_crypto::elgamal::{encrypt, exponentiate, Ciphertext, PublicKey};
-use pm_crypto::group::GroupParams;
-use pm_crypto::shuffle::{shuffle, ShuffleProof};
+use pm_crypto::group::{GroupParams, Scalar};
+use pm_crypto::shuffle::{shuffle, Permutation, ShuffleProof, ShuffleWitness};
 use pm_crypto::zkp::{DleqProof, SchnorrProof, Transcript};
 use pm_net::party::{Node, NodeError, Step};
 use pm_net::transport::{Endpoint, Envelope, PartyId};
@@ -19,6 +43,39 @@ use rand::{Rng, SeedableRng};
 /// Soundness parameter for the cut-and-choose shuffle argument.
 pub const SHUFFLE_ROUNDS: usize = 16;
 
+/// How a CP executes the per-cell crypto of its mixing and decryption
+/// hops. Both strategies produce bit-identical protocol messages from
+/// the same RNG state; they differ only in wall-clock shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixStrategy {
+    /// The reference implementation: one pass over the cells, drawing
+    /// randomness inline. Kept as the equality baseline for tests.
+    Sequential,
+    /// Randomness derived sequentially up front, then cell work chunked
+    /// across `threads` OS threads.
+    Batched {
+        /// Worker threads for the batch phase (1 = inline).
+        threads: usize,
+    },
+}
+
+impl Default for MixStrategy {
+    fn default() -> Self {
+        MixStrategy::Batched {
+            threads: default_mix_threads(),
+        }
+    }
+}
+
+/// Default batch-phase thread count: the machine's parallelism, capped
+/// in line with the ingestion-shard default.
+pub fn default_mix_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
 /// A Computation Party.
 pub struct CpNode {
     ts: PartyId,
@@ -27,11 +84,18 @@ pub struct CpNode {
     share: pm_crypto::group::GroupElement,
     cfg: Option<messages::PscConfigure>,
     rng: StdRng,
+    strategy: MixStrategy,
 }
 
 impl CpNode {
-    /// Creates a CP bound to the tally server.
+    /// Creates a CP bound to the tally server, mixing with the default
+    /// batched strategy.
     pub fn new(ts: PartyId, seed: u64) -> CpNode {
+        CpNode::with_strategy(ts, seed, MixStrategy::default())
+    }
+
+    /// Creates a CP with an explicit execution strategy.
+    pub fn with_strategy(ts: PartyId, seed: u64, strategy: MixStrategy) -> CpNode {
         let gp = GroupParams::default_params();
         let mut rng = StdRng::seed_from_u64(seed);
         let secret = gp.random_nonzero_scalar(&mut rng);
@@ -43,6 +107,7 @@ impl CpNode {
             share,
             cfg: None,
             rng,
+            strategy,
         }
     }
 
@@ -60,78 +125,24 @@ impl CpNode {
             .ok_or_else(|| NodeError::Protocol("mix before configure".into()))?
             .clone();
         let key = PublicKey(cfg.joint_key);
-        let mut with_noise = task.cells;
-        // Binomial noise: each appended cell is marked w.p. 1/2. Both
-        // branches are fresh encryptions and indistinguishable.
-        for _ in 0..cfg.noise_flips {
-            let plain = if self.rng.gen::<bool>() {
-                self.gp.random_non_identity(&mut self.rng)
-            } else {
-                self.gp.identity()
-            };
-            with_noise.push(encrypt(&self.gp, &key, &plain, &mut self.rng));
-        }
-        // Zero-preserving exponentiation with a fresh secret.
-        let k = self.gp.random_nonzero_scalar(&mut self.rng);
-        let exp_key = self.gp.g_pow(&k);
-        let post_exp: Vec<Ciphertext> = with_noise
-            .iter()
-            .map(|c| exponentiate(&self.gp, c, &k))
-            .collect();
-        let exp_proofs = if cfg.verify {
-            with_noise
-                .iter()
-                .zip(&post_exp)
-                .enumerate()
-                .map(|(j, (pre, post))| {
-                    let mut ta = exp_transcript(j, false);
-                    let pa = DleqProof::prove(
-                        &self.gp,
-                        &k,
-                        &pre.a,
-                        &exp_key,
-                        &post.a,
-                        &mut ta,
-                        &mut self.rng,
-                    );
-                    let mut tb = exp_transcript(j, true);
-                    let pb = DleqProof::prove(
-                        &self.gp,
-                        &k,
-                        &pre.b,
-                        &exp_key,
-                        &post.b,
-                        &mut tb,
-                        &mut self.rng,
-                    );
-                    (pa, pb)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        // Rerandomizing shuffle.
-        let (output, witness) = shuffle(&self.gp, &key, &post_exp, &mut self.rng);
-        let shuffle_proof = if cfg.verify {
-            Some(ShuffleProof::prove(
+        let msg = match self.strategy {
+            MixStrategy::Sequential => mix_message_sequential(
                 &self.gp,
                 &key,
-                &post_exp,
-                &output,
-                &witness,
-                SHUFFLE_ROUNDS,
+                cfg.noise_flips,
+                cfg.verify,
+                task.cells,
                 &mut self.rng,
-            ))
-        } else {
-            None
-        };
-        let msg = messages::MixResult {
-            with_noise,
-            exp_key,
-            post_exp,
-            exp_proofs,
-            output,
-            shuffle_proof,
+            ),
+            MixStrategy::Batched { threads } => mix_message_batched(
+                &self.gp,
+                &key,
+                cfg.noise_flips,
+                cfg.verify,
+                task.cells,
+                &mut self.rng,
+                threads,
+            ),
         };
         ep.send(&self.ts, messages::frame_of(tag::MIX_RESULT, &msg))?;
         Ok(())
@@ -143,29 +154,40 @@ impl CpNode {
             .as_ref()
             .ok_or_else(|| NodeError::Protocol("decrypt before configure".into()))?
             .clone();
-        let partials: Vec<_> = task
-            .cells
-            .iter()
-            .map(|c| self.gp.pow(&c.a, &self.secret))
-            .collect();
-        let proofs = if cfg.verify {
+        let threads = match self.strategy {
+            MixStrategy::Sequential => 1,
+            MixStrategy::Batched { threads } => threads,
+        };
+        // Partial decryptions, like mixing, split into a sequential
+        // nonce-derivation pass and a per-cell batch phase; the wire
+        // message is independent of `threads`.
+        let nonces: Vec<Scalar> = if cfg.verify {
             task.cells
                 .iter()
-                .zip(&partials)
-                .enumerate()
-                .map(|(j, (c, d))| {
-                    let mut t = dec_transcript(j);
-                    DleqProof::prove(
-                        &self.gp,
-                        &self.secret,
-                        &c.a,
-                        &self.share,
-                        d,
-                        &mut t,
-                        &mut self.rng,
-                    )
-                })
+                .map(|_| self.gp.random_scalar(&mut self.rng))
                 .collect()
+        } else {
+            Vec::new()
+        };
+        let gp = &self.gp;
+        let secret = &self.secret;
+        let share = &self.share;
+        let partials = par_map_indexed(task.cells.len(), threads, |j| {
+            gp.pow(&task.cells[j].a, secret)
+        });
+        let proofs = if cfg.verify {
+            par_map_indexed(task.cells.len(), threads, |j| {
+                let mut t = dec_transcript(j);
+                DleqProof::prove_with_nonce(
+                    gp,
+                    secret,
+                    &task.cells[j].a,
+                    share,
+                    &partials[j],
+                    &mut t,
+                    &nonces[j],
+                )
+            })
         } else {
             Vec::new()
         };
@@ -176,6 +198,257 @@ impl CpNode {
         };
         ep.send(&self.ts, messages::frame_of(tag::PARTIAL_DEC, &msg))?;
         Ok(())
+    }
+}
+
+/// One appended noise cell's randomness: the mark exponent (`Some(r)`
+/// encodes the non-identity plaintext `g^r`, `None` the identity) and
+/// the encryption randomness.
+#[derive(Clone, Debug)]
+struct NoisePlan {
+    mark_exp: Option<Scalar>,
+    enc_r: Scalar,
+}
+
+/// Every random draw one mixing hop consumes, in the canonical
+/// sequential order. Deriving this up front is what lets the batch
+/// phase run on any thread count without perturbing the transcript.
+pub struct MixRandomness {
+    noise: Vec<NoisePlan>,
+    k: Scalar,
+    /// Per-cell (a-side, b-side) Chaum–Pedersen nonces; empty unless
+    /// verifying.
+    exp_nonces: Vec<(Scalar, Scalar)>,
+    witness: ShuffleWitness,
+    /// One witness per cut-and-choose round; empty unless verifying.
+    shadow_witnesses: Vec<ShuffleWitness>,
+}
+
+impl MixRandomness {
+    /// Draws all randomness for a hop over `n_in` input cells, in
+    /// exactly the order [`mix_message_sequential`] draws it.
+    pub fn derive<R: Rng + ?Sized>(
+        gp: &GroupParams,
+        noise_flips: u32,
+        verify: bool,
+        n_in: usize,
+        rounds: usize,
+        rng: &mut R,
+    ) -> MixRandomness {
+        let n_total = n_in + noise_flips as usize;
+        let noise = (0..noise_flips)
+            .map(|_| {
+                let mark_exp = if rng.gen::<bool>() {
+                    // Mirrors `GroupParams::random_non_identity`
+                    // draw-for-draw: `g^r` is the identity iff `r = 0`
+                    // (g has order q), so the rejection test needs no
+                    // exponentiation here.
+                    Some(loop {
+                        let r = gp.random_scalar(rng);
+                        if r != Scalar::ZERO {
+                            break r;
+                        }
+                    })
+                } else {
+                    None
+                };
+                let enc_r = gp.random_scalar(rng);
+                NoisePlan { mark_exp, enc_r }
+            })
+            .collect();
+        let k = gp.random_nonzero_scalar(rng);
+        let exp_nonces = if verify {
+            (0..n_total)
+                .map(|_| (gp.random_scalar(rng), gp.random_scalar(rng)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let witness = ShuffleWitness {
+            perm: Permutation::random(n_total, rng),
+            rerand: (0..n_total).map(|_| gp.random_scalar(rng)).collect(),
+        };
+        let shadow_witnesses = if verify {
+            (0..rounds)
+                .map(|_| ShuffleWitness {
+                    perm: Permutation::random(n_total, rng),
+                    rerand: (0..n_total).map(|_| gp.random_scalar(rng)).collect(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        MixRandomness {
+            noise,
+            k,
+            exp_nonces,
+            witness,
+            shadow_witnesses,
+        }
+    }
+}
+
+/// One mixing hop, reference implementation: a single sequential pass
+/// drawing randomness inline. This is the transcript baseline the
+/// batched path must match bit-for-bit.
+pub fn mix_message_sequential<R: Rng + ?Sized>(
+    gp: &GroupParams,
+    key: &PublicKey,
+    noise_flips: u32,
+    verify: bool,
+    cells: Vec<Ciphertext>,
+    rng: &mut R,
+) -> messages::MixResult {
+    let mut with_noise = cells;
+    // Binomial noise: each appended cell is marked w.p. 1/2. Both
+    // branches are fresh encryptions and indistinguishable.
+    for _ in 0..noise_flips {
+        let plain = if rng.gen::<bool>() {
+            gp.random_non_identity(rng)
+        } else {
+            gp.identity()
+        };
+        with_noise.push(encrypt(gp, key, &plain, rng));
+    }
+    // Zero-preserving exponentiation with a fresh secret.
+    let k = gp.random_nonzero_scalar(rng);
+    let exp_key = gp.g_pow(&k);
+    let post_exp: Vec<Ciphertext> = with_noise.iter().map(|c| exponentiate(gp, c, &k)).collect();
+    let exp_proofs = if verify {
+        with_noise
+            .iter()
+            .zip(&post_exp)
+            .enumerate()
+            .map(|(j, (pre, post))| {
+                let mut ta = exp_transcript(j, false);
+                let pa = DleqProof::prove(gp, &k, &pre.a, &exp_key, &post.a, &mut ta, rng);
+                let mut tb = exp_transcript(j, true);
+                let pb = DleqProof::prove(gp, &k, &pre.b, &exp_key, &post.b, &mut tb, rng);
+                (pa, pb)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Rerandomizing shuffle.
+    let (output, witness) = shuffle(gp, key, &post_exp, rng);
+    let shuffle_proof = if verify {
+        Some(ShuffleProof::prove(
+            gp,
+            key,
+            &post_exp,
+            &output,
+            &witness,
+            SHUFFLE_ROUNDS,
+            rng,
+        ))
+    } else {
+        None
+    };
+    messages::MixResult {
+        with_noise,
+        exp_key,
+        post_exp,
+        exp_proofs,
+        output,
+        shuffle_proof,
+    }
+}
+
+/// One mixing hop, batched: randomness derived sequentially
+/// ([`MixRandomness::derive`]), then the per-cell work chunked across
+/// `threads` with shared fixed-base power tables. Bit-identical to
+/// [`mix_message_sequential`] from the same RNG state, for every
+/// `threads`.
+pub fn mix_message_batched<R: Rng + ?Sized>(
+    gp: &GroupParams,
+    key: &PublicKey,
+    noise_flips: u32,
+    verify: bool,
+    cells: Vec<Ciphertext>,
+    rng: &mut R,
+    threads: usize,
+) -> messages::MixResult {
+    let rand = MixRandomness::derive(gp, noise_flips, verify, cells.len(), SHUFFLE_ROUNDS, rng);
+    let pk = PrecomputedKey::new(gp, key);
+
+    let mut with_noise = cells;
+    let noise_cells = par_map_indexed(rand.noise.len(), threads, |i| {
+        let plan = &rand.noise[i];
+        let plain = match &plan.mark_exp {
+            Some(r) => pk.g_pow(gp, r),
+            None => gp.identity(),
+        };
+        pk.encrypt_with(gp, &plain, &plan.enc_r)
+    });
+    with_noise.extend(noise_cells);
+
+    let exp_key = pk.g_pow(gp, &rand.k);
+    let post_exp = par_map_indexed(with_noise.len(), threads, |j| {
+        exponentiate(gp, &with_noise[j], &rand.k)
+    });
+    let exp_proofs = if verify {
+        par_map_indexed(with_noise.len(), threads, |j| {
+            let (wa, wb) = &rand.exp_nonces[j];
+            let mut ta = exp_transcript(j, false);
+            let pa = DleqProof::prove_with_nonce(
+                gp,
+                &rand.k,
+                &with_noise[j].a,
+                &exp_key,
+                &post_exp[j].a,
+                &mut ta,
+                wa,
+            );
+            let mut tb = exp_transcript(j, true);
+            let pb = DleqProof::prove_with_nonce(
+                gp,
+                &rand.k,
+                &with_noise[j].b,
+                &exp_key,
+                &post_exp[j].b,
+                &mut tb,
+                wb,
+            );
+            (pa, pb)
+        })
+    } else {
+        Vec::new()
+    };
+
+    let witness = &rand.witness;
+    let output = par_map_indexed(post_exp.len(), threads, |i| {
+        pk.rerandomize_with(gp, &post_exp[witness.perm.0[i]], &witness.rerand[i])
+    });
+    let shuffle_proof = if verify {
+        // One task per cut-and-choose round: each shadow is a full
+        // shuffle of `post_exp` under its pre-drawn witness.
+        let shadows = par_map_indexed(rand.shadow_witnesses.len(), threads, |r| {
+            let sw = &rand.shadow_witnesses[r];
+            (0..post_exp.len())
+                .map(|i| pk.rerandomize_with(gp, &post_exp[sw.perm.0[i]], &sw.rerand[i]))
+                .collect::<Vec<Ciphertext>>()
+        });
+        Some(ShuffleProof::from_parts(
+            gp,
+            key,
+            &post_exp,
+            &output,
+            &rand.witness,
+            rand.shadow_witnesses,
+            shadows,
+        ))
+    } else {
+        None
+    };
+
+    messages::MixResult {
+        with_noise,
+        exp_key,
+        post_exp,
+        exp_proofs,
+        output,
+        shuffle_proof,
     }
 }
 

@@ -28,6 +28,22 @@
 //! The published count equals `occupied(unique items) + Binomial(n·cps,
 //! 1/2)`; `pm_stats::psc_ci` inverts hash collisions and noise into the
 //! cardinality estimate with an exact confidence interval (§3.3).
+//!
+//! ## Concurrency model
+//!
+//! The protocol transcript is canonical: every byte of every message is
+//! a pure function of the parties' seeds and inputs, whatever the
+//! execution shape. Three layers exploit that without perturbing it:
+//!
+//! * **DC ingestion** shards event streams and accumulates occupied
+//!   cells crypto-free in parallel, marking once at merge ([`shard`]);
+//! * **CP mixing and decryption** split each hop into a sequential
+//!   randomness-derivation pass and a data-parallel per-cell batch
+//!   phase ([`cp::MixStrategy::Batched`]) — bit-identical to the
+//!   sequential reference at every thread count;
+//! * **message delivery** rides `pm-net`'s per-link mailboxes, so
+//!   TS↔CP and TS↔DC traffic of a round never convoys behind one
+//!   global delivery lock.
 
 pub mod cp;
 pub mod dc;
@@ -38,11 +54,13 @@ pub mod shard;
 pub mod table;
 pub mod ts;
 
+pub use cp::MixStrategy;
 pub use round::{run_psc_round, run_psc_round_streams, PscConfig, PscResult};
 pub use table::ObliviousTable;
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::cp::MixStrategy;
     pub use crate::items::{self, ItemExtractor};
     pub use crate::round::{run_psc_round, PscConfig, PscResult};
     pub use crate::table::ObliviousTable;

@@ -1,6 +1,6 @@
 //! PSC round driver.
 
-use crate::cp::CpNode;
+use crate::cp::{CpNode, MixStrategy};
 use crate::dc::{EventGenerator, PscDcNode, PscSource};
 use crate::items::ItemExtractor;
 use crate::ts::{PscResultSlot, PscTsNode, RawCount};
@@ -30,6 +30,13 @@ pub struct PscConfig {
     pub threaded: bool,
     /// Optional fault injection.
     pub faults: FaultConfig,
+    /// How CPs execute their per-cell crypto. Every strategy yields the
+    /// same transcript; this only shapes wall-clock time.
+    pub mix: MixStrategy,
+    /// Use the single-lock [`Switchboard`] delivery path instead of the
+    /// default per-link mailboxes — the comparison baseline for the
+    /// fault-injection regression tests.
+    pub single_lock_board: bool,
 }
 
 impl Default for PscConfig {
@@ -42,6 +49,8 @@ impl Default for PscConfig {
             seed: 1,
             threaded: false,
             faults: FaultConfig::none(),
+            mix: MixStrategy::default(),
+            single_lock_board: false,
         }
     }
 }
@@ -111,7 +120,11 @@ pub fn run_psc_round_sources(
 ) -> Result<PscResult, NodeError> {
     assert!(!dc_sources.is_empty(), "need at least one DC");
     assert!(cfg.num_cps >= 1, "need at least one CP");
-    let board = Switchboard::with_faults(cfg.faults);
+    let board = if cfg.single_lock_board {
+        Switchboard::single_lock_with_faults(cfg.faults)
+    } else {
+        Switchboard::with_faults(cfg.faults)
+    };
     let mut runner = Runner::new(board);
 
     let ts_id = PartyId::new("psc-ts");
@@ -142,9 +155,10 @@ pub fn run_psc_round_sources(
     for (i, cp) in cp_names.iter().enumerate() {
         runner.add(
             cp.clone(),
-            Box::new(CpNode::new(
+            Box::new(CpNode::with_strategy(
                 ts_id.clone(),
                 cfg.seed ^ (0xC9_0000 + i as u64),
+                cfg.mix,
             )),
         );
     }
@@ -210,6 +224,7 @@ mod tests {
             seed: 3,
             threaded: false,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         // DCs observe overlapping sets; the union has 5 distinct IPs.
         let result = run_psc_round(
@@ -234,6 +249,7 @@ mod tests {
             seed: 4,
             threaded: false,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         let result = run_psc_round(
             cfg,
@@ -261,6 +277,7 @@ mod tests {
             seed: 5,
             threaded: false,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         let a = run_psc_round(
             mk(false),
@@ -288,6 +305,7 @@ mod tests {
             seed: 6,
             threaded: true,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         let result = run_psc_round(
             cfg,
@@ -309,6 +327,7 @@ mod tests {
             seed: 7,
             threaded: false,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         let ips: Vec<u32> = (0..40).collect();
         let result = run_psc_round(cfg, items::unique_client_ips(), generators(vec![ips])).unwrap();
@@ -329,6 +348,7 @@ mod tests {
             seed: 8,
             threaded: false,
             faults: FaultConfig::none(),
+            ..Default::default()
         };
         let result = run_psc_round(
             cfg,

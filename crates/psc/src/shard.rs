@@ -15,6 +15,8 @@
 //!    ([`ObliviousTable::mark_cells`]), consuming ciphertext randomness
 //!    in a canonical order. The resulting table — and hence the
 //!    protocol transcript — is bit-identical for every shard count.
+//!    The per-mark exponentiations ride the table's fixed-base power
+//!    tables (`pm_crypto::batch`), which changes cost, not bytes.
 //!
 //! This also converts the DC's ciphertext work from *O(unique items)*
 //! to *O(occupied cells)*: re-marking an already-marked cell never

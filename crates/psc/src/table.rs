@@ -11,8 +11,9 @@
 //! optimization — re-marking a marked cell does not change the
 //! protocol's output (the cell stays non-identity).
 
-use pm_crypto::elgamal::{encrypt, mul_ciphertexts, rerandomize, Ciphertext, PublicKey};
-use pm_crypto::group::GroupParams;
+use pm_crypto::batch::PrecomputedKey;
+use pm_crypto::elgamal::{mul_ciphertexts, Ciphertext, PublicKey};
+use pm_crypto::group::{GroupParams, Scalar};
 use pm_crypto::sha256::sha256_concat;
 use pm_crypto::u256::U256;
 use rand::Rng;
@@ -21,7 +22,11 @@ use std::collections::HashSet;
 /// A DC's oblivious counter table.
 pub struct ObliviousTable {
     gp: GroupParams,
-    key: PublicKey,
+    /// Fixed-base power tables for the joint key: every mark costs four
+    /// fixed-base exponentiations (`g^r`, `y^r`, `g^s`, `y^s`), so the
+    /// one-time table build amortizes over the collection period. The
+    /// produced ciphertexts are identical to the plain-`pow` path.
+    pk: PrecomputedKey,
     salt: [u8; 32],
     cells: Vec<Ciphertext>,
     /// Keyed hashes of items already marked this period (perf only).
@@ -61,8 +66,8 @@ impl ObliviousTable {
     pub fn new(gp: GroupParams, key: PublicKey, salt: [u8; 32], size: usize) -> ObliviousTable {
         assert!(size >= 1);
         ObliviousTable {
+            pk: PrecomputedKey::new(&gp, &key),
             gp,
-            key,
             salt,
             cells: vec![trivial_cell(&gp); size],
             seen: HashSet::new(),
@@ -106,10 +111,22 @@ impl ObliviousTable {
     /// ([`crate::shard`]) and the ciphertext work happens exactly once
     /// per occupied cell at merge.
     pub fn mark_cell<R: Rng + ?Sized>(&mut self, idx: usize, rng: &mut R) {
-        let random_mark = self.gp.random_non_identity(rng);
-        let enc = encrypt(&self.gp, &self.key, &random_mark, rng);
+        // Draw-for-draw and value-for-value the classic
+        // `random_non_identity` → `encrypt` → `rerandomize` sequence,
+        // routed through the fixed-base tables: `g^m` is the identity
+        // iff `m = 0`, so the rejection test needs no exponentiation.
+        let mark_exp = loop {
+            let m = self.gp.random_scalar(rng);
+            if m != Scalar::ZERO {
+                break m;
+            }
+        };
+        let random_mark = self.pk.g_pow(&self.gp, &mark_exp);
+        let r = self.gp.random_scalar(rng);
+        let enc = self.pk.encrypt_with(&self.gp, &random_mark, &r);
         let combined = mul_ciphertexts(&self.gp, &self.cells[idx], &enc);
-        self.cells[idx] = rerandomize(&self.gp, &self.key, &combined, rng);
+        let s = self.gp.random_scalar(rng);
+        self.cells[idx] = self.pk.rerandomize_with(&self.gp, &combined, &s);
         self.marks += 1;
     }
 

@@ -95,6 +95,7 @@ fn main() {
         seed: 4,
         threaded: true,
         faults: Default::default(),
+        ..Default::default()
     };
     let generators = relay_events
         .into_iter()

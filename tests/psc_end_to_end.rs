@@ -1,6 +1,11 @@
 //! Integration: PSC over the full simulation, including verified runs
-//! and the statistical estimator chain.
+//! and the statistical estimator chain; transcript equality between
+//! sequential and batched-parallel mixing at the round level; and
+//! fault-injection regressions pinning the per-link `Switchboard` to
+//! the single-lock baseline.
 
+use pm_net::transport::FaultConfig;
+use psc::cp::MixStrategy;
 use psc::items;
 use psc::round::{run_psc_round, PscConfig};
 use std::collections::HashSet;
@@ -68,6 +73,7 @@ fn psc_counts_unique_ips_from_full_simulation() {
         seed: 3,
         threaded: false,
         faults: Default::default(),
+        ..Default::default()
     };
     let result =
         run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 4)).expect("round");
@@ -94,6 +100,7 @@ fn verified_psc_round_over_threads() {
         seed: 5,
         threaded: true,
         faults: Default::default(),
+        ..Default::default()
     };
     let result = run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 2))
         .expect("verified round");
@@ -124,10 +131,168 @@ fn psc_and_privcount_agree_on_volume_vs_uniqueness() {
         seed: 7,
         threaded: false,
         faults: Default::default(),
+        ..Default::default()
     };
     let result =
         run_psc_round(cfg, items::unique_client_ips(), dc_generators(events, 3)).expect("round");
     // Noiseless: marked cells ≤ unique (collisions) and close to it.
     assert!(result.raw.marked <= truth_unique);
     assert!(result.raw.marked as f64 > truth_unique as f64 * 0.95);
+}
+
+// ----- transcript equality: sequential vs batched-parallel mixing -----
+
+/// Small synthetic generators (cheap enough to run the same round many
+/// times under different execution shapes).
+fn ip_generators(sets: &[&[u32]]) -> Vec<psc::dc::EventGenerator> {
+    sets.iter()
+        .map(|ips| {
+            let ips: Vec<u32> = ips.to_vec();
+            let g: psc::dc::EventGenerator = Box::new(move |sink| {
+                for ip in ips {
+                    sink(torsim::events::TorEvent::EntryConnection {
+                        relay: torsim::ids::RelayId(0),
+                        client_ip: torsim::ids::IpAddr(ip),
+                    });
+                }
+            });
+            g
+        })
+        .collect()
+}
+
+fn run_with(mix: MixStrategy, verify: bool, threaded: bool) -> psc::ts::RawCount {
+    let cfg = PscConfig {
+        table_size: 128,
+        noise_flips_per_cp: 12,
+        num_cps: 3,
+        verify,
+        seed: 41,
+        threaded,
+        mix,
+        ..Default::default()
+    };
+    run_psc_round(
+        cfg,
+        items::unique_client_ips(),
+        ip_generators(&[&[1, 2, 3, 4, 5], &[4, 5, 6, 7], &[8, 9]]),
+    )
+    .expect("round")
+    .raw
+}
+
+/// Acceptance: the final `RawCount` is bit-identical between sequential
+/// and batched-parallel execution for thread counts 1, 2, and 8 — with
+/// the per-cell messages covered byte-for-byte by the `mix_equivalence`
+/// proptests in the `psc` crate.
+#[test]
+fn round_transcript_equal_across_mix_strategies() {
+    for verify in [false, true] {
+        let reference = run_with(MixStrategy::Sequential, verify, false);
+        for threads in [1usize, 2, 8] {
+            let batched = run_with(MixStrategy::Batched { threads }, verify, false);
+            assert_eq!(reference, batched, "verify={verify} threads={threads}");
+        }
+        // One OS thread per party on top of batched mixing: delivery
+        // interleaving must not leak into the result either.
+        let threaded = run_with(MixStrategy::Batched { threads: 2 }, verify, true);
+        assert_eq!(reference, threaded, "verify={verify} threaded");
+    }
+}
+
+// ----- fault-injection regressions: per-link vs single-lock board -----
+
+/// Round outcome reduced to what both boards must agree on: the
+/// published count, or the fact that the round aborted.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Published(u64),
+    Aborted,
+}
+
+fn run_faulted(faults: FaultConfig, single_lock_board: bool) -> Outcome {
+    let cfg = PscConfig {
+        table_size: 64,
+        noise_flips_per_cp: 4,
+        num_cps: 2,
+        verify: false,
+        seed: 23,
+        threaded: false,
+        faults,
+        mix: MixStrategy::Batched { threads: 2 },
+        single_lock_board,
+    };
+    match run_psc_round(
+        cfg,
+        items::unique_client_ips(),
+        ip_generators(&[&[10, 11, 12], &[12, 13]]),
+    ) {
+        Ok(result) => Outcome::Published(result.raw.marked),
+        Err(_) => Outcome::Aborted,
+    }
+}
+
+/// Under deterministic fault schedules — lossless, total drop, total
+/// duplication, total corruption — the per-link board must publish the
+/// same `raw.marked` (or abort exactly like) the single-lock baseline,
+/// even though its per-link delivery reorders messages across links.
+#[test]
+fn per_link_board_matches_single_lock_under_faults() {
+    let cases = [
+        ("lossless", FaultConfig::none()),
+        (
+            "all dropped",
+            FaultConfig {
+                drop_chance: 1.0,
+                seed: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "all duplicated",
+            FaultConfig {
+                duplicate_chance: 1.0,
+                seed: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "all corrupted",
+            FaultConfig {
+                corrupt_chance: 1.0,
+                seed: 5,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, faults) in cases {
+        let per_link = run_faulted(faults, false);
+        let single_lock = run_faulted(faults, true);
+        assert_eq!(per_link, single_lock, "{label}");
+        if label == "lossless" {
+            assert!(matches!(per_link, Outcome::Published(_)), "{label}");
+        } else {
+            // A protocol with no retransmission must abort, not
+            // publish garbage, under total-loss/duplication schedules.
+            assert_eq!(per_link, Outcome::Aborted, "{label}");
+        }
+    }
+}
+
+/// Partial fault schedules are deterministic per board: the per-link
+/// fabric derives each link's RNG from `(seed, from, to)`, so rerunning
+/// the identical round yields the identical outcome.
+#[test]
+fn per_link_fault_schedule_is_reproducible() {
+    for (drop, dup) in [(0.15, 0.0), (0.0, 0.35), (0.1, 0.2)] {
+        let faults = FaultConfig {
+            drop_chance: drop,
+            duplicate_chance: dup,
+            seed: 77,
+            ..Default::default()
+        };
+        let a = run_faulted(faults, false);
+        let b = run_faulted(faults, false);
+        assert_eq!(a, b, "drop={drop} dup={dup}");
+    }
 }

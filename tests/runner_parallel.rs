@@ -138,6 +138,70 @@ fn planned_schedule_is_accountant_clean() {
     assert_eq!(plan_ids, reg_ids);
 }
 
+// ----- PSC concurrency cap -----
+//
+// Each in-flight PSC round pins an oblivious table in memory, so the
+// executor throttles them with Deployment::max_concurrent_psc_rounds
+// while PrivCount rounds fill the remaining workers. Instrumented
+// rounds track the high-water mark of concurrent PSC executions.
+
+static PSC_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+static PSC_MAX: AtomicUsize = AtomicUsize::new(0);
+
+fn instrumented_psc_round(_dep: &Deployment) -> Report {
+    let now = PSC_ACTIVE.fetch_add(1, Ordering::SeqCst) + 1;
+    PSC_MAX.fetch_max(now, Ordering::SeqCst);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    PSC_ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    Report::new("PSC", "capped")
+}
+
+fn capped_plan() -> Vec<PlannedRound> {
+    let mk = |i: usize, system, run| PlannedRound {
+        entry: ExperimentEntry {
+            id: "R",
+            system,
+            duration_hours: 24,
+            run,
+        },
+        start_hour: 24 * i as u64,
+        end_hour: 24 * i as u64 + 24,
+        deps: Vec::new(),
+    };
+    let mut plan: Vec<PlannedRound> = (0..6)
+        .map(|i| {
+            mk(
+                i,
+                pm_dp::accountant::System::Psc,
+                instrumented_psc_round as fn(&Deployment) -> Report,
+            )
+        })
+        .collect();
+    // Two untracked PrivCount rounds ride along: the cap must not
+    // throttle them (the run would deadlock if it mistakenly did, since
+    // workers > cap are available to claim them).
+    for i in 6..8 {
+        plan.push(mk(i, pm_dp::accountant::System::PrivCount, |_| {
+            Report::new("PC", "untracked")
+        }));
+    }
+    plan
+}
+
+#[test]
+fn runner_honours_psc_concurrency_cap() {
+    for cap in [1usize, 2] {
+        PSC_ACTIVE.store(0, Ordering::SeqCst);
+        PSC_MAX.store(0, Ordering::SeqCst);
+        let dep = Dep::at_scale(1e-4, 1).with_max_concurrent_psc_rounds(cap);
+        let reports = run_plan(&dep, capped_plan(), 8);
+        assert_eq!(reports.len(), 8);
+        let max = PSC_MAX.load(Ordering::SeqCst);
+        assert!(max <= cap, "cap {cap} exceeded: {max} PSC rounds in flight");
+        assert!(max >= 1, "instrumentation saw no PSC round");
+    }
+}
+
 #[test]
 fn parallel_execution_matches_sequential_on_real_experiments() {
     // The cheap PrivCount subset (PSC rounds cost ~25s each in debug and
