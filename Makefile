@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript doc bench golden
+.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript study-smoke doc bench bench-study golden
 
-verify: fmt-check clippy doc build test test-crates test-transcript
+verify: fmt-check clippy doc build test test-crates test-transcript study-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -46,9 +46,26 @@ test-transcript:
 	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=1
 	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=4
 
+# End-to-end smoke of the longitudinal campaign engine: a 7-day
+# calendar (daily IP rounds, the confirmation repeat, the 96h churn
+# round) at small scale through the real PSC pipeline, exporting both
+# output formats. Guards the `campaign` binary and the study crate's
+# wiring the way `test` guards the libraries.
+study-smoke:
+	$(CARGO) run --release -p pm-study --bin campaign -- --list
+	$(CARGO) run --release -p pm-study --bin campaign -- \
+		--days 7 --scale 2e-4 --seed 2018 --json target/study_smoke.json --csv \
+		> target/study_smoke.csv
+	test -s target/study_smoke.json && test -s target/study_smoke.csv
+
 # Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
 bench:
 	$(CARGO) bench -p pm-bench --bench pipeline
+
+# Campaign sweep (calendar days × ingestion shards, sequential vs
+# parallel rounds); writes BENCH_study.json at the repo root.
+bench-study:
+	$(CARGO) bench -p pm-bench --bench campaign
 
 # Regenerate the committed golden report snapshots after an intentional
 # output change.

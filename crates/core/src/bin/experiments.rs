@@ -1,21 +1,28 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release --bin experiments -- [--scale S] [--seed N] [--only T4,F1] [--csv]
+//! cargo run --release -p torstudy --bin experiments -- \
+//!     [--scale S] [--seed N] [--only T4,F1] [--csv] [--json PATH] [--list]
 //! ```
 //!
 //! Scale 1.0 reproduces paper-scale totals (minutes of runtime and
 //! gigabytes of events); the default 0.01 keeps every statistic's
-//! signal-to-noise ratio while running in seconds.
+//! signal-to-noise ratio while running in seconds. `--json PATH`
+//! writes the machine-readable document (same schema as the
+//! `campaign` binary's) alongside whatever goes to stdout; `--list`
+//! prints the registry without running anything.
 
-use torstudy::deployment::Deployment;
-use torstudy::runner::{run_all, run_some};
+use torstudy::report::reports_json;
+use torstudy::runner::{registry, run_all, run_some};
+use torstudy::Deployment;
 
 fn main() {
     let mut scale = 0.01f64;
     let mut seed = 2018u64;
     let mut only: Option<Vec<String>> = None;
     let mut csv = false;
+    let mut json: Option<String> = None;
+    let mut list = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -34,8 +41,16 @@ fn main() {
                 only = Some(args[i].split(',').map(|s| s.trim().to_string()).collect());
             }
             "--csv" => csv = true,
+            "--json" => {
+                i += 1;
+                json = Some(args[i].clone());
+            }
+            "--list" => list = true,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--scale S] [--seed N] [--only T4,F1,...] [--csv]");
+                eprintln!(
+                    "usage: experiments [--scale S] [--seed N] [--only T4,F1,...] \
+                     [--csv] [--json PATH] [--list]"
+                );
                 return;
             }
             other => {
@@ -44,6 +59,16 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if list {
+        for entry in registry() {
+            println!(
+                "{}\t{:?}\t{}h",
+                entry.id, entry.system, entry.duration_hours
+            );
+        }
+        return;
     }
 
     eprintln!("# deployment: 16 relays, 1 TS, 3 SKs, 3 CPs; scale {scale}, seed {seed}");
@@ -61,6 +86,10 @@ fn main() {
         } else {
             println!("{report}");
         }
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, reports_json(&reports)).expect("write --json output");
+        eprintln!("# wrote {path}");
     }
     eprintln!("# {} experiment(s) completed", reports.len());
 }

@@ -166,6 +166,53 @@ impl Deployment {
         self
     }
 
+    /// Overrides the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Deployment {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives the deployment as it stands on `day` of a longitudinal
+    /// campaign (see `torsim::timeline`): the same site/geo/AS universe
+    /// (shared `Arc`s — nothing is rebuilt), a day-derived seed, that
+    /// day's drifted site-popularity mix, and that day's observed
+    /// weight fractions written into the [`PaperWeights`] slots the
+    /// client- and exit-side experiments read. The campaign engine
+    /// builds one of these per measurement round, so every round
+    /// measures — and every inference divides by — the fraction
+    /// actually in force on its calendar day.
+    pub fn for_day(&self, snapshot: &torsim::timeline::DaySnapshot) -> Deployment {
+        use torsim::relay::Position;
+        let mut workload = self.workload.clone();
+        workload.exit.mix = snapshot.mix.clone();
+        let guard = snapshot.fraction(Position::Guard);
+        let exit = snapshot.fraction(Position::Exit);
+        let hsdir = snapshot.fraction(Position::HsDir);
+        Deployment {
+            sites: Arc::clone(&self.sites),
+            geo: Arc::clone(&self.geo),
+            asdb: Arc::clone(&self.asdb),
+            workload,
+            weights: PaperWeights {
+                fig1_exit: exit,
+                tab4_entry: guard,
+                tab5_guard: guard,
+                tab6_publish: hsdir,
+                tab6_fetch: hsdir,
+                tab7_fetch: hsdir,
+                tab8_rend: guard,
+                ..self.weights
+            },
+            scale: self.scale,
+            seed: pm_stats::sampling::derive_seed(self.seed, &format!("day{}", snapshot.day)),
+            relays: self.relays.clone(),
+            num_sks: self.num_sks,
+            num_cps: self.num_cps,
+            shards: self.shards,
+            max_concurrent_psc_rounds: self.max_concurrent_psc_rounds,
+        }
+    }
+
     /// Overrides the concurrent-PSC-round cap (1 = PSC rounds run one
     /// at a time; PrivCount rounds still parallelize freely).
     pub fn with_max_concurrent_psc_rounds(mut self, cap: usize) -> Deployment {
@@ -243,6 +290,31 @@ mod tests {
         let specs = vec![CounterSpec::with_sigma("x", 100.0)];
         let scaled = dep.scaled_specs(specs);
         assert!((scaled[0].sigma - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn day_derivation_shares_universe_and_drifts() {
+        use torsim::churn::ChurnModel;
+        use torsim::timeline::{NetworkTimeline, TimelineConfig};
+        let dep = Deployment::at_scale(1e-3, 5);
+        let t = NetworkTimeline::new(
+            TimelineConfig::paper_default(7),
+            ChurnModel::new(100, 30, 1),
+            5,
+            Arc::clone(&dep.geo),
+        );
+        let d0 = dep.for_day(&t.snapshot(0));
+        let d3 = dep.for_day(&t.snapshot(3));
+        // The universe is shared, not rebuilt.
+        assert!(Arc::ptr_eq(&dep.sites, &d0.sites));
+        assert!(Arc::ptr_eq(&dep.geo, &d3.geo));
+        // Seeds and observed fractions are day-indexed.
+        assert_ne!(d0.seed, d3.seed);
+        assert_ne!(d0.seed, dep.seed);
+        assert_ne!(d0.weights.tab5_guard, d3.weights.tab5_guard);
+        assert_eq!(d0.weights.tab5_guard, d0.weights.tab4_entry);
+        assert_eq!(d0.scale, dep.scale);
+        assert_eq!(d0.relays.len(), 16);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub(crate) fn exit_streams(
 
 /// Builds client-traffic streams (connections/circuits/bytes), one per
 /// DC.
-pub(crate) fn client_traffic_streams(
+pub fn client_traffic_streams(
     dep: &Deployment,
     fraction: f64,
     num_dcs: usize,
@@ -89,12 +89,7 @@ pub(crate) fn client_traffic_streams(
 /// Builds the unique-client-IP pool stream for a day (PSC measurements
 /// split the pool across DCs internally; union semantics make the split
 /// irrelevant).
-pub(crate) fn client_ip_stream(
-    dep: &Deployment,
-    observe_prob: f64,
-    day: u64,
-    label: &str,
-) -> EventStream {
+pub fn client_ip_stream(dep: &Deployment, observe_prob: f64, day: u64, label: &str) -> EventStream {
     dc_stream_sim(dep, 6, label).client_ips(
         &dep.workload.clients,
         observe_prob,
@@ -167,7 +162,7 @@ pub(crate) fn rend_streams(
 }
 
 /// Default PrivCount round config for a deployment.
-pub(crate) fn privcount_round(
+pub fn privcount_round(
     dep: &Deployment,
     schema: privcount::counter::Schema,
     label: &str,
@@ -186,7 +181,7 @@ pub(crate) fn privcount_round(
 /// Default PSC round config for a deployment. `expected_unique` sizes
 /// the table (4× the expectation keeps collision corrections small);
 /// `sensitivity` calibrates the per-CP binomial noise.
-pub(crate) fn psc_round(
+pub fn psc_round(
     dep: &Deployment,
     expected_unique: f64,
     sensitivity: u64,

@@ -115,6 +115,38 @@ impl Report {
         out
     }
 
+    /// Renders the report as one JSON object (see [`reports_json`] for
+    /// the multi-report document the binaries emit).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"id\": {}, \"title\": {}, \"rows\": [",
+            json_escape(&self.id),
+            json_escape(&self.title)
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"label\": {}, \"measured\": {}, \"truth\": {}, \"paper\": {}}}",
+                json_escape(&row.label),
+                json_escape(&row.measured),
+                json_escape(&row.truth),
+                json_escape(&row.paper)
+            ));
+        }
+        out.push_str("], \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_escape(note));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders CSV (one line per row, with id and label).
     pub fn render_csv(&self) -> String {
         let mut out = String::from("id,label,measured,truth,paper\n");
@@ -138,6 +170,41 @@ fn csv_escape(s: &str) -> String {
     } else {
         s.to_string()
     }
+}
+
+/// Quotes a string as a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a set of reports as one JSON document — the export format
+/// shared by the `experiments` and `campaign` binaries.
+pub fn reports_json(reports: &[Report]) -> String {
+    let mut out = String::from("{\"reports\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.render_json());
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
 }
 
 impl fmt::Display for Report {
@@ -223,6 +290,27 @@ mod tests {
         let csv = r.render_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"va\"\"l\""));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_aggregates() {
+        let mut a = Report::new("T5", "quo\"te");
+        a.row(ReportRow::new("IPs", "1 [0; 2]", "1", "313,213"));
+        a.note("line\nbreak");
+        let b = Report::new("F1", "plain");
+        let doc = reports_json(&[a, b]);
+        assert!(doc.contains("\"id\": \"T5\""));
+        assert!(doc.contains("quo\\\"te"));
+        assert!(doc.contains("line\\nbreak"));
+        assert!(doc.contains("\"id\": \"F1\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                doc.matches(open).count(),
+                doc.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
     }
 
     #[test]

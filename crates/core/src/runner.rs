@@ -25,6 +25,12 @@
 //! and produces the identical reports (experiments derive all
 //! randomness from the deployment seed, not from execution order — the
 //! equivalence is pinned by `tests/runner_parallel.rs`).
+//!
+//! The scheduling machinery itself is generic: [`run_jobs`] executes
+//! any dependency graph of [`Job`]s under the same worker pool and
+//! PSC-memory-cap rules. The registry lowers to `Job<Report>` here;
+//! the longitudinal campaign engine (`pm-study`) lowers its
+//! day-indexed calendar onto the same executor.
 
 use crate::deployment::Deployment;
 use crate::experiments;
@@ -190,39 +196,84 @@ pub fn plan_schedule() -> (Vec<PlannedRound>, Accountant) {
     (planned, accountant)
 }
 
-struct ExecState {
-    /// Unmet dependency count per round; usize::MAX marks "claimed".
+/// One unit of schedulable work for the generic executor
+/// ([`run_jobs`]). Registry experiments lower to `Job<Report>`; the
+/// longitudinal campaign engine (`pm-study`) lowers its day-indexed
+/// rounds to `Job<T>` carrying round outcomes richer than a report.
+pub struct Job<'a, T = Report> {
+    /// Display/diagnostic id.
+    pub id: String,
+    /// PSC jobs pin an oblivious table in memory and are throttled by
+    /// the executor's PSC cap; other jobs are not.
+    pub is_psc: bool,
+    /// Indices of jobs that must complete first.
+    pub deps: Vec<usize>,
+    /// The work. Must derive all randomness from its own seeds — never
+    /// from execution order — so every schedule yields the same output.
+    pub run: Box<dyn Fn() -> T + Send + Sync + 'a>,
+}
+
+struct ExecState<T> {
+    /// Unmet dependency count per job; usize::MAX marks "claimed".
     pending: Vec<usize>,
-    reports: Vec<Option<Report>>,
+    outputs: Vec<Option<T>>,
     completed: usize,
-    /// PSC rounds currently in flight, bounded by
-    /// [`Deployment::max_concurrent_psc_rounds`].
+    /// PSC jobs currently in flight, bounded by the executor's cap.
     psc_running: usize,
-    /// First panic payload from a round; set once, aborts the pool.
+    /// First panic payload from a job; set once, aborts the pool.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
-/// Executes planned rounds on up to `workers` threads, honouring the
-/// dependency graph and the deployment's concurrent-PSC-round cap, and
-/// returns reports in plan (= registry) order.
-fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) -> Vec<Report> {
-    let n = planned.len();
-    let workers = workers.clamp(1, n.max(1));
-    let psc_cap = dep.max_concurrent_psc_rounds.max(1);
-    let is_psc: Vec<bool> = planned
-        .iter()
-        .map(|p| p.entry.system == System::Psc)
-        .collect();
+/// Executes jobs on up to `workers` threads, honouring the dependency
+/// graph and throttling PSC jobs to `psc_cap` in flight, and returns
+/// outputs in job order. The scheduling machinery shared by the
+/// registry runner and the campaign engine.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize, psc_cap: usize) -> Vec<T> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Validate the dependency graph up front: an out-of-range or
+    // duplicate dep desynchronizes the pending counters and a cycle
+    // never unblocks — either would deadlock the worker pool silently,
+    // so turn them into a diagnosable panic instead.
+    for (i, job) in jobs.iter().enumerate() {
+        let mut seen = vec![false; n];
+        for &d in &job.deps {
+            assert!(d < n, "job {i} ({}) has out-of-range dep {d}", job.id);
+            assert!(!seen[d], "job {i} ({}) lists dep {d} twice", job.id);
+            seen[d] = true;
+        }
+    }
+    {
+        // Kahn's algorithm: every job must be reachable at depth order.
+        let mut unmet: Vec<usize> = jobs.iter().map(|j| j.deps.len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| unmet[i] == 0).collect();
+        let mut done = 0;
+        while let Some(i) = queue.pop() {
+            done += 1;
+            for (j, job) in jobs.iter().enumerate() {
+                if job.deps.contains(&i) {
+                    unmet[j] -= 1;
+                    if unmet[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+        assert_eq!(done, n, "job dependency graph contains a cycle");
+    }
+    let workers = workers.clamp(1, n);
+    let psc_cap = psc_cap.max(1);
     let state = Mutex::new(ExecState {
-        pending: planned.iter().map(|p| p.deps.len()).collect(),
-        reports: (0..n).map(|_| None).collect(),
+        pending: jobs.iter().map(|j| j.deps.len()).collect(),
+        outputs: (0..n).map(|_| None).collect(),
         completed: 0,
         psc_running: 0,
         panic: None,
     });
     let ready = Condvar::new();
-    let planned = &planned;
-    let is_psc = &is_psc;
+    let jobs = &jobs;
     let state = &state;
     let ready = &ready;
     std::thread::scope(|scope| {
@@ -234,18 +285,17 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
                         if guard.completed == n || guard.panic.is_some() {
                             return;
                         }
-                        // A PSC round is only claimable while a memory
-                        // slot is free; PrivCount rounds always are.
+                        // A PSC job is only claimable while a memory
+                        // slot is free; other jobs always are.
                         let psc_open = guard.psc_running < psc_cap;
-                        let next = guard
-                            .pending
-                            .iter()
-                            .enumerate()
-                            .position(|(i, &unmet)| unmet == 0 && (psc_open || !is_psc[i]));
+                        let next =
+                            guard.pending.iter().enumerate().position(|(i, &unmet)| {
+                                unmet == 0 && (psc_open || !jobs[i].is_psc)
+                            });
                         match next {
                             Some(i) => {
                                 guard.pending[i] = usize::MAX; // claimed
-                                if is_psc[i] {
+                                if jobs[i].is_psc {
                                     guard.psc_running += 1;
                                 }
                                 break i;
@@ -259,23 +309,22 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
                         }
                     }
                 };
-                // Catch panics so a crashing round aborts the pool and
+                // Catch panics so a crashing job aborts the pool and
                 // re-raises on the caller, instead of leaving the other
                 // workers waiting forever on a completion count that can
                 // no longer be reached.
-                let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    (planned[idx].entry.run)(dep)
-                }));
+                let output =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (jobs[idx].run)()));
                 let mut guard = state.lock();
-                if is_psc[idx] {
+                if jobs[idx].is_psc {
                     guard.psc_running -= 1;
                 }
-                match report {
-                    Ok(report) => {
-                        guard.reports[idx] = Some(report);
+                match output {
+                    Ok(output) => {
+                        guard.outputs[idx] = Some(output);
                         guard.completed += 1;
-                        for (j, p) in planned.iter().enumerate() {
-                            if p.deps.contains(&idx) {
+                        for (j, job) in jobs.iter().enumerate() {
+                            if job.deps.contains(&idx) {
                                 guard.pending[j] -= 1;
                             }
                         }
@@ -293,12 +342,29 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
     if let Some(payload) = guard.panic.take() {
         std::panic::resume_unwind(payload);
     }
-    let reports: Vec<Report> = guard
-        .reports
+    let outputs: Vec<T> = guard
+        .outputs
         .iter_mut()
-        .map(|slot| slot.take().expect("round completed"))
+        .map(|slot| slot.take().expect("job completed"))
         .collect();
-    reports
+    outputs
+}
+
+/// Executes planned rounds on up to `workers` threads via [`run_jobs`],
+/// honouring the dependency graph and the deployment's
+/// concurrent-PSC-round cap, and returns reports in plan (= registry)
+/// order.
+fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) -> Vec<Report> {
+    let jobs: Vec<Job<'_, Report>> = planned
+        .into_iter()
+        .map(|p| Job {
+            id: p.entry.id.to_string(),
+            is_psc: p.entry.system == System::Psc,
+            deps: p.deps,
+            run: Box::new(move || (p.entry.run)(dep)),
+        })
+        .collect();
+    run_jobs(jobs, workers, dep.max_concurrent_psc_rounds)
 }
 
 /// Executes an explicit plan on up to `workers` threads, honouring its
@@ -403,6 +469,31 @@ mod tests {
         // Must re-raise the round's panic on the caller; before the
         // catch_unwind in execute_plan this deadlocked the pool.
         let _ = execute_plan(&dep, planned, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range dep")]
+    fn run_jobs_rejects_out_of_range_deps() {
+        let jobs: Vec<Job<'_, ()>> = vec![Job {
+            id: "bad".into(),
+            is_psc: false,
+            deps: vec![5],
+            run: Box::new(|| ()),
+        }];
+        run_jobs(jobs, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn run_jobs_rejects_cycles() {
+        let mk = |deps: Vec<usize>| Job::<'_, ()> {
+            id: "cyc".into(),
+            is_psc: false,
+            deps,
+            run: Box::new(|| ()),
+        };
+        // 0 → 1 → 0: would deadlock the pool without the up-front check.
+        run_jobs(vec![mk(vec![1]), mk(vec![0])], 2, 1);
     }
 
     #[test]

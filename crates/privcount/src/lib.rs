@@ -37,7 +37,7 @@ pub mod sk;
 pub mod ts;
 
 pub use counter::{CounterSpec, EventMapper, Schema};
-pub use round::{run_round, run_round_streams, RoundConfig, RoundResult};
+pub use round::{run_round, run_round_days, run_round_streams, RoundConfig, RoundResult};
 
 /// Convenience prelude.
 pub mod prelude {

@@ -106,6 +106,37 @@ pub fn run_round_streams(
     run_round_sources(cfg, dc_streams.into_iter().map(DcSource::Stream).collect())
 }
 
+/// Runs one PrivCount round per day of a campaign window (`pm-study`):
+/// `days[d]` holds day `d`'s per-DC streams, and day `d`'s round seeds
+/// derive from the base config as `derive_seed(seed, "day{d}")`, so the
+/// series is a pure function of `(config, calendar)` — the noise drawn
+/// on day `d` cannot depend on which days ran before it (or
+/// concurrently with it, under the parallel campaign executor).
+/// Returns one result per day, in calendar order.
+pub fn run_round_days(
+    cfg: RoundConfig,
+    days: Vec<Vec<torsim::stream::EventStream>>,
+) -> Result<Vec<RoundResult>, NodeError> {
+    assert!(!days.is_empty(), "need at least one day");
+    days.into_iter()
+        .enumerate()
+        .map(|(d, streams)| {
+            run_round_streams(
+                RoundConfig {
+                    counters: cfg.counters.clone(),
+                    mapper: cfg.mapper.clone(),
+                    num_sks: cfg.num_sks,
+                    noise: cfg.noise,
+                    seed: pm_stats::sampling::derive_seed(cfg.seed, &format!("day{d}")),
+                    threaded: cfg.threaded,
+                    faults: cfg.faults,
+                },
+                streams,
+            )
+        })
+        .collect()
+}
+
 /// Runs a full PrivCount round over arbitrary DC sources.
 pub fn run_round_sources(
     cfg: RoundConfig,

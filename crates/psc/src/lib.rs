@@ -55,7 +55,7 @@ pub mod table;
 pub mod ts;
 
 pub use cp::MixStrategy;
-pub use round::{run_psc_round, run_psc_round_streams, PscConfig, PscResult};
+pub use round::{run_psc_round, run_psc_round_days, run_psc_round_streams, PscConfig, PscResult};
 pub use table::ObliviousTable;
 
 /// Convenience prelude.

@@ -112,6 +112,41 @@ pub fn run_psc_round_streams(
     )
 }
 
+/// Runs one PSC round over a multi-day collection window (the paper's
+/// 96-hour client-IP round; `pm-study`'s campaign rounds): `days[d]`
+/// holds day `d`'s per-DC streams, and each DC's streams are chained
+/// shard-wise in calendar order, so the round counts distinct items
+/// over the whole window — the stable client core marks its cells
+/// once however many days re-observe it. Every day must supply the
+/// same number of DCs, and a DC's streams the same shard count.
+pub fn run_psc_round_days(
+    cfg: PscConfig,
+    extractor: ItemExtractor,
+    days: Vec<Vec<torsim::stream::EventStream>>,
+) -> Result<PscResult, NodeError> {
+    assert!(!days.is_empty(), "need at least one day");
+    let num_dcs = days[0].len();
+    assert!(
+        days.iter().all(|d| d.len() == num_dcs),
+        "every day must supply the same DCs"
+    );
+    let mut per_dc: Vec<Vec<torsim::stream::EventStream>> =
+        (0..num_dcs).map(|_| Vec::new()).collect();
+    for day in days {
+        for (i, stream) in day.into_iter().enumerate() {
+            per_dc[i].push(stream);
+        }
+    }
+    run_psc_round_streams(
+        cfg,
+        extractor,
+        per_dc
+            .into_iter()
+            .map(torsim::stream::EventStream::chain)
+            .collect(),
+    )
+}
+
 /// Runs a full PSC round over arbitrary DC sources.
 pub fn run_psc_round_sources(
     cfg: PscConfig,

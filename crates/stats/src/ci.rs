@@ -131,6 +131,17 @@ impl Estimate {
         Estimate { value, ci }
     }
 
+    /// Shifts the value and both CI endpoints by `delta` — removing
+    /// (or restoring) a known, noiseless component before rescaling,
+    /// e.g. the always-observed promiscuous clients in a unique-IP
+    /// count.
+    pub fn shift(&self, delta: f64) -> Estimate {
+        Estimate {
+            value: self.value + delta,
+            ci: Interval::new(self.ci.lo + delta, self.ci.hi + delta),
+        }
+    }
+
     /// Network-wide inference: divides by the fraction of observations
     /// the measuring relays make (§3.3: `(x ± zσ)/p`).
     pub fn scale_to_network(&self, fraction: f64) -> Estimate {
@@ -211,6 +222,15 @@ mod tests {
         assert_eq!(neg.clamp_min(0.0), Interval::new(0.0, 2.0));
         let allneg = Interval::new(-3.0, -1.0);
         assert_eq!(allneg.clamp_min(0.0), Interval::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn shift_moves_value_and_interval() {
+        let e = Estimate::gaussian95(100.0, 10.0);
+        let s = e.shift(-40.0);
+        assert_eq!(s.value, 60.0);
+        assert!((s.ci.width() - e.ci.width()).abs() < 1e-12);
+        assert_eq!(s.shift(40.0), e);
     }
 
     #[test]

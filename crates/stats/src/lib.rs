@@ -17,7 +17,10 @@
 //! * [`guards`] — the promiscuous/selective guard-contact model of §5.1
 //!   (Table 3);
 //! * [`extrapolate`] — HSDir-replication extrapolation (§6.1) and the
-//!   distribution-free `[x, x/p]` range rule.
+//!   distribution-free `[x, x/p]` range rule;
+//! * [`union`] — cross-day union statistics for longitudinal campaigns
+//!   (§5.1): extrapolating a multi-day union under a drifting fraction
+//!   and reconciling repeat measurements.
 
 pub mod ci;
 pub mod extrapolate;
@@ -26,6 +29,7 @@ pub mod occupancy;
 pub mod powerlaw;
 pub mod psc_ci;
 pub mod sampling;
+pub mod union;
 
 pub use ci::{Estimate, Interval};
 
@@ -38,4 +42,5 @@ pub mod prelude {
     pub use crate::powerlaw::{extrapolate_unique_count, PowerLawConfig};
     pub use crate::psc_ci::psc_confidence_interval;
     pub use crate::sampling::{AliasTable, ZipfSampler};
+    pub use crate::union::{multi_day_network_estimate, reconcile, DayShare};
 }

@@ -1,0 +1,164 @@
+//! Cross-day union statistics for longitudinal campaigns (§5.1).
+//!
+//! A multi-day unique-count measurement (the paper's 96-hour client-IP
+//! round) observes the *union* of several daily populations, each
+//! collected under that day's weight fraction. Two pieces of analysis
+//! follow:
+//!
+//! * **Network-wide extrapolation of a union** — a single fraction
+//!   can't rescale the union when the fraction drifted across the
+//!   window. [`multi_day_network_estimate`] apportions the measured
+//!   union over the days by each day's *fresh* ground-truth
+//!   contribution (first-seen share) and extrapolates each slice with
+//!   that day's own fraction, summing the slices. With a constant
+//!   fraction this degenerates to the usual `x/p`.
+//! * **Reconciling repeat measurements** — the paper re-measured
+//!   statistics to confirm anomalies. [`reconcile`] checks whether two
+//!   estimates' confidence intervals overlap: overlapping repeats
+//!   corroborate each other (report the hull); disjoint repeats flag a
+//!   real change or an anomaly worth a third round.
+
+use crate::ci::{Estimate, Interval};
+
+/// One day's contribution to a multi-day union: its share of the
+/// union's fresh items and the observation fraction in force that day.
+#[derive(Clone, Copy, Debug)]
+pub struct DayShare {
+    /// Fraction of the union first seen on this day (shares sum to 1).
+    pub share: f64,
+    /// That day's observation fraction `p` in (0, 1].
+    pub fraction: f64,
+}
+
+/// Extrapolates a measured multi-day union to network scale: each
+/// day's slice of the union (weighted by `share`) is divided by that
+/// day's own fraction, and the slices are summed. CI endpoints scale
+/// by the same factor (the per-day fractions are known consensus
+/// facts, not estimates).
+pub fn multi_day_network_estimate(measured: &Estimate, days: &[DayShare]) -> Estimate {
+    assert!(!days.is_empty());
+    let total_share: f64 = days.iter().map(|d| d.share).sum();
+    assert!(total_share > 0.0, "day shares must not all be zero");
+    let factor: f64 = days
+        .iter()
+        .map(|d| {
+            assert!(d.fraction > 0.0 && d.fraction <= 1.0, "fraction in (0, 1]");
+            assert!(d.share >= 0.0);
+            (d.share / total_share) / d.fraction
+        })
+        .sum();
+    Estimate {
+        value: measured.value * factor,
+        ci: measured.ci.scale(factor),
+    }
+}
+
+/// The outcome of comparing a repeat measurement against the original.
+#[derive(Clone, Copy, Debug)]
+pub struct Reconciliation {
+    /// True when the confidence intervals overlap (the repeats
+    /// corroborate each other).
+    pub consistent: bool,
+    /// Smallest interval covering both measurements — the reported
+    /// range for corroborated repeats.
+    pub hull: Interval,
+    /// Gap between the intervals when disjoint (0 when consistent).
+    pub gap: f64,
+}
+
+/// Compares two measurements of the same statistic (§3.1 repeat
+/// rounds). Disjoint CIs flag an anomaly: under correct calibration
+/// two measurements of an unchanged quantity overlap at 95% nearly
+/// always, so a gap means the quantity moved or a round misbehaved.
+pub fn reconcile(a: &Estimate, b: &Estimate) -> Reconciliation {
+    match a.ci.intersect(&b.ci) {
+        Some(_) => Reconciliation {
+            consistent: true,
+            hull: a.ci.hull(&b.ci),
+            gap: 0.0,
+        },
+        None => Reconciliation {
+            consistent: false,
+            hull: a.ci.hull(&b.ci),
+            gap: (a.ci.lo.max(b.ci.lo) - a.ci.hi.min(b.ci.hi)).max(0.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fraction_degenerates_to_scale() {
+        let m = Estimate::with_ci(800.0, Interval::new(700.0, 900.0));
+        let days: Vec<DayShare> = (0..4)
+            .map(|_| DayShare {
+                share: 0.25,
+                fraction: 0.0119,
+            })
+            .collect();
+        let net = multi_day_network_estimate(&m, &days);
+        let direct = m.scale_to_network(0.0119);
+        assert!((net.value - direct.value).abs() < 1e-9);
+        assert!((net.ci.lo - direct.ci.lo).abs() < 1e-9);
+        assert!((net.ci.hi - direct.ci.hi).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drifting_fraction_weights_days() {
+        // Day 0 contributes 3/4 of the union at p=0.02, day 1 the rest
+        // at p=0.01: factor = 0.75/0.02 + 0.25/0.01 = 62.5.
+        let m = Estimate::with_ci(100.0, Interval::new(90.0, 110.0));
+        let net = multi_day_network_estimate(
+            &m,
+            &[
+                DayShare {
+                    share: 0.75,
+                    fraction: 0.02,
+                },
+                DayShare {
+                    share: 0.25,
+                    fraction: 0.01,
+                },
+            ],
+        );
+        assert!((net.value - 6250.0).abs() < 1e-9, "{}", net.value);
+        assert!(net.ci.contains(6250.0));
+    }
+
+    #[test]
+    fn unnormalized_shares_are_normalized() {
+        let m = Estimate::exact(10.0);
+        let a = multi_day_network_estimate(
+            &m,
+            &[
+                DayShare {
+                    share: 3.0,
+                    fraction: 0.1,
+                },
+                DayShare {
+                    share: 1.0,
+                    fraction: 0.1,
+                },
+            ],
+        );
+        assert!((a.value - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconcile_overlapping_and_disjoint() {
+        let a = Estimate::with_ci(100.0, Interval::new(90.0, 110.0));
+        let b = Estimate::with_ci(105.0, Interval::new(95.0, 115.0));
+        let r = reconcile(&a, &b);
+        assert!(r.consistent);
+        assert_eq!(r.gap, 0.0);
+        assert_eq!(r.hull, Interval::new(90.0, 115.0));
+
+        let c = Estimate::with_ci(200.0, Interval::new(190.0, 210.0));
+        let r = reconcile(&a, &c);
+        assert!(!r.consistent);
+        assert!((r.gap - 80.0).abs() < 1e-9, "{}", r.gap);
+        assert_eq!(r.hull, Interval::new(90.0, 210.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Runs a longitudinal measurement campaign over the evolving network.
+//!
+//! ```text
+//! cargo run --release -p pm-study --bin campaign -- \
+//!     [--days N] [--scale S] [--seed N] [--shards K] [--workers W]
+//!     [--csv] [--json PATH] [--list]
+//! ```
+//!
+//! The default 7-day calendar holds the §5.1 client-IP measurement,
+//! its confirmation repeat, and the 96-hour churn round; longer
+//! calendars add PrivCount traffic and PSC country rounds. `--list`
+//! prints the validated calendar without running it; `--json PATH`
+//! writes the machine-readable document (same schema as the
+//! `experiments` binary's) alongside whatever goes to stdout.
+
+use pm_study::{Campaign, CampaignConfig};
+
+fn main() {
+    let mut days = 7u64;
+    let mut scale = 1e-3f64;
+    let mut seed = 2018u64;
+    let mut shards = 0usize;
+    let mut workers = 0usize;
+    let mut csv = false;
+    let mut json: Option<String> = None;
+    let mut list = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--days" => {
+                i += 1;
+                days = args[i].parse().expect("--days takes an integer ≥ 1");
+            }
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes a float in (0, 1]");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--shards" => {
+                i += 1;
+                shards = args[i].parse().expect("--shards takes an integer");
+            }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().expect("--workers takes an integer");
+            }
+            "--csv" => csv = true,
+            "--json" => {
+                i += 1;
+                json = Some(args[i].clone());
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: campaign [--days N] [--scale S] [--seed N] [--shards K] \
+                     [--workers W] [--csv] [--json PATH] [--list]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut cfg = CampaignConfig::new(days, scale, seed);
+    if shards > 0 {
+        cfg = cfg.with_shards(shards);
+    }
+    let campaign = Campaign::new(cfg);
+
+    if list {
+        for r in campaign.rounds() {
+            println!(
+                "{}\t{}\t{:?}\tdays {}..{}",
+                r.id,
+                r.statistic,
+                r.kind,
+                r.start_day,
+                r.start_day + r.duration_days
+            );
+        }
+        return;
+    }
+
+    eprintln!(
+        "# campaign: {days} days, scale {scale}, seed {seed}, {} round(s)",
+        campaign.rounds().len()
+    );
+    let report = campaign.run(workers);
+    if csv {
+        print!("{}", report.render_csv());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if let Some(path) = json {
+        std::fs::write(&path, report.render_json()).expect("write --json output");
+        eprintln!("# wrote {path}");
+    }
+    if !report.anomalies.is_empty() {
+        eprintln!(
+            "# {} anomaly flag(s) — see report notes",
+            report.anomalies.len()
+        );
+    }
+    eprintln!("# campaign complete");
+}

@@ -1,0 +1,556 @@
+//! The campaign engine: calendar planning, §3.1 validation, and
+//! day-indexed parallel execution (see the crate docs for the model).
+
+use crate::report::CampaignReport;
+use pm_dp::accountant::{Accountant, MeasurementRound, System};
+use pm_stats::guards::observe_probability;
+use pm_stats::sampling::derive_seed;
+use pm_stats::union::{multi_day_network_estimate, DayShare};
+use pm_stats::Estimate;
+use std::ops::Range;
+use std::sync::Arc;
+use torsim::churn::ChurnModel;
+use torsim::relay::Position;
+use torsim::stream::EventStream;
+use torsim::timeline::{DayTruth, NetworkTimeline, TimelineConfig};
+use torstudy::deployment::Deployment;
+use torstudy::experiments::{client_traffic_streams, privcount_round, psc_round};
+use torstudy::report::{fmt_count, fmt_estimate, Report, ReportRow};
+use torstudy::runner::{run_jobs, Job};
+
+/// What a campaign round measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundKind {
+    /// PSC distinct client IPs over the round's window (1-day rounds
+    /// and the 96-hour churn round).
+    UniqueIps,
+    /// PSC distinct client countries on the round's day.
+    UniqueCountries,
+    /// PrivCount connections/circuits/bytes, one day-indexed sub-round
+    /// per day of the window.
+    ClientTraffic,
+}
+
+impl RoundKind {
+    /// The measurement system the round occupies (§3.1 forbids
+    /// overlapping rounds of either system).
+    pub fn system(self) -> System {
+        match self {
+            RoundKind::UniqueIps | RoundKind::UniqueCountries => System::Psc,
+            RoundKind::ClientTraffic => System::PrivCount,
+        }
+    }
+}
+
+/// One scheduled measurement round of the campaign calendar.
+#[derive(Clone, Debug)]
+pub struct RoundSpec {
+    /// Round id (unique within the campaign; labels seeds and reports).
+    pub id: String,
+    /// Statistic name for the §3.1 ledger: rounds with the same
+    /// statistic are repeats (may be adjacent, are dependency-ordered
+    /// and reconciled); distinct statistics need the 24-hour gap.
+    pub statistic: String,
+    /// What the round measures.
+    pub kind: RoundKind,
+    /// First calendar day of collection.
+    pub start_day: u64,
+    /// Collection days (1 for dailies, 4 for the churn round).
+    pub duration_days: u64,
+}
+
+impl RoundSpec {
+    /// The calendar days the round collects over.
+    pub fn days(&self) -> Range<u64> {
+        self.start_day..self.start_day + self.duration_days
+    }
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Calendar length in days; rounds that do not fit are dropped.
+    pub days: u64,
+    /// Deployment scale in (0, 1] (see [`Deployment::at_scale`]).
+    pub scale: f64,
+    /// Base seed; every day/round RNG derives from it.
+    pub seed: u64,
+    /// Ingestion shards per stream (0 = deployment default).
+    pub shards: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign over `days` calendar days.
+    pub fn new(days: u64, scale: f64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            days,
+            scale,
+            seed,
+            shards: 0,
+        }
+    }
+
+    /// Overrides the ingestion shard count.
+    pub fn with_shards(mut self, shards: usize) -> CampaignConfig {
+        self.shards = shards;
+        self
+    }
+}
+
+/// The outcome of one executed round.
+pub struct RoundOutcome {
+    /// The round.
+    pub spec: RoundSpec,
+    /// Its rendered report.
+    pub report: Report,
+    /// Ground truth per collected day, in calendar order (client-IP
+    /// rounds; empty for traffic rounds).
+    pub day_truths: Vec<DayTruth>,
+    /// Headline measured estimate (at scale for unique counts).
+    pub estimate: Option<Estimate>,
+    /// The estimate repeats of this statistic are reconciled on: the
+    /// network-extrapolated value — the quantity that is *constant*
+    /// across repeat days, unlike the day's realized observed pool —
+    /// with the Binomial observation-sampling variance (which the PSC
+    /// interval does not include) folded into the CI. `None` falls
+    /// back to [`Self::estimate`].
+    pub reconcile_estimate: Option<Estimate>,
+}
+
+/// A planned, validated, runnable campaign.
+pub struct Campaign {
+    cfg: CampaignConfig,
+    base: Deployment,
+    timeline: NetworkTimeline,
+    rounds: Vec<RoundSpec>,
+}
+
+/// The calendar templates, in scheduling priority order: the §5.1
+/// client-IP measurement, its confirmation repeat, the 96-hour churn
+/// round, then the PrivCount traffic and PSC country rounds. A short
+/// campaign keeps the highest-priority prefix that fits.
+fn round_templates() -> Vec<(&'static str, &'static str, RoundKind, u64)> {
+    vec![
+        ("ips-a", "unique-ips", RoundKind::UniqueIps, 1),
+        ("ips-b", "unique-ips", RoundKind::UniqueIps, 1),
+        ("ips-4day", "unique-ips-4day", RoundKind::UniqueIps, 4),
+        ("traffic", "client-traffic", RoundKind::ClientTraffic, 1),
+        (
+            "countries",
+            "unique-countries",
+            RoundKind::UniqueCountries,
+            1,
+        ),
+    ]
+}
+
+impl Campaign {
+    /// Builds the campaign: the evolving network, the churned client
+    /// pool at the configured scale, and the default calendar —
+    /// validated through the §3.1 [`Accountant`] (an invalid calendar
+    /// is a programming error and panics here, never mid-execution).
+    pub fn new(cfg: CampaignConfig) -> Campaign {
+        let mut base = Deployment::at_scale(cfg.scale, cfg.seed);
+        if cfg.shards > 0 {
+            base = base.with_shards(cfg.shards);
+        }
+        let clients = &base.workload.clients;
+        let daily_unique = ((clients.selective_ips as f64 * cfg.scale) as u64).max(1);
+        let new_per_day = (daily_unique as f64 * clients.daily_churn_fraction) as u64;
+        let promiscuous = (clients.promiscuous_ips as f64 * cfg.scale).ceil() as u64;
+        let timeline = NetworkTimeline::new(
+            TimelineConfig::paper_default(derive_seed(cfg.seed, "timeline")),
+            ChurnModel::new(daily_unique, new_per_day, derive_seed(cfg.seed, "churn")),
+            promiscuous,
+            Arc::clone(&base.geo),
+        );
+        let mut campaign = Campaign {
+            cfg,
+            base,
+            timeline,
+            rounds: Vec::new(),
+        };
+        campaign.rounds = campaign.default_calendar();
+        campaign.validate();
+        campaign
+    }
+
+    /// Lays the round templates onto the calendar greedily: each takes
+    /// the earliest §3.1-legal start and is dropped if it would end
+    /// after the campaign.
+    fn default_calendar(&self) -> Vec<RoundSpec> {
+        let mut accountant = Accountant::new();
+        let horizon = self.cfg.days * 24;
+        let mut rounds = Vec::new();
+        for (id, statistic, kind, duration_days) in round_templates() {
+            let stats = vec![statistic.to_string()];
+            let start = accountant.earliest_start(&stats);
+            let duration_hours = duration_days * 24;
+            if start + duration_hours > horizon {
+                continue;
+            }
+            accountant
+                .schedule(MeasurementRound {
+                    name: id.to_string(),
+                    system: kind.system(),
+                    start_hour: start,
+                    duration_hours,
+                    statistics: stats,
+                })
+                .expect("greedy placement is legal by construction");
+            rounds.push(RoundSpec {
+                id: id.to_string(),
+                statistic: statistic.to_string(),
+                kind,
+                start_day: start / 24,
+                duration_days,
+            });
+        }
+        rounds
+    }
+
+    /// Re-validates the calendar through a fresh [`Accountant`] and
+    /// returns the filled ledger. Panics on a §3.1 violation.
+    pub fn validate(&self) -> Accountant {
+        let mut accountant = Accountant::new();
+        for spec in &self.rounds {
+            accountant
+                .schedule(MeasurementRound {
+                    name: spec.id.clone(),
+                    system: spec.kind.system(),
+                    start_hour: spec.start_day * 24,
+                    duration_hours: spec.duration_days * 24,
+                    statistics: vec![spec.statistic.clone()],
+                })
+                .unwrap_or_else(|e| panic!("campaign calendar violates §3.1: {e}"));
+        }
+        accountant
+    }
+
+    /// The scheduled rounds, in calendar order.
+    pub fn rounds(&self) -> &[RoundSpec] {
+        &self.rounds
+    }
+
+    /// The evolving network.
+    pub fn timeline(&self) -> &NetworkTimeline {
+        &self.timeline
+    }
+
+    /// The base (day-0) deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.base
+    }
+
+    /// Runs the whole calendar on up to `workers` threads (0 = the
+    /// machine's parallelism) via the registry's generic executor:
+    /// repeats of a statistic are dependency-ordered, everything else
+    /// — §3.1 guarantees logically-disjoint intervals — runs
+    /// wall-clock-concurrently, with PSC rounds throttled by the
+    /// deployment's memory cap. The report is identical for every
+    /// worker and shard count.
+    pub fn run(&self, workers: usize) -> CampaignReport {
+        CampaignReport::assemble(&self.cfg, self.run_rounds(workers))
+    }
+
+    /// Like [`Self::run`] but returns the raw per-round outcomes
+    /// (reports plus mergeable ground truths and headline estimates) —
+    /// what tests and custom aggregations introspect.
+    pub fn run_rounds(&self, workers: usize) -> Vec<RoundOutcome> {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let jobs: Vec<Job<'_, RoundOutcome>> = self
+            .rounds
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Job {
+                id: spec.id.clone(),
+                is_psc: spec.kind.system() == System::Psc,
+                deps: self.rounds[..i]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.statistic == spec.statistic)
+                    .map(|(j, _)| j)
+                    .collect(),
+                run: Box::new(move || self.run_round(spec)),
+            })
+            .collect();
+        run_jobs(jobs, workers, self.base.max_concurrent_psc_rounds)
+    }
+
+    /// Runs the calendar one round at a time — the baseline the
+    /// parallel path is pinned against.
+    pub fn run_sequential(&self) -> CampaignReport {
+        self.run(1)
+    }
+
+    /// Executes one round against its day-indexed deployment.
+    fn run_round(&self, spec: &RoundSpec) -> RoundOutcome {
+        match spec.kind {
+            RoundKind::UniqueIps => self.run_unique_ips(spec),
+            RoundKind::UniqueCountries => self.run_unique_countries(spec),
+            RoundKind::ClientTraffic => self.run_client_traffic(spec),
+        }
+    }
+
+    /// The day's observation probability for a client: the day's guard
+    /// fraction compounded over the guards each client contacts.
+    fn observe_on(&self, day: u64) -> (f64, f64) {
+        let p = self.timeline.snapshot(day).fraction(Position::Guard);
+        let g = self.base.workload.clients.guards_per_client;
+        (p, observe_probability(p, g))
+    }
+
+    /// One PSC unique-IP round over the window's churned daily pools:
+    /// per-day streams chained into a single oblivious-table round,
+    /// truth merged associatively, network inference per-day-fraction.
+    fn run_unique_ips(&self, spec: &RoundSpec) -> RoundOutcome {
+        let dep = self.base.for_day(&self.timeline.snapshot(spec.start_day));
+        let prom = self.timeline.promiscuous() as f64;
+        let mut day_streams: Vec<Vec<EventStream>> = Vec::new();
+        let mut day_truths: Vec<DayTruth> = Vec::new();
+        let mut union = DayTruth::default();
+        let mut shares: Vec<DayShare> = Vec::new();
+        let mut guard_fractions: Vec<f64> = Vec::new();
+        for (k, day) in spec.days().enumerate() {
+            // One snapshot evolution per day (snapshot(d) replays d
+            // daily steps, so recomputing it per use would grow
+            // quadratically with the calendar).
+            let (p, observe) = self.observe_on(day);
+            guard_fractions.push(p);
+            let (stream, truth) =
+                self.timeline
+                    .client_ip_day(day, observe, dep.shards, dep.entry_relays());
+            day_streams.push(vec![stream]);
+            // Promiscuous clients are observed with probability 1, sit
+            // in every day's pool (all "fresh" on the window's first
+            // day), and must not be divided by the selective fraction:
+            // only the selective slice of each day's fresh contribution
+            // extrapolates.
+            let fresh = truth.new_vs(&union) as f64;
+            shares.push(DayShare {
+                share: if k == 0 {
+                    (fresh - prom).max(0.0)
+                } else {
+                    fresh
+                },
+                fraction: observe,
+            });
+            union = union.merge(truth.clone());
+            day_truths.push(truth);
+        }
+        // Noise sensitivity per Table 1, matching tab5's calibration:
+        // a 1-day round bounds NewIpDay1 at 4; a multi-day round
+        // bounds NewIpMultiDay at 3 per day of the window.
+        let sensitivity = if spec.duration_days == 1 {
+            4
+        } else {
+            3 * spec.duration_days
+        };
+        let cfg = psc_round(&dep, union.unique() as f64, sensitivity, &spec.id);
+        let result = psc::run_psc_round_days(cfg, psc::items::unique_client_ips(), day_streams)
+            .expect("campaign unique-IP round");
+        let est = result.estimate(0.95);
+        // Split the measured union into the known promiscuous component
+        // and the selective remainder; extrapolate only the latter.
+        let network = if shares.iter().map(|s| s.share).sum::<f64>() > 0.0 {
+            multi_day_network_estimate(&est.shift(-prom), &shares).shift(prom)
+        } else {
+            est // degenerate pool: purely promiscuous, nothing to infer
+        };
+        // Repeats of this statistic on other days re-draw the Binomial
+        // observation thinning; its variance is not in the PSC interval,
+        // so the reconciliation estimate widens by its 95% band.
+        let mean_observe = shares.iter().map(|s| s.fraction).sum::<f64>() / shares.len() as f64;
+        let daily = self.timeline.churn().daily_unique as f64;
+        let sampling_sd = (daily * mean_observe * (1.0 - mean_observe)).sqrt() / mean_observe;
+        let reconcile_est = Estimate::with_ci(
+            network.value,
+            pm_stats::Interval::new(
+                network.ci.lo - 1.96 * sampling_sd,
+                network.ci.hi + 1.96 * sampling_sd,
+            ),
+        );
+
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!(
+                "Unique client IPs, days {}..{} (PSC)",
+                spec.start_day,
+                spec.start_day + spec.duration_days
+            ),
+        );
+        report.row(ReportRow::new(
+            format!("unique IPs ({} day(s), at scale)", spec.duration_days),
+            fmt_estimate(&est),
+            fmt_count(union.unique() as f64),
+            if spec.duration_days >= 4 {
+                "672,303 [671,781; 1,118,147]"
+            } else {
+                "313,213 [313,039; 376,343]"
+            },
+        ));
+        for (truth, share) in day_truths.iter().zip(&shares) {
+            let day = truth.days.first().copied().unwrap_or(0);
+            report.row(ReportRow::new(
+                format!("day {day}: pool / fresh"),
+                "—",
+                format!("{} / {}", truth.unique(), share.share as u64),
+                "—",
+            ));
+        }
+        report.row(ReportRow::new(
+            "network-wide clients (per-day fractions)",
+            fmt_estimate(&network),
+            // Reference: the churn process's definitional multi-day
+            // union (pinned exact by the ChurnModel proptests) plus the
+            // stable promiscuous set — the network-wide pool the
+            // per-day-fraction inference is trying to recover.
+            fmt_count(
+                (self.timeline.churn().unique_over(spec.duration_days)
+                    + self.timeline.promiscuous()) as f64,
+            ),
+            "—",
+        ));
+        report.note(format!(
+            "per-day guard fractions {:?}",
+            guard_fractions
+                .iter()
+                .map(|p| format!("{p:.4}"))
+                .collect::<Vec<_>>()
+        ));
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths,
+            estimate: Some(est),
+            reconcile_estimate: Some(reconcile_est),
+        }
+    }
+
+    /// One PSC unique-country round on the round's day.
+    fn run_unique_countries(&self, spec: &RoundSpec) -> RoundOutcome {
+        let day = spec.start_day;
+        let dep = self.base.for_day(&self.timeline.snapshot(day));
+        let (_, observe) = self.observe_on(day);
+        let (stream, truth) =
+            self.timeline
+                .client_ip_day(day, observe, dep.shards, dep.entry_relays());
+        let truth_countries: std::collections::BTreeSet<_> =
+            truth.ips.iter().map(|ip| dep.geo.country_of(*ip)).collect();
+        let cfg = psc_round(&dep, 260.0, 4, &spec.id);
+        let result = psc::run_psc_round_streams(
+            cfg,
+            psc::items::unique_countries(Arc::clone(&dep.geo)),
+            vec![stream],
+        )
+        .expect("campaign country round");
+        let est = result.estimate(0.95);
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!("Unique client countries, day {day} (PSC)"),
+        );
+        report.row(ReportRow::new(
+            "countries (at scale)",
+            fmt_estimate(&est),
+            fmt_count(truth_countries.len() as f64),
+            "203 [141; 250]",
+        ));
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths: vec![truth],
+            estimate: Some(est),
+            reconcile_estimate: None,
+        }
+    }
+
+    /// Day-indexed PrivCount traffic sub-rounds over the window.
+    fn run_client_traffic(&self, spec: &RoundSpec) -> RoundOutcome {
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!(
+                "Client traffic, days {}..{} (PrivCount)",
+                spec.start_day,
+                spec.start_day + spec.duration_days
+            ),
+        );
+        let mut day_streams = Vec::new();
+        let mut fractions = Vec::new();
+        let mut deps: Vec<Deployment> = Vec::new();
+        for day in spec.days() {
+            // One snapshot evolution per day (see run_unique_ips).
+            let dep = self.base.for_day(&self.timeline.snapshot(day));
+            let p = dep.weights.tab4_entry;
+            day_streams.push(client_traffic_streams(&dep, p, 10, &spec.id));
+            fractions.push(p);
+            deps.push(dep);
+        }
+        let first_dep = &deps[0];
+        let schema = privcount::queries::client_traffic(first_dep.eps(), first_dep.delta());
+        let cfg = privcount_round(first_dep, schema, &spec.id);
+        let results = privcount::run_round_days(cfg, day_streams).expect("campaign traffic rounds");
+        let t = &self.base.workload.clients;
+        for ((day, result), p) in spec.days().zip(&results).zip(&fractions) {
+            let conns = first_dep.to_network(result.estimate("client.connections"), *p);
+            report.row(ReportRow::new(
+                format!("day {day}: connections (network-wide)"),
+                fmt_estimate(&conns),
+                fmt_count(t.connections_per_day),
+                "148e6 [143e6; 153e6]",
+            ));
+        }
+        report.note(format!("per-day entry fractions {fractions:?}"));
+        let first = &results[0];
+        let est = first_dep.to_network(first.estimate("client.connections"), fractions[0]);
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths: Vec::new(),
+            estimate: Some(est),
+            reconcile_estimate: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_day_calendar_includes_the_churn_round() {
+        let c = Campaign::new(CampaignConfig::new(7, 1e-3, 5));
+        let ids: Vec<&str> = c.rounds().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["ips-a", "ips-b", "ips-4day"]);
+        let churn = &c.rounds()[2];
+        assert_eq!(churn.duration_days, 4);
+        // Repeats are adjacent; the distinct statistic waited 24h.
+        assert_eq!(c.rounds()[0].start_day, 0);
+        assert_eq!(c.rounds()[1].start_day, 1);
+        assert_eq!(churn.start_day, 3);
+        // The ledger accepts the calendar.
+        assert_eq!(c.validate().rounds().len(), 3);
+    }
+
+    #[test]
+    fn longer_calendar_adds_traffic_and_countries() {
+        let c = Campaign::new(CampaignConfig::new(14, 1e-3, 5));
+        let ids: Vec<&str> = c.rounds().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["ips-a", "ips-b", "ips-4day", "traffic", "countries"]);
+        assert_eq!(c.validate().rounds().len(), 5);
+    }
+
+    #[test]
+    fn repeats_depend_on_earlier_rounds_only() {
+        let c = Campaign::new(CampaignConfig::new(7, 1e-3, 5));
+        // ips-a and ips-b share a statistic; ips-4day does not.
+        let specs = c.rounds();
+        assert_eq!(specs[0].statistic, specs[1].statistic);
+        assert_ne!(specs[1].statistic, specs[2].statistic);
+    }
+}

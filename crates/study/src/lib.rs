@@ -1,0 +1,66 @@
+//! # pm-study — longitudinal measurement campaigns over an evolving
+//! network
+//!
+//! The paper's results were not one-shot: they come from a multi-week
+//! **campaign** over a live, churning Tor network. Relays joined and
+//! left between consensuses, the deployment's observed weight fraction
+//! drifted from measurement date to measurement date (the per-date
+//! fractions in §4–§6 span 0.42%–2.75%), and the headline §5.1 result
+//! — 313,213 unique client IPs in one day vs 672,303 over four — is
+//! inherently a *cross-day* statistic over a churning population. The
+//! single-`Deployment` experiment registry in `torstudy` reproduces
+//! each table against one frozen day; this crate reproduces the
+//! *study*.
+//!
+//! # The campaign model
+//!
+//! A [`campaign::Campaign`] binds three layers together:
+//!
+//! 1. **An evolving network** — a `torsim::timeline::NetworkTimeline`
+//!    produces a deterministic per-day world: consensus relay
+//!    join/leave churn, bandwidth-weight drift (and with it the
+//!    observed fraction `p`), site-popularity drift, and a
+//!    `ChurnModel`-churned client-IP population whose per-day ground
+//!    truths merge associatively into cross-day unions.
+//! 2. **A §3.1-valid calendar** — measurement rounds (daily unique-IP
+//!    rounds, a repeat round for anomaly confirmation, the 96-hour
+//!    churn round, PrivCount traffic rounds) are laid out with the
+//!    scheduling rules the paper operated under — no overlapping
+//!    rounds, 24 hours between distinct statistics, repeats of the
+//!    same statistic may be adjacent — and the whole calendar is
+//!    validated through the `pm_dp::accountant::Accountant` ledger
+//!    before anything executes. The §3.1 `Accountant` thereby guards a
+//!    calendar something actually *runs*.
+//! 3. **Day-indexed execution** — each round derives a `Deployment`
+//!    for its calendar day (`Deployment::for_day`: that day's
+//!    consensus fractions, drifted site mix, day-derived seed) and the
+//!    rounds lower onto the same generic executor as the registry
+//!    (`torstudy::runner::run_jobs`): rounds whose logical intervals
+//!    are disjoint execute wall-clock-concurrently, PSC rounds honour
+//!    the deployment's memory cap, and every stream ingests under the
+//!    shard-count-invariance contract. Because all randomness derives
+//!    from `(seed, day, label)` — never from execution order — the
+//!    [`report::CampaignReport`] is bit-identical for sequential vs
+//!    parallel execution and for every shard count.
+//!
+//! # Relation to §5.1 / Table 5
+//!
+//! The campaign's 4-day round is a *real* PSC measurement over four
+//! churned daily populations: the four day-streams are chained into
+//! one oblivious-table round, so the stable client core marks its
+//! cells once however many days re-observe it, and the estimate is
+//! compared against the exact churned ground-truth union (no
+//! `1 + 3·churn` closed form anywhere in the measured path — `tab5`'s
+//! single-deployment reproduction was rebuilt on the same realized
+//! unions). Repeat rounds are reconciled via
+//! `pm_stats::union::reconcile` (disjoint CIs flag an anomaly, as in
+//! the paper's confirmation re-runs), and network-wide extrapolation
+//! uses *each day's own* observation fraction
+//! (`pm_stats::union::multi_day_network_estimate`), exactly as the
+//! paper divides each measurement by the fraction on its date.
+
+pub mod campaign;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignConfig, RoundKind, RoundSpec};
+pub use report::CampaignReport;

@@ -1,0 +1,271 @@
+//! Cross-day aggregation: the campaign-wide report.
+//!
+//! Per-round reports come back from the executor in calendar order;
+//! assembly folds the per-day ground truths into a running cross-day
+//! union (associative merges — the same totals whatever grouping the
+//! rounds used), reconciles repeat measurements (disjoint CIs are
+//! flagged as anomalies, as in the paper's confirmation re-runs), and
+//! renders per-day and cumulative rows as text, CSV, or JSON (the
+//! JSON document shares its schema with the `experiments` binary's).
+
+use crate::campaign::{CampaignConfig, RoundOutcome};
+use pm_stats::union::reconcile;
+use torsim::timeline::DayTruth;
+use torstudy::report::{fmt_estimate, reports_json, Report, ReportRow};
+
+/// The campaign's aggregated outcome.
+pub struct CampaignReport {
+    /// Calendar length.
+    pub days: u64,
+    /// Deployment scale.
+    pub scale: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Per-round reports, calendar order.
+    pub rounds: Vec<Report>,
+    /// Cross-day cumulative report: one row per measured day.
+    pub cumulative: Report,
+    /// Repeat measurements whose CIs failed to overlap.
+    pub anomalies: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Folds executed rounds into the campaign report.
+    pub fn assemble(cfg: &CampaignConfig, outcomes: Vec<RoundOutcome>) -> CampaignReport {
+        let mut cumulative = Report::new(
+            "CUM",
+            format!(
+                "Campaign cumulative unique client IPs ({}-day calendar)",
+                cfg.days
+            ),
+        );
+        let mut union = DayTruth::default();
+        for outcome in &outcomes {
+            let last = outcome.day_truths.len().saturating_sub(1);
+            for (i, truth) in outcome.day_truths.iter().enumerate() {
+                if outcome.spec.kind != crate::campaign::RoundKind::UniqueIps {
+                    continue;
+                }
+                let day = truth.days.first().copied().unwrap_or(0);
+                let fresh = truth.new_vs(&union);
+                union = union.merge(truth.clone());
+                let measured = if i == last {
+                    outcome
+                        .estimate
+                        .as_ref()
+                        .map(|e| format!("{} ({})", fmt_estimate(e), outcome.spec.id))
+                        .unwrap_or_else(|| "—".into())
+                } else {
+                    "—".into()
+                };
+                cumulative.row(ReportRow::new(
+                    format!("day {day} [{}]", outcome.spec.id),
+                    measured,
+                    format!(
+                        "pool {}, fresh {}, cumulative {}",
+                        truth.unique(),
+                        fresh,
+                        union.unique()
+                    ),
+                    "—",
+                ));
+            }
+        }
+        cumulative.note(format!(
+            "campaign union: {} distinct IPs over {} measured day(s), scale {}, seed {}",
+            union.unique(),
+            union.days.len(),
+            cfg.scale,
+            cfg.seed
+        ));
+
+        // Reconcile repeats: same statistic, measured more than once.
+        // Compare on the reconciliation estimate where one exists — the
+        // network-extrapolated, sampling-variance-aware value that is
+        // constant across repeat days — not the day's raw observed
+        // pool, whose true value legitimately churns between repeats.
+        let mut anomalies = Vec::new();
+        for (i, a) in outcomes.iter().enumerate() {
+            for b in outcomes.iter().skip(i + 1) {
+                if a.spec.statistic != b.spec.statistic {
+                    continue;
+                }
+                let pick = |o: &RoundOutcome| o.reconcile_estimate.or(o.estimate);
+                if let (Some(ea), Some(eb)) = (pick(a), pick(b)) {
+                    let r = reconcile(&ea, &eb);
+                    if r.consistent {
+                        cumulative.note(format!(
+                            "repeat {} / {} consistent; hull {}",
+                            a.spec.id, b.spec.id, r.hull
+                        ));
+                    } else {
+                        let flag = format!(
+                            "ANOMALY: repeat {} / {} have disjoint CIs (gap {:.1}); hull {}",
+                            a.spec.id, b.spec.id, r.gap, r.hull
+                        );
+                        cumulative.note(flag.clone());
+                        anomalies.push(flag);
+                    }
+                }
+            }
+        }
+
+        CampaignReport {
+            days: cfg.days,
+            scale: cfg.scale,
+            seed: cfg.seed,
+            rounds: outcomes.into_iter().map(|o| o.report).collect(),
+            cumulative,
+            anomalies,
+        }
+    }
+
+    /// Every report, calendar rounds first, cumulative last.
+    pub fn all_reports(&self) -> Vec<&Report> {
+        self.rounds.iter().chain(Some(&self.cumulative)).collect()
+    }
+
+    /// Fixed-width text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "== campaign: {} days, scale {}, seed {} ==\n\n",
+            self.days, self.scale, self.seed
+        );
+        for r in self.all_reports() {
+            out.push_str(&r.render_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One CSV document: a single header, then every report's rows.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("id,label,measured,truth,paper\n");
+        for r in self.all_reports() {
+            let csv = r.render_csv();
+            out.push_str(csv.split_once('\n').map(|(_, rest)| rest).unwrap_or(""));
+        }
+        out
+    }
+
+    /// One JSON document (same schema as the `experiments` binary's).
+    pub fn render_json(&self) -> String {
+        let reports: Vec<Report> = self.all_reports().into_iter().cloned().collect();
+        reports_json(&reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{RoundKind, RoundSpec};
+    use pm_stats::{Estimate, Interval};
+    use torsim::ids::IpAddr;
+
+    fn truth(day: u64, ips: &[u32]) -> DayTruth {
+        let mut t = DayTruth::default();
+        t.days.insert(day);
+        t.ips.extend(ips.iter().map(|i| IpAddr(*i)));
+        t
+    }
+
+    fn outcome(id: &str, stat: &str, days: Vec<DayTruth>, est: Estimate) -> RoundOutcome {
+        RoundOutcome {
+            spec: RoundSpec {
+                id: id.into(),
+                statistic: stat.into(),
+                kind: RoundKind::UniqueIps,
+                start_day: days
+                    .first()
+                    .and_then(|t| t.days.first().copied())
+                    .unwrap_or(0),
+                duration_days: days.len().max(1) as u64,
+            },
+            report: Report::new(id, "test"),
+            day_truths: days,
+            estimate: Some(est),
+            reconcile_estimate: None,
+        }
+    }
+
+    #[test]
+    fn cumulative_union_counts_stable_core_once() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let report = CampaignReport::assemble(
+            &cfg,
+            vec![
+                outcome(
+                    "a",
+                    "s1",
+                    vec![truth(0, &[1, 2, 3])],
+                    Estimate::with_ci(3.0, Interval::new(2.0, 4.0)),
+                ),
+                outcome(
+                    "b",
+                    "s2",
+                    vec![truth(1, &[2, 3, 4]), truth(2, &[3, 4, 5])],
+                    Estimate::with_ci(5.0, Interval::new(4.0, 6.0)),
+                ),
+            ],
+        );
+        assert_eq!(report.cumulative.rows.len(), 3);
+        // day 1 adds one fresh IP on top of {1,2,3}; day 2 one more.
+        assert!(report.cumulative.rows[1]
+            .truth
+            .contains("fresh 1, cumulative 4"));
+        assert!(report.cumulative.rows[2]
+            .truth
+            .contains("fresh 1, cumulative 5"));
+        assert!(report.anomalies.is_empty());
+    }
+
+    #[test]
+    fn disjoint_repeats_are_flagged() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let report = CampaignReport::assemble(
+            &cfg,
+            vec![
+                outcome(
+                    "a",
+                    "same",
+                    vec![truth(0, &[1])],
+                    Estimate::with_ci(10.0, Interval::new(9.0, 11.0)),
+                ),
+                outcome(
+                    "b",
+                    "same",
+                    vec![truth(1, &[2])],
+                    Estimate::with_ci(100.0, Interval::new(90.0, 110.0)),
+                ),
+            ],
+        );
+        assert_eq!(report.anomalies.len(), 1);
+        assert!(report.anomalies[0].contains("ANOMALY"));
+        assert!(report.render_text().contains("ANOMALY"));
+    }
+
+    #[test]
+    fn csv_has_single_header_json_balanced() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let report = CampaignReport::assemble(
+            &cfg,
+            vec![outcome(
+                "a",
+                "s",
+                vec![truth(0, &[1, 2])],
+                Estimate::with_ci(2.0, Interval::new(1.0, 3.0)),
+            )],
+        );
+        let csv = report.render_csv();
+        assert_eq!(
+            csv.matches("id,label,measured,truth,paper").count(),
+            1,
+            "{csv}"
+        );
+        let json = report.render_json();
+        assert!(json.contains("\"id\": \"CUM\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+}

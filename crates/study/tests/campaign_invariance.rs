@@ -1,0 +1,127 @@
+//! The campaign engine's two load-bearing contracts:
+//!
+//! * **Measurement fidelity** — the 4-day round is a real PSC
+//!   measurement over four churned daily populations whose estimate
+//!   covers the exact churned ground-truth union (no closed-form
+//!   churn factor in the measured path).
+//! * **Schedule independence** — the rendered `CampaignReport` is
+//!   bit-identical for sequential vs parallel execution and for every
+//!   ingestion shard count.
+
+use pm_study::{Campaign, CampaignConfig, RoundKind};
+
+#[test]
+fn four_day_round_measures_the_churned_union_within_ci() {
+    let campaign = Campaign::new(CampaignConfig::new(7, 1e-3, 41));
+    let outcomes = campaign.run_rounds(2);
+    let churn = outcomes
+        .iter()
+        .find(|o| o.spec.id == "ips-4day")
+        .expect("7-day calendar holds the churn round");
+    assert_eq!(churn.spec.kind, RoundKind::UniqueIps);
+    assert_eq!(churn.day_truths.len(), 4, "four churned daily populations");
+
+    // The union truth merges associatively; the stable core is counted
+    // once, so the union sits strictly between one day and four
+    // disjoint days.
+    let union = churn
+        .day_truths
+        .iter()
+        .cloned()
+        .fold(torsim::timeline::DayTruth::default(), |acc, t| acc.merge(t));
+    let day0 = churn.day_truths[0].unique();
+    assert!(union.unique() > day0, "churn must add fresh IPs");
+    assert!(
+        union.unique() < 4 * day0,
+        "stable core must be deduplicated"
+    );
+
+    // The PSC estimate covers the exact churned union.
+    let est = churn.estimate.as_ref().expect("measured estimate");
+    assert!(
+        est.ci.contains(union.unique() as f64),
+        "union truth {} outside measured CI {}",
+        union.unique(),
+        est
+    );
+
+    // And the 1-day rounds measure visibly smaller populations.
+    let one_day = outcomes
+        .iter()
+        .find(|o| o.spec.id == "ips-a")
+        .and_then(|o| o.estimate.as_ref())
+        .expect("ips-a estimate")
+        .value;
+    assert!(
+        est.value > one_day * 1.3,
+        "4-day {} vs 1-day {one_day}",
+        est.value
+    );
+}
+
+#[test]
+fn report_is_schedule_and_shard_independent() {
+    let render = |shards: usize, workers: usize| {
+        let mut cfg = CampaignConfig::new(7, 2e-4, 11);
+        if shards > 0 {
+            cfg = cfg.with_shards(shards);
+        }
+        let campaign = Campaign::new(cfg);
+        let report = campaign.run(workers);
+        (report.render_text(), report.render_json())
+    };
+    // Baseline: sequential execution, 1 ingestion shard.
+    let base = render(1, 1);
+    // Parallel execution at several worker counts…
+    for workers in [4, 8] {
+        assert_eq!(
+            base,
+            render(1, workers),
+            "workers={workers} changed the report"
+        );
+    }
+    // …and every shard count K ∈ {1, 4, 16}, sequential and parallel.
+    for shards in [4, 16] {
+        assert_eq!(
+            base,
+            render(shards, 1),
+            "shards={shards} changed the report"
+        );
+        assert_eq!(
+            base,
+            render(shards, 8),
+            "shards={shards} × parallel changed the report"
+        );
+    }
+}
+
+#[test]
+fn calendar_is_accountant_validated_and_day_indexed() {
+    let campaign = Campaign::new(CampaignConfig::new(14, 2e-4, 3));
+    let ledger = campaign.validate();
+    assert_eq!(ledger.rounds().len(), campaign.rounds().len());
+    // Logical intervals are pairwise disjoint (§3.1).
+    for (i, a) in ledger.rounds().iter().enumerate() {
+        for b in ledger.rounds().iter().skip(i + 1) {
+            let a_end = a.start_hour + a.duration_hours;
+            let b_end = b.start_hour + b.duration_hours;
+            assert!(
+                a_end <= b.start_hour || b_end <= a.start_hour,
+                "rounds {} and {} overlap",
+                a.name,
+                b.name
+            );
+        }
+    }
+    // The evolving network gives different days different fractions —
+    // the campaign's whole point.
+    let f0 = campaign
+        .timeline()
+        .snapshot(0)
+        .fraction(torsim::relay::Position::Guard);
+    let f5 = campaign
+        .timeline()
+        .snapshot(5)
+        .fraction(torsim::relay::Position::Guard);
+    assert_ne!(f0, f5);
+}

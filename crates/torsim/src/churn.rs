@@ -50,6 +50,11 @@ impl ChurnModel {
         self.daily_unique + (days - 1) * self.new_per_day
     }
 
+    /// Number of slots in the stable core (present every day).
+    pub fn stable_count(&self) -> u64 {
+        self.daily_unique - self.new_per_day
+    }
+
     /// The IP occupying `slot` on `day`. Slots below
     /// `daily_unique − new_per_day` are stable; the rest regenerate
     /// daily.

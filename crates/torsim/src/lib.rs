@@ -25,7 +25,10 @@
 //! (the HSDir DHT), [`sites`] (synthetic Alexa-like top-1M list),
 //! [`geo`]/[`asn`] (synthetic MaxMind/CAIDA-like databases),
 //! [`workload`] (paper-calibrated ground truth), [`churn`] (multi-day
-//! client IP turnover), [`events`] (the PrivCount event vocabulary).
+//! client IP turnover), [`timeline`] (deterministic per-day network
+//! evolution — consensus churn, weight and popularity drift, churned
+//! client pools — for longitudinal campaigns), [`events`] (the
+//! PrivCount event vocabulary).
 
 pub mod asn;
 pub mod churn;
@@ -38,6 +41,7 @@ pub mod relay;
 pub mod sampled;
 pub mod sites;
 pub mod stream;
+pub mod timeline;
 pub mod v3;
 pub mod workload;
 
@@ -60,6 +64,7 @@ pub mod prelude {
     pub use crate::sampled::SampledSim;
     pub use crate::sites::{SiteList, SiteListConfig};
     pub use crate::stream::{EventStream, StreamSim};
+    pub use crate::timeline::{DaySnapshot, DayTruth, NetworkTimeline, TimelineConfig};
     pub use crate::workload::{ClientTruth, ExitTruth, OnionTruth, Workload};
     pub use crate::DAY_SECS;
 }

@@ -32,12 +32,15 @@
 //!   deterministic sequence with *union semantics over a shared
 //!   universe* (the unique-client-IP pool, the published-address
 //!   universe) cannot be mean-split without changing what "unique"
-//!   means. Each shard replays the full generator from the same
-//!   dedicated RNG and emits only events whose global index `i`
-//!   satisfies `i ≡ j (mod K)`. Exactly the unsharded event sequence is
-//!   emitted, split `K` ways, at the cost of `K` replays — acceptable
-//!   because these sources are orders of magnitude smaller than the
-//!   stream sources.
+//!   means. The base sequence is generated **once per stream** (the
+//!   first shard to run materializes it into a shared memo; the
+//!   generators are deterministic, so which shard wins the race is
+//!   invisible) and every shard emits only the memoized events whose
+//!   global index `i` satisfies `i ≡ j (mod K)`. Exactly the unsharded
+//!   event sequence is emitted, split `K` ways, with the base generated
+//!   once instead of `K` times — these sources are orders of magnitude
+//!   smaller than the stream sources, so holding one materialized copy
+//!   is cheap.
 //!
 //! Sources that need shared randomness across shards (the fetch
 //! support, the client-IP pool size) draw it from a *dedicated* RNG
@@ -62,7 +65,7 @@ use crate::workload::{ClientTruth, DomainSampler, DomainSamplerTables, ExitTruth
 use pm_stats::sampling::derive_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Fixed partition count for mean-split sources. Constant across shard
 /// counts by design: shard `j` of `K` owns partitions `p ≡ j (mod K)`.
@@ -226,6 +229,34 @@ pub struct StreamSim {
 /// so the modes cannot diverge on it.
 pub(crate) fn shard_partitions(shard: usize, num_shards: usize) -> impl Iterator<Item = usize> {
     (0..PARTITIONS).filter(move |p| p % num_shards == shard)
+}
+
+/// Builds a replayed-generation stream (union-semantics sources — see
+/// module docs): `generate` produces the full deterministic base
+/// sequence, memoized once per stream in a shared [`OnceLock`]; shard
+/// `j` of `K` emits the memoized events with index `≡ j (mod K)`. The
+/// first shard to run pays the one generation; concurrent shards block
+/// on the memo instead of regenerating.
+pub(crate) fn replayed_stream(
+    shards: usize,
+    generate: impl Fn() -> Vec<TorEvent> + Send + Sync + 'static,
+) -> EventStream {
+    let shards = shards.max(1);
+    let base: Arc<(OnceLock<Vec<TorEvent>>, _)> = Arc::new((OnceLock::new(), generate));
+    EventStream::from_shards(
+        (0..shards)
+            .map(|j| {
+                let base = Arc::clone(&base);
+                let f: ShardFn = Box::new(move |sink| {
+                    let (memo, generate) = &*base;
+                    for ev in memo.get_or_init(generate).iter().skip(j).step_by(shards) {
+                        sink(*ev);
+                    }
+                });
+                f
+            })
+            .collect(),
+    )
 }
 
 impl StreamSim {
@@ -414,8 +445,8 @@ impl StreamSim {
 
     /// Sharded [`SampledSim::client_ips`]: replayed generation (the
     /// unique-IP pool has union semantics over a shared universe — see
-    /// module docs). Every shard replays the full pool from the same
-    /// dedicated RNG and keeps events with index `≡ shard (mod K)`.
+    /// module docs). The pool is generated once from its dedicated RNG
+    /// and memoized; shard `j` keeps events with index `≡ j (mod K)`.
     pub fn client_ips(
         &self,
         truth: &ClientTruth,
@@ -425,32 +456,23 @@ impl StreamSim {
         shards: usize,
         label: &str,
     ) -> EventStream {
-        let shards = shards.max(1);
-        EventStream::from_shards(
-            (0..shards)
-                .map(|j| {
-                    let this = self.clone();
-                    let truth = truth.clone();
-                    let label = label.to_string();
-                    let f: ShardFn = Box::new(move |sink| {
-                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
-                        let mut rng = this.support_rng(&label);
-                        let mut i = 0usize;
-                        sim.client_ips(&truth, observe_prob, scale, day, &mut rng, |ev| {
-                            if i % shards == j {
-                                sink(ev);
-                            }
-                            i += 1;
-                        });
-                    });
-                    f
-                })
-                .collect(),
-        )
+        let this = self.clone();
+        let truth = truth.clone();
+        let label = label.to_string();
+        replayed_stream(shards, move || {
+            let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+            let mut rng = this.support_rng(&label);
+            let mut events = Vec::new();
+            sim.client_ips(&truth, observe_prob, scale, day, &mut rng, |ev| {
+                events.push(ev)
+            });
+            events
+        })
     }
 
     /// Sharded [`SampledSim::hsdir_publishes`]: replayed generation
-    /// (per-address observation over a shared universe).
+    /// (per-address observation over a shared universe), memoized like
+    /// [`Self::client_ips`].
     pub fn hsdir_publishes(
         &self,
         truth: &OnionTruth,
@@ -459,28 +481,16 @@ impl StreamSim {
         shards: usize,
         label: &str,
     ) -> EventStream {
-        let shards = shards.max(1);
-        EventStream::from_shards(
-            (0..shards)
-                .map(|j| {
-                    let this = self.clone();
-                    let truth = truth.clone();
-                    let label = label.to_string();
-                    let f: ShardFn = Box::new(move |sink| {
-                        let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
-                        let mut rng = this.support_rng(&label);
-                        let mut i = 0usize;
-                        sim.hsdir_publishes(&truth, observe_prob, scale, &mut rng, |ev| {
-                            if i % shards == j {
-                                sink(ev);
-                            }
-                            i += 1;
-                        });
-                    });
-                    f
-                })
-                .collect(),
-        )
+        let this = self.clone();
+        let truth = truth.clone();
+        let label = label.to_string();
+        replayed_stream(shards, move || {
+            let sim = SampledSim::new(&this.sites, &this.geo, this.relays.clone());
+            let mut rng = this.support_rng(&label);
+            let mut events = Vec::new();
+            sim.hsdir_publishes(&truth, observe_prob, scale, &mut rng, |ev| events.push(ev));
+            events
+        })
     }
 }
 
@@ -551,6 +561,30 @@ mod tests {
                 collect_sorted(sim.hsdir_publishes(&truth, 0.05, 0.1, k, "p"))
             );
         }
+    }
+
+    #[test]
+    fn replayed_base_generated_once_per_stream() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let stream = replayed_stream(8, move || {
+            c.fetch_add(1, Ordering::SeqCst);
+            (0..100)
+                .map(|i| TorEvent::EntryConnection {
+                    relay: RelayId(0),
+                    client_ip: crate::ids::IpAddr(i),
+                })
+                .collect()
+        });
+        let parts = stream.fold_parallel(|_| 0u64, |acc, _| *acc += 1);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().sum::<u64>(), 100);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "replayed base must be generated exactly once per stream"
+        );
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Deterministic per-day evolution of the network — the substrate for
+//! longitudinal measurement campaigns (`pm-study`).
+//!
+//! The paper's study ran for weeks over a *live* Tor network: relays
+//! joined and left between consensuses, bandwidth weights (and with
+//! them the deployment's observed fraction) drifted day to day, site
+//! popularity shifted, and the client-IP population turned over
+//! (§5.1: 313,213 unique IPs in one day vs 672,303 over four). A
+//! [`NetworkTimeline`] reproduces all four axes deterministically:
+//!
+//! * **Relay churn & weight drift** — [`NetworkTimeline::snapshot`]
+//!   evolves a base [`Consensus`] one day at a time: background relays
+//!   leave with a daily probability, a Poisson number of fresh relays
+//!   join, and every weight takes a log-normal daily step. The 16
+//!   instrumented relays never leave (the deployment keeps running),
+//!   but their weights drift too, so the observed fraction `p` is a
+//!   per-day quantity — exactly why the paper records a different
+//!   weight fraction for every measurement date. Day `d`'s evolution
+//!   draws from an RNG seeded `derive_seed(seed, "net/day{d}")`, so
+//!   `snapshot(d)` is a pure function of `(config, d)` — call order,
+//!   thread, and shard count cannot perturb it.
+//! * **Site-popularity drift** — each day the [`DomainMix`] shares take
+//!   small log-normal steps (a random walk across the campaign). The
+//!   alias tables downstream renormalize, so drift shifts *relative*
+//!   popularity exactly like real rank churn.
+//! * **Client-IP turnover** — the day's observed client pool comes from
+//!   the [`ChurnModel`]: a stable core persists across days while the
+//!   tail regenerates. [`NetworkTimeline::client_ip_day`] turns the
+//!   pool into a sharded, replay-memoized [`EventStream`] (the same
+//!   union-semantics contract as `StreamSim::client_ips`) **and** the
+//!   matching [`DayTruth`] from the identical pool, so the measured
+//!   statistic and its ground truth can never drift apart.
+//!
+//! [`DayTruth`] values merge associatively ([`DayTruth::merge`] is a
+//! set union), so a multi-day campaign can fold per-day truths in any
+//! grouping — per round, per shard, sequential or parallel — and land
+//! on the same cross-day unique-IP union, with the stable core counted
+//! once however the days are grouped.
+
+use crate::churn::ChurnModel;
+use crate::geo::GeoDb;
+use crate::ids::{IpAddr, RelayId};
+use crate::relay::{Consensus, Position, Relay, RelayFlags};
+use crate::sampled::poisson_approx;
+use crate::stream::{replayed_stream, EventStream};
+use crate::workload::DomainMix;
+use crate::TorEvent;
+use pm_dp::mechanism::sample_gaussian;
+use pm_stats::sampling::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration of the network's day-to-day evolution.
+#[derive(Clone, Debug)]
+pub struct TimelineConfig {
+    /// Background relays in the day-0 consensus.
+    pub n_background: usize,
+    /// Day-0 instrumented exit-weight fraction.
+    pub exit_fraction: f64,
+    /// Day-0 instrumented guard-weight fraction.
+    pub guard_fraction: f64,
+    /// Day-0 instrumented HSDir-weight fraction.
+    pub hsdir_fraction: f64,
+    /// Daily probability that a background relay leaves the consensus.
+    pub relay_leave_prob: f64,
+    /// Poisson mean of background relays joining per day.
+    pub relay_joins_per_day: f64,
+    /// Log-normal σ of each relay's daily weight multiplier.
+    pub weight_drift_sigma: f64,
+    /// Log-normal σ of each domain-mix share's daily step.
+    pub mix_drift_sigma: f64,
+    /// Base seed; every per-day RNG derives from it.
+    pub seed: u64,
+}
+
+impl TimelineConfig {
+    /// Paper-shaped defaults: a consensus whose instrumented fractions
+    /// start at the Table 5 guard weight and Figure 1 exit weight, with
+    /// churn rates sized so the weight fraction visibly drifts over a
+    /// multi-week campaign (the paper's per-date fractions span
+    /// 0.42%–2.75%) while staying the same order of magnitude.
+    pub fn paper_default(seed: u64) -> TimelineConfig {
+        TimelineConfig {
+            n_background: 600,
+            exit_fraction: 0.015,
+            guard_fraction: 0.0119,
+            hsdir_fraction: 0.0275,
+            relay_leave_prob: 0.02,
+            relay_joins_per_day: 12.0,
+            weight_drift_sigma: 0.05,
+            mix_drift_sigma: 0.03,
+            seed,
+        }
+    }
+}
+
+/// The network as it stands on one day of the campaign.
+#[derive(Clone, Debug)]
+pub struct DaySnapshot {
+    /// Day index (0 = campaign epoch).
+    pub day: u64,
+    /// That day's consensus.
+    pub consensus: Arc<Consensus>,
+    /// That day's site-popularity mix.
+    pub mix: DomainMix,
+    /// Background relays that joined on this day (0 on day 0).
+    pub joined: u64,
+    /// Background relays that left on this day (0 on day 0).
+    pub left: u64,
+}
+
+impl DaySnapshot {
+    /// The instrumented weight fraction for a position on this day —
+    /// the observation probability `p` every network-wide inference on
+    /// this day must use.
+    pub fn fraction(&self, pos: Position) -> f64 {
+        self.consensus.instrumented_fraction(pos)
+    }
+}
+
+/// Ground truth for one or more days of observed client IPs. Values
+/// merge associatively (set union), so any grouping of days — or of
+/// shards within a day — folds to the same cross-day unique count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DayTruth {
+    /// Days merged into this truth (for reporting).
+    pub days: BTreeSet<u64>,
+    /// The observed IPs (union over the merged days).
+    pub ips: BTreeSet<IpAddr>,
+}
+
+impl DayTruth {
+    /// Distinct observed IPs.
+    pub fn unique(&self) -> u64 {
+        self.ips.len() as u64
+    }
+
+    /// Associative, commutative union.
+    pub fn merge(mut self, other: DayTruth) -> DayTruth {
+        self.days.extend(other.days);
+        self.ips.extend(other.ips);
+        self
+    }
+
+    /// IPs in `self` not present in `earlier` — a day's fresh
+    /// contribution to a running union.
+    pub fn new_vs(&self, earlier: &DayTruth) -> u64 {
+        self.ips.difference(&earlier.ips).count() as u64
+    }
+}
+
+/// The evolving network (see module docs).
+pub struct NetworkTimeline {
+    cfg: TimelineConfig,
+    /// The observed client pool's churn process.
+    churn: ChurnModel,
+    /// Promiscuous clients (bridges, busy NATs): stable, always seen.
+    promiscuous: u64,
+    geo: Arc<GeoDb>,
+}
+
+impl NetworkTimeline {
+    /// Builds a timeline over a churning client pool. `churn` sizes the
+    /// *network-wide* daily client pool at the caller's scale;
+    /// `promiscuous` clients contact every guard daily and are observed
+    /// regardless of weight.
+    pub fn new(
+        cfg: TimelineConfig,
+        churn: ChurnModel,
+        promiscuous: u64,
+        geo: Arc<GeoDb>,
+    ) -> NetworkTimeline {
+        NetworkTimeline {
+            cfg,
+            churn,
+            promiscuous,
+            geo,
+        }
+    }
+
+    /// The client-pool churn process.
+    pub fn churn(&self) -> &ChurnModel {
+        &self.churn
+    }
+
+    /// The promiscuous (always-observed, stable) client count.
+    pub fn promiscuous(&self) -> u64 {
+        self.promiscuous
+    }
+
+    /// The network on `day`: the day-0 consensus evolved through `day`
+    /// deterministic daily steps. Pure in `(config, day)`.
+    pub fn snapshot(&self, day: u64) -> DaySnapshot {
+        let base = Consensus::paper_deployment(
+            self.cfg.n_background,
+            self.cfg.exit_fraction,
+            self.cfg.guard_fraction,
+            self.cfg.hsdir_fraction,
+        );
+        let mut relays: Vec<Relay> = base.relays().to_vec();
+        let mut mix = DomainMix::paper_default();
+        let mut joined = 0;
+        let mut left = 0;
+        for d in 1..=day {
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("net/day{d}")));
+            (joined, left) = evolve_consensus(&mut relays, &self.cfg, &mut rng);
+            let mut mix_rng =
+                StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("mix/day{d}")));
+            drift_mix(&mut mix, self.cfg.mix_drift_sigma, &mut mix_rng);
+        }
+        for (i, r) in relays.iter_mut().enumerate() {
+            r.id = RelayId(i as u32);
+        }
+        DaySnapshot {
+            day,
+            consensus: Arc::new(Consensus::new(relays)),
+            mix,
+            joined,
+            left,
+        }
+    }
+
+    /// Whether a pool IP is observed by the deployment at guard
+    /// observation probability `observe_prob`. The per-IP uniform is a
+    /// pure hash of `(seed, ip)` — stable across days — so while the
+    /// fraction drifts, the *same* stable-core clients keep being seen
+    /// (or not): observation respects the stable core rather than
+    /// re-rolling it every day.
+    fn observed(&self, ip: IpAddr, observe_prob: f64) -> bool {
+        let u = derive_seed(self.cfg.seed, &format!("observe/{}", ip.0));
+        ((u >> 11) as f64 / (1u64 << 53) as f64) < observe_prob
+    }
+
+    /// One day's observed client-IP pool as a sharded, replay-memoized
+    /// event stream (events attributed round-robin over `relays`)
+    /// together with the matching ground truth, both derived from the
+    /// identical churned pool.
+    pub fn client_ip_day(
+        &self,
+        day: u64,
+        observe_prob: f64,
+        shards: usize,
+        relays: Vec<RelayId>,
+    ) -> (EventStream, DayTruth) {
+        assert!(!relays.is_empty());
+        let pool = self.observed_pool(day, observe_prob);
+        let mut truth = DayTruth::default();
+        truth.days.insert(day);
+        truth.ips.extend(pool.iter().copied());
+        let stream = replayed_stream(shards, move || {
+            pool.iter()
+                .enumerate()
+                .map(|(i, ip)| TorEvent::EntryConnection {
+                    relay: relays[i % relays.len()],
+                    client_ip: *ip,
+                })
+                .collect()
+        });
+        (stream, truth)
+    }
+
+    /// The observed pool for a day, in slot order (selective churned
+    /// slots first, then the promiscuous stable set).
+    fn observed_pool(&self, day: u64, observe_prob: f64) -> Arc<Vec<IpAddr>> {
+        let mut pool = Vec::new();
+        for ip in self.churn.ips_for_day(day, &self.geo) {
+            if self.observed(ip, observe_prob) {
+                pool.push(ip);
+            }
+        }
+        for p in 0..self.promiscuous {
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("promiscuous/{p}")));
+            pool.push(self.geo.sample_ip(&mut rng));
+        }
+        Arc::new(pool)
+    }
+}
+
+/// One daily consensus step: leaves, joins, weight drift. Returns
+/// `(joined, left)`.
+fn evolve_consensus(relays: &mut Vec<Relay>, cfg: &TimelineConfig, rng: &mut StdRng) -> (u64, u64) {
+    let before = relays.len();
+    // Instrumented relays are ours: they never leave mid-campaign.
+    relays.retain(|r| r.instrumented || rng.gen::<f64>() >= cfg.relay_leave_prob);
+    let left = (before - relays.len()) as u64;
+    let joined = poisson_approx(cfg.relay_joins_per_day, rng);
+    for j in 0..joined {
+        let flags = match j % 3 {
+            0 => RelayFlags::FAST
+                .union(RelayFlags::GUARD)
+                .union(RelayFlags::HSDIR),
+            1 => RelayFlags::FAST.union(RelayFlags::EXIT),
+            _ => RelayFlags::FAST,
+        };
+        relays.push(Relay {
+            id: RelayId(0), // re-indexed by the caller
+            nickname: format!("join{j}"),
+            weight: 0.5 + rng.gen::<f64>(), // fresh relays ramp up around bg weight
+            flags,
+            instrumented: false,
+        });
+    }
+    for r in relays.iter_mut() {
+        r.weight *= (cfg.weight_drift_sigma * sample_gaussian(1.0, rng)).exp();
+    }
+    (joined, left)
+}
+
+/// One daily log-normal step of every drifting mix share.
+fn drift_mix(mix: &mut DomainMix, sigma: f64, rng: &mut StdRng) {
+    let mut step = |x: &mut f64| *x *= (sigma * sample_gaussian(1.0, rng)).exp();
+    step(&mut mix.torproject);
+    step(&mut mix.amazon_head);
+    step(&mut mix.google_head);
+    for (_, share) in mix.other_heads.iter_mut() {
+        step(share);
+    }
+    for (_, share) in mix.family_siblings.iter_mut() {
+        step(share);
+    }
+    step(&mut mix.duckduckgo);
+    for share in mix.rank_set_shares.iter_mut() {
+        step(share);
+    }
+    step(&mut mix.long_tail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(seed: u64) -> NetworkTimeline {
+        NetworkTimeline::new(
+            TimelineConfig::paper_default(seed),
+            ChurnModel::new(2_000, 760, seed ^ 0xC1),
+            30,
+            Arc::new(GeoDb::paper_default()),
+        )
+    }
+
+    #[test]
+    fn snapshots_are_pure_and_day_indexed() {
+        let t = timeline(9);
+        let a = t.snapshot(5);
+        let b = t.snapshot(5);
+        assert_eq!(
+            a.consensus.relays().len(),
+            b.consensus.relays().len(),
+            "snapshot must not depend on call order"
+        );
+        assert_eq!(a.fraction(Position::Guard), b.fraction(Position::Guard));
+        assert_eq!(a.mix.torproject, b.mix.torproject);
+        // The network actually evolves.
+        let day0 = t.snapshot(0);
+        assert_ne!(
+            day0.fraction(Position::Guard),
+            a.fraction(Position::Guard),
+            "weight fraction must drift"
+        );
+        assert_ne!(day0.mix.torproject, a.mix.torproject);
+    }
+
+    #[test]
+    fn instrumented_relays_survive_churn() {
+        let t = timeline(11);
+        for day in [0, 3, 10] {
+            let snap = t.snapshot(day);
+            let ours = snap
+                .consensus
+                .relays()
+                .iter()
+                .filter(|r| r.instrumented)
+                .count();
+            assert_eq!(ours, 16, "day {day}: instrumented relays must persist");
+            let frac = snap.fraction(Position::Guard);
+            assert!(frac > 0.0 && frac < 0.1, "day {day}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn fraction_drift_stays_same_order_of_magnitude() {
+        let t = timeline(13);
+        let base = t.snapshot(0).fraction(Position::Guard);
+        for day in 1..=14 {
+            let f = t.snapshot(day).fraction(Position::Guard);
+            assert!(
+                f > base / 5.0 && f < base * 5.0,
+                "day {day}: fraction {f} drifted too far from {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn day_truth_merge_is_associative_over_days() {
+        let t = timeline(17);
+        let truth = |day| t.client_ip_day(day, 0.5, 1, vec![RelayId(0)]).1;
+        let (a, b, c) = (truth(0), truth(1), truth(2));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.clone().merge(b.clone().merge(c.clone()));
+        assert_eq!(left, right);
+        // Stable core counted once: union < sum of dailies.
+        let sum = a.unique() + b.unique() + c.unique();
+        assert!(left.unique() < sum, "{} vs {sum}", left.unique());
+        assert!(left.unique() > a.unique());
+        assert_eq!(left.days.len(), 3);
+    }
+
+    #[test]
+    fn stream_and_truth_share_the_pool() {
+        let t = timeline(19);
+        let (stream, truth) = t.client_ip_day(2, 0.4, 4, vec![RelayId(0), RelayId(1)]);
+        let mut seen = BTreeSet::new();
+        stream.for_each(|ev| {
+            if let TorEvent::EntryConnection { client_ip, .. } = ev {
+                seen.insert(client_ip);
+            }
+        });
+        assert_eq!(seen, truth.ips);
+        assert!(truth.unique() > 100, "{}", truth.unique());
+    }
+
+    #[test]
+    fn client_stream_shard_invariant() {
+        let t = timeline(23);
+        let collect = |k| {
+            let mut out = Vec::new();
+            t.client_ip_day(1, 0.4, k, vec![RelayId(0)])
+                .0
+                .for_each(|ev| out.push(format!("{ev:?}")));
+            out.sort();
+            out
+        };
+        let base = collect(1);
+        assert!(!base.is_empty());
+        for k in [4, 16] {
+            assert_eq!(base, collect(k), "shard count {k} changed the stream");
+        }
+    }
+
+    #[test]
+    fn observation_respects_stable_core() {
+        // The same observation probability on two days must observe the
+        // same stable-core subset (per-IP uniforms are day-independent).
+        let t = timeline(29);
+        let stable = t.churn().stable_count();
+        let geo = Arc::new(GeoDb::paper_default());
+        let mut kept = 0u64;
+        for slot in 0..stable {
+            let ip = t.churn().ip_at(slot, 0, &geo);
+            assert_eq!(
+                t.observed(ip, 0.3),
+                t.observed(ip, 0.3),
+                "observation must be a pure function of the IP"
+            );
+            if t.observed(ip, 0.3) {
+                kept += 1;
+            }
+        }
+        let frac = kept as f64 / stable as f64;
+        assert!((frac - 0.3).abs() < 0.05, "observe fraction {frac}");
+    }
+}

@@ -83,6 +83,73 @@ proptest! {
     }
 
     #[test]
+    fn churn_daily_pool_size_exact(
+        daily in 10u64..3000,
+        churn_frac in 0.0f64..1.0,
+        day in 0u64..8,
+        seed in any::<u64>(),
+    ) {
+        // The daily observed pool has exactly `daily_unique` slots —
+        // churn replaces slot occupants, never grows or shrinks the
+        // pool.
+        let new_per_day = (daily as f64 * churn_frac) as u64;
+        let m = ChurnModel::new(daily, new_per_day, seed);
+        let geo = GeoDb::paper_default();
+        prop_assert_eq!(m.ips_for_day(day, &geo).count() as u64, daily);
+    }
+
+    #[test]
+    fn churn_stable_core_persists_across_generations(
+        daily in 10u64..2000,
+        churn_frac in 0.0f64..1.0,
+        day_a in 0u64..10,
+        day_b in 0u64..10,
+        seed in any::<u64>(),
+    ) {
+        // Every stable-core slot holds the same IP on any two days.
+        let new_per_day = (daily as f64 * churn_frac) as u64;
+        let m = ChurnModel::new(daily, new_per_day, seed);
+        let geo = GeoDb::paper_default();
+        prop_assert_eq!(m.stable_count(), daily - new_per_day);
+        for slot in (0..m.stable_count()).step_by((m.stable_count() as usize / 16).max(1)) {
+            prop_assert_eq!(m.ip_at(slot, day_a, &geo), m.ip_at(slot, day_b, &geo));
+        }
+    }
+
+    #[test]
+    fn churn_turnover_is_exactly_new_per_day(
+        daily in 10u64..1500,
+        churn_frac in 0.01f64..1.0,
+        day in 0u64..6,
+        seed in any::<u64>(),
+    ) {
+        // Exactly `new_per_day` slots regenerate between consecutive
+        // days (slot-level turnover is exact; IP-level equality of a
+        // regenerated slot is a ~2^-32 birthday accident).
+        let new_per_day = (daily as f64 * churn_frac) as u64;
+        let m = ChurnModel::new(daily, new_per_day, seed);
+        let geo = GeoDb::paper_default();
+        let a: Vec<_> = m.ips_for_day(day, &geo).collect();
+        let b: Vec<_> = m.ips_for_day(day + 1, &geo).collect();
+        let stable = m.stable_count() as usize;
+        // All stable slots identical…
+        prop_assert_eq!(&a[..stable], &b[..stable]);
+        // …and only the `new_per_day` churned slots may change — each
+        // regenerates from a fresh (slot, generation) seed, so nearly
+        // all of them do (equality is a 2^-32-scale collision).
+        let changed = a.iter().zip(&b).filter(|(x, y)| x != y).count() as u64;
+        prop_assert!(changed <= new_per_day, "{changed} > {new_per_day}");
+        prop_assert!(
+            changed as f64 >= 0.95 * new_per_day as f64,
+            "{changed} of {new_per_day} churned slots changed"
+        );
+        // The daily increment of the union arithmetic matches exactly.
+        for d in 1..5u64 {
+            prop_assert_eq!(m.unique_over(d + 1) - m.unique_over(d), new_per_day);
+        }
+    }
+
+    #[test]
     fn poisson_approx_nonneg_and_near_mean(mean in 0.0f64..1e5, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let draw = poisson_approx(mean, &mut rng);

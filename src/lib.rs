@@ -10,6 +10,7 @@ pub use pm_crypto as crypto;
 pub use pm_dp as dp;
 pub use pm_net as net;
 pub use pm_stats as stats;
+pub use pm_study as study;
 pub use privcount;
 pub use psc;
 pub use torsim;
