@@ -46,17 +46,21 @@ test-transcript:
 	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=1
 	$(CARGO) test -q --test psc_end_to_end -- round_transcript per_link --test-threads=4
 
-# End-to-end smoke of the longitudinal campaign engine: a 7-day
-# calendar (daily IP rounds, the confirmation repeat, the 96h churn
-# round) at small scale through the real PSC pipeline, exporting both
-# output formats. Guards the `campaign` binary and the study crate's
-# wiring the way `test` guards the libraries.
+# End-to-end smoke of the longitudinal campaign engine: the full
+# 17-day calendar (daily IP rounds, the confirmation repeat, the 96h
+# churn round, PrivCount traffic, PSC countries, and the two-day
+# exit-domain and onion-service windows) at small scale through the
+# real PSC/PrivCount pipelines, exporting both output formats. Guards
+# the `campaign` binary and the study crate's wiring the way `test`
+# guards the libraries.
 study-smoke:
 	$(CARGO) run --release -p pm-study --bin campaign -- --list
 	$(CARGO) run --release -p pm-study --bin campaign -- \
-		--days 7 --scale 2e-4 --seed 2018 --json target/study_smoke.json --csv \
+		--days 17 --scale 2e-4 --seed 2018 --json target/study_smoke.json --csv \
 		> target/study_smoke.csv
 	test -s target/study_smoke.json && test -s target/study_smoke.csv
+	grep -q '"id": "domains"' target/study_smoke.json
+	grep -q '"id": "onions"' target/study_smoke.json
 
 # Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
 bench:

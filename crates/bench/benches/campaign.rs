@@ -11,10 +11,12 @@ use criterion::{Criterion, Measurement};
 use pm_bench::BENCH_SCALE;
 use pm_study::{Campaign, CampaignConfig};
 
-/// Calendar lengths the sweep covers: the smoke-length calendar (three
-/// client-IP rounds incl. the 96h churn round) and the extended one
-/// (adds the PrivCount traffic and PSC country rounds).
-const DAY_SWEEP: [u64; 2] = [7, 14];
+/// Calendar lengths the sweep covers: the short calendar (three
+/// client-IP rounds incl. the 96h churn round) and the full one (adds
+/// the PrivCount traffic and PSC country rounds plus the two-day
+/// exit-domain and onion-service windows, so BENCH_study.json carries
+/// exit/onion-bearing rows).
+const DAY_SWEEP: [u64; 2] = [7, 17];
 /// Ingestion shard counts.
 const SHARD_SWEEP: [usize; 3] = [1, 4, 8];
 

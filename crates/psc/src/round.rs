@@ -113,12 +113,15 @@ pub fn run_psc_round_streams(
 }
 
 /// Runs one PSC round over a multi-day collection window (the paper's
-/// 96-hour client-IP round; `pm-study`'s campaign rounds): `days[d]`
+/// 96-hour client-IP round; `pm-study`'s campaign rounds, including
+/// the exit-domain and onion-service windows whose day streams sample
+/// a different drifted mix and consensus fraction per day): `days[d]`
 /// holds day `d`'s per-DC streams, and each DC's streams are chained
 /// shard-wise in calendar order, so the round counts distinct items
-/// over the whole window — the stable client core marks its cells
-/// once however many days re-observe it. Every day must supply the
-/// same number of DCs, and a DC's streams the same shard count.
+/// over the whole window — a stable item (the client core, a popular
+/// domain, a long-lived onion address) marks its cells once however
+/// many days re-observe it. Every day must supply the same number of
+/// DCs, and a DC's streams the same shard count.
 pub fn run_psc_round_days(
     cfg: PscConfig,
     extractor: ItemExtractor,

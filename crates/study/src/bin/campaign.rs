@@ -8,10 +8,12 @@
 //!
 //! The default 7-day calendar holds the §5.1 client-IP measurement,
 //! its confirmation repeat, and the 96-hour churn round; longer
-//! calendars add PrivCount traffic and PSC country rounds. `--list`
-//! prints the validated calendar without running it; `--json PATH`
-//! writes the machine-readable document (same schema as the
-//! `experiments` binary's) alongside whatever goes to stdout.
+//! calendars add PrivCount traffic and PSC country rounds, and from
+//! 14/17 days the two-day exit-domain and onion-service windows
+//! (`--days 17` runs the full calendar). `--list` prints the
+//! validated calendar without running it; `--json PATH` writes the
+//! machine-readable document (same schema as the `experiments`
+//! binary's) alongside whatever goes to stdout.
 
 use pm_study::{Campaign, CampaignConfig};
 

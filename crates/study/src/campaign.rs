@@ -12,7 +12,7 @@ use std::sync::Arc;
 use torsim::churn::ChurnModel;
 use torsim::relay::Position;
 use torsim::stream::EventStream;
-use torsim::timeline::{DayTruth, NetworkTimeline, TimelineConfig};
+use torsim::timeline::{DayTruth, DomainDayTruth, NetworkTimeline, OnionDayTruth, TimelineConfig};
 use torstudy::deployment::Deployment;
 use torstudy::experiments::{client_traffic_streams, privcount_round, psc_round};
 use torstudy::report::{fmt_count, fmt_estimate, Report, ReportRow};
@@ -29,14 +29,37 @@ pub enum RoundKind {
     /// PrivCount connections/circuits/bytes, one day-indexed sub-round
     /// per day of the window.
     ClientTraffic,
+    /// Exit-domain window (§4): one PSC unique-SLD round chained over
+    /// the window's per-day exit streams, plus day-indexed PrivCount
+    /// stream counters over identical copies of the same streams. The
+    /// cross-day unique-SLD total extrapolates each day's fresh
+    /// contribution by that day's own exit fraction.
+    ExitDomains,
+    /// Onion-service window (§6): one PSC unique-published-address
+    /// round chained over the window's per-day HSDir publish streams,
+    /// plus day-indexed PrivCount rendezvous counters; the network
+    /// extrapolation combines each day's own replica-level observe
+    /// probability.
+    OnionServices,
 }
 
 impl RoundKind {
     /// The measurement system the round occupies (§3.1 forbids
-    /// overlapping rounds of either system).
+    /// overlapping rounds of either system). The exit/onion windows run
+    /// PrivCount sub-rounds alongside their PSC round over bit-identical
+    /// copies of the same streams; the ledger carries them as a single
+    /// PSC round (the oblivious table is what the executor's memory cap
+    /// must see), and since the [`Accountant`] rejects *any* round
+    /// overlap, no *other* round of either system can land inside the
+    /// window. The two systems sharing one collection within the window
+    /// is a deliberate relaxation of the paper's operational rule that
+    /// the ledger does not model — one window, one measurement unit.
     pub fn system(self) -> System {
         match self {
-            RoundKind::UniqueIps | RoundKind::UniqueCountries => System::Psc,
+            RoundKind::UniqueIps
+            | RoundKind::UniqueCountries
+            | RoundKind::ExitDomains
+            | RoundKind::OnionServices => System::Psc,
             RoundKind::ClientTraffic => System::PrivCount,
         }
     }
@@ -77,6 +100,10 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Ingestion shards per stream (0 = deployment default).
     pub shards: usize,
+    /// Network-evolution override (`None` = the paper-shaped defaults
+    /// derived from the seed). Lets stress tests drive the campaign
+    /// over a high-churn or fast-drifting network.
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl CampaignConfig {
@@ -87,12 +114,19 @@ impl CampaignConfig {
             scale,
             seed,
             shards: 0,
+            timeline: None,
         }
     }
 
     /// Overrides the ingestion shard count.
     pub fn with_shards(mut self, shards: usize) -> CampaignConfig {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the network-evolution model.
+    pub fn with_timeline(mut self, timeline: TimelineConfig) -> CampaignConfig {
+        self.timeline = Some(timeline);
         self
     }
 }
@@ -106,8 +140,16 @@ pub struct RoundOutcome {
     /// Ground truth per collected day, in calendar order (client-IP
     /// rounds; empty for traffic rounds).
     pub day_truths: Vec<DayTruth>,
+    /// Per-day exit-domain ground truth (exit-domain rounds only).
+    pub domain_truths: Vec<DomainDayTruth>,
+    /// Per-day onion-service ground truth (onion-service rounds only).
+    pub onion_truths: Vec<OnionDayTruth>,
     /// Headline measured estimate (at scale for unique counts).
     pub estimate: Option<Estimate>,
+    /// Network-wide extrapolation of [`Self::estimate`] using each
+    /// collected day's own observation fraction (where the round
+    /// performs one).
+    pub network_estimate: Option<Estimate>,
     /// The estimate repeats of this statistic are reconciled on: the
     /// network-extrapolated value — the quantity that is *constant*
     /// across repeat days, unlike the day's realized observed pool —
@@ -127,7 +169,8 @@ pub struct Campaign {
 
 /// The calendar templates, in scheduling priority order: the §5.1
 /// client-IP measurement, its confirmation repeat, the 96-hour churn
-/// round, then the PrivCount traffic and PSC country rounds. A short
+/// round, then the PrivCount traffic and PSC country rounds, and
+/// finally the two-day exit-domain and onion-service windows. A short
 /// campaign keeps the highest-priority prefix that fits.
 fn round_templates() -> Vec<(&'static str, &'static str, RoundKind, u64)> {
     vec![
@@ -141,6 +184,8 @@ fn round_templates() -> Vec<(&'static str, &'static str, RoundKind, u64)> {
             RoundKind::UniqueCountries,
             1,
         ),
+        ("domains", "exit-domains", RoundKind::ExitDomains, 2),
+        ("onions", "onion-services", RoundKind::OnionServices, 2),
     ]
 }
 
@@ -158,8 +203,12 @@ impl Campaign {
         let daily_unique = ((clients.selective_ips as f64 * cfg.scale) as u64).max(1);
         let new_per_day = (daily_unique as f64 * clients.daily_churn_fraction) as u64;
         let promiscuous = (clients.promiscuous_ips as f64 * cfg.scale).ceil() as u64;
+        let timeline_cfg = cfg
+            .timeline
+            .clone()
+            .unwrap_or_else(|| TimelineConfig::paper_default(derive_seed(cfg.seed, "timeline")));
         let timeline = NetworkTimeline::new(
-            TimelineConfig::paper_default(derive_seed(cfg.seed, "timeline")),
+            timeline_cfg,
             ChurnModel::new(daily_unique, new_per_day, derive_seed(cfg.seed, "churn")),
             promiscuous,
             Arc::clone(&base.geo),
@@ -295,6 +344,8 @@ impl Campaign {
             RoundKind::UniqueIps => self.run_unique_ips(spec),
             RoundKind::UniqueCountries => self.run_unique_countries(spec),
             RoundKind::ClientTraffic => self.run_client_traffic(spec),
+            RoundKind::ExitDomains => self.run_exit_domains(spec),
+            RoundKind::OnionServices => self.run_onion_services(spec),
         }
     }
 
@@ -428,7 +479,10 @@ impl Campaign {
             spec: spec.clone(),
             report,
             day_truths,
+            domain_truths: Vec::new(),
+            onion_truths: Vec::new(),
             estimate: Some(est),
+            network_estimate: Some(network),
             reconcile_estimate: Some(reconcile_est),
         }
     }
@@ -465,7 +519,10 @@ impl Campaign {
             spec: spec.clone(),
             report,
             day_truths: vec![truth],
+            domain_truths: Vec::new(),
+            onion_truths: Vec::new(),
             estimate: Some(est),
+            network_estimate: None,
             reconcile_estimate: None,
         }
     }
@@ -512,7 +569,257 @@ impl Campaign {
             spec: spec.clone(),
             report,
             day_truths: Vec::new(),
+            domain_truths: Vec::new(),
+            onion_truths: Vec::new(),
             estimate: Some(est),
+            network_estimate: None,
+            reconcile_estimate: None,
+        }
+    }
+
+    /// One exit-domain window: a PSC unique-SLD round chained over the
+    /// window's per-day exit streams (the stable popular domains mark
+    /// their cells once however many days revisit them), day-indexed
+    /// PrivCount stream counters over bit-identical copies of the same
+    /// streams, and a network-wide unique-SLD extrapolation in which
+    /// each day's fresh contribution divides by that day's own exit
+    /// fraction (`pm_stats::union::multi_day_network_estimate`).
+    fn run_exit_domains(&self, spec: &RoundSpec) -> RoundOutcome {
+        let dep = self.base.for_day(&self.timeline.snapshot(spec.start_day));
+        let mut psc_days: Vec<Vec<EventStream>> = Vec::new();
+        let mut pc_days: Vec<Vec<EventStream>> = Vec::new();
+        let mut day_truths: Vec<DomainDayTruth> = Vec::new();
+        let mut shares: Vec<DayShare> = Vec::new();
+        let mut exit_fractions: Vec<f64> = Vec::new();
+        let mut union = DomainDayTruth::default();
+        for day in spec.days() {
+            // One snapshot evolution per day (see run_unique_ips).
+            let snap = self.timeline.snapshot(day);
+            let p = snap.fraction(Position::Exit);
+            exit_fractions.push(p);
+            let (mut streams, truth) = self.timeline.exit_stream_day(
+                &snap,
+                &dep.sites,
+                &self.base.workload.exit,
+                dep.scale,
+                dep.shards,
+                dep.exit_relays(),
+                2,
+            );
+            // Both systems observe the identical events of the shared
+            // window, so their truths cannot drift apart.
+            pc_days.push(vec![streams.pop().expect("two copies")]);
+            psc_days.push(vec![streams.pop().expect("two copies")]);
+            shares.push(DayShare {
+                share: truth.new_vs(&union) as f64,
+                fraction: p,
+            });
+            union = union.merge(truth.clone());
+            day_truths.push(truth);
+        }
+        // Table 1 sensitivity: tab2's SLD round bounds 20 per day.
+        let sensitivity = 20 * spec.duration_days;
+        let cfg = psc_round(&dep, union.unique() as f64, sensitivity, &spec.id);
+        let result = psc::run_psc_round_days(
+            cfg,
+            psc::items::unique_slds(Arc::clone(&dep.sites), false),
+            psc_days,
+        )
+        .expect("campaign exit-domain round");
+        let est = result.estimate(0.95);
+        let network = (shares.iter().map(|s| s.share).sum::<f64>() > 0.0)
+            .then(|| multi_day_network_estimate(&est, &shares));
+
+        let schema = privcount::queries::exit_streams(dep.eps(), dep.delta());
+        let pc_cfg = privcount_round(&dep, schema, &format!("{}-pc", spec.id));
+        let results =
+            privcount::run_round_days(pc_cfg, pc_days).expect("campaign exit-stream counters");
+
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!(
+                "Exit domains, days {}..{} (PSC SLDs + PrivCount streams)",
+                spec.start_day,
+                spec.start_day + spec.duration_days
+            ),
+        );
+        report.row(ReportRow::new(
+            format!("unique SLDs ({} day(s), at scale)", spec.duration_days),
+            fmt_estimate(&est),
+            fmt_count(union.unique() as f64),
+            "471,228 [470,357; 472,099]",
+        ));
+        for (truth, share) in day_truths.iter().zip(&shares) {
+            let day = truth.days.first().copied().unwrap_or(0);
+            report.row(ReportRow::new(
+                format!("day {day}: streams / initial / fresh SLDs"),
+                "—",
+                format!(
+                    "{} / {} / {}",
+                    truth.streams, truth.initial_streams, share.share as u64
+                ),
+                "—",
+            ));
+        }
+        if let Some(net) = &network {
+            report.row(ReportRow::new(
+                "network-wide SLDs (per-day exit fractions)",
+                fmt_estimate(net),
+                "—",
+                "—",
+            ));
+        }
+        let t = &self.base.workload.exit;
+        for ((day, result), p) in spec.days().zip(&results).zip(&exit_fractions) {
+            let initial = dep.to_network(result.estimate("streams.initial"), *p);
+            report.row(ReportRow::new(
+                format!("day {day}: initial streams (network-wide)"),
+                fmt_estimate(&initial),
+                fmt_count(t.streams_per_day * t.initial_fraction),
+                "≈1.0e8 (Fig. 1)",
+            ));
+        }
+        report.note(format!(
+            "per-day exit fractions {:?}",
+            exit_fractions
+                .iter()
+                .map(|p| format!("{p:.4}"))
+                .collect::<Vec<_>>()
+        ));
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths: Vec::new(),
+            domain_truths: day_truths,
+            onion_truths: Vec::new(),
+            estimate: Some(est),
+            network_estimate: network,
+            reconcile_estimate: None,
+        }
+    }
+
+    /// One onion-service window: a PSC unique-published-address round
+    /// chained over the window's per-day HSDir publish streams, plus
+    /// day-indexed PrivCount rendezvous counters. The published
+    /// universe is fixed across the window while each day's replica
+    /// placement re-randomizes (v2 descriptor ids rotate daily), so
+    /// the network extrapolation divides the measured union by the
+    /// combined probability `1 − Π(1 − q_d)` with each day's own
+    /// HSDir fraction — §6.1's replica extrapolation extended across
+    /// the window's days.
+    fn run_onion_services(&self, spec: &RoundSpec) -> RoundOutcome {
+        let dep = self.base.for_day(&self.timeline.snapshot(spec.start_day));
+        let mut psc_days: Vec<Vec<EventStream>> = Vec::new();
+        let mut pc_days: Vec<Vec<EventStream>> = Vec::new();
+        let mut day_truths: Vec<OnionDayTruth> = Vec::new();
+        let mut fresh_onions: Vec<u64> = Vec::new();
+        let mut publish_observes: Vec<f64> = Vec::new();
+        let mut rend_fractions: Vec<f64> = Vec::new();
+        let mut union = OnionDayTruth::default();
+        for day in spec.days() {
+            // One snapshot evolution per day (see run_unique_ips).
+            let snap = self.timeline.snapshot(day);
+            let hs_day = self.timeline.hs_stream_day(
+                &snap,
+                &dep.sites,
+                &self.base.workload.onion,
+                dep.scale,
+                dep.shards,
+                dep.entry_relays(),
+            );
+            // Extrapolation divides by the exact probabilities the
+            // streams were thinned at — they travel with the streams.
+            publish_observes.push(hs_day.publish_observe);
+            rend_fractions.push(hs_day.rend_fraction);
+            psc_days.push(vec![hs_day.publish]);
+            pc_days.push(vec![hs_day.rendezvous]);
+            fresh_onions.push(hs_day.truth.new_vs(&union));
+            union = union.merge(hs_day.truth.clone());
+            day_truths.push(hs_day.truth);
+        }
+        let t = &self.base.workload.onion;
+        // Table 1 sensitivity: tab6's publish round bounds 3 per day.
+        let sensitivity = 3 * spec.duration_days;
+        let cfg = psc_round(
+            &dep,
+            (union.unique() as f64).max(64.0),
+            sensitivity,
+            &spec.id,
+        );
+        let result = psc::run_psc_round_days(cfg, psc::items::unique_onions_published(), psc_days)
+            .expect("campaign onion round");
+        let est = result.estimate(0.95);
+        let combined = 1.0 - publish_observes.iter().map(|q| 1.0 - q).product::<f64>();
+        let network =
+            (combined > 0.0).then(|| est.scale_to_network(combined).scale_to_network(dep.scale));
+
+        let schema = privcount::queries::rendezvous(dep.eps(), dep.delta());
+        let pc_cfg = privcount_round(&dep, schema, &format!("{}-pc", spec.id));
+        let results =
+            privcount::run_round_days(pc_cfg, pc_days).expect("campaign rendezvous counters");
+
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!(
+                "Onion services, days {}..{} (PSC publishes + PrivCount rendezvous)",
+                spec.start_day,
+                spec.start_day + spec.duration_days
+            ),
+        );
+        report.row(ReportRow::new(
+            format!(
+                "unique onions published ({} day(s), at scale)",
+                spec.duration_days
+            ),
+            fmt_estimate(&est),
+            fmt_count(union.unique() as f64),
+            "3,900 [3,769; 4,045]",
+        ));
+        for (truth, fresh) in day_truths.iter().zip(&fresh_onions) {
+            let day = truth.days.first().copied().unwrap_or(0);
+            report.row(ReportRow::new(
+                format!("day {day}: publishes / fresh onions"),
+                "—",
+                format!("{} / {fresh}", truth.publishes),
+                "—",
+            ));
+        }
+        if let Some(net) = &network {
+            report.row(ReportRow::new(
+                "network-wide published (per-day HSDir fractions)",
+                fmt_estimate(net),
+                fmt_count(t.published_addresses as f64),
+                "70,826 [65,738; 76,350]",
+            ));
+        }
+        for ((day, result), p) in spec.days().zip(&results).zip(&rend_fractions) {
+            let circuits = dep.to_network(result.estimate("rend.circuits"), *p);
+            report.row(ReportRow::new(
+                format!("day {day}: rend circuits (network-wide)"),
+                fmt_estimate(&circuits),
+                fmt_count(t.rend_circuits_per_day),
+                "366e6 [351e6; 380e6]",
+            ));
+        }
+        report.note(format!(
+            "per-day publish observe probs {:?}, rend fractions {:?}",
+            publish_observes
+                .iter()
+                .map(|p| format!("{p:.4}"))
+                .collect::<Vec<_>>(),
+            rend_fractions
+                .iter()
+                .map(|p| format!("{p:.4}"))
+                .collect::<Vec<_>>()
+        ));
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths: Vec::new(),
+            domain_truths: Vec::new(),
+            onion_truths: day_truths,
+            estimate: Some(est),
+            network_estimate: network,
             reconcile_estimate: None,
         }
     }
@@ -538,11 +845,49 @@ mod tests {
     }
 
     #[test]
-    fn longer_calendar_adds_traffic_and_countries() {
+    fn longer_calendar_adds_traffic_countries_and_domains() {
         let c = Campaign::new(CampaignConfig::new(14, 1e-3, 5));
         let ids: Vec<&str> = c.rounds().iter().map(|r| r.id.as_str()).collect();
-        assert_eq!(ids, ["ips-a", "ips-b", "ips-4day", "traffic", "countries"]);
-        assert_eq!(c.validate().rounds().len(), 5);
+        assert_eq!(
+            ids,
+            [
+                "ips-a",
+                "ips-b",
+                "ips-4day",
+                "traffic",
+                "countries",
+                "domains"
+            ]
+        );
+        assert_eq!(c.validate().rounds().len(), 6);
+    }
+
+    #[test]
+    fn full_calendar_includes_exit_and_onion_windows() {
+        let c = Campaign::new(CampaignConfig::new(17, 1e-3, 5));
+        let ids: Vec<&str> = c.rounds().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "ips-a",
+                "ips-b",
+                "ips-4day",
+                "traffic",
+                "countries",
+                "domains",
+                "onions"
+            ]
+        );
+        let domains = &c.rounds()[5];
+        assert_eq!(domains.kind, RoundKind::ExitDomains);
+        assert_eq!(domains.duration_days, 2);
+        assert_eq!(domains.kind.system(), System::Psc);
+        let onions = &c.rounds()[6];
+        assert_eq!(onions.kind, RoundKind::OnionServices);
+        assert_eq!(onions.duration_days, 2);
+        assert_eq!(onions.kind.system(), System::Psc);
+        // The ledger accepts the full calendar.
+        assert_eq!(c.validate().rounds().len(), 7);
     }
 
     #[test]

@@ -43,6 +43,50 @@
 //!    [`report::CampaignReport`] is bit-identical for sequential vs
 //!    parallel execution and for every shard count.
 //!
+//! # Exit-domain and onion-service rounds
+//!
+//! Beyond the client-side rounds, the calendar schedules two-day
+//! **exit-domain** and **onion-service** windows over the same evolving
+//! network ([`campaign::RoundKind::ExitDomains`] /
+//! [`campaign::RoundKind::OnionServices`]):
+//!
+//! * **Exit domains (§4)** — each window day draws that day's exit
+//!   streams from `torsim::timeline::NetworkTimeline::exit_stream_day`,
+//!   which samples the day's *drifted* `DomainMix` and the day's
+//!   consensus exit fraction. One PSC round counts distinct
+//!   second-level domains across the chained days (popular domains
+//!   mark their oblivious-table cells once however many days revisit
+//!   them), while day-indexed PrivCount sub-rounds count stream
+//!   breakdowns over bit-identical copies of the same streams. The
+//!   cross-day unique-SLD total extrapolates network-wide via
+//!   `pm_stats::union::multi_day_network_estimate`: each day's fresh
+//!   contribution divides by **that day's own** exit fraction, exactly
+//!   as the paper divides each measurement by the fraction on its
+//!   date.
+//! * **Onion services (§6)** — each window day draws the HSDir
+//!   descriptor-publish stream at the day's replica-level observe
+//!   probability (`1 − (1−w)²`) and the rendezvous stream at the day's
+//!   rendezvous fraction
+//!   (`torsim::timeline::NetworkTimeline::hs_stream_day`). One PSC
+//!   round counts distinct published addresses across the window; the
+//!   published universe is fixed while each day's replica placement
+//!   re-randomizes, so the network extrapolation divides by the
+//!   combined probability `1 − Π(1 − q_d)` with each day's own HSDir
+//!   fraction. Day-indexed PrivCount sub-rounds count rendezvous
+//!   circuits.
+//!
+//! Both rounds are ledgered as PSC in the §3.1 [`pm_dp::accountant`]
+//! (the oblivious table is what the executor's memory cap must see);
+//! since the accountant rejects *any* overlap, no other round of
+//! either system can land inside their window. The ride-along
+//! PrivCount sub-rounds deliberately share the window's collection
+//! with the PSC round — one window, one measurement unit over
+//! bit-identical streams, a relaxation of the paper's operational
+//! rule the ledger does not model. Per-day ground truths
+//! (`DomainDayTruth` / `OnionDayTruth`) merge associatively like
+//! `DayTruth`, so the campaign report's cumulative SLD/onion rows are
+//! grouping-independent.
+//!
 //! # Relation to §5.1 / Table 5
 //!
 //! The campaign's 4-day round is a *real* PSC measurement over four

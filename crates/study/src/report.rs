@@ -10,7 +10,7 @@
 
 use crate::campaign::{CampaignConfig, RoundOutcome};
 use pm_stats::union::reconcile;
-use torsim::timeline::DayTruth;
+use torsim::timeline::{DayTruth, DomainDayTruth, OnionDayTruth};
 use torstudy::report::{fmt_estimate, reports_json, Report, ReportRow};
 
 /// The campaign's aggregated outcome.
@@ -78,6 +78,60 @@ impl CampaignReport {
             cfg.scale,
             cfg.seed
         ));
+
+        // Exit-domain and onion-service windows fold the same way:
+        // per-day truths merge associatively into running cross-day
+        // unions, one cumulative row per measured day.
+        let mut sld_union = DomainDayTruth::default();
+        let mut onion_union = OnionDayTruth::default();
+        {
+            let mut union_row = |label: String, pool: u64, fresh: u64, total: u64| {
+                cumulative.row(ReportRow::new(
+                    label,
+                    "—",
+                    format!("pool {pool}, fresh {fresh}, cumulative {total}"),
+                    "—",
+                ));
+            };
+            for outcome in &outcomes {
+                for truth in &outcome.domain_truths {
+                    let day = truth.days.first().copied().unwrap_or(0);
+                    let fresh = truth.new_vs(&sld_union);
+                    sld_union = sld_union.merge(truth.clone());
+                    union_row(
+                        format!("day {day} [{}]: SLDs", outcome.spec.id),
+                        truth.unique(),
+                        fresh,
+                        sld_union.unique(),
+                    );
+                }
+                for truth in &outcome.onion_truths {
+                    let day = truth.days.first().copied().unwrap_or(0);
+                    let fresh = truth.new_vs(&onion_union);
+                    onion_union = onion_union.merge(truth.clone());
+                    union_row(
+                        format!("day {day} [{}]: onions", outcome.spec.id),
+                        truth.unique(),
+                        fresh,
+                        onion_union.unique(),
+                    );
+                }
+            }
+        }
+        if !sld_union.days.is_empty() {
+            cumulative.note(format!(
+                "campaign SLD union: {} distinct SLDs over {} measured day(s)",
+                sld_union.unique(),
+                sld_union.days.len()
+            ));
+        }
+        if !onion_union.days.is_empty() {
+            cumulative.note(format!(
+                "campaign onion union: {} distinct published addresses over {} measured day(s)",
+                onion_union.unique(),
+                onion_union.days.len()
+            ));
+        }
 
         // Reconcile repeats: same statistic, measured more than once.
         // Compare on the reconciliation estimate where one exists — the
@@ -183,9 +237,49 @@ mod tests {
             },
             report: Report::new(id, "test"),
             day_truths: days,
+            domain_truths: Vec::new(),
+            onion_truths: Vec::new(),
             estimate: Some(est),
+            network_estimate: None,
             reconcile_estimate: None,
         }
+    }
+
+    fn domain_truth(day: u64, slds: &[&str]) -> DomainDayTruth {
+        let mut t = DomainDayTruth::default();
+        t.days.insert(day);
+        t.slds.extend(slds.iter().map(|s| s.to_string()));
+        t.streams = 10 * slds.len() as u64;
+        t.initial_streams = slds.len() as u64;
+        t
+    }
+
+    #[test]
+    fn cumulative_sld_union_rows_fold_associatively() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let mut o = outcome(
+            "domains",
+            "exit-domains",
+            vec![truth(5, &[1])],
+            Estimate::with_ci(2.0, Interval::new(1.0, 3.0)),
+        );
+        o.day_truths.clear();
+        o.domain_truths = vec![
+            domain_truth(5, &["a.com", "b.com"]),
+            domain_truth(6, &["b.com", "c.com"]),
+        ];
+        let report = CampaignReport::assemble(&cfg, vec![o]);
+        let sld_rows: Vec<_> = report
+            .cumulative
+            .rows
+            .iter()
+            .filter(|r| r.label.contains("SLDs"))
+            .collect();
+        assert_eq!(sld_rows.len(), 2);
+        assert!(sld_rows[0].truth.contains("pool 2, fresh 2, cumulative 2"));
+        assert!(sld_rows[1].truth.contains("pool 2, fresh 1, cumulative 3"));
+        let text = report.render_text();
+        assert!(text.contains("campaign SLD union: 3 distinct SLDs over 2 measured day(s)"));
     }
 
     #[test]

@@ -74,8 +74,13 @@ pub struct SampledSim<'a> {
     pub relays: Vec<RelayId>,
 }
 
-/// Draws a Poisson(mean) count via normal approximation (exact for our
-/// purposes: means are ≥ thousands wherever this is used).
+/// Draws a Poisson(mean) count. Means ≥ 50 use the normal
+/// approximation, whose error is negligible at that size — the stream
+/// sources call it with means in the thousands. Smaller means — e.g.
+/// the timeline's daily relay-join process at `relay_joins_per_day`
+/// ≈ a dozen — take Knuth's exact inversion method, so small-count
+/// draws follow the true Poisson distribution (skew, P(0), integer
+/// support) rather than a rounded Gaussian.
 pub fn poisson_approx<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
     if mean <= 0.0 {
         return 0;
@@ -541,6 +546,39 @@ mod tests {
         assert_eq!(binomial_approx(10, 0.0, &mut rng), 0);
         assert_eq!(binomial_approx(10, 1.0, &mut rng), 10);
         assert_eq!(poisson_approx(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_small_mean_follows_distribution() {
+        // The Knuth branch (mean < 50) must reproduce the true Poisson
+        // distribution, not a rounded Gaussian: check mean, variance,
+        // and the point masses P(0) = e^{-λ} and P(1) = λe^{-λ} at the
+        // relay-join-sized mean the timeline actually uses.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = 3.0;
+        let trials = 40_000u64;
+        let mut sum = 0u64;
+        let mut sum_sq = 0u64;
+        let mut zeros = 0u64;
+        let mut ones = 0u64;
+        for _ in 0..trials {
+            let k = poisson_approx(mean, &mut rng);
+            sum += k;
+            sum_sq += k * k;
+            match k {
+                0 => zeros += 1,
+                1 => ones += 1,
+                _ => {}
+            }
+        }
+        let m = sum as f64 / trials as f64;
+        let var = sum_sq as f64 / trials as f64 - m * m;
+        assert!((m - mean).abs() < 0.05, "mean {m}");
+        assert!((var - mean).abs() < 0.15, "variance {var}");
+        let p0 = zeros as f64 / trials as f64;
+        let p1 = ones as f64 / trials as f64;
+        assert!((p0 - (-mean).exp()).abs() < 0.01, "P(0) {p0}");
+        assert!((p1 - mean * (-mean).exp()).abs() < 0.01, "P(1) {p1}");
     }
 
     #[test]

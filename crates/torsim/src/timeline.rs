@@ -30,22 +30,36 @@
 //!   union-semantics contract as `StreamSim::client_ips`) **and** the
 //!   matching [`DayTruth`] from the identical pool, so the measured
 //!   statistic and its ground truth can never drift apart.
+//! * **Exit-domain & onion-service days** —
+//!   [`NetworkTimeline::exit_stream_day`] draws one day's exit streams
+//!   under that day's *drifted* mix and consensus exit fraction, and
+//!   [`NetworkTimeline::hs_stream_day`] draws the day's HSDir publish
+//!   and rendezvous streams under the day's HSDir/rendezvous
+//!   fractions. Both return the day's exact ground truth
+//!   ([`DomainDayTruth`] / [`OnionDayTruth`]) accumulated per shard
+//!   from a replica of the same deferred stream, under the
+//!   shard-invariance contract.
 //!
 //! [`DayTruth`] values merge associatively ([`DayTruth::merge`] is a
 //! set union), so a multi-day campaign can fold per-day truths in any
 //! grouping — per round, per shard, sequential or parallel — and land
 //! on the same cross-day unique-IP union, with the stable core counted
-//! once however the days are grouped.
+//! once however the days are grouped. [`DomainDayTruth`] and
+//! [`OnionDayTruth`] follow the same contract (set unions plus
+//! additive counts), so cross-day unique-SLD and unique-onion totals
+//! are grouping-independent too.
 
 use crate::churn::ChurnModel;
 use crate::geo::GeoDb;
-use crate::ids::{IpAddr, RelayId};
+use crate::ids::{IpAddr, OnionAddr, RelayId};
 use crate::relay::{Consensus, Position, Relay, RelayFlags};
 use crate::sampled::poisson_approx;
-use crate::stream::{replayed_stream, EventStream};
-use crate::workload::DomainMix;
+use crate::sites::SiteList;
+use crate::stream::{replayed_stream, EventStream, StreamSim};
+use crate::workload::{DomainMix, ExitTruth, OnionTruth};
 use crate::TorEvent;
 use pm_dp::mechanism::sample_gaussian;
+use pm_stats::extrapolate::hsdir_observe_fraction;
 use pm_stats::sampling::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,6 +165,79 @@ impl DayTruth {
     }
 }
 
+/// Ground truth for one or more days of observed exit-domain traffic.
+/// Like [`DayTruth`], values merge associatively — the SLD set is a
+/// union, the stream counts are sums — so per-shard and per-day truths
+/// fold to the same cross-day totals in any grouping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DomainDayTruth {
+    /// Days merged into this truth (for reporting).
+    pub days: BTreeSet<u64>,
+    /// Distinct second-level domains of observed initial web streams.
+    pub slds: BTreeSet<String>,
+    /// Observed exit streams (initial + subsequent).
+    pub streams: u64,
+    /// Observed initial streams.
+    pub initial_streams: u64,
+}
+
+impl DomainDayTruth {
+    /// Distinct observed SLDs.
+    pub fn unique(&self) -> u64 {
+        self.slds.len() as u64
+    }
+
+    /// Associative, commutative merge (set unions, count sums).
+    pub fn merge(mut self, other: DomainDayTruth) -> DomainDayTruth {
+        self.days.extend(other.days);
+        self.slds.extend(other.slds);
+        self.streams += other.streams;
+        self.initial_streams += other.initial_streams;
+        self
+    }
+
+    /// SLDs in `self` not present in `earlier` — a day's fresh
+    /// contribution to a running cross-day union.
+    pub fn new_vs(&self, earlier: &DomainDayTruth) -> u64 {
+        self.slds.difference(&earlier.slds).count() as u64
+    }
+}
+
+/// Ground truth for one or more days of observed onion-service
+/// activity. Merges associatively like [`DomainDayTruth`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OnionDayTruth {
+    /// Days merged into this truth (for reporting).
+    pub days: BTreeSet<u64>,
+    /// Distinct onion addresses whose descriptors our HSDirs received.
+    pub published: BTreeSet<OnionAddr>,
+    /// Observed descriptor-publish events.
+    pub publishes: u64,
+    /// Observed rendezvous circuits.
+    pub rend_circuits: u64,
+}
+
+impl OnionDayTruth {
+    /// Distinct observed published addresses.
+    pub fn unique(&self) -> u64 {
+        self.published.len() as u64
+    }
+
+    /// Associative, commutative merge (set unions, count sums).
+    pub fn merge(mut self, other: OnionDayTruth) -> OnionDayTruth {
+        self.days.extend(other.days);
+        self.published.extend(other.published);
+        self.publishes += other.publishes;
+        self.rend_circuits += other.rend_circuits;
+        self
+    }
+
+    /// Published addresses in `self` not present in `earlier`.
+    pub fn new_vs(&self, earlier: &OnionDayTruth) -> u64 {
+        self.published.difference(&earlier.published).count() as u64
+    }
+}
+
 /// The evolving network (see module docs).
 pub struct NetworkTimeline {
     cfg: TimelineConfig,
@@ -200,7 +287,11 @@ impl NetworkTimeline {
             self.cfg.hsdir_fraction,
         );
         let mut relays: Vec<Relay> = base.relays().to_vec();
+        // Normalized from day 0 so `total_share() == 1` holds for every
+        // snapshot (the paper mix sums to ~1.05; only relative shares
+        // reach the samplers, so this changes no generated event).
         let mut mix = DomainMix::paper_default();
+        mix.normalize();
         let mut joined = 0;
         let mut left = 0;
         for d in 1..=day {
@@ -277,14 +368,183 @@ impl NetworkTimeline {
         }
         Arc::new(pool)
     }
+
+    /// One campaign day's exit-stream observation, sampling that day's
+    /// drifted [`DomainMix`] and consensus exit fraction (both read
+    /// from `snap`, so the caller's one-snapshot-per-day evolution is
+    /// reused rather than replayed). Returns `copies` bit-identical
+    /// deferred streams — a campaign round feeds one to each
+    /// measurement system sharing the round's window — plus the day's
+    /// exact ground truth (distinct SLDs and stream counts),
+    /// accumulated per shard and merged associatively under the same
+    /// shard-invariance contract as every other source. Events and
+    /// truth derive from `derive_seed(seed, "exit/day{d}")`, pure in
+    /// `(config, day)`.
+    #[allow(clippy::too_many_arguments)] // one knob per axis of the day's observation
+    pub fn exit_stream_day(
+        &self,
+        snap: &DaySnapshot,
+        sites: &Arc<SiteList>,
+        base: &ExitTruth,
+        scale: f64,
+        shards: usize,
+        relays: Vec<RelayId>,
+        copies: usize,
+    ) -> (Vec<EventStream>, DomainDayTruth) {
+        assert!(copies >= 1);
+        let mut truth_cfg = base.clone();
+        truth_cfg.mix = snap.mix.clone();
+        let fraction = snap.fraction(Position::Exit);
+        let sim = StreamSim::new(
+            Arc::clone(sites),
+            Arc::clone(&self.geo),
+            relays,
+            derive_seed(self.cfg.seed, &format!("exit/day{}", snap.day)),
+        );
+        let streams: Vec<EventStream> = (0..copies)
+            .map(|_| sim.exit_streams(&truth_cfg, fraction, scale, false, shards, "exit"))
+            .collect();
+        // Exact ground truth from a replica of the same deferred
+        // stream: folded per shard, merged associatively.
+        let replica = sim.exit_streams(&truth_cfg, fraction, scale, false, shards, "exit");
+        let parts = replica.fold_parallel(
+            |_| DomainDayTruth::default(),
+            |acc, ev| {
+                if let TorEvent::ExitStream {
+                    initial, domain, ..
+                } = ev
+                {
+                    acc.streams += 1;
+                    if initial {
+                        acc.initial_streams += 1;
+                    }
+                    if let Some(d) = domain {
+                        acc.slds.insert(sites.sld(d));
+                    }
+                }
+            },
+        );
+        let mut truth = parts
+            .into_iter()
+            .fold(DomainDayTruth::default(), DomainDayTruth::merge);
+        truth.days.insert(snap.day);
+        (streams, truth)
+    }
+
+    /// One campaign day's onion-service observation under that day's
+    /// consensus: the HSDir descriptor-publish stream at the day's
+    /// replica-level observe probability (`1 − (1−w)²` for v2's two
+    /// descriptor replicas) and the rendezvous-circuit stream at the
+    /// day's rendezvous fraction, plus the day's exact ground truth
+    /// (distinct published addresses, publish and rendezvous counts)
+    /// merged associatively across shards. Seeded
+    /// `derive_seed(seed, "hs/day{d}")` — pure in `(config, day)`.
+    pub fn hs_stream_day(
+        &self,
+        snap: &DaySnapshot,
+        sites: &Arc<SiteList>,
+        base: &OnionTruth,
+        scale: f64,
+        shards: usize,
+        relays: Vec<RelayId>,
+    ) -> HsDay {
+        let publish_observe = hsdir_observe_fraction(snap.fraction(Position::HsDir), 2);
+        let rend_fraction = snap.fraction(Position::Rendezvous);
+        let sim = StreamSim::new(
+            Arc::clone(sites),
+            Arc::clone(&self.geo),
+            relays,
+            derive_seed(self.cfg.seed, &format!("hs/day{}", snap.day)),
+        );
+        let publish = sim.hsdir_publishes(base, publish_observe, scale, shards, "publish");
+        let rendezvous = sim.rendezvous(base, rend_fraction, scale, shards, "rend");
+        let mut truth = OnionDayTruth::default();
+        truth.days.insert(snap.day);
+        for replica in [
+            sim.hsdir_publishes(base, publish_observe, scale, shards, "publish"),
+            sim.rendezvous(base, rend_fraction, scale, shards, "rend"),
+        ] {
+            let parts = replica.fold_parallel(
+                |_| OnionDayTruth::default(),
+                |acc, ev| match ev {
+                    TorEvent::HsDescPublish { addr, .. } => {
+                        acc.publishes += 1;
+                        acc.published.insert(addr);
+                    }
+                    TorEvent::RendCircuit { .. } => acc.rend_circuits += 1,
+                    _ => {}
+                },
+            );
+            truth = parts.into_iter().fold(truth, OnionDayTruth::merge);
+        }
+        HsDay {
+            publish,
+            rendezvous,
+            truth,
+            publish_observe,
+            rend_fraction,
+        }
+    }
+}
+
+/// One campaign day's onion-service observation
+/// ([`NetworkTimeline::hs_stream_day`]): the streams, the truth, and
+/// the exact observation parameters the streams were thinned at. A
+/// caller's network extrapolation must divide by these same values, so
+/// they travel with the streams instead of being re-derived.
+pub struct HsDay {
+    /// HSDir descriptor-publish stream.
+    pub publish: EventStream,
+    /// Rendezvous-circuit stream.
+    pub rendezvous: EventStream,
+    /// The day's exact ground truth.
+    pub truth: OnionDayTruth,
+    /// Address-level publish observe probability (`1 − (1−w)²` over the
+    /// day's HSDir fraction) the publish stream was thinned at.
+    pub publish_observe: f64,
+    /// Rendezvous fraction the rendezvous stream was thinned at.
+    pub rend_fraction: f64,
 }
 
 /// One daily consensus step: leaves, joins, weight drift. Returns
 /// `(joined, left)`.
+///
+/// Every position is guaranteed a background survivor: leaves are
+/// uniform and joins cycle their flag sets, so over a long high-churn
+/// campaign an unconstrained process eventually removes every
+/// background Exit- or HSDir-flagged relay — the instrumented fraction
+/// would hit 1.0 and exit/onion rounds would extrapolate a network
+/// consisting of our own relays. When every background holder of a
+/// flag is marked to leave, the first holder stays instead.
 fn evolve_consensus(relays: &mut Vec<Relay>, cfg: &TimelineConfig, rng: &mut StdRng) -> (u64, u64) {
     let before = relays.len();
-    // Instrumented relays are ours: they never leave mid-campaign.
-    relays.retain(|r| r.instrumented || rng.gen::<f64>() >= cfg.relay_leave_prob);
+    // Instrumented relays are ours: they never leave mid-campaign (and
+    // draw nothing, keeping the day's RNG stream stable).
+    let mut leaves: Vec<bool> = relays
+        .iter()
+        .map(|r| !r.instrumented && rng.gen::<f64>() < cfg.relay_leave_prob)
+        .collect();
+    for flag in [
+        RelayFlags::GUARD,
+        RelayFlags::EXIT,
+        RelayFlags::HSDIR,
+        RelayFlags::FAST,
+    ] {
+        let survives = relays
+            .iter()
+            .zip(&leaves)
+            .any(|(r, &leave)| !leave && !r.instrumented && r.flags.contains(flag));
+        if !survives {
+            if let Some(i) = relays
+                .iter()
+                .position(|r| !r.instrumented && r.flags.contains(flag))
+            {
+                leaves[i] = false;
+            }
+        }
+    }
+    let mut leave_iter = leaves.iter();
+    relays.retain(|_| !leave_iter.next().expect("one decision per relay"));
     let left = (before - relays.len()) as u64;
     let joined = poisson_approx(cfg.relay_joins_per_day, rng);
     for j in 0..joined {
@@ -309,23 +569,22 @@ fn evolve_consensus(relays: &mut Vec<Relay>, cfg: &TimelineConfig, rng: &mut Std
     (joined, left)
 }
 
-/// One daily log-normal step of every drifting mix share.
+/// One daily log-normal step of every drifting mix share, followed by a
+/// renormalization. The steps are independent, so without the
+/// renormalization the total share performs an unbounded random walk —
+/// over a 30+ day campaign it drifts arbitrarily far from 1 and every
+/// category's *absolute* visit share is silently distorted, even though
+/// the alias tables downstream keep relative sampling correct.
+/// Dividing by the post-step total preserves exactly the relative drift
+/// while pinning the invariant `total_share() == 1`.
 fn drift_mix(mix: &mut DomainMix, sigma: f64, rng: &mut StdRng) {
-    let mut step = |x: &mut f64| *x *= (sigma * sample_gaussian(1.0, rng)).exp();
-    step(&mut mix.torproject);
-    step(&mut mix.amazon_head);
-    step(&mut mix.google_head);
-    for (_, share) in mix.other_heads.iter_mut() {
-        step(share);
-    }
-    for (_, share) in mix.family_siblings.iter_mut() {
-        step(share);
-    }
-    step(&mut mix.duckduckgo);
-    for share in mix.rank_set_shares.iter_mut() {
-        step(share);
-    }
-    step(&mut mix.long_tail);
+    mix.for_each_share_mut(&mut |x: &mut f64| *x *= (sigma * sample_gaussian(1.0, rng)).exp());
+    mix.normalize();
+    let total = mix.total_share();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "mix drift must preserve total share 1, got {total}"
+    );
 }
 
 #[cfg(test)]
@@ -438,6 +697,214 @@ mod tests {
         for k in [4, 16] {
             assert_eq!(base, collect(k), "shard count {k} changed the stream");
         }
+    }
+
+    #[test]
+    fn drifted_mix_total_share_stays_one() {
+        // The drift bugfix: independent log-normal steps used to leave
+        // the total share on an unbounded random walk; every snapshot
+        // must now sum to exactly 1 while relative shares keep moving.
+        let t = timeline(31);
+        let mut previous = f64::NAN;
+        for day in [0, 1, 10, 30] {
+            let snap = t.snapshot(day);
+            let total = snap.mix.total_share();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "day {day}: mix total {total} drifted off 1"
+            );
+            assert_ne!(snap.mix.torproject, previous, "day {day}: share frozen");
+            previous = snap.mix.torproject;
+        }
+    }
+
+    #[test]
+    fn high_churn_never_empties_a_position() {
+        // The churn bugfix: with aggressive leave probability and few
+        // joins, an unconstrained process strips every background Exit/
+        // HSDir relay within days. Every position must keep at least
+        // one background relay, and the instrumented fraction must stay
+        // strictly inside (0, 1).
+        let cfg = TimelineConfig {
+            n_background: 30,
+            relay_leave_prob: 0.9,
+            relay_joins_per_day: 0.3,
+            ..TimelineConfig::paper_default(77)
+        };
+        let t = NetworkTimeline::new(
+            cfg,
+            ChurnModel::new(100, 40, 7),
+            5,
+            Arc::new(GeoDb::paper_default()),
+        );
+        for day in [1, 3, 10, 30] {
+            let snap = t.snapshot(day);
+            for pos in [
+                Position::Guard,
+                Position::Exit,
+                Position::HsDir,
+                Position::Middle,
+                Position::Rendezvous,
+            ] {
+                let background = snap
+                    .consensus
+                    .eligible(pos)
+                    .filter(|r| !r.instrumented)
+                    .count();
+                assert!(background >= 1, "day {day}: {pos:?} has no background");
+                let f = snap.fraction(pos);
+                assert!(f > 0.0 && f < 1.0, "day {day}: {pos:?} fraction {f}");
+            }
+        }
+    }
+
+    fn small_sites() -> Arc<SiteList> {
+        Arc::new(SiteList::new(crate::sites::SiteListConfig {
+            alexa_size: 20_000,
+            long_tail_size: 50_000,
+            seed: 5,
+        }))
+    }
+
+    #[test]
+    fn exit_stream_day_truth_matches_stream_and_is_shard_invariant() {
+        let t = timeline(37);
+        let sites = small_sites();
+        let snap = t.snapshot(2);
+        let exit = crate::workload::Workload::paper_default().exit;
+        let (streams, truth) = t.exit_stream_day(
+            &snap,
+            &sites,
+            &exit,
+            1e-4,
+            4,
+            vec![RelayId(0), RelayId(1)],
+            2,
+        );
+        assert_eq!(streams.len(), 2);
+        assert_eq!(truth.days, BTreeSet::from([2]));
+        // Both copies and the truth describe the identical event set.
+        let mut fingerprints = Vec::new();
+        for stream in streams {
+            let mut events = Vec::new();
+            let mut slds = BTreeSet::new();
+            let (mut total, mut initial) = (0u64, 0u64);
+            stream.for_each(|ev| {
+                events.push(format!("{ev:?}"));
+                if let TorEvent::ExitStream {
+                    initial: init,
+                    domain,
+                    ..
+                } = ev
+                {
+                    total += 1;
+                    if init {
+                        initial += 1;
+                    }
+                    if let Some(d) = domain {
+                        slds.insert(sites.sld(d));
+                    }
+                }
+            });
+            events.sort();
+            assert_eq!(total, truth.streams);
+            assert_eq!(initial, truth.initial_streams);
+            assert_eq!(slds, truth.slds);
+            fingerprints.push(events);
+        }
+        assert_eq!(fingerprints[0], fingerprints[1], "copies must be identical");
+        assert!(truth.unique() > 50, "{}", truth.unique());
+        assert!(truth.streams > truth.initial_streams);
+        // Shard-count invariance of both events and truth.
+        for k in [1, 16] {
+            let (streams_k, truth_k) = t.exit_stream_day(
+                &snap,
+                &sites,
+                &exit,
+                1e-4,
+                k,
+                vec![RelayId(0), RelayId(1)],
+                1,
+            );
+            assert_eq!(truth_k, truth, "shard count {k} changed the truth");
+            let mut events = Vec::new();
+            for s in streams_k {
+                s.for_each(|ev| events.push(format!("{ev:?}")));
+            }
+            events.sort();
+            assert_eq!(events, fingerprints[0], "shard count {k} changed events");
+        }
+        // A different day samples a different drifted mix and fraction.
+        let snap9 = t.snapshot(9);
+        let (_, truth9) = t.exit_stream_day(&snap9, &sites, &exit, 1e-4, 4, vec![RelayId(0)], 1);
+        assert_ne!(truth9.slds, truth.slds);
+    }
+
+    #[test]
+    fn hs_stream_day_truth_matches_streams() {
+        let t = timeline(41);
+        let sites = small_sites();
+        let snap = t.snapshot(3);
+        let onion = crate::workload::Workload::paper_default().onion;
+        let day = t.hs_stream_day(&snap, &sites, &onion, 1e-2, 4, vec![RelayId(0)]);
+        let truth = day.truth;
+        let mut published = BTreeSet::new();
+        let mut publishes = 0u64;
+        day.publish.for_each(|ev| {
+            if let TorEvent::HsDescPublish { addr, .. } = ev {
+                published.insert(addr);
+                publishes += 1;
+            }
+        });
+        let mut rends = 0u64;
+        day.rendezvous.for_each(|ev| {
+            if let TorEvent::RendCircuit { .. } = ev {
+                rends += 1;
+            }
+        });
+        assert_eq!(published, truth.published);
+        assert_eq!(publishes, truth.publishes);
+        assert_eq!(rends, truth.rend_circuits);
+        assert!(truth.unique() > 0, "observed no published addresses");
+        assert!(truth.rend_circuits > 100, "{}", truth.rend_circuits);
+        assert_eq!(truth.days, BTreeSet::from([3]));
+        // The thinning parameters travel with the streams and match the
+        // snapshot they were derived from.
+        assert_eq!(
+            day.publish_observe,
+            hsdir_observe_fraction(snap.fraction(Position::HsDir), 2)
+        );
+        assert_eq!(day.rend_fraction, snap.fraction(Position::Rendezvous));
+        // Truth is shard-count invariant.
+        let day1 = t.hs_stream_day(&snap, &sites, &onion, 1e-2, 1, vec![RelayId(0)]);
+        assert_eq!(day1.truth, truth);
+    }
+
+    #[test]
+    fn domain_and_onion_truths_merge_associatively() {
+        let t = timeline(43);
+        let sites = small_sites();
+        let exit = crate::workload::Workload::paper_default().exit;
+        let truth = |day| {
+            t.exit_stream_day(
+                &t.snapshot(day),
+                &sites,
+                &exit,
+                2e-5,
+                1,
+                vec![RelayId(0)],
+                1,
+            )
+            .1
+        };
+        let (a, b, c) = (truth(0), truth(1), truth(2));
+        let left = a.clone().merge(b.clone()).merge(c.clone());
+        let right = a.clone().merge(b.clone().merge(c.clone()));
+        assert_eq!(left, right);
+        assert_eq!(left.streams, a.streams + b.streams + c.streams);
+        // Popular SLDs recur across days: the union is below the sum.
+        assert!(left.unique() < a.unique() + b.unique() + c.unique());
+        assert!(left.unique() >= a.unique());
     }
 
     #[test]

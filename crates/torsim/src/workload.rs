@@ -80,6 +80,48 @@ impl ExitTruth {
 }
 
 impl DomainMix {
+    /// Visits every share in a fixed field order — the single
+    /// definition of "all the mix's shares", used by the total, the
+    /// normalization, and the timeline's daily drift so they cannot
+    /// disagree on which fields count.
+    pub fn for_each_share_mut(&mut self, f: &mut dyn FnMut(&mut f64)) {
+        f(&mut self.torproject);
+        f(&mut self.amazon_head);
+        f(&mut self.google_head);
+        for (_, share) in self.other_heads.iter_mut() {
+            f(share);
+        }
+        for (_, share) in self.family_siblings.iter_mut() {
+            f(share);
+        }
+        f(&mut self.duckduckgo);
+        for share in self.rank_set_shares.iter_mut() {
+            f(share);
+        }
+        f(&mut self.long_tail);
+    }
+
+    /// Sum of all shares. The sampler's alias tables normalize, so only
+    /// relative shares affect generated events — but a drifting mix
+    /// must keep this at 1 or the *absolute* share every category
+    /// reports silently inflates or deflates over a long campaign.
+    pub fn total_share(&self) -> f64 {
+        // The visitor is &mut-only (one field walk to rule them all);
+        // the clone is a handful of floats and two small Vecs.
+        let mut total = 0.0;
+        self.clone().for_each_share_mut(&mut |s| total += *s);
+        total
+    }
+
+    /// Rescales every share so the total is exactly 1 (relative shares
+    /// preserved). Panics if the mix is degenerate (non-positive total).
+    pub fn normalize(&mut self) {
+        let mut total = 0.0;
+        self.for_each_share_mut(&mut |s| total += *s);
+        assert!(total > 0.0, "domain mix must have positive total share");
+        self.for_each_share_mut(&mut |s| *s /= total);
+    }
+
     /// Paper-calibrated defaults (see module docs on the compromise).
     pub fn paper_default() -> DomainMix {
         DomainMix {

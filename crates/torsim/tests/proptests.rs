@@ -11,6 +11,7 @@ use torsim::ids::{CountryCode, IpAddr, OnionAddr, RelayId};
 use torsim::relay::{Consensus, Position, Relay, RelayFlags};
 use torsim::sampled::{binomial_approx, poisson_approx};
 use torsim::sites::{SiteList, SiteListConfig};
+use torsim::timeline::{NetworkTimeline, TimelineConfig};
 
 proptest! {
     #[test]
@@ -187,6 +188,55 @@ proptest! {
         let f = c.instrumented_fraction(Position::Exit);
         prop_assert!(f > 0.0 && f < 1.0);
         prop_assert!((f - ours_weight / (ours_weight + bg_weight)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_churn_timeline_snapshots_stay_valid(
+        seed in any::<u64>(),
+        leave in 0.05f64..0.7,
+        joins in 0.2f64..8.0,
+        drift in 0.02f64..0.3,
+        n_background in 20usize..120,
+    ) {
+        // A 30-day campaign under arbitrary (including extreme) churn:
+        // every snapshot must keep the drift-model invariants — the mix
+        // sums to 1, no position churns empty, and every instrumented
+        // fraction stays strictly inside (0, 1).
+        let cfg = TimelineConfig {
+            n_background,
+            relay_leave_prob: leave,
+            relay_joins_per_day: joins,
+            weight_drift_sigma: drift,
+            mix_drift_sigma: drift,
+            ..TimelineConfig::paper_default(seed)
+        };
+        let t = NetworkTimeline::new(
+            cfg,
+            ChurnModel::new(200, 76, seed ^ 0xC1),
+            10,
+            std::sync::Arc::new(GeoDb::paper_default()),
+        );
+        for day in [0u64, 1, 7, 30] {
+            let snap = t.snapshot(day);
+            let total = snap.mix.total_share();
+            prop_assert!((total - 1.0).abs() < 1e-9, "day {}: mix total {}", day, total);
+            for pos in [
+                Position::Guard,
+                Position::Exit,
+                Position::HsDir,
+                Position::Middle,
+                Position::Rendezvous,
+            ] {
+                let background = snap
+                    .consensus
+                    .eligible(pos)
+                    .filter(|r| !r.instrumented)
+                    .count();
+                prop_assert!(background >= 1, "day {}: {:?} churned empty", day, pos);
+                let f = snap.fraction(pos);
+                prop_assert!(f > 0.0 && f < 1.0, "day {}: {:?} fraction {}", day, pos, f);
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,58 @@ fn seven_day_campaign_end_to_end() {
 }
 
 #[test]
+fn full_calendar_runs_exit_domain_and_onion_rounds() {
+    let cfg = CampaignConfig::new(17, 1e-4, 19);
+    let campaign = Campaign::new(cfg.clone());
+    assert_eq!(campaign.rounds().len(), 7, "full calendar");
+
+    let outcomes = campaign.run_rounds(2);
+
+    // The exit-domain window measured a real two-day SLD union whose
+    // estimate tracks the exact cross-day truth, and its network
+    // extrapolation exists (per-day exit fractions — pinned exactly in
+    // crates/study/tests/campaign_invariance.rs).
+    let domains = outcomes
+        .iter()
+        .find(|o| o.spec.kind == RoundKind::ExitDomains)
+        .expect("exit-domain round ran");
+    assert_eq!(domains.domain_truths.len(), 2);
+    let union = domains
+        .domain_truths
+        .iter()
+        .cloned()
+        .fold(torsim::timeline::DomainDayTruth::default(), |acc, t| {
+            acc.merge(t)
+        });
+    assert!(union.unique() > 50, "union {}", union.unique());
+    let est = domains.estimate.as_ref().unwrap();
+    let slack = 0.02 * union.unique() as f64;
+    assert!(
+        est.ci.lo - slack <= union.unique() as f64 && union.unique() as f64 <= est.ci.hi + slack,
+        "SLD union {} vs estimate {est}",
+        union.unique()
+    );
+    assert!(domains.network_estimate.is_some());
+
+    // The onion window observed both its streams on both days.
+    let onions = outcomes
+        .iter()
+        .find(|o| o.spec.kind == RoundKind::OnionServices)
+        .expect("onion round ran");
+    assert_eq!(onions.onion_truths.len(), 2);
+    assert!(onions.onion_truths.iter().all(|t| t.rend_circuits > 0));
+
+    // Aggregation renders the domain/onion cumulative rows and notes.
+    let report = CampaignReport::assemble(&cfg, outcomes);
+    let text = report.render_text();
+    assert!(text.contains("unique SLDs"));
+    assert!(text.contains("unique onions published"));
+    assert!(text.contains("campaign SLD union"));
+    assert!(text.contains("campaign onion union"));
+    assert!(text.contains("per-day exit fractions"));
+}
+
+#[test]
 fn campaign_report_matches_across_schedules() {
     // Tier-1 pin of the schedule-independence contract (the broader
     // shard sweep lives in crates/study/tests/campaign_invariance.rs).
