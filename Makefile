@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript study-smoke doc bench bench-study golden
+.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript study-smoke scenario-smoke doc bench bench-study golden
 
-verify: fmt-check clippy doc build test test-crates test-transcript study-smoke
+verify: fmt-check clippy doc build test test-crates test-transcript study-smoke scenario-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -61,6 +61,26 @@ study-smoke:
 	test -s target/study_smoke.json && test -s target/study_smoke.csv
 	grep -q '"id": "domains"' target/study_smoke.json
 	grep -q '"id": "onions"' target/study_smoke.json
+
+# Adversarial scenario smoke: a small campaign under each attack of
+# the scenario suite must complete (no panic), and the machine-readable
+# report must carry the matching anomaly records — an abort or a
+# degradation per attacked round. The full attack × round-kind matrix
+# lives in tests/scenario_matrix.rs; this guards the binary's --attack
+# wiring and the JSON channel end to end.
+scenario-smoke:
+	$(CARGO) run --release -p pm-study --bin campaign -- \
+		--days 7 --scale 2e-4 --seed 2018 --attack byzantine-shares \
+		--json target/scenario_byz.json > /dev/null
+	grep -q '"kind": "aborted"' target/scenario_byz.json
+	$(CARGO) run --release -p pm-study --bin campaign -- \
+		--days 7 --scale 2e-4 --seed 2018 --attack skewed-shares \
+		--json target/scenario_skew.json > /dev/null
+	grep -q '"kind": "degraded"' target/scenario_skew.json
+	$(CARGO) run --release -p pm-study --bin campaign -- \
+		--days 7 --scale 2e-4 --seed 2018 --attack keeper-death \
+		--json target/scenario_death.json > /dev/null
+	grep -q '"kind": "aborted"' target/scenario_death.json
 
 # Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
 bench:

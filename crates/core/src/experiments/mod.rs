@@ -175,6 +175,7 @@ pub fn privcount_round(
         seed: derive_seed(dep.seed, label),
         threaded: false,
         faults: pm_net::transport::FaultConfig::none(),
+        adversary: privcount::adversary::Attack::None,
     }
 }
 

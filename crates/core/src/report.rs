@@ -164,8 +164,11 @@ impl Report {
     }
 }
 
-fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+/// Quotes a CSV field when it contains a delimiter, quote, or line
+/// break (RFC 4180) — without the line-break case a multi-line note
+/// would silently shear the row in two.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -173,7 +176,7 @@ fn csv_escape(s: &str) -> String {
 }
 
 /// Quotes a string as a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -290,6 +293,22 @@ mod tests {
         let csv = r.render_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"va\"\"l\""));
+    }
+
+    #[test]
+    fn csv_quotes_line_breaks() {
+        // A field with an embedded newline must be quoted, or the row
+        // shears in two and every downstream parser miscounts rows.
+        let mut r = Report::new("X", "t");
+        r.row(ReportRow::new("multi\nline", "v", "t", "p"));
+        let csv = r.render_csv();
+        assert!(csv.contains("\"multi\nline\""), "{csv}");
+        // Exactly header + one logical record: every unquoted newline
+        // terminates a record, and the quoted one does not.
+        let records = csv.split('\n').filter(|l| l.starts_with('X')).count();
+        assert_eq!(records, 1);
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
     }
 
     #[test]

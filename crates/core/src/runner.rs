@@ -213,6 +213,24 @@ pub struct Job<'a, T = Report> {
     pub run: Box<dyn Fn() -> T + Send + Sync + 'a>,
 }
 
+/// Prefixes a job's panic payload with the job id, so the re-raised
+/// panic names which round blew up instead of an anonymous worker
+/// thread. Payloads that are not strings pass through unchanged.
+fn annotate_panic(
+    payload: Box<dyn std::any::Any + Send>,
+    id: &str,
+) -> Box<dyn std::any::Any + Send> {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(msg) => Box::new(format!("job {id} panicked: {msg}")),
+        None => payload,
+    }
+}
+
 struct ExecState<T> {
     /// Unmet dependency count per job; usize::MAX marks "claimed".
     pending: Vec<usize>,
@@ -312,9 +330,14 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize, psc_cap: usize) 
                 // Catch panics so a crashing job aborts the pool and
                 // re-raises on the caller, instead of leaving the other
                 // workers waiting forever on a completion count that can
-                // no longer be reached.
+                // no longer be reached. A panic is a *bug* escaping a
+                // job — jobs that can fail should return a Result as
+                // their output `T` and let the caller account for it
+                // (the campaign engine turns round failures into
+                // aborted-round outcomes, never panics).
                 let output =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (jobs[idx].run)()));
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (jobs[idx].run)()))
+                        .map_err(|payload| annotate_panic(payload, &jobs[idx].id));
                 let mut guard = state.lock();
                 if jobs[idx].is_psc {
                     guard.psc_running -= 1;
@@ -494,6 +517,49 @@ mod tests {
         };
         // 0 → 1 → 0: would deadlock the pool without the up-front check.
         run_jobs(vec![mk(vec![1]), mk(vec![0])], 2, 1);
+    }
+
+    #[test]
+    fn panic_payload_names_the_job() {
+        let jobs: Vec<Job<'_, ()>> = vec![Job {
+            id: "churn-day3".into(),
+            is_psc: false,
+            deps: Vec::new(),
+            run: Box::new(|| panic!("index out of bounds")),
+        }];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_jobs(jobs, 1, 1);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("churn-day3"), "{msg}");
+        assert!(msg.contains("index out of bounds"), "{msg}");
+    }
+
+    #[test]
+    fn reported_failures_flow_through_without_panicking() {
+        // A job that *reports* failure (Err output) is a normal
+        // completion; only a panic aborts the pool. The campaign
+        // engine relies on this to turn round failures into aborted
+        // outcomes.
+        let jobs: Vec<Job<'_, Result<u32, String>>> = (0..4)
+            .map(|i| Job {
+                id: format!("r{i}"),
+                is_psc: false,
+                deps: Vec::new(),
+                run: Box::new(move || {
+                    if i == 2 {
+                        Err(format!("round r{i}: share keeper died"))
+                    } else {
+                        Ok(i)
+                    }
+                }),
+            })
+            .collect();
+        let out = run_jobs(jobs, 2, 1);
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Err("round r2: share keeper died".into()));
+        assert_eq!(out[3], Ok(3));
     }
 
     #[test]

@@ -9,8 +9,17 @@
 //! The [`Accountant`] validates a proposed schedule and keeps the ledger
 //! of what was measured when, which the study harness consults before
 //! launching each experiment.
+//!
+//! Beyond scheduling, the ledger also records how each round *ended*
+//! ([`RoundDisposition`]): a round that aborts mid-collection has
+//! already spent its privacy budget — the noise was drawn and the
+//! blinded shares were published before the failure — so its calendar
+//! slot stays occupied and its hours are accounted as spent, exactly
+//! like a completed round. [`Accountant::budget_summary`] breaks the
+//! spent hours down by disposition so a campaign report can show how
+//! much of the study's budget bought usable data.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Which measurement system a round uses.
@@ -79,10 +88,60 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// How a scheduled round ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoundDisposition {
+    /// The round ran to completion and produced a usable result.
+    Completed,
+    /// The round failed mid-collection; its budget is spent but it
+    /// produced no usable result.
+    Aborted {
+        /// Why the round failed.
+        reason: String,
+        /// Which party (or the runner) detected the failure.
+        detected_by: String,
+    },
+    /// The round completed but its result is degraded (e.g. a
+    /// statistically implausible count that was flagged rather than
+    /// trusted).
+    Recovered {
+        /// How the result is degraded.
+        degraded: String,
+    },
+}
+
+impl RoundDisposition {
+    /// Short ledger tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RoundDisposition::Completed => "completed",
+            RoundDisposition::Aborted { .. } => "aborted",
+            RoundDisposition::Recovered { .. } => "recovered",
+        }
+    }
+}
+
+/// Spent privacy-budget hours, broken down by disposition.
+///
+/// Aborted hours are *spent*, not refunded: the §3.1 rules bind on what
+/// was collected and published, not on whether the aggregate came out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSummary {
+    /// Hours scheduled across all recorded rounds.
+    pub scheduled_hours: u64,
+    /// Hours of rounds that completed cleanly.
+    pub completed_hours: u64,
+    /// Hours of rounds that aborted (budget spent, no usable result).
+    pub aborted_hours: u64,
+    /// Hours of rounds that completed with a degraded result.
+    pub recovered_hours: u64,
+}
+
 /// The measurement ledger.
 #[derive(Default, Debug)]
 pub struct Accountant {
     rounds: Vec<MeasurementRound>,
+    dispositions: HashMap<String, RoundDisposition>,
 }
 
 impl Accountant {
@@ -131,6 +190,39 @@ impl Accountant {
     /// Recorded rounds in scheduling order.
     pub fn rounds(&self) -> &[MeasurementRound] {
         &self.rounds
+    }
+
+    /// Records how a scheduled round ended. The round keeps its slot
+    /// and its hours whatever the disposition — an aborted round's
+    /// budget is already spent. Returns `false` (recording nothing) if
+    /// no round with this name was scheduled.
+    pub fn record_outcome(&mut self, name: &str, disposition: RoundDisposition) -> bool {
+        if !self.rounds.iter().any(|r| r.name == name) {
+            return false;
+        }
+        self.dispositions.insert(name.to_string(), disposition);
+        true
+    }
+
+    /// The recorded disposition for a round, if any.
+    pub fn disposition(&self, name: &str) -> Option<&RoundDisposition> {
+        self.dispositions.get(name)
+    }
+
+    /// Spent hours broken down by disposition. Rounds without a
+    /// recorded disposition count only toward `scheduled_hours`.
+    pub fn budget_summary(&self) -> BudgetSummary {
+        let mut s = BudgetSummary::default();
+        for r in &self.rounds {
+            s.scheduled_hours += r.duration_hours;
+            match self.dispositions.get(&r.name) {
+                Some(RoundDisposition::Completed) => s.completed_hours += r.duration_hours,
+                Some(RoundDisposition::Aborted { .. }) => s.aborted_hours += r.duration_hours,
+                Some(RoundDisposition::Recovered { .. }) => s.recovered_hours += r.duration_hours,
+                None => {}
+            }
+        }
+        s
     }
 
     /// First hour at which a new round with the given statistics could
@@ -248,6 +340,36 @@ mod tests {
         acc.schedule(round("churn", System::Psc, 48, 96, &["ips-4day"]))
             .unwrap();
         assert_eq!(acc.earliest_start(&["other".into()]), 168);
+    }
+
+    #[test]
+    fn aborted_rounds_keep_their_spent_budget() {
+        let mut acc = Accountant::new();
+        acc.schedule(round("a", System::Psc, 0, 24, &["ips"]))
+            .unwrap();
+        acc.schedule(round("churn", System::Psc, 24, 96, &["ips"]))
+            .unwrap();
+        assert!(acc.record_outcome("a", RoundDisposition::Completed));
+        assert!(acc.record_outcome(
+            "churn",
+            RoundDisposition::Aborted {
+                reason: "CP died mid-mix".into(),
+                detected_by: "runner".into(),
+            }
+        ));
+        // Not scheduled: nothing to ledger.
+        assert!(!acc.record_outcome("ghost", RoundDisposition::Completed));
+        let s = acc.budget_summary();
+        assert_eq!(s.scheduled_hours, 120);
+        assert_eq!(s.completed_hours, 24);
+        assert_eq!(s.aborted_hours, 96, "aborted budget must stay spent");
+        assert_eq!(s.recovered_hours, 0);
+        // The aborted round still blocks its calendar slot.
+        assert_eq!(acc.earliest_start(&["ips".into()]), 120);
+        assert_eq!(
+            acc.disposition("churn").map(RoundDisposition::tag),
+            Some("aborted")
+        );
     }
 
     #[test]

@@ -40,6 +40,47 @@ pub enum NodeError {
     Protocol(String),
     /// Transport failure.
     Transport(TransportError),
+    /// A failure attributed to the party that raised — and thereby
+    /// *detected* — it. The runner wraps node errors in this variant
+    /// so callers can report who observed the fault (a verifying TS, a
+    /// share keeper rejecting a malformed payload, …). Runner-level
+    /// failures such as deadlock detection stay unattributed.
+    Detected {
+        /// The party whose state machine raised the error.
+        by: PartyId,
+        /// The underlying failure.
+        source: Box<NodeError>,
+    },
+}
+
+impl NodeError {
+    /// Wraps the error with the party that raised it; already-attributed
+    /// errors keep their original (innermost) detector.
+    pub fn attributed_to(self, by: &PartyId) -> NodeError {
+        match self {
+            NodeError::Detected { .. } => self,
+            other => NodeError::Detected {
+                by: by.clone(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The party that detected the failure, if it was attributed.
+    pub fn detected_by(&self) -> Option<&PartyId> {
+        match self {
+            NodeError::Detected { by, .. } => Some(by),
+            _ => None,
+        }
+    }
+
+    /// The failure description without the attribution wrapper.
+    pub fn reason(&self) -> String {
+        match self {
+            NodeError::Detected { source, .. } => source.reason(),
+            other => other.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for NodeError {
@@ -47,6 +88,7 @@ impl fmt::Display for NodeError {
         match self {
             NodeError::Protocol(s) => write!(f, "protocol error: {s}"),
             NodeError::Transport(e) => write!(f, "transport error: {e}"),
+            NodeError::Detected { by, source } => write!(f, "{source} (detected by {by})"),
         }
     }
 }
@@ -117,15 +159,18 @@ impl Runner {
         }
         let mut corrupt_dropped = 0u64;
         // Start phase.
-        for (i, (_, node, done)) in nodes.iter_mut().enumerate() {
-            if matches!(node.on_start(&endpoints[i])?, Step::Done) {
+        for (i, (id, node, done)) in nodes.iter_mut().enumerate() {
+            let step = node
+                .on_start(&endpoints[i])
+                .map_err(|e| e.attributed_to(id))?;
+            if matches!(step, Step::Done) {
                 *done = true;
             }
         }
         // Delivery loop.
         loop {
             let mut delivered_any = false;
-            for (i, (_, node, done)) in nodes.iter_mut().enumerate() {
+            for (i, (id, node, done)) in nodes.iter_mut().enumerate() {
                 loop {
                     match endpoints[i].try_recv() {
                         Ok(env) => {
@@ -134,7 +179,10 @@ impl Runner {
                                 // Late message to a finished node: ignore.
                                 continue;
                             }
-                            if matches!(node.on_message(&endpoints[i], env)?, Step::Done) {
+                            let step = node
+                                .on_message(&endpoints[i], env)
+                                .map_err(|e| e.attributed_to(id))?;
+                            if matches!(step, Step::Done) {
                                 *done = true;
                             }
                         }
@@ -143,7 +191,7 @@ impl Runner {
                             corrupt_dropped += 1;
                             delivered_any = true;
                         }
-                        Err(e) => return Err(e.into()),
+                        Err(e) => return Err(NodeError::from(e).attributed_to(id)),
                     }
                 }
             }
@@ -184,31 +232,38 @@ impl Runner {
             prepared.push((id, node, ep));
         }
         for (id, mut node, ep) in prepared {
-            handles.push(std::thread::spawn(
-                move || -> Result<(PartyId, Box<dyn Node>, u64), NodeError> {
-                    let mut corrupt = 0u64;
-                    let mut step = node.on_start(&ep)?;
-                    while step == Step::Continue {
-                        match ep.recv() {
-                            Ok(env) => {
-                                step = node.on_message(&ep, env)?;
+            let thread_id = id.clone();
+            handles.push((
+                id,
+                std::thread::spawn(
+                    move || -> Result<(PartyId, Box<dyn Node>, u64), NodeError> {
+                        let id = thread_id;
+                        let mut corrupt = 0u64;
+                        let mut step = node.on_start(&ep).map_err(|e| e.attributed_to(&id))?;
+                        while step == Step::Continue {
+                            match ep.recv() {
+                                Ok(env) => {
+                                    step = node
+                                        .on_message(&ep, env)
+                                        .map_err(|e| e.attributed_to(&id))?;
+                                }
+                                Err(TransportError::Wire(_)) => {
+                                    corrupt += 1;
+                                }
+                                Err(e) => return Err(NodeError::from(e).attributed_to(&id)),
                             }
-                            Err(TransportError::Wire(_)) => {
-                                corrupt += 1;
-                            }
-                            Err(e) => return Err(e.into()),
                         }
-                    }
-                    Ok((id, node, corrupt))
-                },
+                        Ok((id, node, corrupt))
+                    },
+                ),
             ));
         }
         let mut nodes = Vec::new();
         let mut corrupt_dropped = 0;
-        for h in handles {
-            let (id, node, corrupt) = h
-                .join()
-                .map_err(|_| NodeError::Protocol("node thread panicked".into()))??;
+        for (id, h) in handles {
+            let (id, node, corrupt) = h.join().map_err(|_| {
+                NodeError::Protocol("node thread panicked".into()).attributed_to(&id)
+            })??;
             corrupt_dropped += corrupt;
             nodes.push((id, node));
         }
@@ -350,6 +405,44 @@ mod tests {
         match runner.run_deterministic() {
             Err(NodeError::Protocol(msg)) => assert!(msg.contains("deadlock"), "{msg}"),
             other => panic!("expected deadlock, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn node_errors_are_attributed_to_the_detecting_party() {
+        struct Refuser;
+        impl Node for Refuser {
+            fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+                Err(NodeError::Protocol("bad share".into()))
+            }
+            fn on_message(&mut self, _ep: &Endpoint, _env: Envelope) -> Result<Step, NodeError> {
+                unreachable!()
+            }
+        }
+        let mut runner = Runner::new(Switchboard::new());
+        runner.add("sk-1", Box::new(Refuser));
+        let err = match runner.run_deterministic() {
+            Err(e) => e,
+            Ok(_) => panic!("refusing node must fail the run"),
+        };
+        assert_eq!(err.detected_by().map(PartyId::as_str), Some("sk-1"));
+        assert_eq!(err.reason(), "protocol error: bad share");
+        assert!(err.to_string().contains("detected by sk-1"), "{err}");
+        // Deadlock stays unattributed: the runner, not a party, sees it.
+        struct Waiter;
+        impl Node for Waiter {
+            fn on_start(&mut self, _ep: &Endpoint) -> Result<Step, NodeError> {
+                Ok(Step::Continue)
+            }
+            fn on_message(&mut self, _ep: &Endpoint, _env: Envelope) -> Result<Step, NodeError> {
+                Ok(Step::Done)
+            }
+        }
+        let mut runner = Runner::new(Switchboard::new());
+        runner.add("waiter", Box::new(Waiter));
+        match runner.run_deterministic() {
+            Err(e) => assert!(e.detected_by().is_none()),
+            Ok(_) => panic!("stuck node must deadlock"),
         }
     }
 

@@ -89,6 +89,11 @@ pub enum TransportError {
     Empty,
     /// The received bytes failed to parse as a frame.
     Wire(WireError),
+    /// The per-link token queue and link mailboxes disagree — a
+    /// delivery token arrived for a link that has no mailbox or no
+    /// queued frame. Indicates a fabric bookkeeping bug (e.g. an
+    /// orphaned frame left behind by a failed delivery).
+    Desync(String),
 }
 
 impl fmt::Display for TransportError {
@@ -98,6 +103,7 @@ impl fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "party disconnected"),
             TransportError::Empty => write!(f, "no message available"),
             TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Desync(s) => write!(f, "link desync: {s}"),
         }
     }
 }
@@ -402,10 +408,18 @@ impl Switchboard {
                     Verdict::Deliver { copies } => copies,
                 };
                 for _ in 0..copies {
-                    link.queue.lock().push_back(wire.clone());
-                    token_tx
-                        .send(from.clone())
-                        .map_err(|_| TransportError::Disconnected)?;
+                    // Reserve-then-commit: the frame push and its
+                    // delivery token must land together. If the
+                    // receiver disconnected mid-round the token send
+                    // fails — roll the push back, or the orphaned
+                    // frame would shift per-sender FIFO for every
+                    // later delivery on this link.
+                    let mut queue = link.queue.lock();
+                    queue.push_back(wire.clone());
+                    if token_tx.send(from.clone()).is_err() {
+                        queue.pop_back();
+                        return Err(TransportError::Disconnected);
+                    }
                 }
                 Ok(())
             }
@@ -448,21 +462,23 @@ impl RecvHalf {
     fn pop_link(
         links: &Mutex<HashMap<PartyId, Arc<LinkMailbox>>>,
         from: PartyId,
-    ) -> (PartyId, Vec<u8>) {
-        let link = Arc::clone(links.lock().get(&from).expect("link exists for token"));
-        let wire = link
-            .queue
-            .lock()
-            .pop_front()
-            .expect("token implies queued frame");
-        (from, wire)
+    ) -> Result<(PartyId, Vec<u8>), TransportError> {
+        let link = links.lock().get(&from).map(Arc::clone).ok_or_else(|| {
+            TransportError::Desync(format!("delivery token from {from} names an unknown link"))
+        })?;
+        let wire = link.queue.lock().pop_front().ok_or_else(|| {
+            TransportError::Desync(format!(
+                "delivery token from {from} arrived but the link queue is empty"
+            ))
+        })?;
+        Ok((from, wire))
     }
 
     fn recv(&self) -> Result<WireMessage, TransportError> {
         match self {
             RecvHalf::PerLink { token_rx, links } => {
                 let from = token_rx.recv().map_err(|_| TransportError::Disconnected)?;
-                Ok(Self::pop_link(links, from))
+                Self::pop_link(links, from)
             }
             RecvHalf::SingleLock { rx } => rx.recv().map_err(|_| TransportError::Disconnected),
         }
@@ -476,7 +492,7 @@ impl RecvHalf {
         match self {
             RecvHalf::PerLink { token_rx, links } => {
                 let from = token_rx.try_recv().map_err(map_err)?;
-                Ok(Self::pop_link(links, from))
+                Self::pop_link(links, from)
             }
             RecvHalf::SingleLock { rx } => rx.try_recv().map_err(map_err),
         }
@@ -791,6 +807,58 @@ mod tests {
                 "{mode}"
             );
         }
+    }
+
+    #[test]
+    fn disconnect_mid_round_errors_on_both_fabrics() {
+        // A receiver whose endpoint is gone (process died mid-round)
+        // but which was never deregistered: sends must fail loudly
+        // with Disconnected on either fabric, not succeed silently.
+        for (mode, board) in boards_with(FaultConfig::none()) {
+            let a = board.register("a");
+            let b = board.register("b");
+            drop(b);
+            for _ in 0..3 {
+                assert_eq!(
+                    a.send(&PartyId::new("b"), frame(1, b"mid-round"))
+                        .unwrap_err(),
+                    TransportError::Disconnected,
+                    "{mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_token_send_rolls_back_queued_frame() {
+        // White box: after a failed delivery the per-link queue must
+        // not retain the orphaned frame — an orphan would shift
+        // per-sender FIFO for every later frame on the link.
+        let board = Switchboard::new();
+        let a = board.register("a");
+        let b = board.register("b");
+        // Establish the a→b link mailbox with a real delivery first.
+        a.send(b.id(), frame(1, b"live")).unwrap();
+        assert_eq!(b.recv().unwrap().frame.msg_type, 1);
+        let links = match &board.inner.fabric {
+            Fabric::PerLink(fabric) => {
+                Arc::clone(&fabric.parties.lock().get(&PartyId::new("b")).unwrap().links)
+            }
+            Fabric::SingleLock(_) => unreachable!("per-link board"),
+        };
+        drop(b);
+        for _ in 0..3 {
+            assert_eq!(
+                a.send(&PartyId::new("b"), frame(2, b"orphan")).unwrap_err(),
+                TransportError::Disconnected
+            );
+        }
+        let link = Arc::clone(links.lock().get(&PartyId::new("a")).unwrap());
+        assert_eq!(
+            link.queue.lock().len(),
+            0,
+            "failed deliveries left orphaned frames queued"
+        );
     }
 
     #[test]

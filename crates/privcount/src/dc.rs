@@ -37,6 +37,17 @@ pub struct DcNode {
     noise_scale: f64,
     registers: Vec<BlindedCounter>,
     rng: StdRng,
+    /// Byzantine knob: publish one register too few.
+    malformed: bool,
+    /// Byzantine knob: multiply every observed increment.
+    inflate_factor: Option<i64>,
+    /// Byzantine knob: truncate the encrypted share payload sent to
+    /// the first SK.
+    corrupt_shares: bool,
+    /// Byzantine knob: the DC can afford only this many per-counter
+    /// noise draws; fewer than the schema requires means it refuses to
+    /// configure rather than run under-noised.
+    noise_budget: Option<u32>,
 }
 
 impl DcNode {
@@ -85,7 +96,42 @@ impl DcNode {
             noise_scale,
             registers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            malformed: false,
+            inflate_factor: None,
+            corrupt_shares: false,
+            noise_budget: None,
         }
+    }
+
+    /// Byzantine variant
+    /// ([`crate::adversary::Attack::MalformedRegisters`]): the DC
+    /// publishes one register too few.
+    pub fn malformed(mut self) -> DcNode {
+        self.malformed = true;
+        self
+    }
+
+    /// Byzantine variant ([`crate::adversary::Attack::InflatedCounts`]):
+    /// the DC multiplies every observed increment by `factor`.
+    pub fn inflating(mut self, factor: i64) -> DcNode {
+        self.inflate_factor = Some(factor);
+        self
+    }
+
+    /// Byzantine variant
+    /// ([`crate::adversary::Attack::BadSharePayload`]): the DC
+    /// truncates the encrypted blinding-share payload it sends to the
+    /// first SK.
+    pub fn corrupting_shares(mut self) -> DcNode {
+        self.corrupt_shares = true;
+        self
+    }
+
+    /// Failure variant ([`crate::adversary::Attack::NoiseExhaustion`]):
+    /// the DC can afford only `budget` noise draws.
+    pub fn with_noise_budget(mut self, budget: u32) -> DcNode {
+        self.noise_budget = Some(budget);
+        self
     }
 
     /// Convenience: a DC whose "collection period" replays a fixed
@@ -125,6 +171,18 @@ impl DcNode {
         if num_sks == 0 {
             return Err(NodeError::Protocol("no share keepers configured".into()));
         }
+        // An exhausted DC cannot noise every counter; running anyway
+        // would silently weaken the round's differential privacy, so
+        // it refuses the round loudly instead (the campaign layer
+        // turns this into an aborted round, not a panic).
+        if let Some(budget) = self.noise_budget {
+            let needed = self.schema.counters.len();
+            if (budget as usize) < needed {
+                return Err(NodeError::Protocol(format!(
+                    "noise budget exhausted: {budget} of {needed} counter draws available"
+                )));
+            }
+        }
         // Initialize each register with this DC's noise contribution and
         // fresh blinding shares.
         let mut per_sk_shares: Vec<Vec<u64>> = vec![Vec::with_capacity(ours.len()); num_sks];
@@ -145,11 +203,18 @@ impl DcNode {
                 plain.extend_from_slice(&v.to_be_bytes());
             }
             let ct = hybrid_encrypt(&self.gp, &PublicKey(*sk_key), &plain, &mut self.rng);
+            // A corrupting DC truncates the first SK's ciphertext; the
+            // stream cipher decrypts the stump to a wrong-length share
+            // vector, which the SK rejects naming this DC.
+            let mut payload = ct.payload;
+            if self.corrupt_shares && k == 0 {
+                payload.truncate(payload.len().saturating_sub(3));
+            }
             let msg = messages::EncryptedShares {
                 sk_name: sk_name.clone(),
                 dc_name: ep.id().as_str().to_string(),
                 kem: ct.kem,
-                payload: ct.payload,
+                payload,
             };
             ep.send(&self.ts, messages::frame_of(tag::SHARES, &msg))?;
         }
@@ -163,13 +228,17 @@ impl DcNode {
             .ok_or_else(|| NodeError::Protocol("collection started twice".into()))?;
         // Run the collection period: every observed event maps to
         // counter increments.
+        // An inflating DC scales every observed increment — blinding
+        // makes the skew invisible at the protocol layer, so detection
+        // is statistical, at the campaign layer.
+        let factor = self.inflate_factor.unwrap_or(1);
         match source {
             DcSource::Generator(generator) => {
                 let mapper = self.schema.mapper.clone();
                 let registers = &mut self.registers;
                 let mut sink = |ev: TorEvent| {
                     mapper(&ev, &mut |idx, delta| {
-                        registers[idx].increment(delta);
+                        registers[idx].increment(delta * factor);
                     });
                 };
                 generator(&mut sink);
@@ -181,14 +250,17 @@ impl DcNode {
                 // observed totals exactly once.
                 let totals = crate::shard::ingest_stream(stream, &self.schema);
                 for (reg, total) in self.registers.iter_mut().zip(totals) {
-                    reg.increment(total);
+                    reg.increment(total * factor);
                 }
             }
         }
-        // Publish the blinded registers.
-        let msg = messages::Registers {
-            values: self.registers.iter().map(|r| r.publish()).collect(),
-        };
+        // Publish the blinded registers (a malformed DC drops one —
+        // the TS's structural check rejects the short vector).
+        let mut values: Vec<u64> = self.registers.iter().map(|r| r.publish()).collect();
+        if self.malformed {
+            values.pop();
+        }
+        let msg = messages::Registers { values };
         ep.send(&self.ts, messages::frame_of(tag::DC_RESULT, &msg))?;
         Ok(())
     }

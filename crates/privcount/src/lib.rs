@@ -25,8 +25,13 @@
 //!
 //! [`queries`] defines the paper's concrete counter schemas (exit
 //! streams, domain histograms, per-country client counters, HSDir and
-//! rendezvous statistics).
+//! rendezvous statistics). [`adversary`] injects seed-deterministic
+//! Byzantine behaviour (malformed or inflated registers, dying share
+//! keepers, corrupted share payloads, exhausted noise budgets) so the
+//! study harness can assert every failure mode is detected instead of
+//! panicking a campaign.
 
+pub mod adversary;
 pub mod counter;
 pub mod dc;
 pub mod messages;

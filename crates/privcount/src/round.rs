@@ -2,6 +2,7 @@
 //! protocol to completion, and packages results with confidence
 //! intervals.
 
+use crate::adversary::Attack;
 use crate::counter::{CounterSpec, EventMapper};
 use crate::dc::{DcNode, DcSource, EventGenerator};
 use crate::sk::SkNode;
@@ -43,6 +44,11 @@ pub struct RoundConfig {
     pub threaded: bool,
     /// Optional fault injection on the switchboard.
     pub faults: FaultConfig,
+    /// Optional Byzantine behaviour injected into one party
+    /// ([`crate::adversary`]). Forces the deterministic scheduler when
+    /// active, so a dead keeper deadlocks loudly instead of hanging
+    /// the threaded runner.
+    pub adversary: crate::adversary::Attack,
 }
 
 /// The outcome of a round.
@@ -130,6 +136,7 @@ pub fn run_round_days(
                     seed: pm_stats::sampling::derive_seed(cfg.seed, &format!("day{d}")),
                     threaded: cfg.threaded,
                     faults: cfg.faults,
+                    adversary: cfg.adversary,
                 },
                 streams,
             )
@@ -167,14 +174,13 @@ pub fn run_round_sources(
         )),
     );
     for (i, sk) in sk_names.iter().enumerate() {
-        runner.add(
-            sk.clone(),
-            Box::new(SkNode::new(
-                ts_id.clone(),
-                num_dcs,
-                cfg.seed ^ (0x5100 + i as u64),
-            )),
-        );
+        let mut node = SkNode::new(ts_id.clone(), num_dcs, cfg.seed ^ (0x5100 + i as u64));
+        if let Attack::SkDeath { sk, after_messages } = cfg.adversary {
+            if sk == i {
+                node = node.dying_after(after_messages);
+            }
+        }
+        runner.add(sk.clone(), Box::new(node));
     }
     for (i, (dc, source)) in dc_names.iter().zip(dc_sources).enumerate() {
         let noise_scale = match cfg.noise {
@@ -189,19 +195,26 @@ pub fn run_round_sources(
             NoiseAllocation::None => 0.0,
         };
         let schema = crate::counter::Schema::new(cfg.counters.clone(), cfg.mapper.clone());
-        runner.add(
-            dc.clone(),
-            Box::new(DcNode::with_source(
-                ts_id.clone(),
-                schema,
-                source,
-                noise_scale,
-                cfg.seed ^ (0xDC00 + i as u64),
-            )),
+        let mut node = DcNode::with_source(
+            ts_id.clone(),
+            schema,
+            source,
+            noise_scale,
+            cfg.seed ^ (0xDC00 + i as u64),
         );
+        node = match cfg.adversary {
+            Attack::MalformedRegisters { dc } if dc == i => node.malformed(),
+            Attack::InflatedCounts { dc, factor } if dc == i => node.inflating(factor),
+            Attack::BadSharePayload { dc } if dc == i => node.corrupting_shares(),
+            Attack::NoiseExhaustion { dc, budget } if dc == i => node.with_noise_budget(budget),
+            _ => node,
+        };
+        runner.add(dc.clone(), Box::new(node));
     }
 
-    if cfg.threaded {
+    // Attacks require the deterministic scheduler's deadlock detector:
+    // a dead keeper hangs the threaded runner forever.
+    if cfg.threaded && !cfg.adversary.is_active() {
         runner.run_threaded()?;
     } else {
         runner.run_deterministic()?;
@@ -243,6 +256,7 @@ mod tests {
             seed: 7,
             threaded,
             faults: FaultConfig::none(),
+            adversary: Attack::None,
         }
     }
 
@@ -322,6 +336,7 @@ mod tests {
             seed: 9,
             threaded: false,
             faults: FaultConfig::none(),
+            adversary: Attack::None,
         };
         let gens: Vec<EventGenerator> = vec![Box::new(|sink| {
             sink(conn_event(1));

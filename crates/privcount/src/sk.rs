@@ -21,6 +21,8 @@ pub struct SkNode {
     accumulators: Vec<ShareAccumulator>,
     expected_dcs: usize,
     seen_dcs: usize,
+    /// Failure knob: go silent after handling this many messages.
+    die_after: Option<u32>,
 }
 
 impl SkNode {
@@ -37,7 +39,17 @@ impl SkNode {
             accumulators: Vec::new(),
             expected_dcs,
             seen_dcs: 0,
+            die_after: None,
         }
+    }
+
+    /// Failure variant ([`crate::adversary::Attack::SkDeath`]): the SK
+    /// handles `messages` messages, then goes silent. The round can no
+    /// longer telescope the blinding away; the deterministic runner's
+    /// deadlock detector reports the stuck parties.
+    pub fn dying_after(mut self, messages: u32) -> SkNode {
+        self.die_after = Some(messages);
+        self
     }
 
     fn absorb(&mut self, msg: messages::EncryptedShares) -> Result<(), NodeError> {
@@ -82,6 +94,14 @@ impl Node for SkNode {
     }
 
     fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        // A dying SK pretends to finish: it stops reading without
+        // error, leaving the rest of the round stuck mid-protocol.
+        if let Some(remaining) = self.die_after.as_mut() {
+            if *remaining == 0 {
+                return Ok(Step::Done);
+            }
+            *remaining -= 1;
+        }
         match env.frame.msg_type {
             tag::SHARES_FWD => {
                 let msg: messages::EncryptedShares = env

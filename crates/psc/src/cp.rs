@@ -85,6 +85,12 @@ pub struct CpNode {
     cfg: Option<messages::PscConfigure>,
     rng: StdRng,
     strategy: MixStrategy,
+    /// Adversarial knob: messages left before this CP goes silent.
+    die_after: Option<u32>,
+    /// Adversarial knob: emit an invalid exponentiation proof mid-mix.
+    corrupt_proof: bool,
+    /// Adversarial knob: noise encryptions this CP can still afford.
+    noise_budget: Option<u32>,
 }
 
 impl CpNode {
@@ -108,7 +114,36 @@ impl CpNode {
             cfg: None,
             rng,
             strategy,
+            die_after: None,
+            corrupt_proof: false,
+            noise_budget: None,
         }
+    }
+
+    /// Adversarial variant ([`crate::adversary::Attack::CpDeath`]):
+    /// the CP handles `messages` messages, then goes silent — a share
+    /// keeper dying mid-round.
+    pub fn dying_after(mut self, messages: u32) -> CpNode {
+        self.die_after = Some(messages);
+        self
+    }
+
+    /// Adversarial variant ([`crate::adversary::Attack::InvalidProof`]):
+    /// the CP's exponentiation proofs are swapped before sending, so
+    /// each verifies against the wrong transcript.
+    pub fn corrupting_proofs(mut self) -> CpNode {
+        self.corrupt_proof = true;
+        self
+    }
+
+    /// Adversarial variant
+    /// ([`crate::adversary::Attack::NoiseExhaustion`]): the CP can
+    /// afford only `budget` noise encryptions. If the round demands
+    /// more, the CP refuses its hop rather than publish under-noised
+    /// cells.
+    pub fn with_noise_budget(mut self, budget: u32) -> CpNode {
+        self.noise_budget = Some(budget);
+        self
     }
 
     /// The transcript binding a CP's key-share proof to its identity.
@@ -124,8 +159,18 @@ impl CpNode {
             .as_ref()
             .ok_or_else(|| NodeError::Protocol("mix before configure".into()))?
             .clone();
+        if let Some(budget) = self.noise_budget {
+            if budget < cfg.noise_flips {
+                // Publishing with less than the calibrated noise would
+                // silently weaken the round's differential privacy.
+                return Err(NodeError::Protocol(format!(
+                    "noise budget exhausted: {budget} of {} required flips available",
+                    cfg.noise_flips
+                )));
+            }
+        }
         let key = PublicKey(cfg.joint_key);
-        let msg = match self.strategy {
+        let mut msg = match self.strategy {
             MixStrategy::Sequential => mix_message_sequential(
                 &self.gp,
                 &key,
@@ -144,6 +189,16 @@ impl CpNode {
                 threads,
             ),
         };
+        if self.corrupt_proof {
+            // Swap the per-cell proofs so each verifies against the
+            // wrong transcript; with a single cell, swap the pair's
+            // own components instead.
+            if msg.exp_proofs.len() >= 2 {
+                msg.exp_proofs.swap(0, 1);
+            } else if let Some(p) = msg.exp_proofs.first_mut() {
+                std::mem::swap(&mut p.0, &mut p.1);
+            }
+        }
         ep.send(&self.ts, messages::frame_of(tag::MIX_RESULT, &msg))?;
         Ok(())
     }
@@ -487,6 +542,15 @@ impl Node for CpNode {
     }
 
     fn on_message(&mut self, ep: &Endpoint, env: Envelope) -> Result<Step, NodeError> {
+        if let Some(remaining) = self.die_after.as_mut() {
+            if *remaining == 0 {
+                // Dead keeper: drop the message on the floor. The
+                // round deadlocks and the deterministic runner's
+                // detector reports the stuck parties.
+                return Ok(Step::Done);
+            }
+            *remaining -= 1;
+        }
         match env.frame.msg_type {
             tag::CONFIGURE => {
                 let cfg: messages::PscConfigure = env

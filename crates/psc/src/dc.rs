@@ -33,6 +33,11 @@ pub struct PscDcNode {
     extractor: ItemExtractor,
     source: Option<PscSource>,
     rng: StdRng,
+    /// Byzantine knob: submit a wrong-size table.
+    malformed: bool,
+    /// Byzantine knob: mark this many bogus items on top of the honest
+    /// observations, drawn from the DC's seeded RNG.
+    skew_marks: u32,
 }
 
 impl PscDcNode {
@@ -68,7 +73,24 @@ impl PscDcNode {
             extractor,
             source: Some(source),
             rng: StdRng::seed_from_u64(seed),
+            malformed: false,
+            skew_marks: 0,
         }
+    }
+
+    /// Byzantine variant ([`crate::adversary::Attack::MalformedTable`]):
+    /// the DC submits a table of the wrong size.
+    pub fn malformed(mut self) -> PscDcNode {
+        self.malformed = true;
+        self
+    }
+
+    /// Byzantine variant ([`crate::adversary::Attack::SkewedShares`]):
+    /// the DC marks `extra` bogus items on top of its honest
+    /// observations, deterministically in its seed.
+    pub fn skewed(mut self, extra: u32) -> PscDcNode {
+        self.skew_marks = extra;
+        self
     }
 
     /// Convenience: a DC that replays fixed events.
@@ -107,12 +129,15 @@ impl Node for PscDcNode {
                 if !gp.is_element(&cfg.joint_key) {
                     return Err(NodeError::Protocol("joint key not a group element".into()));
                 }
-                let mut table = ObliviousTable::new(
-                    gp,
-                    PublicKey(cfg.joint_key),
-                    cfg.salt,
-                    cfg.table_size as usize,
-                );
+                // A malformed DC provisions the wrong table size; the
+                // TS's structural check rejects it before mixing.
+                let table_size = if self.malformed {
+                    (cfg.table_size as usize / 2).max(1)
+                } else {
+                    cfg.table_size as usize
+                };
+                let mut table =
+                    ObliviousTable::new(gp, PublicKey(cfg.joint_key), cfg.salt, table_size);
                 let source = self
                     .source
                     .take()
@@ -136,6 +161,13 @@ impl Node for PscDcNode {
                             &mut self.rng,
                         );
                     }
+                }
+                // A skewed DC stuffs bogus items after honest
+                // ingestion: indistinguishable from real marks at the
+                // protocol layer, detectable only statistically.
+                for i in 0..self.skew_marks {
+                    let bogus = format!("byzantine-skew-{i}");
+                    table.observe(bogus.as_bytes(), &mut self.rng);
                 }
                 let msg = messages::DcTable {
                     cells: table.into_cells(),

@@ -44,7 +44,27 @@
 //! * **message delivery** rides `pm-net`'s per-link mailboxes, so
 //!   TS↔CP and TS↔DC traffic of a round never convoys behind one
 //!   global delivery lock.
+//!
+//! ## Threat model and failure behaviour
+//!
+//! PSC's parties are mutually distrusting; the implementation treats a
+//! misbehaving party as an *expected input*, not a bug. The
+//! [`adversary`] module injects seed-deterministic Byzantine behaviour
+//! — malformed tables, statistically-skewed marks, a CP dying
+//! mid-round, an invalid mixing proof, an exhausted noise budget — and
+//! every run surfaces failures as attributed `NodeError`s rather than
+//! panics: the TS's structural and proof checks name the offending
+//! party, a stalled round is caught by the deterministic runner's
+//! deadlock detector, and a party that cannot honour its DP noise
+//! obligation refuses to configure. Statistically-skewed shares are
+//! undetectable *by design* (the oblivious counter hides what a DC
+//! marked); callers are expected to plausibility-check published
+//! counts against their provisioning, as the campaign layer in
+//! `pm-study` does. Rounds under an active adversary run on the
+//! deterministic scheduler, which is where the deadlock detector
+//! lives.
 
+pub mod adversary;
 pub mod cp;
 pub mod dc;
 pub mod items;

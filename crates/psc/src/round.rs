@@ -1,5 +1,6 @@
 //! PSC round driver.
 
+use crate::adversary::Attack;
 use crate::cp::{CpNode, MixStrategy};
 use crate::dc::{EventGenerator, PscDcNode, PscSource};
 use crate::items::ItemExtractor;
@@ -37,6 +38,11 @@ pub struct PscConfig {
     /// default per-link mailboxes — the comparison baseline for the
     /// fault-injection regression tests.
     pub single_lock_board: bool,
+    /// Byzantine behaviour to inject ([`crate::adversary`]); `None`
+    /// runs the round honestly. An active attack forces the
+    /// deterministic scheduler (the threaded runner has no deadlock
+    /// detector to catch a dead keeper).
+    pub adversary: Attack,
 }
 
 impl Default for PscConfig {
@@ -51,6 +57,7 @@ impl Default for PscConfig {
             faults: FaultConfig::none(),
             mix: MixStrategy::default(),
             single_lock_board: false,
+            adversary: Attack::None,
         }
     }
 }
@@ -191,28 +198,38 @@ pub fn run_psc_round_sources(
         )),
     );
     for (i, cp) in cp_names.iter().enumerate() {
-        runner.add(
-            cp.clone(),
-            Box::new(CpNode::with_strategy(
-                ts_id.clone(),
-                cfg.seed ^ (0xC9_0000 + i as u64),
-                cfg.mix,
-            )),
-        );
+        let mut node =
+            CpNode::with_strategy(ts_id.clone(), cfg.seed ^ (0xC9_0000 + i as u64), cfg.mix);
+        match cfg.adversary {
+            Attack::CpDeath { cp, after_messages } if cp == i => {
+                node = node.dying_after(after_messages);
+            }
+            Attack::InvalidProof { cp } if cp == i => {
+                node = node.corrupting_proofs();
+            }
+            Attack::NoiseExhaustion { cp, budget } if cp == i => {
+                node = node.with_noise_budget(budget);
+            }
+            _ => {}
+        }
+        runner.add(cp.clone(), Box::new(node));
     }
     for (i, (dc, source)) in dc_names.iter().zip(dc_sources).enumerate() {
-        runner.add(
-            dc.clone(),
-            Box::new(PscDcNode::with_source(
-                ts_id.clone(),
-                extractor.clone(),
-                source,
-                cfg.seed ^ (0xDC_0000 + i as u64),
-            )),
+        let mut node = PscDcNode::with_source(
+            ts_id.clone(),
+            extractor.clone(),
+            source,
+            cfg.seed ^ (0xDC_0000 + i as u64),
         );
+        match cfg.adversary {
+            Attack::MalformedTable { dc } if dc == i => node = node.malformed(),
+            Attack::SkewedShares { dc, extra_marks } if dc == i => node = node.skewed(extra_marks),
+            _ => {}
+        }
+        runner.add(dc.clone(), Box::new(node));
     }
 
-    if cfg.threaded {
+    if cfg.threaded && !cfg.adversary.is_active() {
         runner.run_threaded()?;
     } else {
         runner.run_deterministic()?;

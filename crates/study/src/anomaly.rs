@@ -1,0 +1,124 @@
+//! The campaign anomaly channel: structured records of everything that
+//! went wrong (or suspiciously right) during a campaign.
+//!
+//! The paper's study ran for weeks unattended; a round that failed —
+//! a party crashing, a malformed share, an implausible count — must
+//! not take the campaign down with it, and must not vanish into a log
+//! line either. Every detected irregularity becomes an [`Anomaly`]:
+//! a typed record carrying the kind, the round it belongs to, the
+//! calendar day when attributable, and a human-readable detail. The
+//! campaign report renders the full channel in all three output
+//! formats (text notes, `ANOMALY` CSV rows, a JSON `anomalies` array),
+//! so downstream tooling can grep one format and dashboards another.
+//!
+//! Anomalies are data, not errors: a campaign with anomalies still
+//! produces its report, bit-identical across schedules and shard
+//! counts — the channel itself is part of the determinism contract.
+
+use std::fmt;
+
+/// What kind of irregularity a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Repeat measurements of one statistic produced disjoint CIs
+    /// (the paper's confirmation re-run check).
+    DisjointRepeat,
+    /// A round failed and was terminated without a result; its budget
+    /// stays spent and its ledger slot occupied.
+    Aborted,
+    /// A round completed but its output is implausible — it is
+    /// reported, flagged, and excluded from headline claims.
+    Degraded,
+    /// A ground-truth record carries no day attribution; its rows
+    /// cannot be placed on the calendar.
+    EmptyTruth,
+    /// A repeat round has no estimate to reconcile against its twin,
+    /// so the confirmation check silently proved nothing.
+    MissingReconcile,
+}
+
+impl AnomalyKind {
+    /// Stable machine-readable tag (CSV/JSON field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AnomalyKind::DisjointRepeat => "disjoint-repeat",
+            AnomalyKind::Aborted => "aborted",
+            AnomalyKind::Degraded => "degraded",
+            AnomalyKind::EmptyTruth => "empty-truth",
+            AnomalyKind::MissingReconcile => "missing-reconcile",
+        }
+    }
+}
+
+/// One structured anomaly record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Anomaly {
+    /// What happened.
+    pub kind: AnomalyKind,
+    /// The round the record belongs to (a [`crate::RoundSpec`] id, or
+    /// a pair like `"ips-a/ips-b"` for cross-round records).
+    pub round: String,
+    /// Calendar day, where the record is attributable to one.
+    pub day: Option<u64>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Anomaly {
+    /// Builds a record.
+    pub fn new(
+        kind: AnomalyKind,
+        round: impl Into<String>,
+        day: Option<u64>,
+        detail: impl Into<String>,
+    ) -> Anomaly {
+        Anomaly {
+            kind,
+            round: round.into(),
+            day,
+            detail: detail.into(),
+        }
+    }
+
+    /// The record as one text line (report notes, terminal output).
+    pub fn describe(&self) -> String {
+        format!(
+            "ANOMALY[{}] {}: {}",
+            self.kind.tag(),
+            self.round,
+            self.detail
+        )
+    }
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_carries_kind_round_and_detail() {
+        let a = Anomaly::new(
+            AnomalyKind::Aborted,
+            "ips-a",
+            Some(3),
+            "deadlock (detected by runner)",
+        );
+        let line = a.describe();
+        assert!(line.contains("ANOMALY[aborted]"), "{line}");
+        assert!(line.contains("ips-a"), "{line}");
+        assert!(line.contains("deadlock"), "{line}");
+        assert_eq!(a.to_string(), line);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(AnomalyKind::DisjointRepeat.tag(), "disjoint-repeat");
+        assert_eq!(AnomalyKind::MissingReconcile.tag(), "missing-reconcile");
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p pm-study --bin campaign -- \
 //!     [--days N] [--scale S] [--seed N] [--shards K] [--workers W]
-//!     [--csv] [--json PATH] [--list]
+//!     [--attack NAME] [--csv] [--json PATH] [--list]
 //! ```
 //!
 //! The default 7-day calendar holds the §5.1 client-IP measurement,
@@ -12,10 +12,17 @@
 //! 14/17 days the two-day exit-domain and onion-service windows
 //! (`--days 17` runs the full calendar). `--list` prints the
 //! validated calendar without running it; `--json PATH` writes the
-//! machine-readable document (same schema as the `experiments`
-//! binary's) alongside whatever goes to stdout.
+//! machine-readable document (the `experiments` binary's schema plus
+//! an `anomalies` array) alongside whatever goes to stdout.
+//!
+//! `--attack NAME` injects one adversarial scenario into every round
+//! (`byzantine-shares`, `skewed-shares`, `keeper-death`,
+//! `invalid-proof`, `noise-exhaustion`; `none` is the default): the
+//! campaign still completes and reports, with each attacked round
+//! aborted or degraded and the detection recorded in the anomaly
+//! channel — the scenario-smoke target greps exactly that.
 
-use pm_study::{Campaign, CampaignConfig};
+use pm_study::{Campaign, CampaignAttack, CampaignConfig};
 
 fn main() {
     let mut days = 7u64;
@@ -23,6 +30,7 @@ fn main() {
     let mut seed = 2018u64;
     let mut shards = 0usize;
     let mut workers = 0usize;
+    let mut attack = CampaignAttack::None;
     let mut csv = false;
     let mut json: Option<String> = None;
     let mut list = false;
@@ -51,6 +59,21 @@ fn main() {
                 i += 1;
                 workers = args[i].parse().expect("--workers takes an integer");
             }
+            "--attack" => {
+                i += 1;
+                attack = CampaignAttack::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown attack '{}'; known: none, {}",
+                        args[i],
+                        CampaignAttack::ALL
+                            .iter()
+                            .map(|a| a.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--csv" => csv = true,
             "--json" => {
                 i += 1;
@@ -60,7 +83,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign [--days N] [--scale S] [--seed N] [--shards K] \
-                     [--workers W] [--csv] [--json PATH] [--list]"
+                     [--workers W] [--attack NAME] [--csv] [--json PATH] [--list]"
                 );
                 return;
             }
@@ -72,7 +95,7 @@ fn main() {
         i += 1;
     }
 
-    let mut cfg = CampaignConfig::new(days, scale, seed);
+    let mut cfg = CampaignConfig::new(days, scale, seed).with_attack(attack);
     if shards > 0 {
         cfg = cfg.with_shards(shards);
     }
@@ -93,7 +116,8 @@ fn main() {
     }
 
     eprintln!(
-        "# campaign: {days} days, scale {scale}, seed {seed}, {} round(s)",
+        "# campaign: {days} days, scale {scale}, seed {seed}, attack {}, {} round(s)",
+        attack.name(),
         campaign.rounds().len()
     );
     let report = campaign.run(workers);
@@ -107,10 +131,10 @@ fn main() {
         eprintln!("# wrote {path}");
     }
     if !report.anomalies.is_empty() {
-        eprintln!(
-            "# {} anomaly flag(s) — see report notes",
-            report.anomalies.len()
-        );
+        eprintln!("# {} anomaly record(s):", report.anomalies.len());
+        for a in &report.anomalies {
+            eprintln!("#   {a}");
+        }
     }
     eprintln!("# campaign complete");
 }

@@ -1,8 +1,10 @@
 //! The campaign engine: calendar planning, §3.1 validation, and
 //! day-indexed parallel execution (see the crate docs for the model).
 
+use crate::anomaly::{Anomaly, AnomalyKind};
 use crate::report::CampaignReport;
 use pm_dp::accountant::{Accountant, MeasurementRound, System};
+use pm_net::party::NodeError;
 use pm_stats::guards::observe_probability;
 use pm_stats::sampling::derive_seed;
 use pm_stats::union::{multi_day_network_estimate, DayShare};
@@ -65,6 +67,103 @@ impl RoundKind {
     }
 }
 
+/// A Byzantine scenario injected into every round of a campaign — the
+/// adversarial scenario suite. Each round kind lowers the scenario to
+/// the matching protocol-level attack ([`psc::adversary::Attack`] /
+/// [`privcount::adversary::Attack`]); the campaign then asserts the
+/// attack is *detected* — the round ends [`RoundStatus::Aborted`] with
+/// the detecting party named, or [`RoundStatus::Recovered`] with the
+/// degradation flagged — instead of panicking the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CampaignAttack {
+    /// Honest campaign (the default).
+    #[default]
+    None,
+    /// A DC submits structurally malformed shares (wrong-size PSC
+    /// table / short PrivCount register vector). Caught by the TS.
+    ByzantineShares,
+    /// A DC submits statistically-skewed shares (bogus PSC marks /
+    /// inflated PrivCount increments). Protocol-invisible; caught by
+    /// the campaign's plausibility cap, degrading the round.
+    SkewedShares,
+    /// A computation party / share keeper dies mid-round. Caught by
+    /// the deterministic runner's deadlock detector.
+    KeeperDeath,
+    /// A party corrupts its cryptographic transcript (invalid PSC
+    /// mixing proof, verified rounds only; truncated PrivCount share
+    /// ciphertext). Caught by the verifying TS / the receiving SK.
+    InvalidProof,
+    /// A party's noise budget runs out mid-campaign; it refuses to
+    /// run under-noised rather than silently weaken the DP guarantee.
+    NoiseExhaustion,
+}
+
+impl CampaignAttack {
+    /// Every non-trivial scenario (the matrix tests iterate this).
+    pub const ALL: [CampaignAttack; 5] = [
+        CampaignAttack::ByzantineShares,
+        CampaignAttack::SkewedShares,
+        CampaignAttack::KeeperDeath,
+        CampaignAttack::InvalidProof,
+        CampaignAttack::NoiseExhaustion,
+    ];
+
+    /// Stable CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignAttack::None => "none",
+            CampaignAttack::ByzantineShares => "byzantine-shares",
+            CampaignAttack::SkewedShares => "skewed-shares",
+            CampaignAttack::KeeperDeath => "keeper-death",
+            CampaignAttack::InvalidProof => "invalid-proof",
+            CampaignAttack::NoiseExhaustion => "noise-exhaustion",
+        }
+    }
+
+    /// Parses a CLI name ([`Self::name`]).
+    pub fn parse(name: &str) -> Option<CampaignAttack> {
+        std::iter::once(CampaignAttack::None)
+            .chain(Self::ALL)
+            .find(|a| a.name() == name)
+    }
+}
+
+/// How one executed round ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoundStatus {
+    /// The round ran to completion and its output is plausible.
+    Completed,
+    /// The round completed but its output is degraded (e.g. an
+    /// implausible count from a statistically-skewed share); it is
+    /// reported but flagged, and excluded from headline claims.
+    Recovered {
+        /// What is wrong with the output.
+        degraded: String,
+    },
+    /// The round failed before producing a result. Its privacy budget
+    /// stays spent and its ledger slot occupied (§3.1 accounts hours,
+    /// not success).
+    Aborted {
+        /// The failure, as reported by the detecting party.
+        reason: String,
+        /// Who detected it: a party id, or `"runner"` for
+        /// runner-level detection (deadlock).
+        detected_by: String,
+    },
+}
+
+impl RoundStatus {
+    /// True when the round produced no result.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RoundStatus::Aborted { .. })
+    }
+
+    /// True when the round completed with a plausible output.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RoundStatus::Completed)
+    }
+}
+
 /// One scheduled measurement round of the campaign calendar.
 #[derive(Clone, Debug)]
 pub struct RoundSpec {
@@ -104,6 +203,9 @@ pub struct CampaignConfig {
     /// derived from the seed). Lets stress tests drive the campaign
     /// over a high-churn or fast-drifting network.
     pub timeline: Option<TimelineConfig>,
+    /// Byzantine scenario injected into every round (the adversarial
+    /// scenario suite); [`CampaignAttack::None`] runs honestly.
+    pub attack: CampaignAttack,
 }
 
 impl CampaignConfig {
@@ -115,6 +217,7 @@ impl CampaignConfig {
             seed,
             shards: 0,
             timeline: None,
+            attack: CampaignAttack::None,
         }
     }
 
@@ -127,6 +230,12 @@ impl CampaignConfig {
     /// Overrides the network-evolution model.
     pub fn with_timeline(mut self, timeline: TimelineConfig) -> CampaignConfig {
         self.timeline = Some(timeline);
+        self
+    }
+
+    /// Injects a Byzantine scenario into every round.
+    pub fn with_attack(mut self, attack: CampaignAttack) -> CampaignConfig {
+        self.attack = attack;
         self
     }
 }
@@ -157,6 +266,13 @@ pub struct RoundOutcome {
     /// interval does not include) folded into the CI. `None` falls
     /// back to [`Self::estimate`].
     pub reconcile_estimate: Option<Estimate>,
+    /// How the round ended. Aborted rounds carry empty truths and no
+    /// estimates; their budget stays spent (§3.1 accounts hours).
+    pub status: RoundStatus,
+    /// Structured irregularities detected during the round (see
+    /// [`crate::anomaly`]); the campaign report folds every round's
+    /// records into one channel.
+    pub anomalies: Vec<Anomaly>,
 }
 
 /// A planned, validated, runnable campaign.
@@ -338,6 +454,171 @@ impl Campaign {
         self.run(1)
     }
 
+    /// Lowers the campaign scenario to a PSC-level attack on `cfg`.
+    /// Indices are deterministic (DC 0 / the second CP), so an
+    /// attacked campaign renders bit-identically across schedules.
+    fn apply_psc_attack(&self, cfg: &mut psc::PscConfig) {
+        match self.cfg.attack {
+            CampaignAttack::None => {}
+            CampaignAttack::ByzantineShares => {
+                cfg.adversary = psc::adversary::Attack::MalformedTable { dc: 0 };
+            }
+            CampaignAttack::SkewedShares => {
+                // Enough bogus marks to saturate well past the
+                // plausibility cap whatever the table size.
+                cfg.adversary = psc::adversary::Attack::SkewedShares {
+                    dc: 0,
+                    extra_marks: cfg.table_size * 3 / 4,
+                };
+            }
+            CampaignAttack::KeeperDeath => {
+                cfg.adversary = psc::adversary::Attack::CpDeath {
+                    cp: 1,
+                    after_messages: 1,
+                };
+            }
+            CampaignAttack::InvalidProof => {
+                // Invalid proofs are only detectable when the round
+                // verifies them; the TS fails on the first corrupted
+                // hop, so verification cost stays contained.
+                cfg.adversary = psc::adversary::Attack::InvalidProof { cp: 0 };
+                cfg.verify = true;
+            }
+            CampaignAttack::NoiseExhaustion => {
+                cfg.adversary = psc::adversary::Attack::NoiseExhaustion { cp: 1, budget: 0 };
+            }
+        }
+    }
+
+    /// Lowers the campaign scenario to a PrivCount-level attack.
+    /// `InvalidProof` maps to the corrupted-ciphertext attack —
+    /// PrivCount has no mixing proofs; a truncated share payload is
+    /// its closest transcript-corruption analogue.
+    fn apply_privcount_attack(&self, cfg: &mut privcount::RoundConfig) {
+        match self.cfg.attack {
+            CampaignAttack::None => {}
+            CampaignAttack::ByzantineShares => {
+                cfg.adversary = privcount::adversary::Attack::MalformedRegisters { dc: 0 };
+            }
+            CampaignAttack::SkewedShares => {
+                cfg.adversary = privcount::adversary::Attack::InflatedCounts {
+                    dc: 0,
+                    factor: 1000,
+                };
+            }
+            CampaignAttack::KeeperDeath => {
+                cfg.adversary = privcount::adversary::Attack::SkDeath {
+                    sk: 0,
+                    after_messages: 1,
+                };
+            }
+            CampaignAttack::InvalidProof => {
+                cfg.adversary = privcount::adversary::Attack::BadSharePayload { dc: 0 };
+            }
+            CampaignAttack::NoiseExhaustion => {
+                cfg.adversary = privcount::adversary::Attack::NoiseExhaustion { dc: 0, budget: 0 };
+            }
+        }
+    }
+
+    /// Packages a failed round as an aborted outcome: the failure and
+    /// its detecting party become a report note, a structured anomaly,
+    /// and the round status — never a panic. Ground truths are dropped
+    /// (the round produced nothing to compare them against) and the
+    /// round's budget stays spent.
+    fn aborted_outcome(&self, spec: &RoundSpec, err: NodeError) -> RoundOutcome {
+        let detected_by = err
+            .detected_by()
+            .map(|p| p.as_str().to_string())
+            .unwrap_or_else(|| "runner".to_string());
+        let reason = err.reason();
+        let mut report = Report::new(
+            spec.id.clone(),
+            format!(
+                "Round {}, days {}..{} — ABORTED",
+                spec.id,
+                spec.start_day,
+                spec.start_day + spec.duration_days
+            ),
+        );
+        report.note(format!("aborted: {reason} (detected by {detected_by})"));
+        RoundOutcome {
+            spec: spec.clone(),
+            report,
+            day_truths: Vec::new(),
+            domain_truths: Vec::new(),
+            onion_truths: Vec::new(),
+            estimate: None,
+            network_estimate: None,
+            reconcile_estimate: None,
+            anomalies: vec![Anomaly::new(
+                AnomalyKind::Aborted,
+                spec.id.clone(),
+                Some(spec.start_day),
+                format!("{reason} (detected by {detected_by})"),
+            )],
+            status: RoundStatus::Aborted {
+                reason,
+                detected_by,
+            },
+        }
+    }
+
+    /// The plausibility cap on a completed round's headline count:
+    /// statistically-skewed shares are protocol-invisible (that is the
+    /// point of blinding and oblivious counters), so the campaign
+    /// cross-checks the published count against the expectation its
+    /// round was provisioned for. An implausible count degrades the
+    /// round — reported, flagged, excluded from headline claims — but
+    /// never panics.
+    fn plausibility_status(
+        spec: &RoundSpec,
+        est: &Estimate,
+        expected: f64,
+        cap_multiple: f64,
+        report: &mut Report,
+        anomalies: &mut Vec<Anomaly>,
+    ) -> RoundStatus {
+        let cap = cap_multiple * expected.max(1.0);
+        if est.value <= cap {
+            return RoundStatus::Completed;
+        }
+        let degraded = format!(
+            "count {:.0} exceeds the plausibility cap {cap:.0} ({cap_multiple}x the \
+             sizing expectation {expected:.0}); skewed shares cannot be attributed \
+             to a party, so the round is kept but flagged",
+            est.value
+        );
+        report.note(format!("recovered (degraded): {degraded}"));
+        anomalies.push(Anomaly::new(
+            AnomalyKind::Degraded,
+            spec.id.clone(),
+            Some(spec.start_day),
+            degraded.clone(),
+        ));
+        RoundStatus::Recovered { degraded }
+    }
+
+    /// Flags a ground-truth record that carries no day attribution —
+    /// before this check its rows silently misattributed to day 0
+    /// (`days.first().unwrap_or(0)`); now the row keeps its calendar
+    /// day and the gap becomes an explicit anomaly.
+    fn check_day_attribution(
+        spec: &RoundSpec,
+        day: u64,
+        days: &std::collections::BTreeSet<u64>,
+        anomalies: &mut Vec<Anomaly>,
+    ) {
+        if days.is_empty() {
+            anomalies.push(Anomaly::new(
+                AnomalyKind::EmptyTruth,
+                spec.id.clone(),
+                Some(day),
+                format!("day {day} ground truth carries no day attribution"),
+            ));
+        }
+    }
+
     /// Executes one round against its day-indexed deployment.
     fn run_round(&self, spec: &RoundSpec) -> RoundOutcome {
         match spec.kind {
@@ -403,9 +684,15 @@ impl Campaign {
         } else {
             3 * spec.duration_days
         };
-        let cfg = psc_round(&dep, union.unique() as f64, sensitivity, &spec.id);
-        let result = psc::run_psc_round_days(cfg, psc::items::unique_client_ips(), day_streams)
-            .expect("campaign unique-IP round");
+        let expected = union.unique() as f64;
+        let mut cfg = psc_round(&dep, expected, sensitivity, &spec.id);
+        self.apply_psc_attack(&mut cfg);
+        let result =
+            match psc::run_psc_round_days(cfg, psc::items::unique_client_ips(), day_streams) {
+                Ok(result) => result,
+                Err(err) => return self.aborted_outcome(spec, err),
+            };
+        let mut anomalies = Vec::new();
         let est = result.estimate(0.95);
         // Split the measured union into the known promiscuous component
         // and the selective remainder; extrapolate only the latter.
@@ -446,8 +733,8 @@ impl Campaign {
                 "313,213 [313,039; 376,343]"
             },
         ));
-        for (truth, share) in day_truths.iter().zip(&shares) {
-            let day = truth.days.first().copied().unwrap_or(0);
+        for ((day, truth), share) in spec.days().zip(&day_truths).zip(&shares) {
+            Self::check_day_attribution(spec, day, &truth.days, &mut anomalies);
             report.row(ReportRow::new(
                 format!("day {day}: pool / fresh"),
                 "—",
@@ -475,6 +762,8 @@ impl Campaign {
                 .map(|p| format!("{p:.4}"))
                 .collect::<Vec<_>>()
         ));
+        let status =
+            Self::plausibility_status(spec, &est, expected, 2.5, &mut report, &mut anomalies);
         RoundOutcome {
             spec: spec.clone(),
             report,
@@ -484,6 +773,8 @@ impl Campaign {
             estimate: Some(est),
             network_estimate: Some(network),
             reconcile_estimate: Some(reconcile_est),
+            status,
+            anomalies,
         }
     }
 
@@ -497,13 +788,17 @@ impl Campaign {
                 .client_ip_day(day, observe, dep.shards, dep.entry_relays());
         let truth_countries: std::collections::BTreeSet<_> =
             truth.ips.iter().map(|ip| dep.geo.country_of(*ip)).collect();
-        let cfg = psc_round(&dep, 260.0, 4, &spec.id);
-        let result = psc::run_psc_round_streams(
+        let mut cfg = psc_round(&dep, 260.0, 4, &spec.id);
+        self.apply_psc_attack(&mut cfg);
+        let result = match psc::run_psc_round_streams(
             cfg,
             psc::items::unique_countries(Arc::clone(&dep.geo)),
             vec![stream],
-        )
-        .expect("campaign country round");
+        ) {
+            Ok(result) => result,
+            Err(err) => return self.aborted_outcome(spec, err),
+        };
+        let mut anomalies = Vec::new();
         let est = result.estimate(0.95);
         let mut report = Report::new(
             spec.id.clone(),
@@ -515,6 +810,7 @@ impl Campaign {
             fmt_count(truth_countries.len() as f64),
             "203 [141; 250]",
         ));
+        let status = Self::plausibility_status(spec, &est, 260.0, 2.5, &mut report, &mut anomalies);
         RoundOutcome {
             spec: spec.clone(),
             report,
@@ -524,6 +820,8 @@ impl Campaign {
             estimate: Some(est),
             network_estimate: None,
             reconcile_estimate: None,
+            status,
+            anomalies,
         }
     }
 
@@ -550,8 +848,13 @@ impl Campaign {
         }
         let first_dep = &deps[0];
         let schema = privcount::queries::client_traffic(first_dep.eps(), first_dep.delta());
-        let cfg = privcount_round(first_dep, schema, &spec.id);
-        let results = privcount::run_round_days(cfg, day_streams).expect("campaign traffic rounds");
+        let mut cfg = privcount_round(first_dep, schema, &spec.id);
+        self.apply_privcount_attack(&mut cfg);
+        let results = match privcount::run_round_days(cfg, day_streams) {
+            Ok(results) => results,
+            Err(err) => return self.aborted_outcome(spec, err),
+        };
+        let mut anomalies = Vec::new();
         let t = &self.base.workload.clients;
         for ((day, result), p) in spec.days().zip(&results).zip(&fractions) {
             let conns = first_dep.to_network(result.estimate("client.connections"), *p);
@@ -565,6 +868,17 @@ impl Campaign {
         report.note(format!("per-day entry fractions {fractions:?}"));
         let first = &results[0];
         let est = first_dep.to_network(first.estimate("client.connections"), fractions[0]);
+        // Inflated increments pass through blinding untouched; the cap
+        // is wider here (10x) because the network extrapolation divides
+        // by a small drifting fraction.
+        let status = Self::plausibility_status(
+            spec,
+            &est,
+            t.connections_per_day,
+            10.0,
+            &mut report,
+            &mut anomalies,
+        );
         RoundOutcome {
             spec: spec.clone(),
             report,
@@ -574,6 +888,8 @@ impl Campaign {
             estimate: Some(est),
             network_estimate: None,
             reconcile_estimate: None,
+            status,
+            anomalies,
         }
     }
 
@@ -619,21 +935,28 @@ impl Campaign {
         }
         // Table 1 sensitivity: tab2's SLD round bounds 20 per day.
         let sensitivity = 20 * spec.duration_days;
-        let cfg = psc_round(&dep, union.unique() as f64, sensitivity, &spec.id);
-        let result = psc::run_psc_round_days(
+        let expected = union.unique() as f64;
+        let mut cfg = psc_round(&dep, expected, sensitivity, &spec.id);
+        self.apply_psc_attack(&mut cfg);
+        let result = match psc::run_psc_round_days(
             cfg,
             psc::items::unique_slds(Arc::clone(&dep.sites), false),
             psc_days,
-        )
-        .expect("campaign exit-domain round");
+        ) {
+            Ok(result) => result,
+            Err(err) => return self.aborted_outcome(spec, err),
+        };
+        let mut anomalies = Vec::new();
         let est = result.estimate(0.95);
         let network = (shares.iter().map(|s| s.share).sum::<f64>() > 0.0)
             .then(|| multi_day_network_estimate(&est, &shares));
 
         let schema = privcount::queries::exit_streams(dep.eps(), dep.delta());
         let pc_cfg = privcount_round(&dep, schema, &format!("{}-pc", spec.id));
-        let results =
-            privcount::run_round_days(pc_cfg, pc_days).expect("campaign exit-stream counters");
+        let results = match privcount::run_round_days(pc_cfg, pc_days) {
+            Ok(results) => results,
+            Err(err) => return self.aborted_outcome(spec, err),
+        };
 
         let mut report = Report::new(
             spec.id.clone(),
@@ -649,8 +972,8 @@ impl Campaign {
             fmt_count(union.unique() as f64),
             "471,228 [470,357; 472,099]",
         ));
-        for (truth, share) in day_truths.iter().zip(&shares) {
-            let day = truth.days.first().copied().unwrap_or(0);
+        for ((day, truth), share) in spec.days().zip(&day_truths).zip(&shares) {
+            Self::check_day_attribution(spec, day, &truth.days, &mut anomalies);
             report.row(ReportRow::new(
                 format!("day {day}: streams / initial / fresh SLDs"),
                 "—",
@@ -686,6 +1009,8 @@ impl Campaign {
                 .map(|p| format!("{p:.4}"))
                 .collect::<Vec<_>>()
         ));
+        let status =
+            Self::plausibility_status(spec, &est, expected, 2.5, &mut report, &mut anomalies);
         RoundOutcome {
             spec: spec.clone(),
             report,
@@ -695,6 +1020,8 @@ impl Campaign {
             estimate: Some(est),
             network_estimate: network,
             reconcile_estimate: None,
+            status,
+            anomalies,
         }
     }
 
@@ -740,14 +1067,15 @@ impl Campaign {
         let t = &self.base.workload.onion;
         // Table 1 sensitivity: tab6's publish round bounds 3 per day.
         let sensitivity = 3 * spec.duration_days;
-        let cfg = psc_round(
-            &dep,
-            (union.unique() as f64).max(64.0),
-            sensitivity,
-            &spec.id,
-        );
-        let result = psc::run_psc_round_days(cfg, psc::items::unique_onions_published(), psc_days)
-            .expect("campaign onion round");
+        let expected = (union.unique() as f64).max(64.0);
+        let mut cfg = psc_round(&dep, expected, sensitivity, &spec.id);
+        self.apply_psc_attack(&mut cfg);
+        let result =
+            match psc::run_psc_round_days(cfg, psc::items::unique_onions_published(), psc_days) {
+                Ok(result) => result,
+                Err(err) => return self.aborted_outcome(spec, err),
+            };
+        let mut anomalies = Vec::new();
         let est = result.estimate(0.95);
         let combined = 1.0 - publish_observes.iter().map(|q| 1.0 - q).product::<f64>();
         let network =
@@ -755,8 +1083,10 @@ impl Campaign {
 
         let schema = privcount::queries::rendezvous(dep.eps(), dep.delta());
         let pc_cfg = privcount_round(&dep, schema, &format!("{}-pc", spec.id));
-        let results =
-            privcount::run_round_days(pc_cfg, pc_days).expect("campaign rendezvous counters");
+        let results = match privcount::run_round_days(pc_cfg, pc_days) {
+            Ok(results) => results,
+            Err(err) => return self.aborted_outcome(spec, err),
+        };
 
         let mut report = Report::new(
             spec.id.clone(),
@@ -775,8 +1105,8 @@ impl Campaign {
             fmt_count(union.unique() as f64),
             "3,900 [3,769; 4,045]",
         ));
-        for (truth, fresh) in day_truths.iter().zip(&fresh_onions) {
-            let day = truth.days.first().copied().unwrap_or(0);
+        for ((day, truth), fresh) in spec.days().zip(&day_truths).zip(&fresh_onions) {
+            Self::check_day_attribution(spec, day, &truth.days, &mut anomalies);
             report.row(ReportRow::new(
                 format!("day {day}: publishes / fresh onions"),
                 "—",
@@ -812,6 +1142,8 @@ impl Campaign {
                 .map(|p| format!("{p:.4}"))
                 .collect::<Vec<_>>()
         ));
+        let status =
+            Self::plausibility_status(spec, &est, expected, 2.5, &mut report, &mut anomalies);
         RoundOutcome {
             spec: spec.clone(),
             report,
@@ -821,6 +1153,8 @@ impl Campaign {
             estimate: Some(est),
             network_estimate: network,
             reconcile_estimate: None,
+            status,
+            anomalies,
         }
     }
 }

@@ -102,9 +102,50 @@
 //! uses *each day's own* observation fraction
 //! (`pm_stats::union::multi_day_network_estimate`), exactly as the
 //! paper divides each measurement by the fraction on its date.
+//!
+//! # Threat model: rounds fail loudly, the study survives
+//!
+//! The paper's study ran unattended for weeks across mutually
+//! distrusting parties; a single misbehaving party must not take the
+//! campaign down, and must not silently corrupt it either. The
+//! campaign therefore treats every round as fallible
+//! ([`campaign::RoundStatus`]) and runs an **adversarial scenario
+//! suite** ([`campaign::CampaignAttack`]) against itself:
+//!
+//! * **Byzantine shares** — a DC submits structurally malformed shares
+//!   (wrong-size PSC table, short PrivCount register vector). The TS's
+//!   structural checks reject them; the round ends
+//!   [`campaign::RoundStatus::Aborted`] naming the TS.
+//! * **Skewed shares** — a DC submits well-formed but statistically
+//!   bogus shares. Blinding and oblivious counters make this
+//!   *protocol-invisible by design*, so detection is the campaign's
+//!   plausibility cap against the round's sizing expectation; the
+//!   round ends [`campaign::RoundStatus::Recovered`] — reported,
+//!   flagged, excluded from headline claims.
+//! * **Keeper death** — a CP/SK dies mid-round; the deterministic
+//!   runner's deadlock detector attributes the stall.
+//! * **Invalid proof** — a CP corrupts its mixing proof (verified
+//!   rounds) or a DC its share ciphertext; the verifying TS / the
+//!   receiving SK rejects and names the culprit.
+//! * **Noise exhaustion** — a party's DP noise budget runs out; it
+//!   refuses to run under-noised rather than silently weaken the
+//!   guarantee.
+//!
+//! Every detected irregularity — aborts, degradations, disjoint repeat
+//! CIs, missing day attributions, starved confirmation checks — flows
+//! into one structured **anomaly channel** ([`anomaly::Anomaly`])
+//! rendered in all three report formats, and the §3.1 ledger accounts
+//! aborted rounds' hours as *spent* (the noise was drawn and the
+//! shares published before the failure). Attack injection is
+//! seed-deterministic with fixed party indices, so even an attacked
+//! campaign renders bit-identically across schedules and shard counts
+//! — the channel is part of the determinism contract, not exempt from
+//! it.
 
+pub mod anomaly;
 pub mod campaign;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignConfig, RoundKind, RoundSpec};
+pub use anomaly::{Anomaly, AnomalyKind};
+pub use campaign::{Campaign, CampaignAttack, CampaignConfig, RoundKind, RoundSpec, RoundStatus};
 pub use report::CampaignReport;

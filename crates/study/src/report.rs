@@ -8,10 +8,12 @@
 //! renders per-day and cumulative rows as text, CSV, or JSON (the
 //! JSON document shares its schema with the `experiments` binary's).
 
-use crate::campaign::{CampaignConfig, RoundOutcome};
+use crate::anomaly::{Anomaly, AnomalyKind};
+use crate::campaign::{CampaignConfig, RoundOutcome, RoundStatus};
+use pm_dp::accountant::{Accountant, MeasurementRound, RoundDisposition};
 use pm_stats::union::reconcile;
 use torsim::timeline::{DayTruth, DomainDayTruth, OnionDayTruth};
-use torstudy::report::{fmt_estimate, reports_json, Report, ReportRow};
+use torstudy::report::{csv_escape, fmt_estimate, json_escape, Report, ReportRow};
 
 /// The campaign's aggregated outcome.
 pub struct CampaignReport {
@@ -25,13 +27,46 @@ pub struct CampaignReport {
     pub rounds: Vec<Report>,
     /// Cross-day cumulative report: one row per measured day.
     pub cumulative: Report,
-    /// Repeat measurements whose CIs failed to overlap.
-    pub anomalies: Vec<String>,
+    /// The anomaly channel: every structured irregularity of the
+    /// campaign — per-round records (aborts, degradations, missing day
+    /// attributions) in calendar order, then cross-round reconciliation
+    /// records. Rendered in all three output formats.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// The calendar day a cumulative row attributes itself to. A
+/// ground-truth record with no day attribution used to silently land
+/// on day 0 — misattributing its rows to whatever round really
+/// measured day 0; now the row is labelled `day ?` and the gap becomes
+/// an explicit [`AnomalyKind::EmptyTruth`] record.
+fn day_label(
+    days: &std::collections::BTreeSet<u64>,
+    round: &str,
+    anomalies: &mut Vec<Anomaly>,
+) -> String {
+    match days.first() {
+        Some(d) => d.to_string(),
+        None => {
+            anomalies.push(Anomaly::new(
+                AnomalyKind::EmptyTruth,
+                round,
+                None,
+                "cumulative row ground truth carries no day attribution",
+            ));
+            "?".to_string()
+        }
+    }
 }
 
 impl CampaignReport {
     /// Folds executed rounds into the campaign report.
     pub fn assemble(cfg: &CampaignConfig, outcomes: Vec<RoundOutcome>) -> CampaignReport {
+        // Per-round records first, calendar order; cross-round
+        // reconciliation records are appended below.
+        let mut anomalies: Vec<Anomaly> = outcomes
+            .iter()
+            .flat_map(|o| o.anomalies.iter().cloned())
+            .collect();
         let mut cumulative = Report::new(
             "CUM",
             format!(
@@ -46,7 +81,7 @@ impl CampaignReport {
                 if outcome.spec.kind != crate::campaign::RoundKind::UniqueIps {
                     continue;
                 }
-                let day = truth.days.first().copied().unwrap_or(0);
+                let day = day_label(&truth.days, &outcome.spec.id, &mut anomalies);
                 let fresh = truth.new_vs(&union);
                 union = union.merge(truth.clone());
                 let measured = if i == last {
@@ -95,7 +130,7 @@ impl CampaignReport {
             };
             for outcome in &outcomes {
                 for truth in &outcome.domain_truths {
-                    let day = truth.days.first().copied().unwrap_or(0);
+                    let day = day_label(&truth.days, &outcome.spec.id, &mut anomalies);
                     let fresh = truth.new_vs(&sld_union);
                     sld_union = sld_union.merge(truth.clone());
                     union_row(
@@ -106,7 +141,7 @@ impl CampaignReport {
                     );
                 }
                 for truth in &outcome.onion_truths {
-                    let day = truth.days.first().copied().unwrap_or(0);
+                    let day = day_label(&truth.days, &outcome.spec.id, &mut anomalies);
                     let fresh = truth.new_vs(&onion_union);
                     onion_union = onion_union.merge(truth.clone());
                     union_row(
@@ -138,7 +173,12 @@ impl CampaignReport {
         // network-extrapolated, sampling-variance-aware value that is
         // constant across repeat days — not the day's raw observed
         // pool, whose true value legitimately churns between repeats.
-        let mut anomalies = Vec::new();
+        // A repeat pair where either side carries no estimate (e.g. an
+        // aborted round) used to be skipped silently — the confirmation
+        // check proved nothing and nobody knew; now the gap is a
+        // MissingReconcile record (one per round, however many pairs it
+        // starves).
+        let mut missing_noted: std::collections::BTreeSet<String> = Default::default();
         for (i, a) in outcomes.iter().enumerate() {
             for b in outcomes.iter().skip(i + 1) {
                 if a.spec.statistic != b.spec.statistic {
@@ -153,15 +193,80 @@ impl CampaignReport {
                             a.spec.id, b.spec.id, r.hull
                         ));
                     } else {
-                        let flag = format!(
-                            "ANOMALY: repeat {} / {} have disjoint CIs (gap {:.1}); hull {}",
-                            a.spec.id, b.spec.id, r.gap, r.hull
-                        );
-                        cumulative.note(flag.clone());
-                        anomalies.push(flag);
+                        anomalies.push(Anomaly::new(
+                            AnomalyKind::DisjointRepeat,
+                            format!("{}/{}", a.spec.id, b.spec.id),
+                            None,
+                            format!(
+                                "repeat measurements have disjoint CIs (gap {:.1}); hull {}",
+                                r.gap, r.hull
+                            ),
+                        ));
+                    }
+                } else {
+                    for o in [a, b] {
+                        if pick(o).is_none() && missing_noted.insert(o.spec.id.clone()) {
+                            anomalies.push(Anomaly::new(
+                                AnomalyKind::MissingReconcile,
+                                o.spec.id.clone(),
+                                None,
+                                format!(
+                                    "repeat of '{}' has no estimate to reconcile; \
+                                     the confirmation check proved nothing",
+                                    o.spec.statistic
+                                ),
+                            ));
+                        }
                     }
                 }
             }
+        }
+
+        // Settle the §3.1 ledger: re-schedule the executed calendar
+        // (synthetic outcome lists in tests need not be §3.1-legal, so
+        // schedule errors are ignored — an unscheduled round simply
+        // stays out of the budget) and record how each round ended.
+        // Aborted hours are spent, not refunded.
+        let mut ledger = Accountant::new();
+        for o in &outcomes {
+            let _ = ledger.schedule(MeasurementRound {
+                name: o.spec.id.clone(),
+                system: o.spec.kind.system(),
+                start_hour: o.spec.start_day * 24,
+                duration_hours: o.spec.duration_days * 24,
+                statistics: vec![o.spec.statistic.clone()],
+            });
+        }
+        for o in &outcomes {
+            let disposition = match &o.status {
+                RoundStatus::Completed => RoundDisposition::Completed,
+                RoundStatus::Recovered { degraded } => RoundDisposition::Recovered {
+                    degraded: degraded.clone(),
+                },
+                RoundStatus::Aborted {
+                    reason,
+                    detected_by,
+                } => RoundDisposition::Aborted {
+                    reason: reason.clone(),
+                    detected_by: detected_by.clone(),
+                },
+            };
+            ledger.record_outcome(&o.spec.id, disposition);
+        }
+        let budget = ledger.budget_summary();
+        cumulative.note(format!(
+            "§3.1 budget: {}h scheduled, {}h completed, {}h aborted (spent, not refunded), \
+             {}h recovered",
+            budget.scheduled_hours,
+            budget.completed_hours,
+            budget.aborted_hours,
+            budget.recovered_hours
+        ));
+
+        // The whole channel, as text notes — CSV and JSON carry the
+        // same records structurally.
+        for a in &anomalies {
+            cumulative.note(a.describe());
         }
 
         CampaignReport {
@@ -192,20 +297,59 @@ impl CampaignReport {
         out
     }
 
-    /// One CSV document: a single header, then every report's rows.
+    /// One CSV document: a single header, then every report's rows,
+    /// then one `ANOMALY` record per channel entry (id column literal
+    /// `ANOMALY`, then kind tag, round, day or `—`, detail).
     pub fn render_csv(&self) -> String {
         let mut out = String::from("id,label,measured,truth,paper\n");
         for r in self.all_reports() {
             let csv = r.render_csv();
             out.push_str(csv.split_once('\n').map(|(_, rest)| rest).unwrap_or(""));
         }
+        for a in &self.anomalies {
+            out.push_str(&format!(
+                "ANOMALY,{},{},{},{}\n",
+                a.kind.tag(),
+                csv_escape(&a.round),
+                a.day.map(|d| d.to_string()).unwrap_or_else(|| "—".into()),
+                csv_escape(&a.detail)
+            ));
+        }
         out
     }
 
-    /// One JSON document (same schema as the `experiments` binary's).
+    /// One JSON document: the `reports` array shares its schema with
+    /// the `experiments` binary's, plus an `anomalies` array carrying
+    /// the structured channel (`day` is a number or `null`).
     pub fn render_json(&self) -> String {
-        let reports: Vec<Report> = self.all_reports().into_iter().cloned().collect();
-        reports_json(&reports)
+        let reports = self.all_reports();
+        let mut out = String::from("{\"reports\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.render_json());
+            if i + 1 < reports.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("], \"anomalies\": [\n");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"kind\": {}, \"round\": {}, \"day\": {}, \"detail\": {}}}",
+                json_escape(a.kind.tag()),
+                json_escape(&a.round),
+                a.day
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                json_escape(&a.detail)
+            ));
+            if i + 1 < self.anomalies.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
     }
 }
 
@@ -242,6 +386,8 @@ mod tests {
             estimate: Some(est),
             network_estimate: None,
             reconcile_estimate: None,
+            status: RoundStatus::Completed,
+            anomalies: Vec::new(),
         }
     }
 
@@ -334,8 +480,127 @@ mod tests {
             ],
         );
         assert_eq!(report.anomalies.len(), 1);
-        assert!(report.anomalies[0].contains("ANOMALY"));
-        assert!(report.render_text().contains("ANOMALY"));
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::DisjointRepeat);
+        assert_eq!(report.anomalies[0].round, "a/b");
+        assert!(report.anomalies[0].describe().contains("ANOMALY"));
+        assert!(report.render_text().contains("ANOMALY[disjoint-repeat]"));
+        let csv = report.render_csv();
+        assert!(csv.contains("ANOMALY,disjoint-repeat,a/b,—,"), "{csv}");
+        assert!(report
+            .render_json()
+            .contains("\"kind\": \"disjoint-repeat\""));
+    }
+
+    #[test]
+    fn aborted_rounds_surface_in_channel_and_ledger() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let mut bad = outcome(
+            "b",
+            "same",
+            vec![truth(1, &[2])],
+            Estimate::with_ci(1.0, Interval::new(0.0, 2.0)),
+        );
+        bad.estimate = None;
+        bad.status = RoundStatus::Aborted {
+            reason: "CP died mid-mix".into(),
+            detected_by: "runner".into(),
+        };
+        bad.anomalies = vec![Anomaly::new(
+            AnomalyKind::Aborted,
+            "b",
+            Some(1),
+            "CP died mid-mix (detected by runner)",
+        )];
+        let report = CampaignReport::assemble(
+            &cfg,
+            vec![
+                outcome(
+                    "a",
+                    "same",
+                    vec![truth(0, &[1])],
+                    Estimate::with_ci(10.0, Interval::new(9.0, 11.0)),
+                ),
+                bad,
+            ],
+        );
+        // The round's own record plus the starved confirmation check.
+        let kinds: Vec<_> = report.anomalies.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            [AnomalyKind::Aborted, AnomalyKind::MissingReconcile],
+            "{:?}",
+            report.anomalies
+        );
+        assert_eq!(report.anomalies[1].round, "b");
+        let text = report.render_text();
+        assert!(text.contains("ANOMALY[aborted] b:"), "{text}");
+        assert!(text.contains("ANOMALY[missing-reconcile]"), "{text}");
+        // Ledger: both 24h rounds scheduled, the aborted hours spent.
+        assert!(
+            text.contains("48h scheduled, 24h completed, 24h aborted"),
+            "{text}"
+        );
+        let csv = report.render_csv();
+        assert!(csv.contains("ANOMALY,aborted,b,1,"), "{csv}");
+        let json = report.render_json();
+        assert!(json.contains("\"anomalies\": ["), "{json}");
+        assert!(json.contains("\"day\": 1"), "{json}");
+        assert!(json.contains("\"day\": null"), "{json}");
+    }
+
+    #[test]
+    fn anomaly_details_round_trip_through_csv_and_json_escaping() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let mut o = outcome(
+            "a",
+            "s",
+            vec![truth(0, &[1])],
+            Estimate::with_ci(1.0, Interval::new(0.0, 2.0)),
+        );
+        o.anomalies = vec![Anomaly::new(
+            AnomalyKind::Aborted,
+            "a",
+            Some(0),
+            "tricky, \"quoted\"\nmultiline detail",
+        )];
+        let report = CampaignReport::assemble(&cfg, vec![o]);
+        let csv = report.render_csv();
+        // One logical CSV record: the detail quoted, inner quotes
+        // doubled, the newline inside the quotes — not shearing the row.
+        assert!(
+            csv.contains("ANOMALY,aborted,a,0,\"tricky, \"\"quoted\"\"\nmultiline detail\""),
+            "{csv}"
+        );
+        let json = report.render_json();
+        assert!(
+            json.contains("tricky, \\\"quoted\\\"\\nmultiline detail"),
+            "{json}"
+        );
+        // Cheap well-formedness: braces/brackets stay balanced despite
+        // the hostile payload.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn dayless_truth_is_flagged_not_misattributed_to_day_zero() {
+        let cfg = CampaignConfig::new(7, 1e-3, 1);
+        let mut t = DayTruth::default();
+        t.ips.insert(IpAddr(9)); // no day attribution at all
+        let report = CampaignReport::assemble(
+            &cfg,
+            vec![outcome(
+                "a",
+                "s",
+                vec![t],
+                Estimate::with_ci(1.0, Interval::new(0.0, 2.0)),
+            )],
+        );
+        assert!(report.cumulative.rows[0].label.starts_with("day ? [a]"));
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::EmptyTruth);
+        assert!(report.render_csv().contains("ANOMALY,empty-truth,a,—,"));
     }
 
     #[test]

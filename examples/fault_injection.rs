@@ -33,6 +33,7 @@ fn run_with(faults: FaultConfig) -> Result<i64, String> {
         seed: 1,
         threaded: false,
         faults,
+        adversary: Default::default(),
     };
     let generators = (0..3)
         .map(|dc| {

@@ -67,6 +67,7 @@ fn main() {
         seed: 1,
         threaded: true, // one OS thread per party, like a real deployment
         faults: Default::default(),
+        adversary: Default::default(),
     };
     let generators = relay_events
         .clone()

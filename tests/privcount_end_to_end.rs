@@ -60,6 +60,7 @@ fn inference_recovers_ground_truth_from_full_simulation() {
         seed: 7,
         threaded: false,
         faults: Default::default(),
+        adversary: Default::default(),
     };
     let generators: Vec<privcount::dc::EventGenerator> = stream.into_shards();
     let result = run_round(round, generators).expect("round");
@@ -118,6 +119,7 @@ fn noise_floor_hides_small_counts() {
         seed: 11,
         threaded: false,
         faults: Default::default(),
+        adversary: Default::default(),
     };
     let generators = vec![{
         let g: privcount::dc::EventGenerator = Box::new(move |sink| {
@@ -148,6 +150,7 @@ fn dropped_party_aborts_cleanly() {
             drop_chance: 1.0, // every frame lost
             ..Default::default()
         },
+        adversary: Default::default(),
     };
     let generators = vec![{
         let g: privcount::dc::EventGenerator = Box::new(|_sink| {});
