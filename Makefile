@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy build test test-crates test-transcript study-smoke scenario-smoke doc bench bench-study golden
+.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke doc bench bench-study golden
 
-verify: fmt-check clippy doc build test test-crates test-transcript study-smoke scenario-smoke
+verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -15,6 +15,12 @@ fmt-check:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Workspace determinism/robustness contracts (entropy ban, unordered
+# iteration, seed-label uniqueness, panic budget). Exits nonzero on any
+# unallowed finding; the machine-readable report lands in target/.
+lint:
+	$(CARGO) run --release -p pm-lint -- --json target/lint.json
 
 # API docs must build warning-free: broken intra-doc links and doc
 # drift (e.g. module docs describing a removed scheme) fail the gate.

@@ -79,7 +79,9 @@ pub fn run(dep: &Deployment) -> Report {
 /// Replays the measurement generators against plain hash sets to obtain
 /// the exact local ground truth.
 fn ground_truth_uniques(dep: &Deployment, fraction: f64) -> (u64, u64) {
+    // lint:allow(unordered-map) distinct-count ground truth: only len() is observed
     let mut all = HashSet::new();
+    // lint:allow(unordered-map) distinct-count ground truth: only len() is observed
     let mut alexa = HashSet::new();
     let ex_all = items::unique_slds(Arc::clone(&dep.sites), false);
     let ex_alexa = items::unique_slds(Arc::clone(&dep.sites), true);
@@ -101,6 +103,7 @@ fn ground_truth_uniques(dep: &Deployment, fraction: f64) -> (u64, u64) {
 /// Simulates the full network's Alexa uniques for the extrapolation
 /// ground truth (observation fraction 1).
 fn network_truth_alexa_uniques(dep: &Deployment) -> u64 {
+    // lint:allow(unordered-map) distinct-count ground truth: only len() is observed
     let mut set = HashSet::new();
     let ex = items::unique_slds(Arc::clone(&dep.sites), true);
     for g in exit_streams(dep, 1.0, true, 5, "tab2-network-truth") {

@@ -17,6 +17,7 @@ use torsim::stream::EventStream;
 /// factor stands in for the union anywhere in this experiment: table
 /// sizing and the truth columns all come from here.
 fn unique_ip_truths(dep: &Deployment, observe: f64, days: u64) -> Vec<u64> {
+    // lint:allow(unordered-map) distinct-count ground truth: only len() is observed
     let mut ips: HashSet<torsim::ids::IpAddr> = HashSet::new();
     (0..days)
         .map(|day| {

@@ -15,6 +15,7 @@ pub fn run(dep: &Deployment) -> Report {
     // The ahmia-like public index: the set of publicly-listed onion
     // addresses under the generation scheme (even address indices).
     let public_universe = (dep.workload.onion.fetched_addresses as f64 * dep.scale) as u64;
+    // lint:allow(unordered-map) membership probe only (contains), never iterated
     let public_set: HashSet<OnionAddr> = (0..public_universe)
         .map(|k| OnionAddr::from_index(2 * k))
         .collect();

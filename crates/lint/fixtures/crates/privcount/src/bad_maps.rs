@@ -1,0 +1,34 @@
+//! Seeded violations: the unordered-iteration hazard (rule 2) and
+//! invalid allow markers (the `allow-marker` rule).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_code: HashMap<u32, usize>,
+}
+
+pub fn build() -> HashMap<u32, usize> {
+    HashMap::new()
+}
+
+pub struct Dedup {
+    // lint:allow(unordered-map) membership-only: len() is the only observation
+    seen: HashSet<u64>,
+}
+
+// lint:allow(unordered-map)
+pub type MarkerWithoutReason = ();
+
+// lint:allow(nonsense) reason text
+pub type MarkerWithUnknownRule = ();
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashmap_in_tests_is_fine() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! Seeded violations: the panic budget (rule 4).
+
+pub fn round(x: Option<u8>) -> u8 {
+    let v = x.unwrap();
+    let w = Some(v).expect("present");
+    if w == 0 {
+        panic!("zero is not a share");
+    }
+    match w {
+        255 => unreachable!(),
+        _ => w,
+    }
+}
+
+pub fn infallible(b: &[u8]) -> u64 {
+    // lint:allow(panic) the slice is exactly eight bytes by construction
+    u64::from_be_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded violations: the entropy/wall-clock ban (rule 1).
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn stamp() -> (u64, u64) {
+    let wall = std::time::SystemTime::now();
+    let mono = std::time::Instant::now();
+    (since_epoch(wall), nanos(mono))
+}
+
+pub fn reseed() -> u64 {
+    let rng = rand::rngs::StdRng::from_entropy();
+    first_draw(rng)
+}
+
+pub fn allowed_elapsed() {
+    // lint:allow(entropy) fixture: a justified wall-clock read
+    let _ = std::time::Instant::now();
+}
+
+pub fn negatives() -> usize {
+    let s = "thread_rng in a string is fine";
+    // from_entropy in a comment is fine
+    let _epoch = std::time::SystemTime::UNIX_EPOCH;
+    s.len()
+}

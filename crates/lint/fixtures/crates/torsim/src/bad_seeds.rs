@@ -1,0 +1,13 @@
+//! Seeded violations: duplicate derive_seed labels (rule 3).
+
+pub fn day_seed(seed: u64, d: u64) -> u64 {
+    derive_seed(seed, &format!("net/day{d}"))
+}
+
+pub fn other_day_seed(seed: u64, day: u64) -> u64 {
+    derive_seed(seed, &format!("net/day{day}"))
+}
+
+pub fn unique(seed: u64) -> u64 {
+    derive_seed(seed, "unique/label")
+}

@@ -1,0 +1,17 @@
+//! Lexer stress cases: none of these may produce a finding.
+
+pub fn edges() -> usize {
+    /* block /* nested thread_rng */ still a comment */
+    let url = "https://example.com/from_entropy?q=1"; // '//' inside the string
+    let raw = r#"SystemTime::now() and a " quote "#;
+    let deeper = r##"Instant::now() with "# inside"##;
+    let ch = '"';
+    let esc = '\'';
+    let byte = b'"';
+    let bytes = b"thread_rng";
+    let call_text = "derive_seed(seed, \"net/day{d}\") in a string";
+    let r#type = 1u8;
+    let life: &'static str = url;
+    url.len() + raw.len() + deeper.len() + call_text.len() + life.len() + r#type as usize
+        + usize::from(ch == esc) + usize::from(byte == b'x') + bytes.len()
+}

@@ -1,0 +1,481 @@
+//! A minimal hand-rolled Rust lexer: comment and literal scrubbing.
+//!
+//! The analyzer never parses Rust properly — it only needs to know,
+//! for every character of a source file, whether that character is
+//! *code*, a *comment*, or the inside of a *literal*. [`scrub`] makes
+//! one pass over a file and produces:
+//!
+//! * a **cleaned** text of the same length and line structure as the
+//!   input, in which every comment character and every string / char
+//!   literal character (delimiters included) has been replaced by a
+//!   space — so naive token scans on the cleaned text cannot be fooled
+//!   by `"thread_rng"` in a string or `HashMap` in a doc comment;
+//! * a side table of the **string literals** (offset, line, raw text)
+//!   so rules that need literal values — the `derive_seed` label
+//!   registry — can recover them;
+//! * a side table of the **comments** so the `// lint:allow(<rule>)
+//!   <reason>` markers can be recovered.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), block comments
+//! with arbitrary nesting, plain strings with escapes, raw strings
+//! with any number of `#`s (`r"…"`, `r#"…"#`, `r##"…"##`, …), byte
+//! strings and raw byte strings, char and byte-char literals
+//! (including `'\''`), lifetimes (`'a` is *not* a char literal), and
+//! raw identifiers (`r#type` is *not* a raw string).
+
+/// A string literal captured during scrubbing.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Char offset (into the cleaned text) of the opening delimiter.
+    pub start: usize,
+    /// Char offset just past the closing delimiter.
+    pub end: usize,
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// The raw contents between the delimiters (escapes unprocessed).
+    pub text: String,
+}
+
+/// A comment captured during scrubbing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line where the comment opens.
+    pub line: u32,
+    /// The comment body (without the `//` / `/*` delimiters; block
+    /// comment bodies keep their interior newlines).
+    pub text: String,
+}
+
+/// The scrubbed form of one source file.
+pub struct Scrubbed {
+    /// Cleaned text: identical char count and newlines as the input,
+    /// with comments and literals blanked to spaces.
+    pub chars: Vec<char>,
+    /// All string literals, in source order.
+    pub strings: Vec<StrLit>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// The 1-based line containing the cleaned-text char offset `idx`.
+    pub fn line_at(&self, idx: usize) -> u32 {
+        self.line_starts.partition_point(|s| *s <= idx) as u32
+    }
+
+    /// The cleaned text of a 1-based line, as a `String`.
+    pub fn line_text(&self, line: u32) -> String {
+        let i = (line as usize).saturating_sub(1);
+        let start = match self.line_starts.get(i) {
+            Some(s) => *s,
+            None => return String::new(),
+        };
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .copied()
+            .unwrap_or(self.chars.len());
+        self.chars[start..end].iter().collect()
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scrubs one source file; see the module docs for the contract.
+pub fn scrub(src: &str) -> Scrubbed {
+    let input: Vec<char> = src.chars().collect();
+    let n = input.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    // Whether the previously *kept* char could continue an identifier —
+    // distinguishes the raw-string prefix in `r"x"` from the trailing
+    // `r` of an identifier like `var` in `var "x"`-adjacent positions,
+    // and keeps `r#type` a raw identifier rather than a raw string.
+    let mut prev_ident = false;
+    let mut i = 0usize;
+
+    // Pushes `c` (or its blank) and maintains the line counter.
+    macro_rules! push {
+        (keep $c:expr) => {{
+            let c = $c;
+            out.push(c);
+            if c == '\n' {
+                line += 1;
+            }
+            prev_ident = is_ident_char(c);
+        }};
+        (blank $c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                out.push('\n');
+                line += 1;
+            } else {
+                out.push(' ');
+            }
+        }};
+    }
+
+    // Consumes a plain (possibly byte) string starting at the opening
+    // quote `i`; returns the index just past the closing quote.
+    macro_rules! eat_string {
+        ($open:expr) => {{
+            let open = $open;
+            let lit_line = line;
+            push!(blank input[open]); // opening quote
+            let mut j = open + 1;
+            let body_start = j;
+            while j < n {
+                if input[j] == '\\' && j + 1 < n {
+                    push!(blank input[j]);
+                    push!(blank input[j + 1]);
+                    j += 2;
+                    continue;
+                }
+                if input[j] == '"' {
+                    break;
+                }
+                push!(blank input[j]);
+                j += 1;
+            }
+            let text: String = input[body_start..j.min(n)].iter().collect();
+            if j < n {
+                push!(blank input[j]); // closing quote
+                j += 1;
+            }
+            strings.push(StrLit {
+                start: open,
+                end: j,
+                line: lit_line,
+                text,
+            });
+            prev_ident = false;
+            j
+        }};
+    }
+
+    // Consumes a raw (possibly byte) string whose opening quote is at
+    // `quote` with `hashes` trailing `#`s expected at the close;
+    // `start` is the offset of the `r`/`b` prefix.
+    macro_rules! eat_raw_string {
+        ($start:expr, $quote:expr, $hashes:expr) => {{
+            let (start, quote, hashes) = ($start, $quote, $hashes);
+            let lit_line = line;
+            for k in start..=quote {
+                push!(blank input[k]);
+            }
+            let mut j = quote + 1;
+            let body_start = j;
+            let body_end;
+            loop {
+                if j >= n {
+                    body_end = n;
+                    break;
+                }
+                if input[j] == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if j + 1 + h >= n || input[j + 1 + h] != '#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        body_end = j;
+                        for k in j..(j + 1 + hashes).min(n) {
+                            push!(blank input[k]);
+                        }
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                push!(blank input[j]);
+                j += 1;
+            }
+            strings.push(StrLit {
+                start,
+                end: j,
+                line: lit_line,
+                text: input[body_start..body_end].iter().collect(),
+            });
+            prev_ident = false;
+            j
+        }};
+    }
+
+    while i < n {
+        let c = input[i];
+        let c1 = if i + 1 < n { input[i + 1] } else { '\0' };
+
+        // Line comment (also covers /// and //! doc comments).
+        if c == '/' && c1 == '/' {
+            let start_line = line;
+            let body_start = i + 2;
+            let mut j = i;
+            while j < n && input[j] != '\n' {
+                push!(blank input[j]);
+                j += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: input[body_start.min(j)..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Block comment, nesting tracked.
+        if c == '/' && c1 == '*' {
+            let start_line = line;
+            let body_start = i + 2;
+            push!(blank input[i]);
+            push!(blank input[i + 1]);
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            let mut body_end = n;
+            while j < n {
+                if input[j] == '/' && j + 1 < n && input[j + 1] == '*' {
+                    depth += 1;
+                    push!(blank input[j]);
+                    push!(blank input[j + 1]);
+                    j += 2;
+                } else if input[j] == '*' && j + 1 < n && input[j + 1] == '/' {
+                    depth -= 1;
+                    push!(blank input[j]);
+                    push!(blank input[j + 1]);
+                    j += 2;
+                    if depth == 0 {
+                        body_end = j - 2;
+                        break;
+                    }
+                } else {
+                    push!(blank input[j]);
+                    j += 1;
+                }
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: input[body_start..body_end.min(n)].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Plain string.
+        if c == '"' {
+            i = eat_string!(i);
+            continue;
+        }
+
+        // Raw string r"…" / r#"…"# — but not the raw identifier r#ident.
+        if c == 'r' && !prev_ident {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while j < n && input[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && input[j] == '"' {
+                i = eat_raw_string!(i, j, hashes);
+                continue;
+            }
+        }
+
+        // Byte string b"…", raw byte string br#"…"#, byte char b'x'.
+        if c == 'b' && !prev_ident {
+            if c1 == '"' {
+                push!(blank input[i]);
+                i = eat_string!(i + 1);
+                continue;
+            }
+            if c1 == 'r' {
+                let mut j = i + 2;
+                let mut hashes = 0usize;
+                while j < n && input[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && input[j] == '"' {
+                    i = eat_raw_string!(i, j, hashes);
+                    continue;
+                }
+            }
+            if c1 == '\'' {
+                // Byte char literal: blank b' then fall through to the
+                // char-literal body below by consuming it here.
+                push!(blank input[i]);
+                i = eat_char(&input, i + 1, &mut |ch| push!(blank ch));
+                continue;
+            }
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = c1 == '\\'
+                || (c1 != '\0' && i + 2 < n && input[i + 2] == '\'' && c1 != '\'')
+                || c1 == '"';
+            if is_char {
+                i = eat_char(&input, i, &mut |ch| push!(blank ch));
+                continue;
+            }
+            // Lifetime (or the rare `'…` we cannot classify): keep it.
+            push!(keep c);
+            i += 1;
+            continue;
+        }
+
+        push!(keep c);
+        i += 1;
+    }
+
+    let mut line_starts = vec![0usize];
+    for (idx, c) in out.iter().enumerate() {
+        if *c == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    Scrubbed {
+        chars: out,
+        strings,
+        comments,
+        line_starts,
+    }
+}
+
+/// Consumes a char literal whose opening `'` is at `i`, blanking every
+/// char through `emit`; returns the index just past the closing `'`.
+fn eat_char(input: &[char], i: usize, emit: &mut dyn FnMut(char)) -> usize {
+    let n = input.len();
+    emit(input[i]); // opening '
+    let mut j = i + 1;
+    if j < n && input[j] == '\\' {
+        emit(input[j]);
+        j += 1;
+        if j < n {
+            emit(input[j]);
+            j += 1;
+        }
+        // \u{…} escapes: consume through the closing brace.
+        while j < n && input[j] != '\'' {
+            emit(input[j]);
+            j += 1;
+        }
+    } else if j < n {
+        emit(input[j]);
+        j += 1;
+    }
+    if j < n && input[j] == '\'' {
+        emit(input[j]);
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cleaned(src: &str) -> String {
+        scrub(src).chars.iter().collect()
+    }
+
+    #[test]
+    fn line_comments_are_blanked_and_recorded() {
+        let s = scrub("let x = 1; // thread_rng here\nlet y = 2;\n");
+        let c: String = s.chars.iter().collect();
+        assert!(!c.contains("thread_rng"));
+        assert!(c.contains("let y = 2;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("thread_rng"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_fully_stripped() {
+        let src = "a /* outer /* inner thread_rng */ still outer */ b\n";
+        let c = cleaned(src);
+        assert!(!c.contains("thread_rng"));
+        assert!(!c.contains("still outer"));
+        assert!(c.starts_with("a "));
+        assert!(c.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn block_comment_line_numbers_survive() {
+        let s = scrub("x\n/* two\nlines */\ny\n");
+        // Same newline structure: 'y' is still on line 4.
+        let pos = s.chars.iter().position(|c| *c == 'y').unwrap();
+        assert_eq!(s.line_at(pos), 4);
+    }
+
+    #[test]
+    fn strings_are_blanked_but_captured() {
+        let s = scrub("let u = \"https://x/thread_rng\"; let v = 1;\n");
+        let c: String = s.chars.iter().collect();
+        // The `//` inside the string must not start a comment.
+        assert!(c.contains("let v = 1;"));
+        assert!(!c.contains("thread_rng"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].text, "https://x/thread_rng");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = scrub(r#"let a = "he said \"hi\" // x"; let b = 2;"#);
+        let c: String = s.chars.iter().collect();
+        assert!(c.contains("let b = 2;"));
+        assert_eq!(s.strings[0].text, r#"he said \"hi\" // x"#);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub("let r = r##\"quote \"# SystemTime::now() \"##; let q = 3;\n");
+        let c: String = s.chars.iter().collect();
+        assert!(c.contains("let q = 3;"));
+        assert!(!c.contains("SystemTime"));
+        assert_eq!(s.strings[0].text, "quote \"# SystemTime::now() ");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let c = cleaned("let r#type = 1; let after = 2;\n");
+        assert!(c.contains("r#type"));
+        assert!(c.contains("let after = 2;"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = scrub("let b = b\"from_entropy\"; let c = b'\"'; let d = br#\"x\"#; let e = 4;\n");
+        let c: String = s.chars.iter().collect();
+        assert!(c.contains("let e = 4;"));
+        assert!(!c.contains("from_entropy"));
+        assert_eq!(s.strings[0].text, "from_entropy");
+    }
+
+    #[test]
+    fn char_literals_including_quote_and_escape() {
+        let c = cleaned("let a = '\"'; let b = '\\''; let d = '\\u{41}'; let e = 5;\n");
+        assert!(c.contains("let e = 5;"));
+        assert!(!c.contains('"'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = cleaned("fn f<'a>(x: &'a str) -> &'static str { x } let g = 6;\n");
+        assert!(c.contains("'a"));
+        assert!(c.contains("'static"));
+        assert!(c.contains("let g = 6;"));
+    }
+
+    #[test]
+    fn string_offsets_index_the_cleaned_text() {
+        let s = scrub("call(\"label\", 2)\n");
+        let lit = &s.strings[0];
+        assert_eq!(s.chars[lit.start - 1], '(');
+        assert_eq!(s.chars[lit.end], ',');
+    }
+}

@@ -1,0 +1,69 @@
+//! The `pm-lint` gate binary.
+//!
+//! ```text
+//! pm-lint [--root DIR] [--json PATH]
+//! ```
+//!
+//! Analyzes every workspace source file under `--root` (default: the
+//! current directory), prints findings as `file:line rule message`,
+//! optionally exports them as JSON, and exits nonzero if any finding
+//! survives. `make lint` runs this with `--json target/lint.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" if i + 1 < args.len() => {
+                i += 1;
+                root = PathBuf::from(&args[i]);
+            }
+            "--json" if i + 1 < args.len() => {
+                i += 1;
+                json = Some(PathBuf::from(&args[i]));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: pm-lint [--root DIR] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pm-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let findings = match pm_lint::analyze_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pm-lint: {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{}:{} {} {}", f.file, f.line, f.rule, f.message);
+    }
+    if let Some(path) = &json {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, pm_lint::render_json(&findings)) {
+            eprintln!("pm-lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if findings.is_empty() {
+        eprintln!("pm-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pm-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,21 @@
+//! The gate itself, as a test: the real workspace must be lint-clean.
+//! This is the same analysis `make lint` runs — keeping it in the test
+//! suite means `cargo test --workspace` already enforces the
+//! determinism & robustness contracts.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = pm_lint::analyze_root(&root).expect("workspace readable");
+    let rendered: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{} {} {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "the workspace violates the determinism/robustness contracts:\n{}",
+        rendered.join("\n")
+    );
+}

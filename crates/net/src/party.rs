@@ -21,7 +21,7 @@
 //! either mode.
 
 use crate::transport::{Endpoint, Envelope, PartyId, Switchboard, TransportError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What a node wants after handling an event.
@@ -290,8 +290,9 @@ impl RunOutcome {
         Some(self.nodes.remove(idx).1)
     }
 
-    /// Map of party id -> node.
-    pub fn into_map(self) -> HashMap<PartyId, Box<dyn Node>> {
+    /// Map of party id -> node, ordered by id so callers that iterate
+    /// it observe a deterministic sequence.
+    pub fn into_map(self) -> BTreeMap<PartyId, Box<dyn Node>> {
         self.nodes.into_iter().collect()
     }
 }

@@ -239,17 +239,20 @@ struct PartySlot {
     /// order and its disconnection mirrors deregistration.
     token_tx: Sender<PartyId>,
     /// Per-sender mailboxes, created lazily on first frame.
+    // lint:allow(unordered-map) keyed lookup only; the one key iteration (parties()) sorts before returning
     links: Arc<Mutex<HashMap<PartyId, Arc<LinkMailbox>>>>,
 }
 
 /// Per-link fabric state.
 struct PerLinkFabric {
+    // lint:allow(unordered-map) keyed lookup only; the one key iteration (parties()) sorts before returning
     parties: Mutex<HashMap<PartyId, PartySlot>>,
 }
 
 /// The original single-lock fabric: one channel per recipient, one
 /// global fault RNG, everything serialized through one mutex.
 struct SingleLockFabric {
+    // lint:allow(unordered-map) keyed lookup only; the one key iteration (parties()) sorts before returning
     channels: HashMap<PartyId, Sender<WireMessage>>,
     rng: StdRng,
 }
@@ -288,6 +291,7 @@ impl Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
                 fabric: Fabric::PerLink(PerLinkFabric {
+                    // lint:allow(unordered-map) see the PerLinkFabric field note
                     parties: Mutex::new(HashMap::new()),
                 }),
                 faults,
@@ -304,6 +308,7 @@ impl Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
                 fabric: Fabric::SingleLock(Mutex::new(SingleLockFabric {
+                    // lint:allow(unordered-map) see the SingleLockFabric field note
                     channels: HashMap::new(),
                     rng: StdRng::seed_from_u64(faults.seed),
                 })),
@@ -320,6 +325,7 @@ impl Switchboard {
         let recv = match &self.inner.fabric {
             Fabric::PerLink(fabric) => {
                 let (token_tx, token_rx) = unbounded();
+                // lint:allow(unordered-map) see the PartySlot::links field note
                 let links = Arc::new(Mutex::new(HashMap::new()));
                 fabric.parties.lock().insert(
                     id.clone(),
@@ -451,6 +457,7 @@ impl Switchboard {
 enum RecvHalf {
     PerLink {
         token_rx: Receiver<PartyId>,
+        // lint:allow(unordered-map) see the PartySlot::links field note
         links: Arc<Mutex<HashMap<PartyId, Arc<LinkMailbox>>>>,
     },
     SingleLock {
@@ -460,6 +467,7 @@ enum RecvHalf {
 
 impl RecvHalf {
     fn pop_link(
+        // lint:allow(unordered-map) see the PartySlot::links field note
         links: &Mutex<HashMap<PartyId, Arc<LinkMailbox>>>,
         from: PartyId,
     ) -> Result<(PartyId, Vec<u8>), TransportError> {

@@ -144,6 +144,7 @@ pub fn alexa_siblings_histogram(sites: Arc<SiteList>, eps: f64, delta: f64) -> S
         emit(Family::ALL.len() + 1, 1); // total
         match sites.family(domain) {
             Some(f) => {
+                // lint:allow(panic) Family::ALL enumerates every Family variant
                 let idx = Family::ALL.iter().position(|g| *g == f).expect("family");
                 emit(idx, 1);
             }
@@ -263,7 +264,10 @@ pub fn country_histogram(geo: Arc<GeoDb>, stat: CountryStat, eps: f64, delta: f6
         .iter()
         .map(|c| CounterSpec::calibrated(format!("country.{c}"), sens, eps, delta))
         .collect();
-    let index: std::collections::HashMap<CountryCode, usize> =
+    // Ordered: the counter layout above iterates `countries` in GeoDb
+    // order, and a BTreeMap keeps the lookup side free of hash-order
+    // hazards should anyone ever iterate it.
+    let index: std::collections::BTreeMap<CountryCode, usize> =
         countries.iter().enumerate().map(|(i, c)| (*c, i)).collect();
     let mapper: EventMapper = Arc::new(move |ev: &TorEvent, emit: &mut dyn FnMut(usize, i64)| {
         let (ip, delta_v) = match (stat, ev) {

@@ -67,6 +67,7 @@ impl RoundResult {
             .counters
             .iter()
             .position(|c| c.name == name)
+            // lint:allow(panic) counter names are the caller's own schema; a miss is a caller bug
             .unwrap_or_else(|| panic!("no counter named {name}"));
         self.totals[idx]
     }
@@ -77,6 +78,7 @@ impl RoundResult {
             .counters
             .iter()
             .position(|c| c.name == name)
+            // lint:allow(panic) counter names are the caller's own schema; a miss is a caller bug
             .unwrap_or_else(|| panic!("no counter named {name}"));
         Estimate::gaussian95(self.totals[idx] as f64, self.counters[idx].sigma)
     }
@@ -114,7 +116,9 @@ pub fn run_round_streams(
 
 /// Runs one PrivCount round per day of a campaign window (`pm-study`):
 /// `days[d]` holds day `d`'s per-DC streams, and day `d`'s round seeds
-/// derive from the base config as `derive_seed(seed, "day{d}")`, so the
+/// derive from the base config as `derive_seed(seed, "privcount/day{d}")`
+/// (the label is namespaced so it can never alias the campaign layer's
+/// own `"day{d}"` deployment-seed stream), so the
 /// series is a pure function of `(config, calendar)` — the noise drawn
 /// on day `d` cannot depend on which days ran before it (or
 /// concurrently with it, under the parallel campaign executor).
@@ -133,7 +137,7 @@ pub fn run_round_days(
                     mapper: cfg.mapper.clone(),
                     num_sks: cfg.num_sks,
                     noise: cfg.noise,
-                    seed: pm_stats::sampling::derive_seed(cfg.seed, &format!("day{d}")),
+                    seed: pm_stats::sampling::derive_seed(cfg.seed, &format!("privcount/day{d}")),
                     threaded: cfg.threaded,
                     faults: cfg.faults,
                     adversary: cfg.adversary,

@@ -63,6 +63,7 @@ impl SkNode {
         }
         let shares: Vec<u64> = plain
             .chunks_exact(8)
+            // lint:allow(panic) chunks_exact(8) guarantees the width
             .map(|c| u64::from_be_bytes(c.try_into().expect("chunk of 8")))
             .collect();
         if self.accumulators.is_empty() {

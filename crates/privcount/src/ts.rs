@@ -11,7 +11,7 @@ use pm_crypto::group::GroupElement;
 use pm_crypto::secret::unblind_total;
 use pm_net::party::{Node, NodeError, Step};
 use pm_net::transport::{Endpoint, Envelope, PartyId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Shared slot where the TS deposits the round's totals.
@@ -33,7 +33,10 @@ pub struct TsNode {
     dc_names: Vec<PartyId>,
     sk_names: Vec<PartyId>,
     phase: Phase,
-    sk_keys: HashMap<PartyId, GroupElement>,
+    // Ordered so no code path can ever observe hash order: the DC
+    // configure message sorts keys by party name, and a BTreeMap makes
+    // that invariant structural rather than a downstream `sort`.
+    sk_keys: BTreeMap<PartyId, GroupElement>,
     shares_seen: usize,
     acks_seen: usize,
     dc_results: Vec<Vec<u64>>,
@@ -56,7 +59,7 @@ impl TsNode {
             dc_names,
             sk_names,
             phase: Phase::AwaitSkKeys,
-            sk_keys: HashMap::new(),
+            sk_keys: BTreeMap::new(),
             shares_seen: 0,
             acks_seen: 0,
             dc_results: Vec::new(),
@@ -66,16 +69,13 @@ impl TsNode {
     }
 
     fn configure_dcs(&mut self, ep: &Endpoint) -> Result<(), NodeError> {
-        let mut sk_keys: Vec<(String, GroupElement)> = self
-            .sk_names
-            .iter()
-            .map(|name| {
-                (
-                    name.as_str().to_string(),
-                    *self.sk_keys.get(name).expect("all SK keys present"),
-                )
-            })
-            .collect();
+        let mut sk_keys: Vec<(String, GroupElement)> = Vec::with_capacity(self.sk_names.len());
+        for name in &self.sk_names {
+            let key = self.sk_keys.get(name).copied().ok_or_else(|| {
+                NodeError::Protocol(format!("configure before SK key from {name}"))
+            })?;
+            sk_keys.push((name.as_str().to_string(), key));
+        }
         sk_keys.sort_by(|a, b| a.0.cmp(&b.0));
         let cfg = messages::Configure {
             counter_names: self.counters.iter().map(|c| c.name.clone()).collect(),

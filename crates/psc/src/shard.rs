@@ -36,6 +36,7 @@ pub struct ShardMarks {
     pub cells: BTreeSet<usize>,
     /// Keyed item hashes seen by this shard (within-period dedup,
     /// performance only).
+    // lint:allow(unordered-map) membership + associative set union only; counts come from len()
     pub dedup: HashSet<u64>,
 }
 

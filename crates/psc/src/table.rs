@@ -30,6 +30,7 @@ pub struct ObliviousTable {
     salt: [u8; 32],
     cells: Vec<Ciphertext>,
     /// Keyed hashes of items already marked this period (perf only).
+    // lint:allow(unordered-map) membership-only dedup: inserted and probed, never iterated
     seen: HashSet<u64>,
     /// Count of marking operations performed (for diagnostics).
     pub marks: u64,
@@ -58,6 +59,7 @@ pub fn cell_index(salt: &[u8; 32], table_size: usize, item: &[u8]) -> usize {
 /// dedup, see [`ObliviousTable::observe`]).
 pub fn dedup_key(salt: &[u8; 32], item: &[u8]) -> u64 {
     let digest = sha256_concat(&[b"psc-dedup", salt, item]);
+    // lint:allow(panic) the slice is exactly eight bytes by construction
     u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
 }
 
@@ -70,6 +72,7 @@ impl ObliviousTable {
             gp,
             salt,
             cells: vec![trivial_cell(&gp); size],
+            // lint:allow(unordered-map) membership-only dedup, see the field note
             seen: HashSet::new(),
             marks: 0,
         }

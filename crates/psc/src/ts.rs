@@ -97,7 +97,9 @@ impl PscTsNode {
     }
 
     fn verify_mix(&self, msg: &messages::MixResult) -> Result<(), NodeError> {
-        let joint = pm_crypto::elgamal::PublicKey(self.joint_key.expect("configured"));
+        let joint = pm_crypto::elgamal::PublicKey(self.joint_key.ok_or_else(|| {
+            NodeError::Protocol("mix result before the round was configured".into())
+        })?);
         let n_in = self.mix_input.len();
         if msg.with_noise.len() != n_in + self.noise_flips as usize {
             return Err(NodeError::Protocol("noise extension length wrong".into()));
@@ -144,11 +146,12 @@ impl PscTsNode {
     }
 
     fn finalize(&mut self) -> Result<(), NodeError> {
-        let partials: Vec<&Vec<GroupElement>> = self
-            .partials
-            .iter()
-            .map(|p| p.as_ref().expect("all partials present"))
-            .collect();
+        let mut partials: Vec<&Vec<GroupElement>> = Vec::with_capacity(self.partials.len());
+        for (i, p) in self.partials.iter().enumerate() {
+            partials.push(p.as_ref().ok_or_else(|| {
+                NodeError::Protocol(format!("finalize without a partial decryption from CP {i}"))
+            })?);
+        }
         let mut marked = 0u64;
         for (j, cell) in self.final_table.iter().enumerate() {
             let cell_partials: Vec<GroupElement> = partials.iter().map(|p| p[j]).collect();

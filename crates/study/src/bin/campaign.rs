@@ -41,22 +41,27 @@ fn main() {
         match args[i].as_str() {
             "--days" => {
                 i += 1;
+                // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 days = args[i].parse().expect("--days takes an integer ≥ 1");
             }
             "--scale" => {
                 i += 1;
+                // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 scale = args[i].parse().expect("--scale takes a float in (0, 1]");
             }
             "--seed" => {
                 i += 1;
+                // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 seed = args[i].parse().expect("--seed takes an integer");
             }
             "--shards" => {
                 i += 1;
+                // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 shards = args[i].parse().expect("--shards takes an integer");
             }
             "--workers" => {
                 i += 1;
+                // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 workers = args[i].parse().expect("--workers takes an integer");
             }
             "--attack" => {
@@ -127,6 +132,7 @@ fn main() {
         print!("{}", report.render_text());
     }
     if let Some(path) = json {
+        // lint:allow(panic) CLI export failure: an immediate loud exit is the interface
         std::fs::write(&path, report.render_json()).expect("write --json output");
         eprintln!("# wrote {path}");
     }

@@ -362,6 +362,7 @@ impl Campaign {
                     duration_hours,
                     statistics: stats,
                 })
+                // lint:allow(panic) earliest_start vetted this placement; a refusal is a planner bug
                 .expect("greedy placement is legal by construction");
             rounds.push(RoundSpec {
                 id: id.to_string(),
@@ -387,6 +388,7 @@ impl Campaign {
                     duration_hours: spec.duration_days * 24,
                     statistics: vec![spec.statistic.clone()],
                 })
+                // lint:allow(panic) validate() re-checks a calendar plan() already proved legal
                 .unwrap_or_else(|e| panic!("campaign calendar violates §3.1: {e}"));
         }
         accountant
@@ -924,7 +926,9 @@ impl Campaign {
             );
             // Both systems observe the identical events of the shared
             // window, so their truths cannot drift apart.
+            // lint:allow(panic) exit_stream_day was asked for exactly two stream copies
             pc_days.push(vec![streams.pop().expect("two copies")]);
+            // lint:allow(panic) exit_stream_day was asked for exactly two stream copies
             psc_days.push(vec![streams.pop().expect("two copies")]);
             shares.push(DayShare {
                 share: truth.new_vs(&union) as f64,

@@ -5,6 +5,38 @@
 //! runnable examples (`examples/`) and cross-crate integration tests
 //! (`tests/`). See `README.md` for a tour and `DESIGN.md` for the system
 //! inventory.
+//!
+//! ## Determinism contract
+//!
+//! Every protocol output in this workspace — transcripts, tallies,
+//! campaign reports — must be a pure function of the configured seed.
+//! That contract is machine-checked by `pm-lint` (`crates/lint`), a
+//! dependency-free static-analysis pass that CI runs via `make lint`
+//! (part of `make verify`). Its four rules:
+//!
+//! 1. **entropy** — ambient randomness and wall-clock reads
+//!    (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`)
+//!    are forbidden outside `crates/vendor` and `crates/bench`. All
+//!    randomness flows from seeded `StdRng`s; all time is simulated.
+//! 2. **unordered-map** — `HashMap`/`HashSet` in the protocol crates
+//!    (`psc`, `privcount`, `net`, `study`, `core`) must either be
+//!    replaced by their ordered `BTree` counterparts or carry an
+//!    allow marker explaining why iteration order cannot leak into
+//!    output (e.g. membership-only sets read through `len()`).
+//! 3. **seed-label** — every `derive_seed(seed, label)` call site must
+//!    use a workspace-unique label (after normalizing format
+//!    placeholders), so no two subsystems ever draw from the same
+//!    derived stream.
+//! 4. **panic** — `unwrap`/`expect`/`panic!`-family calls in protocol
+//!    round paths must be converted to the threaded `Result` path or
+//!    annotated with a reason why they are infallible: a malformed
+//!    message should abort a round, not the process.
+//!
+//! Intentional exceptions are annotated in place as
+//! `// lint:allow(<rule>) <reason>` on the offending line or the line
+//! directly above; the reason is mandatory, and malformed markers are
+//! themselves findings. Run the pass locally with `make lint` or
+//! `cargo run -p pm-lint`.
 
 pub use pm_crypto as crypto;
 pub use pm_dp as dp;
