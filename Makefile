@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke doc bench bench-study golden
+.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke doc bench bench-study bench-timeline golden
 
-verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke
+verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -88,6 +88,13 @@ scenario-smoke:
 		--json target/scenario_death.json > /dev/null
 	grep -q '"kind": "aborted"' target/scenario_death.json
 
+# Year-scale consensus-diff smoke: sweep 365 days through the diff
+# cursor, then pin 3 sampled days bit-for-bit against the from-scratch
+# replay oracle. Guards the snapshot fast path the way the proptests
+# guard it per-config, but at the paper-shaped network size.
+timeline-smoke:
+	$(CARGO) test -q --release -p torsim --test timeline_smoke
+
 # Sharded-pipeline benchmarks; writes BENCH_pipeline.json at the repo root.
 bench:
 	$(CARGO) bench -p pm-bench --bench pipeline
@@ -96,6 +103,11 @@ bench:
 # parallel rounds); writes BENCH_study.json at the repo root.
 bench-study:
 	$(CARGO) bench -p pm-bench --bench campaign
+
+# Snapshot-cost sweep at days {30, 90, 365} × {replay, diff}; writes
+# BENCH_timeline.json at the repo root.
+bench-timeline:
+	$(CARGO) bench -p pm-bench --bench timeline
 
 # Regenerate the committed golden report snapshots after an intentional
 # output change.

@@ -1,0 +1,100 @@
+//! Consensus-diff snapshot benchmarks: the cost of materializing day
+//! `d` of a [`NetworkTimeline`] via the from-scratch replay path vs the
+//! incremental diff cursor, at days {30, 90, 365}. Results are printed
+//! and exported to `BENCH_timeline.json` at the workspace root.
+//!
+//! Expected shape: the replay path grows with `d · network` (every call
+//! re-derives days 1..d), while the diff path is ~flat in `d` — a
+//! random re-access replays at most `CHECKPOINT_INTERVAL` deltas from
+//! the nearest checkpoint (`O(churn)` work) plus an `O(n)` snapshot
+//! build. The `diff_sweep` rows amortize a full 0..=d sequential sweep
+//! over its days, the realistic campaign access pattern.
+
+use criterion::{Criterion, Measurement};
+use std::sync::Arc;
+use torsim::churn::ChurnModel;
+use torsim::geo::GeoDb;
+use torsim::timeline::diff::CHECKPOINT_INTERVAL;
+use torsim::timeline::{NetworkTimeline, TimelineConfig};
+
+/// Days the sweep covers: one month, one quarter, one year.
+const DAY_SWEEP: [u64; 3] = [30, 90, 365];
+
+fn timeline(seed: u64) -> NetworkTimeline {
+    NetworkTimeline::new(
+        TimelineConfig::paper_default(seed),
+        ChurnModel::new(2_000, 760, seed ^ 0xC1),
+        30,
+        Arc::new(GeoDb::paper_default()),
+    )
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    for day in DAY_SWEEP {
+        let mut group = c.benchmark_group(format!("snapshot_day{day}"));
+        group.sample_size(10);
+        // From-scratch replay: every call pays the full day-0..d walk.
+        group.bench_function("replay", |b| {
+            let t = timeline(2018);
+            b.iter(|| t.snapshot_replay(day).consensus.relays().len());
+        });
+        // Diff cursor, cold-ish re-access: alternating between `day`
+        // and a day in a different checkpoint span defeats the
+        // last-snapshot cache, so each call seeks a checkpoint and
+        // applies ≤ CHECKPOINT_INTERVAL deltas.
+        group.bench_function("diff_seek", |b| {
+            let t = timeline(2018);
+            // Populate the cursor's checkpoints once.
+            let _ = t.snapshot(day);
+            let other = day.saturating_sub(CHECKPOINT_INTERVAL + 1);
+            b.iter(|| {
+                let a = t.snapshot(day).consensus.relays().len();
+                let b_ = t.snapshot(other).consensus.relays().len();
+                a + b_
+            });
+        });
+        // Diff cursor, sequential sweep 0..=d — the campaign pattern;
+        // per-day cost is this row divided by d+1.
+        group.bench_function("diff_sweep", |b| {
+            b.iter(|| {
+                let t = timeline(2018);
+                let mut total = 0usize;
+                for d in 0..=day {
+                    total += t.snapshot(d).consensus.relays().len();
+                }
+                total
+            });
+        });
+        group.finish();
+    }
+}
+
+fn export_json(measurements: &[Measurement]) {
+    let mut json = String::from("{\n");
+    json.push_str("  \"network\": {\"n_background\": 600, \"instrumented\": 16},\n");
+    json.push_str(&format!(
+        "  \"checkpoint_interval\": {CHECKPOINT_INTERVAL},\n"
+    ));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{}\n",
+            m.id,
+            m.median_ns,
+            m.samples,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_timeline.json");
+    std::fs::write(&path, json).expect("write BENCH_timeline.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_timeline(&mut criterion);
+    export_json(&criterion.take_measurements());
+}

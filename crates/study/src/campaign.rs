@@ -14,7 +14,9 @@ use std::sync::Arc;
 use torsim::churn::ChurnModel;
 use torsim::relay::Position;
 use torsim::stream::EventStream;
-use torsim::timeline::{DayTruth, DomainDayTruth, NetworkTimeline, OnionDayTruth, TimelineConfig};
+use torsim::timeline::{
+    DaySnapshot, DayTruth, DomainDayTruth, NetworkTimeline, OnionDayTruth, TimelineConfig,
+};
 use torstudy::deployment::Deployment;
 use torstudy::experiments::{client_traffic_streams, privcount_round, psc_round};
 use torstudy::report::{fmt_count, fmt_estimate, Report, ReportRow};
@@ -632,10 +634,12 @@ impl Campaign {
         }
     }
 
-    /// The day's observation probability for a client: the day's guard
-    /// fraction compounded over the guards each client contacts.
-    fn observe_on(&self, day: u64) -> (f64, f64) {
-        let p = self.timeline.snapshot(day).fraction(Position::Guard);
+    /// The day's observation probability for a client: the snapshot's
+    /// guard fraction compounded over the guards each client contacts.
+    /// Takes the day's already-fetched snapshot so each runner pulls a
+    /// day from the timeline cursor exactly once.
+    fn observe_on(&self, snap: &DaySnapshot) -> (f64, f64) {
+        let p = snap.fraction(Position::Guard);
         let g = self.base.workload.clients.guards_per_client;
         (p, observe_probability(p, g))
     }
@@ -652,10 +656,11 @@ impl Campaign {
         let mut shares: Vec<DayShare> = Vec::new();
         let mut guard_fractions: Vec<f64> = Vec::new();
         for (k, day) in spec.days().enumerate() {
-            // One snapshot evolution per day (snapshot(d) replays d
-            // daily steps, so recomputing it per use would grow
-            // quadratically with the calendar).
-            let (p, observe) = self.observe_on(day);
+            // One snapshot fetch per day: the shared timeline cursor
+            // evolves the network incrementally, so a calendar sweep is
+            // O(churn) per day rather than replaying day 0..d.
+            let snap = self.timeline.snapshot(day);
+            let (p, observe) = self.observe_on(&snap);
             guard_fractions.push(p);
             let (stream, truth) =
                 self.timeline
@@ -783,8 +788,9 @@ impl Campaign {
     /// One PSC unique-country round on the round's day.
     fn run_unique_countries(&self, spec: &RoundSpec) -> RoundOutcome {
         let day = spec.start_day;
-        let dep = self.base.for_day(&self.timeline.snapshot(day));
-        let (_, observe) = self.observe_on(day);
+        let snap = self.timeline.snapshot(day);
+        let dep = self.base.for_day(&snap);
+        let (_, observe) = self.observe_on(&snap);
         let (stream, truth) =
             self.timeline
                 .client_ip_day(day, observe, dep.shards, dep.entry_relays());
@@ -841,7 +847,7 @@ impl Campaign {
         let mut fractions = Vec::new();
         let mut deps: Vec<Deployment> = Vec::new();
         for day in spec.days() {
-            // One snapshot evolution per day (see run_unique_ips).
+            // One snapshot fetch per day (see run_unique_ips).
             let dep = self.base.for_day(&self.timeline.snapshot(day));
             let p = dep.weights.tab4_entry;
             day_streams.push(client_traffic_streams(&dep, p, 10, &spec.id));
@@ -911,7 +917,7 @@ impl Campaign {
         let mut exit_fractions: Vec<f64> = Vec::new();
         let mut union = DomainDayTruth::default();
         for day in spec.days() {
-            // One snapshot evolution per day (see run_unique_ips).
+            // One snapshot fetch per day (see run_unique_ips).
             let snap = self.timeline.snapshot(day);
             let p = snap.fraction(Position::Exit);
             exit_fractions.push(p);
@@ -1048,7 +1054,7 @@ impl Campaign {
         let mut rend_fractions: Vec<f64> = Vec::new();
         let mut union = OnionDayTruth::default();
         for day in spec.days() {
-            // One snapshot evolution per day (see run_unique_ips).
+            // One snapshot fetch per day (see run_unique_ips).
             let snap = self.timeline.snapshot(day);
             let hs_day = self.timeline.hs_stream_day(
                 &snap,

@@ -27,6 +27,10 @@ struct CountryBlock {
 #[derive(Clone, Debug)]
 pub struct GeoDb {
     blocks: Vec<CountryBlock>,
+    /// Last sampleable IP (inclusive). `u32::MAX` for real-sized
+    /// databases; [`GeoDb::confined`] shrinks it so tests can force a
+    /// tiny IP universe (and thus certain sampling collisions).
+    space_end: u32,
 }
 
 /// Population shares for the countries Figure 4 names, roughly matching
@@ -92,12 +96,25 @@ impl GeoDb {
 
     /// Builds a database from explicit (country, share) pairs.
     pub fn from_shares(shares: &[(CountryCode, f64)]) -> GeoDb {
+        GeoDb::with_space(shares, u32::MAX as u64 + 1)
+    }
+
+    /// Builds a database whose blocks tile only `[0, space)` instead of
+    /// the full IPv4 range. With a tiny `space` every sampled IP lands
+    /// in a handful of addresses, making collisions certain — the tool
+    /// the pool-dedupe regression tests need, since `from_shares`
+    /// always tiles all 2^32 addresses and cannot force them.
+    pub fn confined(shares: &[(CountryCode, f64)], space: u32) -> GeoDb {
+        assert!(space > 0, "confined space must be non-empty");
+        GeoDb::with_space(shares, space as u64)
+    }
+
+    fn with_space(shares: &[(CountryCode, f64)], space: u64) -> GeoDb {
         assert!(!shares.is_empty());
         let total: f64 = shares.iter().map(|(_, s)| s).sum();
         assert!(total > 0.0);
         let mut blocks = Vec::with_capacity(shares.len());
         let mut cursor: u64 = 0;
-        let space = u32::MAX as u64 + 1;
         for (code, share) in shares {
             blocks.push(CountryBlock {
                 code: *code,
@@ -107,7 +124,10 @@ impl GeoDb {
             cursor += ((share / total) * space as f64) as u64;
             cursor = cursor.min(space - 1);
         }
-        GeoDb { blocks }
+        GeoDb {
+            blocks,
+            space_end: (space - 1) as u32,
+        }
     }
 
     /// Number of countries.
@@ -167,7 +187,7 @@ impl GeoDb {
         let end = if i + 1 < self.blocks.len() {
             self.blocks[i + 1].start
         } else {
-            u32::MAX
+            self.space_end
         };
         if end <= start {
             // Degenerately small share: return the block start.
@@ -243,6 +263,17 @@ mod tests {
         // First and last IPs resolve without panicking.
         let _ = db.country_of(IpAddr(0));
         let _ = db.country_of(IpAddr(u32::MAX));
+    }
+
+    #[test]
+    fn confined_space_bounds_samples() {
+        let db = GeoDb::confined(&[(CountryCode::new("AA"), 1.0)], 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let ip = db.sample_ip(&mut rng);
+            assert!(ip.0 < 8, "ip {ip} escaped the confined space");
+            assert_eq!(db.country_of(ip), CountryCode::new("AA"));
+        }
     }
 
     #[test]

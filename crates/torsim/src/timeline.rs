@@ -11,14 +11,16 @@
 //! * **Relay churn & weight drift** — [`NetworkTimeline::snapshot`]
 //!   evolves a base [`Consensus`] one day at a time: background relays
 //!   leave with a daily probability, a Poisson number of fresh relays
-//!   join, and every weight takes a log-normal daily step. The 16
-//!   instrumented relays never leave (the deployment keeps running),
-//!   but their weights drift too, so the observed fraction `p` is a
-//!   per-day quantity — exactly why the paper records a different
-//!   weight fraction for every measurement date. Day `d`'s evolution
-//!   draws from an RNG seeded `derive_seed(seed, "net/day{d}")`, so
-//!   `snapshot(d)` is a pure function of `(config, d)` — call order,
-//!   thread, and shard count cannot perturb it.
+//!   join (flag flavor drawn from the day RNG, 1/3 each), and every
+//!   weight takes a log-normal daily step. The 16 instrumented relays
+//!   never leave (the deployment keeps running), but their weights
+//!   drift too, so the observed fraction `p` is a per-day quantity —
+//!   exactly why the paper records a different weight fraction for
+//!   every measurement date. Day `d`'s evolution draws from an RNG
+//!   seeded `derive_seed(seed, "net/day{d}")`, so `snapshot(d)` is a
+//!   pure function of `(config, d)` — call order, thread, and shard
+//!   count cannot perturb it.
+//!
 //! * **Site-popularity drift** — each day the [`DomainMix`] shares take
 //!   small log-normal steps (a random walk across the campaign). The
 //!   alias tables downstream renormalize, so drift shifts *relative*
@@ -48,6 +50,24 @@
 //! [`OnionDayTruth`] follow the same contract (set unions plus
 //! additive counts), so cross-day unique-SLD and unique-onion totals
 //! are grouping-independent too.
+//!
+//! ## Incremental consensus diffs
+//!
+//! `snapshot(d)` is served by the [`diff`] module: each day is a
+//! [`diff::DayDelta`] (leaves, joins, weight steps, mix steps —
+//! recorded from the same `"net/day{d}"` / `"mix/day{d}"` RNG streams)
+//! and an internal, lock-guarded [`diff::TimelineCursor`] applies
+//! deltas forward from checkpoints every
+//! [`diff::CHECKPOINT_INTERVAL`] days. A campaign sweeping its
+//! calendar therefore evolves the network **once** — `O(churn + n)`
+//! amortized per day — instead of replaying day 0..d on every call
+//! (`O(d · n)`, quadratic over a calendar). The memoization is
+//! invisible to the purity contract: any access order lands on
+//! bit-identical snapshots. The from-scratch path survives as
+//! [`NetworkTimeline::snapshot_replay`], the regression oracle the
+//! proptests and `make timeline-smoke` pin the diff path against.
+
+pub mod diff;
 
 use crate::churn::ChurnModel;
 use crate::geo::GeoDb;
@@ -64,7 +84,7 @@ use pm_stats::sampling::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the network's day-to-day evolution.
 #[derive(Clone, Debug)]
@@ -246,6 +266,11 @@ pub struct NetworkTimeline {
     /// Promiscuous clients (bridges, busy NATs): stable, always seen.
     promiscuous: u64,
     geo: Arc<GeoDb>,
+    /// Snapshot memo: the delta cursor every caller of
+    /// [`Self::snapshot`] shares, so a campaign's round runners evolve
+    /// the network once however many times (and in whatever order) they
+    /// ask for a day. Behind a lock; the purity contract is unchanged.
+    cursor: Mutex<diff::TimelineCursor>,
 }
 
 impl NetworkTimeline {
@@ -259,11 +284,13 @@ impl NetworkTimeline {
         promiscuous: u64,
         geo: Arc<GeoDb>,
     ) -> NetworkTimeline {
+        let cursor = Mutex::new(diff::TimelineCursor::new(cfg.clone()));
         NetworkTimeline {
             cfg,
             churn,
             promiscuous,
             geo,
+            cursor,
         }
     }
 
@@ -278,39 +305,25 @@ impl NetworkTimeline {
     }
 
     /// The network on `day`: the day-0 consensus evolved through `day`
-    /// deterministic daily steps. Pure in `(config, day)`.
+    /// deterministic daily steps. Pure in `(config, day)`; served by
+    /// the memoized delta cursor (see [`diff`]), so a calendar sweep
+    /// evolves the network once — `O(churn + n)` amortized per day —
+    /// and any out-of-order access replays at most
+    /// [`diff::CHECKPOINT_INTERVAL`] deltas from a checkpoint.
     pub fn snapshot(&self, day: u64) -> DaySnapshot {
-        let base = Consensus::paper_deployment(
-            self.cfg.n_background,
-            self.cfg.exit_fraction,
-            self.cfg.guard_fraction,
-            self.cfg.hsdir_fraction,
-        );
-        let mut relays: Vec<Relay> = base.relays().to_vec();
-        // Normalized from day 0 so `total_share() == 1` holds for every
-        // snapshot (the paper mix sums to ~1.05; only relative shares
-        // reach the samplers, so this changes no generated event).
-        let mut mix = DomainMix::paper_default();
-        mix.normalize();
-        let mut joined = 0;
-        let mut left = 0;
-        for d in 1..=day {
-            let mut rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("net/day{d}")));
-            (joined, left) = evolve_consensus(&mut relays, &self.cfg, &mut rng);
-            let mut mix_rng =
-                StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("mix/day{d}")));
-            drift_mix(&mut mix, self.cfg.mix_drift_sigma, &mut mix_rng);
-        }
-        for (i, r) in relays.iter_mut().enumerate() {
-            r.id = RelayId(i as u32);
-        }
-        DaySnapshot {
-            day,
-            consensus: Arc::new(Consensus::new(relays)),
-            mix,
-            joined,
-            left,
-        }
+        self.cursor
+            .lock()
+            // lint:allow(panic) a panic while holding the memo lock is already fatal to the study
+            .expect("timeline cursor lock poisoned")
+            .snapshot(day)
+    }
+
+    /// The from-scratch replay of `day` — the legacy `O(d · n)` path,
+    /// kept as the regression oracle the diff path is pinned against
+    /// (proptests + `make timeline-smoke`). Bit-identical to
+    /// [`Self::snapshot`] by contract.
+    pub fn snapshot_replay(&self, day: u64) -> DaySnapshot {
+        replay_snapshot(&self.cfg, day)
     }
 
     /// Whether a pool IP is observed by the deployment at guard
@@ -353,18 +366,33 @@ impl NetworkTimeline {
     }
 
     /// The observed pool for a day, in slot order (selective churned
-    /// slots first, then the promiscuous stable set).
+    /// slots first, then the promiscuous stable set), with each
+    /// distinct IP appearing exactly once.
+    ///
+    /// The dedupe is a bugfix: promiscuous IPs are independent
+    /// `sample_ip` draws, so they can collide with selective
+    /// churned-pool IPs (or, at small geo universes, with each other
+    /// and among the churned slots). An undeduped pool emitted one
+    /// `EntryConnection` per *slot* while [`DayTruth`] set-dedupes its
+    /// IPs — event counts and the unique-IP truth silently diverged
+    /// (the same family as the PR 2 `unique_ips` overcount). A
+    /// collision keeps its first slot: the IP stays observed, counted
+    /// once by stream and truth alike.
     fn observed_pool(&self, day: u64, observe_prob: f64) -> Arc<Vec<IpAddr>> {
         let mut pool = Vec::new();
+        let mut seen = BTreeSet::new();
         for ip in self.churn.ips_for_day(day, &self.geo) {
-            if self.observed(ip, observe_prob) {
+            if self.observed(ip, observe_prob) && seen.insert(ip) {
                 pool.push(ip);
             }
         }
         for p in 0..self.promiscuous {
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(self.cfg.seed, &format!("promiscuous/{p}")));
-            pool.push(self.geo.sample_ip(&mut rng));
+            let ip = self.geo.sample_ip(&mut rng);
+            if seen.insert(ip) {
+                pool.push(ip);
+            }
         }
         Arc::new(pool)
     }
@@ -506,16 +534,59 @@ pub struct HsDay {
     pub rend_fraction: f64,
 }
 
+/// The from-scratch replay of `day` from a bare config — the legacy
+/// path behind [`NetworkTimeline::snapshot_replay`], exposed so the
+/// diff-equivalence tests can build the oracle without a full timeline
+/// (the replay touches neither the churn model nor the geo database).
+pub fn replay_snapshot(cfg: &TimelineConfig, day: u64) -> DaySnapshot {
+    let base = Consensus::paper_deployment(
+        cfg.n_background,
+        cfg.exit_fraction,
+        cfg.guard_fraction,
+        cfg.hsdir_fraction,
+    );
+    let mut relays: Vec<Relay> = base.relays().to_vec();
+    // Normalized from day 0 so `total_share() == 1` holds for every
+    // snapshot (the paper mix sums to ~1.05; only relative shares
+    // reach the samplers, so this changes no generated event).
+    let mut mix = DomainMix::paper_default();
+    mix.normalize();
+    let mut joined = 0;
+    let mut left = 0;
+    for d in 1..=day {
+        let mut rng = diff::net_day_rng(cfg.seed, d);
+        (joined, left) = evolve_consensus(&mut relays, cfg, &mut rng);
+        let mut mix_rng = diff::mix_day_rng(cfg.seed, d);
+        drift_mix(&mut mix, cfg.mix_drift_sigma, &mut mix_rng);
+    }
+    for (i, r) in relays.iter_mut().enumerate() {
+        r.id = RelayId(i as u32);
+    }
+    DaySnapshot {
+        day,
+        consensus: Arc::new(Consensus::new(relays)),
+        mix,
+        joined,
+        left,
+    }
+}
+
 /// One daily consensus step: leaves, joins, weight drift. Returns
 /// `(joined, left)`.
 ///
 /// Every position is guaranteed a background survivor: leaves are
-/// uniform and joins cycle their flag sets, so over a long high-churn
-/// campaign an unconstrained process eventually removes every
-/// background Exit- or HSDir-flagged relay — the instrumented fraction
-/// would hit 1.0 and exit/onion rounds would extrapolate a network
-/// consisting of our own relays. When every background holder of a
-/// flag is marked to leave, the first holder stays instead.
+/// uniform, so over a long high-churn campaign an unconstrained
+/// process eventually removes every background Exit- or HSDir-flagged
+/// relay — the instrumented fraction would hit 1.0 and exit/onion
+/// rounds would extrapolate a network consisting of our own relays.
+/// When every background holder of a flag is marked to leave, the
+/// first holder stays instead.
+///
+/// Joining relays draw their flag flavor from the day RNG
+/// ([`diff::join_flag_flavor`], 1/3 each) — the fix for the `j % 3`
+/// cycling bias that made every 1-join day a Guard+HSDir join and
+/// never an Exit. [`diff::DayDelta::compute`] mirrors this function's
+/// draws record-for-record; any change here must change there too.
 fn evolve_consensus(relays: &mut Vec<Relay>, cfg: &TimelineConfig, rng: &mut StdRng) -> (u64, u64) {
     let before = relays.len();
     // Instrumented relays are ours: they never leave mid-campaign (and
@@ -548,13 +619,7 @@ fn evolve_consensus(relays: &mut Vec<Relay>, cfg: &TimelineConfig, rng: &mut Std
     let left = (before - relays.len()) as u64;
     let joined = poisson_approx(cfg.relay_joins_per_day, rng);
     for j in 0..joined {
-        let flags = match j % 3 {
-            0 => RelayFlags::FAST
-                .union(RelayFlags::GUARD)
-                .union(RelayFlags::HSDIR),
-            1 => RelayFlags::FAST.union(RelayFlags::EXIT),
-            _ => RelayFlags::FAST,
-        };
+        let flags = diff::join_flag_flavor(rng);
         relays.push(Relay {
             id: RelayId(0), // re-indexed by the caller
             nickname: format!("join{j}"),
@@ -679,6 +744,46 @@ mod tests {
         });
         assert_eq!(seen, truth.ips);
         assert!(truth.unique() > 100, "{}", truth.unique());
+    }
+
+    #[test]
+    fn pool_collisions_do_not_duplicate_events() {
+        // Regression for the promiscuous-collision bugfix: confine the
+        // IP universe to 8 addresses so 20 churned slots + 20
+        // promiscuous draws *must* collide (pigeonhole), then check the
+        // stream emits exactly one event per distinct IP — before the
+        // pool dedupe it emitted one per slot, overcounting every
+        // statistic derived from event counts while `DayTruth.ips`
+        // (a set) stayed correct.
+        let geo = Arc::new(GeoDb::confined(
+            &[(crate::ids::CountryCode::new("AA"), 1.0)],
+            8,
+        ));
+        let t = NetworkTimeline::new(
+            TimelineConfig::paper_default(41),
+            ChurnModel::new(20, 5, 9),
+            20,
+            geo,
+        );
+        for day in [0, 1, 5] {
+            let (stream, truth) = t.client_ip_day(day, 1.0, 3, vec![RelayId(0)]);
+            let mut events = 0u64;
+            let mut seen = BTreeSet::new();
+            stream.for_each(|ev| {
+                if let TorEvent::EntryConnection { client_ip, .. } = ev {
+                    events += 1;
+                    seen.insert(client_ip);
+                }
+            });
+            assert!(truth.unique() <= 8, "day {day}: universe is 8 IPs");
+            assert!(truth.unique() > 0, "day {day}: pool must not be empty");
+            assert_eq!(
+                events,
+                truth.unique(),
+                "day {day}: one event per distinct IP, not per slot"
+            );
+            assert_eq!(seen, truth.ips, "day {day}: stream and truth agree");
+        }
     }
 
     #[test]

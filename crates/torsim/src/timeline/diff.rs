@@ -1,0 +1,501 @@
+//! Incremental per-day consensus diffs — `snapshot(d)` in `O(churn)`
+//! amortized instead of `O(d · network)`.
+//!
+//! The legacy [`NetworkTimeline::snapshot_replay`] re-derives every
+//! [`DaySnapshot`] from day 0, replaying `d` full daily evolution steps
+//! per call. A longitudinal campaign asks for one snapshot per day per
+//! round, so its total evolution cost grew quadratically with the
+//! calendar. This module restructures the timeline around the same idea
+//! as Tor's deployed consensus-diff scheme: instead of shipping (here:
+//! recomputing) the full document every day, each day is a small
+//! [`DayDelta`] — who left, who joined, how every weight and mix share
+//! stepped — and a [`TimelineCursor`] applies deltas forward from
+//! periodic checkpoints.
+//!
+//! ## The delta
+//!
+//! [`DayDelta::compute`] draws from the exact RNG streams the replay
+//! path uses — `derive_seed(seed, "net/day{d}")` for consensus churn
+//! and `derive_seed(seed, "mix/day{d}")` for mix drift (the
+//! [`net_day_rng`] / [`mix_day_rng`] helpers are the single call sites
+//! for those labels) — and records, rather than applies, every draw:
+//!
+//! * `leaves` — indices (into the previous day's relay list) of
+//!   background relays leaving, after the position-survival fix-up
+//!   (every flag keeps at least one background holder).
+//! * `joins` — the fresh relays, with their flag flavor drawn from the
+//!   day RNG (weighted 1/3 guard+hsdir / exit / middle-only) and their
+//!   ramp-up weights pre-drawn.
+//! * `weight_steps` — one log-normal multiplier per post-join relay, in
+//!   final order (survivors in previous order, then joins).
+//! * `mix_step` — one log-normal multiplier per mix share, in
+//!   [`DomainMix::for_each_share_mut`] order.
+//!
+//! [`DayDelta::apply`] is then pure arithmetic — no RNG — and
+//! reproduces the replay path's state bit for bit: the recorded
+//! multipliers are the very `f64`s the replay path multiplies by, so
+//! `w * m` lands on the identical bits. The equivalence is pinned by
+//! proptests over random configs and days up to 365
+//! (`crates/torsim/tests/proptests.rs`) and by the 365-day smoke
+//! (`make timeline-smoke`).
+//!
+//! ## The cursor and its compaction contract
+//!
+//! A [`TimelineCursor`] owns the current evolved state and a checkpoint
+//! (a full state clone) every [`CHECKPOINT_INTERVAL`] days, taken as
+//! the cursor first crosses each multiple. Seeking forward applies one
+//! delta per day; seeking backward restores the nearest checkpoint at
+//! or before the target and replays at most `CHECKPOINT_INTERVAL − 1`
+//! deltas. A sequential sweep therefore costs one delta per day
+//! (`O(churn + n)` work, dominated by the per-relay weight steps), and
+//! random access costs a bounded number of deltas — never a replay
+//! from day 0. Memory is the compaction contract: one retained state
+//! per `CHECKPOINT_INTERVAL` days, i.e. ~12 consensus clones for a
+//! year-long campaign, plus the last built snapshot as a cache.
+//!
+//! The cursor is not shared state in the purity sense: `snapshot(d)`
+//! remains a pure function of `(config, d)` — the cursor is memoization
+//! behind [`NetworkTimeline`]'s internal lock, and out-of-order access
+//! lands on bit-identical results (pinned by tests here and by the
+//! campaign bit-identity suites, which run rounds in every order).
+//!
+//! [`NetworkTimeline`]: crate::timeline::NetworkTimeline
+//! [`NetworkTimeline::snapshot_replay`]: crate::timeline::NetworkTimeline::snapshot_replay
+//! [`DaySnapshot`]: crate::timeline::DaySnapshot
+//! [`DomainMix::for_each_share_mut`]: crate::workload::DomainMix::for_each_share_mut
+
+use crate::ids::RelayId;
+use crate::relay::{Consensus, Relay, RelayFlags};
+use crate::sampled::poisson_approx;
+use crate::timeline::{DaySnapshot, TimelineConfig};
+use crate::workload::DomainMix;
+use pm_dp::mechanism::sample_gaussian;
+use pm_stats::sampling::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Days between full-state checkpoints retained by the cursor.
+pub const CHECKPOINT_INTERVAL: u64 = 32;
+
+/// The RNG stream day `day`'s consensus evolution draws from. The one
+/// call site for the `"net/day{d}"` label: the diff and replay paths
+/// must interpret the identical stream.
+pub fn net_day_rng(seed: u64, day: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, &format!("net/day{day}")))
+}
+
+/// The RNG stream day `day`'s mix drift draws from (the one call site
+/// for the `"mix/day{d}"` label).
+pub fn mix_day_rng(seed: u64, day: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, &format!("mix/day{day}")))
+}
+
+/// Draws a joining relay's flag flavor from the day RNG, weighted 1/3
+/// each: guard+hsdir, exit, or middle-only (all fast).
+///
+/// This is the join-flag cycling bugfix: flags used to be assigned by
+/// `j % 3` restarting at 0 every day, so a long low-join campaign —
+/// where most join days add exactly one relay — grew Guard+HSDir
+/// relays almost exclusively and *never* an Exit, deterministically
+/// drifting the background flag composition. A weighted draw keeps the
+/// long-run composition at the intended thirds whatever the per-day
+/// join counts.
+pub fn join_flag_flavor(rng: &mut StdRng) -> RelayFlags {
+    match rng.gen_range(0..3u32) {
+        0 => RelayFlags::FAST
+            .union(RelayFlags::GUARD)
+            .union(RelayFlags::HSDIR),
+        1 => RelayFlags::FAST.union(RelayFlags::EXIT),
+        _ => RelayFlags::FAST,
+    }
+}
+
+/// One day's consensus-and-mix step, recorded instead of applied. See
+/// the module docs for field semantics and ordering contracts.
+#[derive(Clone, Debug)]
+pub struct DayDelta {
+    /// The day this delta evolves the network *into* (`d ≥ 1`; day 0 is
+    /// the base state and has no delta).
+    pub day: u64,
+    /// Indices into the *previous* day's relay list that leave.
+    pub leaves: Vec<u32>,
+    /// Fresh relays joining (ids are re-assigned at snapshot time).
+    pub joins: Vec<Relay>,
+    /// Per-relay weight multipliers in post-join order: survivors in
+    /// their previous relative order, then the joins.
+    pub weight_steps: Vec<f64>,
+    /// Per-share mix multipliers in `for_each_share_mut` order.
+    pub mix_step: Vec<f64>,
+}
+
+impl DayDelta {
+    /// Computes day `day`'s delta from the previous day's state. Draws
+    /// from [`net_day_rng`] / [`mix_day_rng`] in the exact order the
+    /// replay path (`evolve_consensus` + `drift_mix`) draws, so the
+    /// recorded multipliers are bit-identical to the ones the replay
+    /// path applies. Pure in `(prev state, config, day)`.
+    pub fn compute(
+        prev_relays: &[Relay],
+        prev_mix: &DomainMix,
+        cfg: &TimelineConfig,
+        day: u64,
+    ) -> DayDelta {
+        assert!(day >= 1, "day 0 is the base state; deltas start at day 1");
+        let mut rng = net_day_rng(cfg.seed, day);
+        // Leave decisions, instrumented relays drawing nothing — the
+        // same stream positions as the replay path.
+        let mut leave_flags: Vec<bool> = prev_relays
+            .iter()
+            .map(|r| !r.instrumented && rng.gen::<f64>() < cfg.relay_leave_prob)
+            .collect();
+        // Position-survival fix-up (no RNG): every flag keeps at least
+        // one background holder.
+        for flag in [
+            RelayFlags::GUARD,
+            RelayFlags::EXIT,
+            RelayFlags::HSDIR,
+            RelayFlags::FAST,
+        ] {
+            let survives = prev_relays
+                .iter()
+                .zip(&leave_flags)
+                .any(|(r, &leave)| !leave && !r.instrumented && r.flags.contains(flag));
+            if !survives {
+                if let Some(i) = prev_relays
+                    .iter()
+                    .position(|r| !r.instrumented && r.flags.contains(flag))
+                {
+                    leave_flags[i] = false;
+                }
+            }
+        }
+        let leaves: Vec<u32> = leave_flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &leave)| leave.then_some(i as u32))
+            .collect();
+        let joined = poisson_approx(cfg.relay_joins_per_day, &mut rng);
+        let mut joins = Vec::with_capacity(joined as usize);
+        for j in 0..joined {
+            let flags = join_flag_flavor(&mut rng);
+            joins.push(Relay {
+                id: RelayId(0), // re-indexed at snapshot time
+                nickname: format!("join{j}"),
+                weight: 0.5 + rng.gen::<f64>(), // fresh relays ramp up around bg weight
+                flags,
+                instrumented: false,
+            });
+        }
+        let survivors = prev_relays.len() - leaves.len();
+        let weight_steps: Vec<f64> = (0..survivors + joins.len())
+            .map(|_| (cfg.weight_drift_sigma * sample_gaussian(1.0, &mut rng)).exp())
+            .collect();
+        let mut mix_rng = mix_day_rng(cfg.seed, day);
+        let mut mix_step = Vec::new();
+        prev_mix.clone().for_each_share_mut(&mut |_| {
+            mix_step.push((cfg.mix_drift_sigma * sample_gaussian(1.0, &mut mix_rng)).exp())
+        });
+        DayDelta {
+            day,
+            leaves,
+            joins,
+            weight_steps,
+            mix_step,
+        }
+    }
+
+    /// Applies the delta to the previous day's state in place — pure
+    /// arithmetic, no RNG. Returns `(joined, left)` for the day.
+    pub fn apply(&self, relays: &mut Vec<Relay>, mix: &mut DomainMix) -> (u64, u64) {
+        let mut keep = vec![true; relays.len()];
+        for &i in &self.leaves {
+            keep[i as usize] = false;
+        }
+        let mut keep_iter = keep.iter();
+        relays.retain(|_| *keep_iter.next().expect("one decision per relay"));
+        relays.extend(self.joins.iter().cloned());
+        assert_eq!(
+            relays.len(),
+            self.weight_steps.len(),
+            "delta computed against a different previous state"
+        );
+        for (r, step) in relays.iter_mut().zip(&self.weight_steps) {
+            r.weight *= step;
+        }
+        let mut steps = self.mix_step.iter();
+        mix.for_each_share_mut(&mut |s| *s *= steps.next().expect("one step per share"));
+        assert!(
+            steps.next().is_none(),
+            "mix share count changed mid-campaign"
+        );
+        mix.normalize();
+        (self.joins.len() as u64, self.leaves.len() as u64)
+    }
+}
+
+/// One fully evolved day of the network, as the cursor holds it
+/// (relays un-reindexed, exactly like the replay loop's working state).
+#[derive(Clone)]
+struct CursorState {
+    day: u64,
+    relays: Vec<Relay>,
+    mix: DomainMix,
+    joined: u64,
+    left: u64,
+}
+
+impl CursorState {
+    fn to_snapshot(&self) -> DaySnapshot {
+        let mut relays = self.relays.clone();
+        for (i, r) in relays.iter_mut().enumerate() {
+            r.id = RelayId(i as u32);
+        }
+        DaySnapshot {
+            day: self.day,
+            consensus: Arc::new(Consensus::new(relays)),
+            mix: self.mix.clone(),
+            joined: self.joined,
+            left: self.left,
+        }
+    }
+}
+
+/// Applies [`DayDelta`]s forward from periodic checkpoints (see the
+/// module docs). [`NetworkTimeline`] holds one behind a lock as its
+/// snapshot memo; it can also be driven directly.
+///
+/// [`NetworkTimeline`]: crate::timeline::NetworkTimeline
+pub struct TimelineCursor {
+    cfg: TimelineConfig,
+    /// Day-0 state (the implicit first checkpoint).
+    base: CursorState,
+    /// Current evolved state.
+    state: CursorState,
+    /// Full-state checkpoints at multiples of [`CHECKPOINT_INTERVAL`],
+    /// recorded as the cursor first crosses each.
+    checkpoints: BTreeMap<u64, CursorState>,
+    /// The last snapshot built (campaign rounds ask for the same day
+    /// several times — once for `Deployment::for_day`, once per
+    /// fraction read).
+    cache: Option<DaySnapshot>,
+}
+
+impl TimelineCursor {
+    /// A cursor positioned at day 0 of `cfg`'s network.
+    pub fn new(cfg: TimelineConfig) -> TimelineCursor {
+        let consensus = Consensus::paper_deployment(
+            cfg.n_background,
+            cfg.exit_fraction,
+            cfg.guard_fraction,
+            cfg.hsdir_fraction,
+        );
+        // Normalized from day 0 so `total_share() == 1` holds for every
+        // snapshot (the paper mix sums to ~1.05; only relative shares
+        // reach the samplers, so this changes no generated event).
+        let mut mix = DomainMix::paper_default();
+        mix.normalize();
+        let base = CursorState {
+            day: 0,
+            relays: consensus.relays().to_vec(),
+            mix,
+            joined: 0,
+            left: 0,
+        };
+        TimelineCursor {
+            cfg,
+            state: base.clone(),
+            base,
+            checkpoints: BTreeMap::new(),
+            cache: None,
+        }
+    }
+
+    /// The network on `day` — bit-identical to the from-scratch replay
+    /// for every access order. Amortized `O(churn + n)` per day on a
+    /// sequential sweep; at most `CHECKPOINT_INTERVAL` delta
+    /// applications from the nearest checkpoint on random access.
+    pub fn snapshot(&mut self, day: u64) -> DaySnapshot {
+        if let Some(s) = &self.cache {
+            if s.day == day {
+                return s.clone();
+            }
+        }
+        self.seek(day);
+        let snap = self.state.to_snapshot();
+        self.cache = Some(snap.clone());
+        snap
+    }
+
+    /// Number of retained checkpoints (the compaction contract: one per
+    /// [`CHECKPOINT_INTERVAL`] days crossed, plus the day-0 base).
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len() + 1
+    }
+
+    fn seek(&mut self, day: u64) {
+        if self.state.day > day {
+            // Restore the nearest checkpoint at or before the target.
+            self.state = self
+                .checkpoints
+                .range(..=day)
+                .next_back()
+                .map(|(_, s)| s.clone())
+                .unwrap_or_else(|| self.base.clone());
+        }
+        while self.state.day < day {
+            let d = self.state.day + 1;
+            let delta = DayDelta::compute(&self.state.relays, &self.state.mix, &self.cfg, d);
+            let (joined, left) = delta.apply(&mut self.state.relays, &mut self.state.mix);
+            self.state.day = d;
+            self.state.joined = joined;
+            self.state.left = left;
+            if d.is_multiple_of(CHECKPOINT_INTERVAL) && !self.checkpoints.contains_key(&d) {
+                self.checkpoints.insert(d, self.state.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> TimelineConfig {
+        TimelineConfig {
+            n_background: 60,
+            ..TimelineConfig::paper_default(seed)
+        }
+    }
+
+    fn fingerprint(s: &DaySnapshot) -> String {
+        let relays: Vec<_> = s
+            .consensus
+            .relays()
+            .iter()
+            .map(|r| {
+                (
+                    r.id.0,
+                    r.nickname.clone(),
+                    r.flags.0,
+                    r.instrumented,
+                    r.weight.to_bits(),
+                )
+            })
+            .collect();
+        let mut shares = Vec::new();
+        s.mix
+            .clone()
+            .for_each_share_mut(&mut |x| shares.push(x.to_bits()));
+        format!(
+            "day {} joined {} left {} relays {relays:?} mix {shares:?}",
+            s.day, s.joined, s.left
+        )
+    }
+
+    #[test]
+    fn checkpoint_boundaries_match_replay() {
+        // Days at, just before, and just after the first two checkpoint
+        // multiples — the seams where restore-and-replay kicks in.
+        let c = cfg(41);
+        let mut cursor = TimelineCursor::new(c.clone());
+        for day in [
+            CHECKPOINT_INTERVAL - 1,
+            CHECKPOINT_INTERVAL,
+            CHECKPOINT_INTERVAL + 1,
+            2 * CHECKPOINT_INTERVAL - 1,
+            2 * CHECKPOINT_INTERVAL,
+            2 * CHECKPOINT_INTERVAL + 1,
+        ] {
+            assert_eq!(
+                fingerprint(&cursor.snapshot(day)),
+                fingerprint(&crate::timeline::replay_snapshot(&c, day)),
+                "day {day} diverged from the replay oracle"
+            );
+        }
+        assert_eq!(cursor.checkpoint_count(), 3, "base + two crossed multiples");
+    }
+
+    #[test]
+    fn out_of_order_access_is_bit_identical() {
+        // Purity through memoization: whatever order days are visited
+        // in — forward, backward, revisits across checkpoint seams —
+        // every day lands on the in-order result.
+        let mut in_order = TimelineCursor::new(cfg(43));
+        let expected: Vec<String> = (0..=70)
+            .map(|d| fingerprint(&in_order.snapshot(d)))
+            .collect();
+        let mut cursor = TimelineCursor::new(cfg(43));
+        for day in [70u64, 3, 33, 64, 0, 65, 32, 31, 70, 1, 69] {
+            assert_eq!(
+                fingerprint(&cursor.snapshot(day)),
+                expected[day as usize],
+                "day {day} depended on access order"
+            );
+        }
+    }
+
+    #[test]
+    fn join_flags_are_drawn_not_cycled() {
+        // The join-flag cycling bugfix: under ~1 join per day, the old
+        // `j % 3` scheme restarted at 0 daily, so 1-join days *always*
+        // added a Guard+HSDir relay and never an Exit. The flavor now
+        // comes from the day RNG at 1/3 each; over 365 low-join days
+        // every flavor must appear in roughly a third of the joins —
+        // including Exit joins on 1-join days, which the old scheme
+        // produced exactly never.
+        let low_join = TimelineConfig {
+            relay_joins_per_day: 1.0,
+            ..cfg(47)
+        };
+        let mut cursor = TimelineCursor::new(low_join.clone());
+        let mut counts = [0u64; 3]; // guard+hsdir, exit, middle-only
+        let mut single_join_exits = 0u64;
+        let mut prev = cursor.snapshot(0);
+        for day in 1..=365 {
+            let delta = DayDelta::compute(prev.consensus.relays(), &prev.mix, &low_join, day);
+            for join in &delta.joins {
+                let flavor = if join.flags.contains(RelayFlags::GUARD) {
+                    0
+                } else if join.flags.contains(RelayFlags::EXIT) {
+                    1
+                } else {
+                    2
+                };
+                counts[flavor] += 1;
+                if delta.joins.len() == 1 && flavor == 1 {
+                    single_join_exits += 1;
+                }
+            }
+            prev = cursor.snapshot(day);
+        }
+        let total: u64 = counts.iter().sum();
+        assert!(total > 250, "poisson(1) over 365 days: {total}");
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / total as f64;
+            assert!(
+                (frac - 1.0 / 3.0).abs() < 0.09,
+                "flavor {i}: {c}/{total} joins ({frac:.3}) — composition drifted"
+            );
+        }
+        assert!(
+            single_join_exits > 20,
+            "1-join days must be able to add an Exit (got {single_join_exits})"
+        );
+    }
+
+    #[test]
+    fn delta_is_deterministic_and_day_pure() {
+        let c = cfg(53);
+        let mut cursor = TimelineCursor::new(c.clone());
+        let day4 = cursor.snapshot(4);
+        let a = DayDelta::compute(day4.consensus.relays(), &day4.mix, &c, 5);
+        let b = DayDelta::compute(day4.consensus.relays(), &day4.mix, &c, 5);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(
+            a.weight_steps.len(),
+            day4.consensus.relays().len() - a.leaves.len() + a.joins.len()
+        );
+    }
+}

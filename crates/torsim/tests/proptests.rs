@@ -240,6 +240,63 @@ proptest! {
     }
 
     #[test]
+    fn diff_snapshot_matches_replay_bit_for_bit(
+        seed in any::<u64>(),
+        leave in 0.01f64..0.5,
+        joins in 0.2f64..6.0,
+        drift in 0.02f64..0.3,
+        n_background in 20usize..80,
+        day in 0u64..366,
+    ) {
+        // The consensus-diff contract: the memoized cursor path and the
+        // from-scratch replay oracle must agree bit-for-bit — relays
+        // (ids, nicknames, flags, weights as raw bits), the drifted
+        // mix, and the day's join/leave counts — for any config and
+        // any day up to a year.
+        let cfg = TimelineConfig {
+            n_background,
+            relay_leave_prob: leave,
+            relay_joins_per_day: joins,
+            weight_drift_sigma: drift,
+            mix_drift_sigma: drift,
+            ..TimelineConfig::paper_default(seed)
+        };
+        let t = NetworkTimeline::new(
+            cfg,
+            ChurnModel::new(50, 19, seed ^ 0xC1),
+            5,
+            std::sync::Arc::new(GeoDb::paper_default()),
+        );
+        let diff = t.snapshot(day);
+        let replay = t.snapshot_replay(day);
+        prop_assert_eq!(diff.day, replay.day);
+        prop_assert_eq!(diff.joined, replay.joined, "joined on day {}", day);
+        prop_assert_eq!(diff.left, replay.left, "left on day {}", day);
+        prop_assert_eq!(
+            diff.consensus.relays().len(),
+            replay.consensus.relays().len()
+        );
+        for (a, b) in diff.consensus.relays().iter().zip(replay.consensus.relays()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(&a.nickname, &b.nickname);
+            prop_assert_eq!(a.flags.0, b.flags.0);
+            prop_assert_eq!(a.instrumented, b.instrumented);
+            prop_assert_eq!(
+                a.weight.to_bits(),
+                b.weight.to_bits(),
+                "day {}: relay {} weight bits diverged",
+                day,
+                a.id.0
+            );
+        }
+        let mut diff_shares = Vec::new();
+        diff.mix.clone().for_each_share_mut(&mut |x| diff_shares.push(x.to_bits()));
+        let mut replay_shares = Vec::new();
+        replay.mix.clone().for_each_share_mut(&mut |x| replay_shares.push(x.to_bits()));
+        prop_assert_eq!(diff_shares, replay_shares, "day {}: mix bits diverged", day);
+    }
+
+    #[test]
     fn observe_probability_model_consistency(w in 0.0001f64..0.2, g in 1u32..10) {
         // The generation-side model and the analysis-side model agree by
         // construction; pin the identity used across tab3/tab5.

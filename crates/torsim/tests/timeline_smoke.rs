@@ -1,0 +1,71 @@
+//! Year-scale consensus-diff smoke: a 365-day timeline under the
+//! paper-shaped config, with the diff path pinned bit-for-bit against
+//! the from-scratch replay oracle on sampled days. This is the
+//! `make timeline-smoke` gate in `make verify` — cheap enough to run
+//! every build because the cursor sweeps the year once, while the
+//! oracle replays only the three sampled days.
+
+use std::sync::Arc;
+use torsim::churn::ChurnModel;
+use torsim::geo::GeoDb;
+use torsim::timeline::{DaySnapshot, NetworkTimeline, TimelineConfig};
+
+fn assert_bit_identical(diff: &DaySnapshot, replay: &DaySnapshot, day: u64) {
+    assert_eq!(diff.day, replay.day, "day {day}");
+    assert_eq!(diff.joined, replay.joined, "day {day}: joined");
+    assert_eq!(diff.left, replay.left, "day {day}: left");
+    assert_eq!(
+        diff.consensus.relays().len(),
+        replay.consensus.relays().len(),
+        "day {day}: relay count"
+    );
+    for (a, b) in diff
+        .consensus
+        .relays()
+        .iter()
+        .zip(replay.consensus.relays())
+    {
+        assert_eq!(a.id, b.id, "day {day}");
+        assert_eq!(a.nickname, b.nickname, "day {day}");
+        assert_eq!(a.flags.0, b.flags.0, "day {day}: relay {}", a.id.0);
+        assert_eq!(a.instrumented, b.instrumented, "day {day}");
+        assert_eq!(
+            a.weight.to_bits(),
+            b.weight.to_bits(),
+            "day {day}: relay {} weight bits",
+            a.id.0
+        );
+    }
+    let mut diff_shares = Vec::new();
+    diff.mix
+        .clone()
+        .for_each_share_mut(&mut |x| diff_shares.push(x.to_bits()));
+    let mut replay_shares = Vec::new();
+    replay
+        .mix
+        .clone()
+        .for_each_share_mut(&mut |x| replay_shares.push(x.to_bits()));
+    assert_eq!(diff_shares, replay_shares, "day {day}: mix bits");
+}
+
+#[test]
+fn year_scale_diff_path_matches_replay_on_sampled_days() {
+    let t = NetworkTimeline::new(
+        TimelineConfig::paper_default(2018),
+        ChurnModel::new(2_000, 760, 2018 ^ 0xC1),
+        30,
+        Arc::new(GeoDb::paper_default()),
+    );
+    // Sweep the whole year through the cursor first — the realistic
+    // campaign access pattern — then pin sampled days (one just past a
+    // checkpoint, mid-year, and day 365) against the oracle.
+    for day in 0..=365 {
+        let snap = t.snapshot(day);
+        assert_eq!(snap.day, day);
+    }
+    for day in [33u64, 180, 365] {
+        let diff = t.snapshot(day);
+        let replay = t.snapshot_replay(day);
+        assert_bit_identical(&diff, &replay, day);
+    }
+}

@@ -37,6 +37,16 @@
 //! directly above; the reason is mandatory, and malformed markers are
 //! themselves findings. Run the pass locally with `make lint` or
 //! `cargo run -p pm-lint`.
+//!
+//! The network timeline's day `d` is derived from the
+//! `derive_seed(seed, "net/day{d}")` / `"mix/day{d}"` streams exactly
+//! once per day as an incremental `DayDelta` (joins, leaves, recorded
+//! weight/mix multipliers — see `torsim::timeline::diff`), and
+//! `snapshot(d)` is served by a lock-guarded memoized cursor applying
+//! those deltas from checkpoints. The memoization is invisible to this
+//! contract: snapshots stay pure in `(config, day)` under any access
+//! order, pinned bit-for-bit against the from-scratch
+//! `snapshot_replay` oracle by proptest and `make timeline-smoke`.
 
 pub use pm_crypto as crypto;
 pub use pm_dp as dp;
