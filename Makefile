@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke doc bench bench-study bench-timeline golden
+.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke doc bench bench-study bench-timeline golden
 
-verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke
+verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -87,6 +87,22 @@ scenario-smoke:
 		--days 7 --scale 2e-4 --seed 2018 --attack keeper-death \
 		--json target/scenario_death.json > /dev/null
 	grep -q '"kind": "aborted"' target/scenario_death.json
+
+# Observability smoke: the full 17-day calendar with the wall-clock
+# profiling plane live, exporting a chrome://tracing trace. trace-check
+# re-parses the file with the workspace's own validator and fails
+# unless it is well-formed, spans >= 5 distinct categories, and covers
+# the mixnet hot loop, the worker pool, and the timeline cursor by
+# name. Guards the --trace wiring end to end; the planes-separation
+# contract itself (profiling never changes a report byte) lives in
+# tests/obs_planes.rs under `test`.
+obs-smoke:
+	$(CARGO) run --release -p pm-study --bin campaign -- \
+		--days 17 --scale 2e-4 --seed 2018 -q \
+		--trace target/obs_trace.json > /dev/null
+	$(CARGO) run --release -p pm-obs --bin trace-check -- \
+		target/obs_trace.json --min-cats 5 \
+		mix.batch job.run timeline.checkpoint_restore
 
 # Year-scale consensus-diff smoke: sweep 365 days through the diff
 # cursor, then pin 3 sampled days bit-for-bit against the from-scratch

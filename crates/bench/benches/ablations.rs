@@ -82,6 +82,7 @@ fn ablate_noise_allocation(c: &mut Criterion) {
                     threaded: false,
                     faults: Default::default(),
                     adversary: Default::default(),
+                    recorder: Default::default(),
                 };
                 let gens = (0..4)
                     .map(|_| {

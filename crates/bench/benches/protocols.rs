@@ -41,6 +41,7 @@ fn bench_privcount_round(c: &mut Criterion) {
                     threaded: false,
                     faults: Default::default(),
                     adversary: Default::default(),
+                    recorder: Default::default(),
                 };
                 let generators = (0..3)
                     .map(|_| {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p torstudy --bin experiments -- \
-//!     [--scale S] [--seed N] [--only T4,F1] [--csv] [--json PATH] [--list]
+//!     [--scale S] [--seed N] [--only T4,F1] [--csv] [--json PATH] \
+//!     [--trace PATH] [-q | -v] [--list]
 //! ```
 //!
 //! Scale 1.0 reproduces paper-scale totals (minutes of runtime and
@@ -10,8 +11,12 @@
 //! signal-to-noise ratio while running in seconds. `--json PATH`
 //! writes the machine-readable document (same schema as the
 //! `campaign` binary's) alongside whatever goes to stdout; `--list`
-//! prints the registry without running anything.
+//! prints the registry without running anything. `--trace PATH`
+//! enables the wall-clock profiling plane and writes a
+//! chrome://tracing trace-event file; `-q` silences progress events,
+//! `-v` prints them with structured fields.
 
+use pm_obs::{Event, Recorder, Sink, Verbosity};
 use torstudy::report::reports_json;
 use torstudy::runner::{registry, run_all, run_some};
 use torstudy::Deployment;
@@ -22,6 +27,8 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut csv = false;
     let mut json: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut verbosity = Verbosity::Normal;
     let mut list = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,11 +52,17 @@ fn main() {
                 i += 1;
                 json = Some(args[i].clone());
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(args[i].clone());
+            }
+            "-q" | "--quiet" => verbosity = Verbosity::Quiet,
+            "-v" | "--verbose" => verbosity = Verbosity::Verbose,
             "--list" => list = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale S] [--seed N] [--only T4,F1,...] \
-                     [--csv] [--json PATH] [--list]"
+                     [--csv] [--json PATH] [--trace PATH] [-q | -v] [--list]"
                 );
                 return;
             }
@@ -71,8 +84,21 @@ fn main() {
         return;
     }
 
-    eprintln!("# deployment: 16 relays, 1 TS, 3 SKs, 3 CPs; scale {scale}, seed {seed}");
-    let dep = Deployment::at_scale(scale, seed);
+    let sink = Sink::new(verbosity);
+    let recorder = if trace.is_some() {
+        Recorder::with_profiling()
+    } else {
+        Recorder::new()
+    };
+    sink.emit(
+        &Event::new(
+            "deployment",
+            format!("deployment: 16 relays, 1 TS, 3 SKs, 3 CPs; scale {scale}, seed {seed}"),
+        )
+        .field("scale", scale)
+        .field("seed", seed),
+    );
+    let dep = Deployment::at_scale(scale, seed).with_recorder(recorder.clone());
     let reports = match &only {
         Some(ids) => {
             let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
@@ -89,7 +115,16 @@ fn main() {
     }
     if let Some(path) = json {
         std::fs::write(&path, reports_json(&reports)).expect("write --json output");
-        eprintln!("# wrote {path}");
+        sink.emit(&Event::new("wrote", format!("wrote {path}")).field("path", &path));
     }
-    eprintln!("# {} experiment(s) completed", reports.len());
+    if let Some(path) = trace {
+        recorder
+            .write_trace(std::path::Path::new(&path))
+            .expect("write --trace output");
+        sink.emit(&Event::new("trace", format!("wrote trace {path}")).field("path", &path));
+    }
+    sink.emit(
+        &Event::new("done", format!("{} experiment(s) completed", reports.len()))
+            .field("experiments", reports.len()),
+    );
 }

@@ -118,6 +118,12 @@ pub struct Deployment {
     /// PrivCount rounds are not throttled. Like `shards`, this cannot
     /// change any report — only memory footprint and wall-clock shape.
     pub max_concurrent_psc_rounds: usize,
+    /// Observability handle threaded into every round this deployment
+    /// runs (switchboards, CPs, the job runner). The deterministic
+    /// metrics it accumulates are part of the bit-identity contract;
+    /// profiling spans are recorded only when it was built with
+    /// profiling enabled. Defaults to a detached recorder.
+    pub recorder: pm_obs::Recorder,
 }
 
 // Experiments share `&Deployment` across the parallel runner's worker
@@ -156,7 +162,16 @@ impl Deployment {
             num_cps: 3,
             shards: default_shards(),
             max_concurrent_psc_rounds: DEFAULT_MAX_CONCURRENT_PSC_ROUNDS,
+            recorder: pm_obs::Recorder::new(),
         }
+    }
+
+    /// Attaches an observability recorder; rounds run through this
+    /// deployment (and its [`Deployment::for_day`] derivations) record
+    /// into it.
+    pub fn with_recorder(mut self, recorder: pm_obs::Recorder) -> Deployment {
+        self.recorder = recorder;
+        self
     }
 
     /// Overrides the ingestion shard count (1 = sequential).
@@ -210,6 +225,7 @@ impl Deployment {
             num_cps: self.num_cps,
             shards: self.shards,
             max_concurrent_psc_rounds: self.max_concurrent_psc_rounds,
+            recorder: self.recorder.clone(),
         }
     }
 

@@ -176,6 +176,7 @@ pub fn privcount_round(
         threaded: false,
         faults: pm_net::transport::FaultConfig::none(),
         adversary: privcount::adversary::Attack::None,
+        recorder: dep.recorder.clone(),
     }
 }
 
@@ -217,6 +218,7 @@ pub fn psc_round(
         mix: psc::cp::MixStrategy::Batched {
             threads: mix_threads,
         },
+        recorder: dep.recorder.clone(),
         ..Default::default()
     }
 }

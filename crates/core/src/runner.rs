@@ -37,6 +37,7 @@ use crate::experiments;
 use crate::report::Report;
 use parking_lot::Mutex;
 use pm_dp::accountant::{Accountant, MeasurementRound, System};
+use pm_obs::Recorder;
 use std::sync::Condvar;
 
 /// An experiment's registry entry.
@@ -247,10 +248,28 @@ struct ExecState<T> {
 /// outputs in job order. The scheduling machinery shared by the
 /// registry runner and the campaign engine.
 pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize, psc_cap: usize) -> Vec<T> {
+    run_jobs_with(jobs, workers, psc_cap, &Recorder::new())
+}
+
+/// [`run_jobs`] with observability: deterministic `runner.jobs` /
+/// `runner.jobs.psc` counters (job totals are fixed by the plan, never
+/// by scheduling) plus, when `recorder` profiles, a `job.run` span per
+/// executed job and a `job.queue_wait` span per worker wait episode.
+pub fn run_jobs_with<T: Send>(
+    jobs: Vec<Job<'_, T>>,
+    workers: usize,
+    psc_cap: usize,
+    recorder: &Recorder,
+) -> Vec<T> {
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
     }
+    recorder.add("runner.jobs", n as u64);
+    recorder.add(
+        "runner.jobs.psc",
+        jobs.iter().filter(|j| j.is_psc).count() as u64,
+    );
     // Validate the dependency graph up front: an out-of-range or
     // duplicate dep desynchronizes the pending counters and a cycle
     // never unblocks — either would deadlock the worker pool silently,
@@ -322,6 +341,7 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize, psc_cap: usize) 
                             // PSC cap; wait for a completion to release
                             // dependents or a PSC slot.
                             None => {
+                                let _wait = recorder.span("job.queue_wait", "runner");
                                 guard = ready.wait(guard).unwrap_or_else(|e| e.into_inner());
                             }
                         }
@@ -335,9 +355,13 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize, psc_cap: usize) 
                 // their output `T` and let the caller account for it
                 // (the campaign engine turns round failures into
                 // aborted-round outcomes, never panics).
+                let mut run_span = recorder.span("job.run", "runner");
+                run_span.note("job", &jobs[idx].id);
+                run_span.note("psc", jobs[idx].is_psc);
                 let output =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (jobs[idx].run)()))
                         .map_err(|payload| annotate_panic(payload, &jobs[idx].id));
+                drop(run_span);
                 let mut guard = state.lock();
                 if jobs[idx].is_psc {
                     guard.psc_running -= 1;
@@ -387,7 +411,7 @@ fn execute_plan(dep: &Deployment, planned: Vec<PlannedRound>, workers: usize) ->
             run: Box::new(move || (p.entry.run)(dep)),
         })
         .collect();
-    run_jobs(jobs, workers, dep.max_concurrent_psc_rounds)
+    run_jobs_with(jobs, workers, dep.max_concurrent_psc_rounds, &dep.recorder)
 }
 
 /// Executes an explicit plan on up to `workers` threads, honouring its
@@ -417,13 +441,21 @@ pub fn run_all_sequential(dep: &Deployment) -> Vec<Report> {
     planned.iter().map(|p| (p.entry.run)(dep)).collect()
 }
 
-/// Runs a subset of experiments by id.
+/// Runs a subset of experiments by id. Subsets skip the §3.1 schedule
+/// and run one at a time, but still lower onto the executor so the
+/// runner's counters and `job.run` spans cover `--only` runs too.
 pub fn run_some(dep: &Deployment, ids: &[&str]) -> Vec<Report> {
-    registry()
+    let jobs: Vec<Job<'_, Report>> = registry()
         .into_iter()
         .filter(|e| ids.contains(&e.id))
-        .map(|e| (e.run)(dep))
-        .collect()
+        .map(|e| Job {
+            id: e.id.to_string(),
+            is_psc: e.system == System::Psc,
+            deps: Vec::new(),
+            run: Box::new(move || (e.run)(dep)),
+        })
+        .collect();
+    run_jobs_with(jobs, 1, dep.max_concurrent_psc_rounds, &dep.recorder)
 }
 
 #[cfg(test)]

@@ -1,0 +1,8 @@
+//! Seeded violation: a wall-clock read inside the obs crate but
+//! outside `clock.rs` — the rule 1 carve-out is per-file, not
+//! per-crate.
+
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    let end = std::time::Instant::now();
+    end.duration_since(start).as_millis()
+}

@@ -1,0 +1,10 @@
+//! The sanctioned clock site: rule 1 structurally exempts exactly
+//! this path, so neither read below may produce a finding.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,22 @@
+//! Seeded violations: metrics-registry readback from a protocol
+//! crate (rule 5).
+
+pub fn peek(recorder: &pm_obs::Recorder) -> u64 {
+    let snap = recorder.read_snapshot();
+    drop(snap);
+    recorder.read_counter("psc.rounds")
+}
+
+pub fn audited(recorder: &pm_obs::Recorder) -> u64 {
+    // lint:allow(obs-readback) diagnostic accessor; the value never reaches a transcript
+    recorder.read_counter("psc.rounds")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn readback_in_tests_is_fine() {
+        let r = pm_obs::Recorder::new();
+        assert_eq!(r.read_counter("psc.rounds"), 0);
+    }
+}

@@ -8,12 +8,15 @@
 //! contracts into a machine-checked gate that runs on every source
 //! file of the workspace, with no dependencies (not even `syn`): a
 //! hand-rolled lexer ([`lexer`]) blanks comments and literals, and a
-//! token scan ([`rules`]) drives four cross-file rules:
+//! token scan ([`rules`]) drives five cross-file rules:
 //!
 //! 1. **entropy** — `thread_rng`, `from_entropy`, `SystemTime::now`,
 //!    and `Instant::now` are forbidden everywhere the analyzer scans
 //!    (`crates/vendor` and `crates/bench` are excluded — benches may
-//!    time, vendored code is not ours).
+//!    time, vendored code is not ours). One structural sanction:
+//!    `crates/obs/src/clock.rs` may read the wall clock — it is the
+//!    single clock site feeding the profiling plane, which is excluded
+//!    from every transcript.
 //! 2. **unordered-map** — `HashMap`/`HashSet` in the protocol/report
 //!    crates (`psc`, `privcount`, `net`, `study`, `core`) must be
 //!    converted to ordered containers or carry a justification marker:
@@ -27,12 +30,16 @@
 //!    macros in protocol round paths (`psc`, `privcount`, `net`,
 //!    `study`) must carry a justification marker or be converted to
 //!    the threaded `Result`/`RoundStatus` flow.
+//! 5. **obs-readback** — the protocol crates (`psc`, `privcount`,
+//!    `net`) must never call `read_snapshot` or `read_counter`:
+//!    protocol code writes metrics, it does not branch on them — a
+//!    readback would let observability feed back into transcripts.
 //!
 //! Suppression is explicit and audited: `// lint:allow(<rule>)
 //! <reason>` on the offending line or the line above, with the reason
 //! mandatory (see [`rules`] for the grammar). Test code
 //! (`#[cfg(test)]` regions, `tests/`, `benches/`) is exempt from rules
-//! 2–4 but not from rule 1.
+//! 2–5 but not from rule 1.
 //!
 //! The `pm-lint` binary prints findings as `file:line rule message`,
 //! exports machine-readable JSON via `--json PATH`, and exits nonzero

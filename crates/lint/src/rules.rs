@@ -1,4 +1,4 @@
-//! The four contract rules, the allow-marker grammar, and the
+//! The five contract rules, the allow-marker grammar, and the
 //! `#[cfg(test)]` region detector.
 //!
 //! Rules operate on a [`Scrubbed`] file (comments and literals already
@@ -11,6 +11,19 @@
 //! | `unordered-map` | `src/` of `psc`, `privcount`, `net`, `study`, `core`       |
 //! | `seed-label`    | everywhere scanned, minus `tests/`/`benches/` directories  |
 //! | `panic`         | `src/` of `psc`, `privcount`, `net`, `study`               |
+//! | `obs-readback`  | `src/` of `psc`, `privcount`, `net`                        |
+//!
+//! The `entropy` rule carries one structural sanction: `Instant::now`
+//! and `SystemTime::now` are permitted in `crates/obs/src/clock.rs` —
+//! the *only* wall-clock read site in the workspace, feeding the
+//! profiling plane that is excluded from every transcript. No
+//! `lint:allow` marker is involved; any other file reading the clock
+//! still fails the gate.
+//!
+//! `obs-readback` forbids the protocol crates from *reading* the
+//! metrics registry (`read_snapshot` / `read_counter`): protocol code
+//! may only write counters, never branch on them — a readback would
+//! let observability feed back into transcripts.
 //!
 //! `unordered-map`, `seed-label`, and `panic` additionally skip
 //! `#[cfg(test)]` / `#[test]` regions: tests may unwrap and hash
@@ -39,7 +52,7 @@ pub struct Finding {
     /// 1-based line.
     pub line: u32,
     /// Rule identifier (`entropy`, `unordered-map`, `seed-label`,
-    /// `panic`, or `allow-marker`).
+    /// `panic`, `obs-readback`, or `allow-marker`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -50,9 +63,16 @@ pub const RULE_ENTROPY: &str = "entropy";
 pub const RULE_UNORDERED: &str = "unordered-map";
 pub const RULE_SEED: &str = "seed-label";
 pub const RULE_PANIC: &str = "panic";
+pub const RULE_OBS: &str = "obs-readback";
 pub const RULE_MARKER: &str = "allow-marker";
 
-const KNOWN_RULES: [&str; 4] = [RULE_ENTROPY, RULE_UNORDERED, RULE_SEED, RULE_PANIC];
+const KNOWN_RULES: [&str; 5] = [
+    RULE_ENTROPY,
+    RULE_UNORDERED,
+    RULE_SEED,
+    RULE_PANIC,
+    RULE_OBS,
+];
 
 /// A `derive_seed` label collected for the cross-file registry.
 #[derive(Debug, Clone)]
@@ -98,6 +118,22 @@ fn in_panic_scope(rel: &str) -> bool {
         "crates/study/src/",
     ];
     CRATES.iter().any(|p| rel.starts_with(p))
+}
+
+fn in_obs_readback_scope(rel: &str) -> bool {
+    const CRATES: [&str; 3] = [
+        "crates/psc/src/",
+        "crates/privcount/src/",
+        "crates/net/src/",
+    ];
+    CRATES.iter().any(|p| rel.starts_with(p))
+}
+
+/// The one file structurally sanctioned to read the wall clock: the
+/// observability crate's clock module, which confines every
+/// `Instant::now` in the workspace behind the profiling plane.
+fn is_sanctioned_clock(rel: &str) -> bool {
+    rel == "crates/obs/src/clock.rs"
 }
 
 fn in_tests_dir(rel: &str) -> bool {
@@ -354,7 +390,9 @@ pub fn analyze_file(rel: &str, scrubbed: &Scrubbed) -> FileReport {
                 });
             }
             "SystemTime" | "Instant"
-                if followed_by_colons_now(chars, tok.end) && !allowed(RULE_ENTROPY, tok.line) =>
+                if followed_by_colons_now(chars, tok.end)
+                    && !is_sanctioned_clock(rel)
+                    && !allowed(RULE_ENTROPY, tok.line) =>
             {
                 findings.push(Finding {
                     file: rel.to_string(),
@@ -465,6 +503,26 @@ pub fn analyze_file(rel: &str, scrubbed: &Scrubbed) -> FileReport {
                     message: format!(
                         "`{}!` on a protocol path: abort the round via the error \
                          flow, or justify with `lint:allow(panic) <reason>`",
+                        tok.text
+                    ),
+                });
+            }
+            // Rule 5: metrics-registry readback ban in protocol crates.
+            "read_snapshot" | "read_counter"
+                if in_obs_readback_scope(rel)
+                    && !tests_dir
+                    && !in_region(&regions, tok.line)
+                    && !allowed(RULE_OBS, tok.line) =>
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: RULE_OBS,
+                    message: format!(
+                        "`{}` reads the metrics registry from a protocol crate: \
+                         protocol code may only write counters, never branch on \
+                         them — readback lets observability feed back into \
+                         transcripts",
                         tok.text
                     ),
                 });

@@ -18,6 +18,7 @@ fn every_seeded_violation_is_reported_exactly_once() {
         .map(|f| (f.file, f.line, f.rule))
         .collect();
     let expected: Vec<(String, u32, &str)> = [
+        ("crates/obs/src/bad_profile.rs", 6, "entropy"),
         ("crates/privcount/src/bad_maps.rs", 7, "unordered-map"),
         ("crates/privcount/src/bad_maps.rs", 10, "unordered-map"),
         ("crates/privcount/src/bad_maps.rs", 11, "unordered-map"),
@@ -27,6 +28,8 @@ fn every_seeded_violation_is_reported_exactly_once() {
         ("crates/psc/src/bad_panics.rs", 5, "panic"),
         ("crates/psc/src/bad_panics.rs", 7, "panic"),
         ("crates/psc/src/bad_panics.rs", 10, "panic"),
+        ("crates/psc/src/bad_readback.rs", 5, "obs-readback"),
+        ("crates/psc/src/bad_readback.rs", 7, "obs-readback"),
         ("crates/torsim/src/bad_entropy.rs", 4, "entropy"),
         ("crates/torsim/src/bad_entropy.rs", 9, "entropy"),
         ("crates/torsim/src/bad_entropy.rs", 10, "entropy"),
@@ -38,6 +41,17 @@ fn every_seeded_violation_is_reported_exactly_once() {
     .map(|(f, l, r)| (f.to_string(), l, r))
     .collect();
     assert_eq!(found, expected);
+}
+
+#[test]
+fn sanctioned_clock_produces_no_findings() {
+    // `crates/obs/src/clock.rs` is the one file allowed to read the
+    // wall clock; the identical calls in `bad_profile.rs` fire.
+    let noise: Vec<_> = fixture_findings()
+        .into_iter()
+        .filter(|f| f.file.ends_with("clock.rs"))
+        .collect();
+    assert!(noise.is_empty(), "{noise:#?}");
 }
 
 #[test]
@@ -69,4 +83,5 @@ fn json_export_round_trips_the_count() {
     assert!(json.contains(&format!("\"total\": {}", findings.len())));
     assert!(json.contains("\"rule\": \"entropy\""));
     assert!(json.contains("\"rule\": \"panic\""));
+    assert!(json.contains("\"rule\": \"obs-readback\""));
 }

@@ -28,9 +28,10 @@
 use crate::frame::{flip_wire_bit, Frame, WireError};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use pm_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -180,9 +181,53 @@ impl AtomicStats {
     }
 }
 
+/// Per-link delivery statistics: everything that happened on one
+/// ordered `(from, to)` link, with corrupted-then-delivered frames
+/// counted apart from clean ones (the board-wide [`FaultStats`]
+/// aggregate cannot make that distinction per link).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames submitted for delivery on this link.
+    pub sent: u64,
+    /// Wire bytes submitted (pre-corruption; bit flips preserve size).
+    pub bytes: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames the duplicate fault delivered twice.
+    pub duplicated: u64,
+    /// Copies committed for delivery with intact wire bytes.
+    pub delivered_clean: u64,
+    /// Copies committed for delivery with a flipped bit — the receiver
+    /// sees these as checksum failures, the stats see them distinctly.
+    pub delivered_corrupted: u64,
+}
+
+#[derive(Default)]
+struct AtomicLinkStats {
+    sent: AtomicU64,
+    bytes: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delivered_clean: AtomicU64,
+    delivered_corrupted: AtomicU64,
+}
+
+impl AtomicLinkStats {
+    fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            delivered_clean: self.delivered_clean.load(Ordering::Relaxed),
+            delivered_corrupted: self.delivered_corrupted.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// What the fault layer decided for one frame.
 enum Verdict {
-    Deliver { copies: usize },
+    Deliver { copies: usize, corrupted: bool },
     Drop,
 }
 
@@ -196,7 +241,10 @@ fn roll_faults(
     stats: &AtomicStats,
 ) -> Verdict {
     if !faults.is_active() {
-        return Verdict::Deliver { copies: 1 };
+        return Verdict::Deliver {
+            copies: 1,
+            corrupted: false,
+        };
     }
     let drop_roll: f64 = rng.gen();
     if drop_roll < faults.drop_chance {
@@ -204,7 +252,8 @@ fn roll_faults(
         return Verdict::Drop; // silently dropped, like a lossy link
     }
     let corrupt_roll: f64 = rng.gen();
-    if corrupt_roll < faults.corrupt_chance && !wire.is_empty() {
+    let corrupted = corrupt_roll < faults.corrupt_chance && !wire.is_empty();
+    if corrupted {
         let idx = rng.gen_range(0..wire.len());
         let bit = rng.gen_range(0..8u32);
         flip_wire_bit(wire, idx, bit);
@@ -213,9 +262,15 @@ fn roll_faults(
     let dup_roll: f64 = rng.gen();
     if dup_roll < faults.duplicate_chance {
         stats.duplicated.fetch_add(1, Ordering::Relaxed);
-        Verdict::Deliver { copies: 2 }
+        Verdict::Deliver {
+            copies: 2,
+            corrupted,
+        }
     } else {
-        Verdict::Deliver { copies: 1 }
+        Verdict::Deliver {
+            copies: 1,
+            corrupted,
+        }
     }
 }
 
@@ -266,6 +321,64 @@ struct BoardInner {
     fabric: Fabric,
     faults: FaultConfig,
     stats: AtomicStats,
+    /// Per-link statistics, keyed by ordered `(from, to)`. Sorted so
+    /// [`Switchboard::link_stats`] and metrics publication iterate in a
+    /// deterministic order.
+    links: Mutex<BTreeMap<(PartyId, PartyId), Arc<AtomicLinkStats>>>,
+    recorder: Recorder,
+}
+
+impl BoardInner {
+    fn link_entry(&self, from: &PartyId, to: &PartyId) -> Arc<AtomicLinkStats> {
+        let mut links = self.links.lock();
+        Arc::clone(
+            links
+                .entry((from.clone(), to.clone()))
+                .or_insert_with(|| Arc::new(AtomicLinkStats::default())),
+        )
+    }
+
+    /// Folds this board's totals into the recorder's metrics registry:
+    /// board-wide frame/byte counters plus one `net.link.{from}->{to}.*`
+    /// family per link (fault-outcome keys only where the outcome
+    /// occurred — the fault schedule is deterministic, so key presence
+    /// is too).
+    fn publish_metrics(&self) {
+        let links = self.links.lock();
+        if links.is_empty() {
+            return; // board never carried a frame
+        }
+        let s = self.stats.snapshot();
+        self.recorder.add("net.frames.sent", s.sent);
+        self.recorder.add("net.frames.dropped", s.dropped);
+        self.recorder.add("net.frames.duplicated", s.duplicated);
+        self.recorder.add("net.frames.corrupted", s.corrupted);
+        for ((from, to), stats) in links.iter() {
+            let s = stats.snapshot();
+            self.recorder.add("net.bytes.sent", s.bytes);
+            let key = |field: &str| format!("net.link.{from}->{to}.{field}");
+            self.recorder.add(&key("sent"), s.sent);
+            self.recorder.add(&key("bytes"), s.bytes);
+            if s.dropped > 0 {
+                self.recorder.add(&key("dropped"), s.dropped);
+            }
+            if s.duplicated > 0 {
+                self.recorder.add(&key("duplicated"), s.duplicated);
+            }
+            if s.delivered_corrupted > 0 {
+                self.recorder.add(&key("corrupted"), s.delivered_corrupted);
+            }
+        }
+    }
+}
+
+impl Drop for BoardInner {
+    /// Every board publishes its metrics exactly once, when the last
+    /// handle goes away — round runners drop their boards at round end
+    /// on success *and* abort paths alike, so no path skips accounting.
+    fn drop(&mut self) {
+        self.publish_metrics();
+    }
 }
 
 /// The in-memory message fabric connecting all parties of a deployment.
@@ -287,7 +400,15 @@ impl Switchboard {
     }
 
     /// Creates a per-link switchboard with fault injection enabled.
+    /// Metrics go to a private, unobserved recorder; use
+    /// [`Switchboard::with_faults_obs`] to publish them.
     pub fn with_faults(faults: FaultConfig) -> Switchboard {
+        Switchboard::with_faults_obs(faults, Recorder::new())
+    }
+
+    /// Like [`Switchboard::with_faults`], publishing the board's frame
+    /// and per-link counters into `recorder` when the board is dropped.
+    pub fn with_faults_obs(faults: FaultConfig, recorder: Recorder) -> Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
                 fabric: Fabric::PerLink(PerLinkFabric {
@@ -296,6 +417,8 @@ impl Switchboard {
                 }),
                 faults,
                 stats: AtomicStats::default(),
+                links: Mutex::new(BTreeMap::new()),
+                recorder,
             }),
         }
     }
@@ -305,6 +428,12 @@ impl Switchboard {
     /// delivery order. Kept as the regression baseline the per-link
     /// fabric is tested against.
     pub fn single_lock_with_faults(faults: FaultConfig) -> Switchboard {
+        Switchboard::single_lock_with_faults_obs(faults, Recorder::new())
+    }
+
+    /// Like [`Switchboard::single_lock_with_faults`], publishing into
+    /// `recorder` when the board is dropped.
+    pub fn single_lock_with_faults_obs(faults: FaultConfig, recorder: Recorder) -> Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
                 fabric: Fabric::SingleLock(Mutex::new(SingleLockFabric {
@@ -314,6 +443,8 @@ impl Switchboard {
                 })),
                 faults,
                 stats: AtomicStats::default(),
+                links: Mutex::new(BTreeMap::new()),
+                recorder,
             }),
         }
     }
@@ -376,9 +507,45 @@ impl Switchboard {
         self.inner.stats.snapshot()
     }
 
+    /// Current per-link statistics, in `(from, to)` order.
+    pub fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)> {
+        self.inner
+            .links
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Records the fault verdict for one frame on its link's counters.
+    fn tally_link(link: &AtomicLinkStats, verdict: &Verdict) {
+        match verdict {
+            Verdict::Drop => {
+                link.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::Deliver { copies, corrupted } => {
+                if *copies > 1 {
+                    link.duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+                let delivered = if *corrupted {
+                    &link.delivered_corrupted
+                } else {
+                    &link.delivered_clean
+                };
+                delivered.fetch_add(*copies as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError> {
         let stats = &self.inner.stats;
         stats.sent.fetch_add(1, Ordering::Relaxed);
+        let mut wire = frame.to_wire().to_vec();
+        let link_stats = self.inner.link_entry(from, to);
+        link_stats.sent.fetch_add(1, Ordering::Relaxed);
+        link_stats
+            .bytes
+            .fetch_add(wire.len() as u64, Ordering::Relaxed);
         match &self.inner.fabric {
             Fabric::PerLink(fabric) => {
                 // Clone the recipient's handles out of the registry so the
@@ -404,14 +571,14 @@ impl Switchboard {
                         })
                     }))
                 };
-                let mut wire = frame.to_wire().to_vec();
                 let verdict = {
                     let mut rng = link.rng.lock();
                     roll_faults(&self.inner.faults, &mut rng, &mut wire, stats)
                 };
+                Self::tally_link(&link_stats, &verdict);
                 let copies = match verdict {
                     Verdict::Drop => return Ok(()),
-                    Verdict::Deliver { copies } => copies,
+                    Verdict::Deliver { copies, .. } => copies,
                 };
                 for _ in 0..copies {
                     // Reserve-then-commit: the frame push and its
@@ -431,11 +598,11 @@ impl Switchboard {
             }
             Fabric::SingleLock(fabric) => {
                 let mut inner = fabric.lock();
-                let mut wire = frame.to_wire().to_vec();
                 let verdict = roll_faults(&self.inner.faults, &mut inner.rng, &mut wire, stats);
+                Self::tally_link(&link_stats, &verdict);
                 let copies = match verdict {
                     Verdict::Drop => return Ok(()),
-                    Verdict::Deliver { copies } => copies,
+                    Verdict::Deliver { copies, .. } => copies,
                 };
                 let tx = inner
                     .channels
@@ -867,6 +1034,99 @@ mod tests {
             0,
             "failed deliveries left orphaned frames queued"
         );
+    }
+
+    #[test]
+    fn link_stats_track_per_link_outcomes() {
+        for (mode, board) in boards_with(FaultConfig {
+            corrupt_chance: 1.0,
+            seed: 3,
+            ..Default::default()
+        }) {
+            let a = board.register("a");
+            let b = board.register("b");
+            let c = board.register("c");
+            a.send(b.id(), frame(1, b"to b")).unwrap();
+            a.send(c.id(), frame(1, b"to c!")).unwrap();
+            a.send(c.id(), frame(1, b"to c again")).unwrap();
+            let stats = board.link_stats();
+            assert_eq!(stats.len(), 2, "{mode}");
+            let ab = &stats[0];
+            assert_eq!(ab.0, (PartyId::new("a"), PartyId::new("b")), "{mode}");
+            assert_eq!(ab.1.sent, 1, "{mode}");
+            let ac = &stats[1];
+            assert_eq!(ac.0, (PartyId::new("a"), PartyId::new("c")), "{mode}");
+            assert_eq!(ac.1.sent, 2, "{mode}");
+            assert!(ac.1.bytes > ab.1.bytes, "{mode}");
+            // Every delivery was corrupted-then-delivered, and the
+            // stats say so — corrupted copies are not folded into the
+            // clean count.
+            assert_eq!(ab.1.delivered_corrupted, 1, "{mode}");
+            assert_eq!(ab.1.delivered_clean, 0, "{mode}");
+            assert_eq!(ac.1.delivered_corrupted, 2, "{mode}");
+        }
+    }
+
+    #[test]
+    fn link_stats_split_drop_and_duplicate_outcomes() {
+        let board = Switchboard::with_faults(FaultConfig {
+            drop_chance: 1.0,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"gone")).unwrap();
+        let stats = board.link_stats();
+        assert_eq!(stats[0].1.dropped, 1);
+        assert_eq!(
+            stats[0].1.delivered_clean + stats[0].1.delivered_corrupted,
+            0
+        );
+
+        let board = Switchboard::with_faults(FaultConfig {
+            duplicate_chance: 1.0,
+            ..Default::default()
+        });
+        let a = board.register("a");
+        let b = board.register("b");
+        a.send(b.id(), frame(1, b"twice")).unwrap();
+        let stats = board.link_stats();
+        assert_eq!(stats[0].1.duplicated, 1);
+        assert_eq!(stats[0].1.delivered_clean, 2);
+    }
+
+    #[test]
+    fn dropping_the_board_publishes_metrics_once() {
+        let rec = Recorder::new();
+        {
+            let board = Switchboard::with_faults_obs(FaultConfig::none(), rec.clone());
+            let a = board.register("a");
+            let b = board.register("b");
+            a.send(b.id(), frame(1, b"counted")).unwrap();
+            let _ = b.recv().unwrap();
+            // Endpoints hold board clones; nothing published yet.
+            assert_eq!(rec.read_counter("net.frames.sent"), 0);
+        }
+        assert_eq!(rec.read_counter("net.frames.sent"), 1);
+        assert_eq!(rec.read_counter("net.link.a->b.sent"), 1);
+        assert!(rec.read_counter("net.bytes.sent") > 0);
+        assert_eq!(rec.read_counter("net.frames.dropped"), 0);
+        // Fault-outcome link keys appear only when the outcome occurred.
+        assert!(rec
+            .read_snapshot()
+            .entries
+            .iter()
+            .all(|(k, _)| !k.ends_with(".corrupted") || !k.starts_with("net.link.")));
+    }
+
+    #[test]
+    fn unused_board_publishes_nothing() {
+        let rec = Recorder::new();
+        drop(Switchboard::with_faults_obs(
+            FaultConfig::none(),
+            rec.clone(),
+        ));
+        assert!(rec.read_snapshot().entries.is_empty());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Validates a chrome trace-event JSON file and checks span coverage.
+//!
+//! ```text
+//! trace-check PATH [--min-cats N] [NAME...]
+//! ```
+//!
+//! Exits non-zero if the file is not well-formed trace-event JSON, has
+//! fewer than `--min-cats` distinct span categories, or is missing any
+//! of the required span `NAME`s. Used by `make obs-smoke`.
+
+use pm_obs::trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut min_cats = 0usize;
+    let mut required: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-cats" => {
+                i += 1;
+                min_cats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                if path.is_none() {
+                    path = Some(other.to_string());
+                } else {
+                    required.push(other.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| usage());
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace-check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = trace::validate(&text).unwrap_or_else(|e| {
+        eprintln!("trace-check: {path}: malformed trace: {e}");
+        std::process::exit(1);
+    });
+
+    let mut failed = false;
+    if summary.cats.len() < min_cats {
+        eprintln!(
+            "trace-check: {path}: {} span categories, need >= {min_cats} ({})",
+            summary.cats.len(),
+            summary.cats.iter().cloned().collect::<Vec<_>>().join(", ")
+        );
+        failed = true;
+    }
+    for name in &required {
+        if !summary.names.contains(name) {
+            eprintln!("trace-check: {path}: required span \"{name}\" not present");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "trace-check: {path}: ok ({} events, {} names, {} categories)",
+        summary.events,
+        summary.names.len(),
+        summary.cats.len()
+    );
+}
+
+fn usage() -> ! {
+    eprintln!("usage: trace-check PATH [--min-cats N] [NAME...]");
+    std::process::exit(2);
+}

@@ -1,0 +1,48 @@
+//! The workspace's **only** wall-clock read.
+//!
+//! Simulated time everywhere else comes from the event stream; reading
+//! the host clock from protocol code would make transcripts a function
+//! of the machine. The profiling plane still needs real time, so this
+//! module confines the read to one function that `pm-lint`'s entropy
+//! rule explicitly sanctions (`crates/obs/src/clock.rs` is the one file
+//! where `Instant::now` is legal — a second call site anywhere else in
+//! the workspace fails `make lint`).
+//!
+//! A [`Tick`] is deliberately opaque: holders can measure elapsed
+//! microseconds between two ticks, but nothing else — no conversion to
+//! calendar time, no ordering against anything outside this process.
+
+use std::time::Instant;
+
+/// An opaque instant captured from the host monotonic clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Tick(Instant);
+
+/// Reads the monotonic clock. The one sanctioned wall-clock read.
+pub fn tick() -> Tick {
+    Tick(Instant::now())
+}
+
+impl Tick {
+    /// Microseconds from `earlier` to `self` (saturating to zero if
+    /// `earlier` is actually later — ticks are not required to be
+    /// ordered by the caller).
+    pub fn micros_since(&self, earlier: Tick) -> u64 {
+        self.0.duration_since(earlier.0).as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotone() {
+        let a = tick();
+        let b = tick();
+        // duration_since saturates, so both directions are defined.
+        assert_eq!(a.micros_since(b), 0);
+        let forward = b.micros_since(a);
+        assert!(forward < 1_000_000, "two adjacent ticks {forward}µs apart");
+    }
+}

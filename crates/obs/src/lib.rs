@@ -1,0 +1,70 @@
+//! `pm-obs` — the workspace's observability layer: a **deterministic
+//! metrics plane** and a **wall-clock profiling plane**, strictly
+//! separated.
+//!
+//! The paper's deployment ran for months across data centers, share
+//! keepers, and a tally server; operating it meant knowing, per round,
+//! how many cells were mixed, frames dropped, and hours of privacy
+//! budget burned. This crate gives the reproduction the same
+//! instruments without compromising its central contract: every
+//! protocol output is a pure function of the configured seed.
+//!
+//! # The two planes
+//!
+//! **Metrics** ([`Recorder::add`], [`Recorder::max`],
+//! [`Recorder::read_snapshot`]) are monotone `u64` counters and
+//! max-gauges in a sorted registry. Everything recorded here must be a
+//! deterministic function of `(config, seed)` — event counts, cells
+//! mixed per phase, frames per link, anomaly counts, ledger hours. The
+//! snapshot is **part of the bit-identity contract**: it is rendered
+//! into `CampaignReport` and must be identical across worker counts,
+//! shard counts, and scheduling orders. That rules out anything
+//! schedule-shaped: operation counts of a memoization cache, queue
+//! depths, retry tallies. Record the schedule-invariant *projection*
+//! instead (e.g. the timeline cursor records *distinct days
+//! materialized* and *checkpoints taken* — both properties of the
+//! calendar — while its raw delta-apply/restore operation counts, which
+//! depend on the order rounds happened to ask for days, live in the
+//! profiling plane as spans).
+//!
+//! **Profiling** ([`Recorder::span`], [`Recorder::write_trace`]) is
+//! wall-clock span timing around the hot paths: mix phases, shard
+//! folds, job queue-wait vs run time, day generation. It is disabled by
+//! default ([`Recorder::new`]), enabled explicitly
+//! ([`Recorder::with_profiling`]), exported only as a chrome://tracing
+//! trace-event JSON (plus peak RSS and per-phase events/s in
+//! `otherData`), and **excluded from every transcript-equality suite**
+//! — no report render may embed it. The only wall-clock read in the
+//! workspace is [`clock::tick`]; `pm-lint`'s entropy rule sanctions
+//! `Instant::now` in `crates/obs/src/clock.rs` and nowhere else.
+//!
+//! # Observe-only by construction
+//!
+//! Protocol crates (`psc`, `privcount`, `pm-net`) hold [`Recorder`]
+//! handles and *write* through them; they may never *read* the registry
+//! back — a protocol branching on a metric would let observability
+//! perturb transcripts. `pm-lint`'s `obs-readback` rule enforces this
+//! lexically: [`Recorder::read_snapshot`] / [`Recorder::read_counter`]
+//! are findings inside those crates' `src/` trees.
+//!
+//! # No globals
+//!
+//! There is no process-wide registry: a [`Recorder`] is an explicit,
+//! cheaply-cloneable handle threaded through `Deployment`, so parallel
+//! campaign rounds share one registry by construction while tests and
+//! benches isolate theirs — and two campaigns in one process never
+//! contend or cross-contaminate.
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+pub mod rss;
+pub mod sink;
+pub mod trace;
+
+mod recorder;
+
+pub use metrics::{Counter, MetricsSnapshot};
+pub use profile::Span;
+pub use recorder::Recorder;
+pub use sink::{Event, Sink, Verbosity};

@@ -1,0 +1,172 @@
+//! The wall-clock profiling plane: span timers collected into a
+//! chrome://tracing event buffer.
+//!
+//! Nothing in this module may feed back into protocol state or report
+//! renders — see the crate docs. When profiling is disabled (the
+//! default), [`Span`] guards are inert zero-allocation no-ops, so
+//! instrumentation can stay in the hot paths unconditionally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{self, Tick};
+
+/// One completed span, in chrome trace-event terms: a `ph:"X"`
+/// (complete) event with microsecond start offset and duration.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name, e.g. `mix.batch`.
+    pub name: String,
+    /// Category, e.g. `psc` — the trace viewer's row grouping.
+    pub cat: String,
+    /// Start offset from profiler creation, µs.
+    pub ts: u64,
+    /// Duration, µs.
+    pub dur: u64,
+    /// Logical thread id (dense, assigned per OS thread at first use).
+    pub tid: u64,
+    /// Optional `key=value` annotations rendered into `args`.
+    pub args: Vec<(String, String)>,
+}
+
+pub(crate) struct Profiler {
+    start: Tick,
+    events: Mutex<Vec<TraceEvent>>,
+    next_tid: AtomicU64,
+}
+
+thread_local! {
+    // (profiler identity, assigned tid) — re-resolved if a second
+    // profiler appears on the same thread.
+    static TID: std::cell::Cell<(usize, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+impl Profiler {
+    pub(crate) fn new() -> Profiler {
+        Profiler {
+            start: clock::tick(),
+            events: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(1),
+        }
+    }
+
+    fn tid(self: &Arc<Self>) -> u64 {
+        let key = Arc::as_ptr(self) as usize;
+        TID.with(|c| {
+            let (k, t) = c.get();
+            if k == key {
+                return t;
+            }
+            let t = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            c.set((key, t));
+            t
+        })
+    }
+
+    pub(crate) fn record(
+        self: &Arc<Self>,
+        name: &str,
+        cat: &str,
+        begun: Tick,
+        args: Vec<(String, String)>,
+    ) {
+        let end = clock::tick();
+        let ev = TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts: begun.micros_since(self.start),
+            dur: end.micros_since(begun),
+            tid: self.tid(),
+            args,
+        };
+        self.events.lock().expect("profiler poisoned").push(ev);
+    }
+
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("profiler poisoned").clone()
+    }
+}
+
+/// A timing guard: created by [`crate::Recorder::span`], records one
+/// [`TraceEvent`] on drop. Inert when profiling is disabled.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    profiler: Arc<Profiler>,
+    name: &'static str,
+    cat: &'static str,
+    begun: Tick,
+    args: Vec<(String, String)>,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    pub(crate) fn begin(profiler: Arc<Profiler>, name: &'static str, cat: &'static str) -> Span {
+        Span {
+            inner: Some(SpanInner {
+                profiler,
+                name,
+                cat,
+                begun: clock::tick(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a `key=value` annotation (shown under `args` in the
+    /// trace viewer). No-op when inert.
+    pub fn note(&mut self, key: &str, value: impl ToString) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner
+                .profiler
+                .record(inner.name, inner.cat, inner.begun, inner.args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_thread_ids() {
+        let p = Arc::new(Profiler::new());
+        {
+            let mut s = Span::begin(Arc::clone(&p), "outer", "test");
+            s.note("k", 7);
+            drop(Span::begin(Arc::clone(&p), "inner", "test"));
+        }
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || drop(Span::begin(p2, "other", "test")))
+            .join()
+            .unwrap();
+        let evs = p.events();
+        assert_eq!(evs.len(), 3);
+        // inner drops before outer.
+        assert_eq!(evs[0].name, "inner");
+        assert_eq!(evs[1].name, "outer");
+        assert_eq!(evs[1].args, vec![("k".to_string(), "7".to_string())]);
+        assert_eq!(evs[0].tid, evs[1].tid);
+        assert_ne!(evs[2].tid, evs[0].tid, "spawned thread gets its own tid");
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut s = Span::disabled();
+        s.note("k", "v");
+        drop(s);
+    }
+}

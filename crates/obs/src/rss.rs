@@ -1,0 +1,37 @@
+//! Peak resident set size, read from `/proc/self/status` (`VmHWM`).
+//!
+//! This is sidecar data for the profiling plane's `otherData` — never
+//! part of a report render. On non-Linux hosts it is simply absent.
+
+/// Peak RSS in kilobytes, if the platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                return rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_readable_and_plausible() {
+        let kb = super::peak_rss_kb().expect("VmHWM present on linux");
+        assert!(kb > 100, "peak RSS {kb} kB implausibly small");
+    }
+}

@@ -132,6 +132,7 @@ mod tests {
             threaded: false,
             faults: FaultConfig::none(),
             adversary,
+            recorder: Default::default(),
         }
     }
 

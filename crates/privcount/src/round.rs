@@ -49,6 +49,11 @@ pub struct RoundConfig {
     /// active, so a dead keeper deadlocks loudly instead of hanging
     /// the threaded runner.
     pub adversary: crate::adversary::Attack,
+    /// Observability handle threaded to the switchboard: deterministic
+    /// counters (`privcount.rounds`, `net.link.*`) plus profiling spans
+    /// when built with profiling enabled. Defaults to a detached
+    /// recorder.
+    pub recorder: pm_obs::Recorder,
 }
 
 /// The outcome of a round.
@@ -141,6 +146,7 @@ pub fn run_round_days(
                     threaded: cfg.threaded,
                     faults: cfg.faults,
                     adversary: cfg.adversary,
+                    recorder: cfg.recorder.clone(),
                 },
                 streams,
             )
@@ -155,8 +161,12 @@ pub fn run_round_sources(
 ) -> Result<RoundResult, NodeError> {
     assert!(!dc_sources.is_empty(), "need at least one DC");
     assert!(cfg.num_sks >= 1, "need at least one SK");
+    cfg.recorder.incr("privcount.rounds");
+    let mut round_span = cfg.recorder.span("round.privcount", "round");
+    round_span.note("dcs", dc_sources.len());
+    round_span.note("sks", cfg.num_sks);
     let num_dcs = dc_sources.len();
-    let board = Switchboard::with_faults(cfg.faults);
+    let board = Switchboard::with_faults_obs(cfg.faults, cfg.recorder.clone());
     let mut runner = Runner::new(board);
 
     let ts_id = PartyId::new("ts");
@@ -261,6 +271,7 @@ mod tests {
             threaded,
             faults: FaultConfig::none(),
             adversary: Attack::None,
+            recorder: pm_obs::Recorder::new(),
         }
     }
 
@@ -341,6 +352,7 @@ mod tests {
             threaded: false,
             faults: FaultConfig::none(),
             adversary: Attack::None,
+            recorder: pm_obs::Recorder::new(),
         };
         let gens: Vec<EventGenerator> = vec![Box::new(|sink| {
             sink(conn_event(1));

@@ -37,6 +37,7 @@ use pm_crypto::shuffle::{shuffle, Permutation, ShuffleProof, ShuffleWitness};
 use pm_crypto::zkp::{DleqProof, SchnorrProof, Transcript};
 use pm_net::party::{Node, NodeError, Step};
 use pm_net::transport::{Endpoint, Envelope, PartyId};
+use pm_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,6 +92,9 @@ pub struct CpNode {
     corrupt_proof: bool,
     /// Adversarial knob: noise encryptions this CP can still afford.
     noise_budget: Option<u32>,
+    /// Observability handle: `mix.*` phase spans (profiling plane) and
+    /// the `psc.mix.cells` counter (deterministic plane).
+    recorder: Recorder,
 }
 
 impl CpNode {
@@ -117,7 +121,16 @@ impl CpNode {
             die_after: None,
             corrupt_proof: false,
             noise_budget: None,
+            recorder: Recorder::new(),
         }
+    }
+
+    /// Attaches an observability recorder. Metrics land in its
+    /// deterministic registry; spans are recorded only when the
+    /// recorder was built with profiling enabled.
+    pub fn with_recorder(mut self, recorder: Recorder) -> CpNode {
+        self.recorder = recorder;
+        self
     }
 
     /// Adversarial variant ([`crate::adversary::Attack::CpDeath`]):
@@ -170,16 +183,24 @@ impl CpNode {
             }
         }
         let key = PublicKey(cfg.joint_key);
+        // Deterministic plane: cells entering this hop is fixed by the
+        // round config (table size plus upstream noise), never by
+        // scheduling.
+        self.recorder.add("psc.mix.cells", task.cells.len() as u64);
         let mut msg = match self.strategy {
-            MixStrategy::Sequential => mix_message_sequential(
-                &self.gp,
-                &key,
-                cfg.noise_flips,
-                cfg.verify,
-                task.cells,
-                &mut self.rng,
-            ),
-            MixStrategy::Batched { threads } => mix_message_batched(
+            MixStrategy::Sequential => {
+                let mut span = self.recorder.span("mix.sequential", "psc");
+                span.note("cells", task.cells.len());
+                mix_message_sequential(
+                    &self.gp,
+                    &key,
+                    cfg.noise_flips,
+                    cfg.verify,
+                    task.cells,
+                    &mut self.rng,
+                )
+            }
+            MixStrategy::Batched { threads } => mix_message_batched_obs(
                 &self.gp,
                 &key,
                 cfg.noise_flips,
@@ -187,6 +208,7 @@ impl CpNode {
                 task.cells,
                 &mut self.rng,
                 threads,
+                &self.recorder,
             ),
         };
         if self.corrupt_proof {
@@ -209,6 +231,8 @@ impl CpNode {
             .as_ref()
             .ok_or_else(|| NodeError::Protocol("decrypt before configure".into()))?
             .clone();
+        let mut dec_span = self.recorder.span("mix.decrypt", "psc");
+        dec_span.note("cells", task.cells.len());
         let threads = match self.strategy {
             MixStrategy::Sequential => 1,
             MixStrategy::Batched { threads } => threads,
@@ -424,7 +448,41 @@ pub fn mix_message_batched<R: Rng + ?Sized>(
     rng: &mut R,
     threads: usize,
 ) -> messages::MixResult {
-    let rand = MixRandomness::derive(gp, noise_flips, verify, cells.len(), SHUFFLE_ROUNDS, rng);
+    mix_message_batched_obs(
+        gp,
+        key,
+        noise_flips,
+        verify,
+        cells,
+        rng,
+        threads,
+        &Recorder::new(),
+    )
+}
+
+/// [`mix_message_batched`] with observability: the sequential
+/// randomness derivation and the parallel cell phase each get a span
+/// (`mix.derive` / `mix.batch`, recorded only when `recorder` profiles).
+/// The transcript is untouched — spans never feed back into the mix.
+#[allow(clippy::too_many_arguments)]
+pub fn mix_message_batched_obs<R: Rng + ?Sized>(
+    gp: &GroupParams,
+    key: &PublicKey,
+    noise_flips: u32,
+    verify: bool,
+    cells: Vec<Ciphertext>,
+    rng: &mut R,
+    threads: usize,
+    recorder: &Recorder,
+) -> messages::MixResult {
+    let rand = {
+        let mut span = recorder.span("mix.derive", "psc");
+        span.note("cells", cells.len());
+        MixRandomness::derive(gp, noise_flips, verify, cells.len(), SHUFFLE_ROUNDS, rng)
+    };
+    let mut batch_span = recorder.span("mix.batch", "psc");
+    batch_span.note("cells", cells.len());
+    batch_span.note("threads", threads);
     let pk = PrecomputedKey::new(gp, key);
 
     let mut with_noise = cells;

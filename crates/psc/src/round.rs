@@ -43,6 +43,11 @@ pub struct PscConfig {
     /// deterministic scheduler (the threaded runner has no deadlock
     /// detector to catch a dead keeper).
     pub adversary: Attack,
+    /// Observability handle threaded to the switchboard and every CP:
+    /// deterministic counters (`psc.rounds`, `psc.mix.cells`,
+    /// `net.link.*`) plus profiling spans when it was built with
+    /// profiling enabled. Defaults to a detached recorder.
+    pub recorder: pm_obs::Recorder,
 }
 
 impl Default for PscConfig {
@@ -58,6 +63,7 @@ impl Default for PscConfig {
             mix: MixStrategy::default(),
             single_lock_board: false,
             adversary: Attack::None,
+            recorder: pm_obs::Recorder::new(),
         }
     }
 }
@@ -165,10 +171,14 @@ pub fn run_psc_round_sources(
 ) -> Result<PscResult, NodeError> {
     assert!(!dc_sources.is_empty(), "need at least one DC");
     assert!(cfg.num_cps >= 1, "need at least one CP");
+    cfg.recorder.incr("psc.rounds");
+    let mut round_span = cfg.recorder.span("round.psc", "round");
+    round_span.note("dcs", dc_sources.len());
+    round_span.note("cps", cfg.num_cps);
     let board = if cfg.single_lock_board {
-        Switchboard::single_lock_with_faults(cfg.faults)
+        Switchboard::single_lock_with_faults_obs(cfg.faults, cfg.recorder.clone())
     } else {
-        Switchboard::with_faults(cfg.faults)
+        Switchboard::with_faults_obs(cfg.faults, cfg.recorder.clone())
     };
     let mut runner = Runner::new(board);
 
@@ -199,7 +209,8 @@ pub fn run_psc_round_sources(
     );
     for (i, cp) in cp_names.iter().enumerate() {
         let mut node =
-            CpNode::with_strategy(ts_id.clone(), cfg.seed ^ (0xC9_0000 + i as u64), cfg.mix);
+            CpNode::with_strategy(ts_id.clone(), cfg.seed ^ (0xC9_0000 + i as u64), cfg.mix)
+                .with_recorder(cfg.recorder.clone());
         match cfg.adversary {
             Attack::CpDeath { cp, after_messages } if cp == i => {
                 node = node.dying_after(after_messages);

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p pm-study --bin campaign -- \
 //!     [--days N] [--scale S] [--seed N] [--shards K] [--workers W]
-//!     [--attack NAME] [--csv] [--json PATH] [--list]
+//!     [--attack NAME] [--csv] [--json PATH] [--trace PATH] [-q | -v] [--list]
 //! ```
 //!
 //! The default 7-day calendar holds the §5.1 client-IP measurement,
@@ -21,7 +21,13 @@
 //! campaign still completes and reports, with each attacked round
 //! aborted or degraded and the detection recorded in the anomaly
 //! channel — the scenario-smoke target greps exactly that.
+//!
+//! `--trace PATH` enables the wall-clock profiling plane and writes a
+//! chrome://tracing trace-event file (load it at chrome://tracing or
+//! ui.perfetto.dev). Profiling never changes a report byte. `-q`
+//! silences progress events; `-v` prints them with structured fields.
 
+use pm_obs::{Event, Recorder, Sink, Verbosity};
 use pm_study::{Campaign, CampaignAttack, CampaignConfig};
 
 fn main() {
@@ -33,6 +39,8 @@ fn main() {
     let mut attack = CampaignAttack::None;
     let mut csv = false;
     let mut json: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut verbosity = Verbosity::Normal;
     let mut list = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,11 +92,18 @@ fn main() {
                 i += 1;
                 json = Some(args[i].clone());
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(args[i].clone());
+            }
+            "-q" | "--quiet" => verbosity = Verbosity::Quiet,
+            "-v" | "--verbose" => verbosity = Verbosity::Verbose,
             "--list" => list = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign [--days N] [--scale S] [--seed N] [--shards K] \
-                     [--workers W] [--attack NAME] [--csv] [--json PATH] [--list]"
+                     [--workers W] [--attack NAME] [--csv] [--json PATH] [--trace PATH] \
+                     [-q | -v] [--list]"
                 );
                 return;
             }
@@ -100,7 +115,15 @@ fn main() {
         i += 1;
     }
 
-    let mut cfg = CampaignConfig::new(days, scale, seed).with_attack(attack);
+    let sink = Sink::new(verbosity);
+    let recorder = if trace.is_some() {
+        Recorder::with_profiling()
+    } else {
+        Recorder::new()
+    };
+    let mut cfg = CampaignConfig::new(days, scale, seed)
+        .with_attack(attack)
+        .with_recorder(recorder.clone());
     if shards > 0 {
         cfg = cfg.with_shards(shards);
     }
@@ -120,10 +143,20 @@ fn main() {
         return;
     }
 
-    eprintln!(
-        "# campaign: {days} days, scale {scale}, seed {seed}, attack {}, {} round(s)",
-        attack.name(),
-        campaign.rounds().len()
+    sink.emit(
+        &Event::new(
+            "campaign.start",
+            format!(
+                "campaign: {days} days, scale {scale}, seed {seed}, attack {}, {} round(s)",
+                attack.name(),
+                campaign.rounds().len()
+            ),
+        )
+        .field("days", days)
+        .field("scale", scale)
+        .field("seed", seed)
+        .field("attack", attack.name())
+        .field("rounds", campaign.rounds().len()),
     );
     let report = campaign.run(workers);
     if csv {
@@ -134,13 +167,28 @@ fn main() {
     if let Some(path) = json {
         // lint:allow(panic) CLI export failure: an immediate loud exit is the interface
         std::fs::write(&path, report.render_json()).expect("write --json output");
-        eprintln!("# wrote {path}");
+        sink.emit(&Event::new("campaign.wrote", format!("wrote {path}")).field("path", &path));
+    }
+    if let Some(path) = trace {
+        recorder
+            .write_trace(std::path::Path::new(&path))
+            // lint:allow(panic) CLI export failure: an immediate loud exit is the interface
+            .expect("write --trace output");
+        sink.emit(
+            &Event::new("campaign.trace", format!("wrote trace {path}")).field("path", &path),
+        );
     }
     if !report.anomalies.is_empty() {
-        eprintln!("# {} anomaly record(s):", report.anomalies.len());
+        sink.emit(
+            &Event::new(
+                "campaign.anomalies",
+                format!("{} anomaly record(s):", report.anomalies.len()),
+            )
+            .field("count", report.anomalies.len()),
+        );
         for a in &report.anomalies {
-            eprintln!("#   {a}");
+            sink.say("campaign.anomaly", format!("  {a}"));
         }
     }
-    eprintln!("# campaign complete");
+    sink.say("campaign.done", "campaign complete");
 }

@@ -11,6 +11,7 @@
 use crate::anomaly::{Anomaly, AnomalyKind};
 use crate::campaign::{CampaignConfig, RoundOutcome, RoundStatus};
 use pm_dp::accountant::{Accountant, MeasurementRound, RoundDisposition};
+use pm_obs::MetricsSnapshot;
 use pm_stats::union::reconcile;
 use torsim::timeline::{DayTruth, DomainDayTruth, OnionDayTruth};
 use torstudy::report::{csv_escape, fmt_estimate, json_escape, Report, ReportRow};
@@ -32,6 +33,12 @@ pub struct CampaignReport {
     /// attributions) in calendar order, then cross-round reconciliation
     /// records. Rendered in all three output formats.
     pub anomalies: Vec<Anomaly>,
+    /// The deterministic metrics snapshot, read from the campaign's
+    /// recorder at assembly. Part of the bit-identity contract:
+    /// identical for every worker and shard count, and never touched by
+    /// the wall-clock profiling plane. Empty when no recorder was
+    /// threaded through the campaign.
+    pub metrics: MetricsSnapshot,
 }
 
 /// The calendar day a cumulative row attributes itself to. A
@@ -276,6 +283,7 @@ impl CampaignReport {
             rounds: outcomes.into_iter().map(|o| o.report).collect(),
             cumulative,
             anomalies,
+            metrics: cfg.recorder.read_snapshot(),
         }
     }
 
@@ -292,6 +300,11 @@ impl CampaignReport {
         );
         for r in self.all_reports() {
             out.push_str(&r.render_text());
+            out.push('\n');
+        }
+        if !self.metrics.entries.is_empty() {
+            out.push_str("== metrics ==\n");
+            out.push_str(&self.metrics.render_lines());
             out.push('\n');
         }
         out
@@ -314,6 +327,9 @@ impl CampaignReport {
                 a.day.map(|d| d.to_string()).unwrap_or_else(|| "—".into()),
                 csv_escape(&a.detail)
             ));
+        }
+        for (name, value) in &self.metrics.entries {
+            out.push_str(&format!("METRIC,{},{value},—,—\n", csv_escape(name)));
         }
         out
     }
@@ -348,7 +364,9 @@ impl CampaignReport {
             }
             out.push('\n');
         }
-        out.push_str("]}\n");
+        out.push_str("], \"metrics\": ");
+        out.push_str(&self.metrics.render_json_object());
+        out.push_str("}\n");
         out
     }
 }

@@ -6,9 +6,10 @@
 //!   churn factor in the measured path); the exit-domain and
 //!   onion-service windows measure real cross-day unions whose
 //!   network extrapolation uses each day's own observation fraction.
-//! * **Schedule independence** — the rendered `CampaignReport` is
-//!   bit-identical for sequential vs parallel execution and for every
-//!   ingestion shard count, including the exit/onion rounds.
+//! * **Schedule independence** — the rendered `CampaignReport`,
+//!   including its metrics snapshot, is bit-identical for sequential
+//!   vs parallel execution and for every ingestion shard count,
+//!   including the exit/onion rounds.
 
 use pm_stats::union::{multi_day_network_estimate, DayShare};
 use pm_study::{Campaign, CampaignConfig, RoundKind};
@@ -158,8 +159,11 @@ fn exit_domain_round_measures_union_and_extrapolates_per_day() {
 fn report_is_schedule_and_shard_independent() {
     let render = |shards: usize, workers: usize| {
         // 17 days: the full calendar including the exit-domain and
-        // onion-service windows.
-        let mut cfg = CampaignConfig::new(17, 1e-4, 11);
+        // onion-service windows. Threading a recorder puts the
+        // metrics snapshot under the same bit-identity contract as
+        // the report itself.
+        let recorder = pm_obs::Recorder::new();
+        let mut cfg = CampaignConfig::new(17, 1e-4, 11).with_recorder(recorder.clone());
         if shards > 0 {
             cfg = cfg.with_shards(shards);
         }
@@ -173,7 +177,30 @@ fn report_is_schedule_and_shard_independent() {
             .iter()
             .any(|r| r.kind == RoundKind::OnionServices));
         let report = campaign.run(workers);
-        (report.render_text(), report.render_json())
+        // Every layer of the stack reported into the one registry.
+        for name in [
+            "psc.rounds",
+            "psc.mix.cells",
+            "privcount.rounds",
+            "runner.jobs",
+            "net.frames.sent",
+            "study.rounds.completed",
+            "study.ledger.hours",
+            "torsim.days.generated",
+            "timeline.days.materialized",
+        ] {
+            assert!(
+                report.metrics.get(name).is_some_and(|v| v > 0),
+                "metric {name} missing or zero in:\n{}",
+                report.metrics.render_lines()
+            );
+        }
+        assert_eq!(report.metrics, recorder.read_snapshot());
+        (
+            report.metrics.clone(),
+            report.render_text(),
+            report.render_json(),
+        )
     };
     // Baseline: sequential execution, 1 ingestion shard.
     let base = render(1, 1);

@@ -79,6 +79,7 @@ use crate::stream::{replayed_stream, EventStream, StreamSim};
 use crate::workload::{DomainMix, ExitTruth, OnionTruth};
 use crate::TorEvent;
 use pm_dp::mechanism::sample_gaussian;
+use pm_obs::Recorder;
 use pm_stats::extrapolate::hsdir_observe_fraction;
 use pm_stats::sampling::derive_seed;
 use rand::rngs::StdRng;
@@ -271,6 +272,8 @@ pub struct NetworkTimeline {
     /// the network once however many times (and in whatever order) they
     /// ask for a day. Behind a lock; the purity contract is unchanged.
     cursor: Mutex<diff::TimelineCursor>,
+    /// Observability handle for day-generation counters and spans.
+    recorder: Recorder,
 }
 
 impl NetworkTimeline {
@@ -291,7 +294,22 @@ impl NetworkTimeline {
             promiscuous,
             geo,
             cursor,
+            recorder: Recorder::new(),
         }
+    }
+
+    /// Attaches an observability handle: day-generation counters/spans
+    /// land on `recorder`, and the cursor's schedule-invariant
+    /// projections and seek spans do too. By default the timeline
+    /// records into a private, unobserved recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> NetworkTimeline {
+        self.cursor
+            .get_mut()
+            // lint:allow(panic) a panic while holding the memo lock is already fatal to the study
+            .expect("timeline cursor lock poisoned")
+            .set_recorder(recorder.clone());
+        self.recorder = recorder;
+        self
     }
 
     /// The client-pool churn process.
@@ -349,7 +367,12 @@ impl NetworkTimeline {
         relays: Vec<RelayId>,
     ) -> (EventStream, DayTruth) {
         assert!(!relays.is_empty());
+        let mut span = self.recorder.span("day.client_ips", "torsim");
+        span.note("day", day);
         let pool = self.observed_pool(day, observe_prob);
+        self.recorder.incr("torsim.days.generated");
+        self.recorder
+            .add("torsim.events.client_ip", pool.len() as u64);
         let mut truth = DayTruth::default();
         truth.days.insert(day);
         truth.ips.extend(pool.iter().copied());
@@ -420,6 +443,8 @@ impl NetworkTimeline {
         copies: usize,
     ) -> (Vec<EventStream>, DomainDayTruth) {
         assert!(copies >= 1);
+        let mut span = self.recorder.span("day.exit_streams", "torsim");
+        span.note("day", snap.day);
         let mut truth_cfg = base.clone();
         truth_cfg.mix = snap.mix.clone();
         let fraction = snap.fraction(Position::Exit);
@@ -456,6 +481,9 @@ impl NetworkTimeline {
             .into_iter()
             .fold(DomainDayTruth::default(), DomainDayTruth::merge);
         truth.days.insert(snap.day);
+        self.recorder.incr("torsim.days.generated");
+        self.recorder
+            .add("torsim.events.exit_stream", truth.streams);
         (streams, truth)
     }
 
@@ -476,6 +504,8 @@ impl NetworkTimeline {
         shards: usize,
         relays: Vec<RelayId>,
     ) -> HsDay {
+        let mut span = self.recorder.span("day.hs_streams", "torsim");
+        span.note("day", snap.day);
         let publish_observe = hsdir_observe_fraction(snap.fraction(Position::HsDir), 2);
         let rend_fraction = snap.fraction(Position::Rendezvous);
         let sim = StreamSim::new(
@@ -505,6 +535,11 @@ impl NetworkTimeline {
             );
             truth = parts.into_iter().fold(truth, OnionDayTruth::merge);
         }
+        self.recorder.incr("torsim.days.generated");
+        self.recorder
+            .add("torsim.events.hs_publish", truth.publishes);
+        self.recorder
+            .add("torsim.events.rend_circuit", truth.rend_circuits);
         HsDay {
             publish,
             rendezvous,

@@ -70,10 +70,11 @@ use crate::sampled::poisson_approx;
 use crate::timeline::{DaySnapshot, TimelineConfig};
 use crate::workload::DomainMix;
 use pm_dp::mechanism::sample_gaussian;
+use pm_obs::Recorder;
 use pm_stats::sampling::derive_seed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Days between full-state checkpoints retained by the cursor.
@@ -280,6 +281,16 @@ pub struct TimelineCursor {
     /// several times — once for `Deployment::for_day`, once per
     /// fraction read).
     cache: Option<DaySnapshot>,
+    /// Observability handle. The deterministic plane gets only
+    /// schedule-invariant projections of the cursor's work: *distinct
+    /// days materialized* and *checkpoints taken* are properties of the
+    /// calendar, while raw restore/apply operation counts depend on the
+    /// order rounds happened to ask for days and are therefore
+    /// profiling spans only.
+    recorder: Recorder,
+    /// Distinct days ever served — the dedupe behind the
+    /// schedule-invariant `timeline.days.materialized` counter.
+    materialized: BTreeSet<u64>,
 }
 
 impl TimelineCursor {
@@ -309,7 +320,15 @@ impl TimelineCursor {
             base,
             checkpoints: BTreeMap::new(),
             cache: None,
+            recorder: Recorder::new(),
+            materialized: BTreeSet::new(),
         }
+    }
+
+    /// Replaces the cursor's observability handle (an unobserved
+    /// private recorder by default).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The network on `day` — bit-identical to the from-scratch replay
@@ -317,6 +336,9 @@ impl TimelineCursor {
     /// sequential sweep; at most `CHECKPOINT_INTERVAL` delta
     /// applications from the nearest checkpoint on random access.
     pub fn snapshot(&mut self, day: u64) -> DaySnapshot {
+        if self.materialized.insert(day) {
+            self.recorder.incr("timeline.days.materialized");
+        }
         if let Some(s) = &self.cache {
             if s.day == day {
                 return s.clone();
@@ -337,6 +359,10 @@ impl TimelineCursor {
     fn seek(&mut self, day: u64) {
         if self.state.day > day {
             // Restore the nearest checkpoint at or before the target.
+            let mut span = self
+                .recorder
+                .span("timeline.checkpoint_restore", "timeline");
+            span.note("target_day", day);
             self.state = self
                 .checkpoints
                 .range(..=day)
@@ -346,6 +372,8 @@ impl TimelineCursor {
         }
         while self.state.day < day {
             let d = self.state.day + 1;
+            let mut span = self.recorder.span("timeline.delta_apply", "timeline");
+            span.note("day", d);
             let delta = DayDelta::compute(&self.state.relays, &self.state.mix, &self.cfg, d);
             let (joined, left) = delta.apply(&mut self.state.relays, &mut self.state.mix);
             self.state.day = d;
@@ -353,6 +381,10 @@ impl TimelineCursor {
             self.state.left = left;
             if d.is_multiple_of(CHECKPOINT_INTERVAL) && !self.checkpoints.contains_key(&d) {
                 self.checkpoints.insert(d, self.state.clone());
+                // First crossing of this multiple: schedule-invariant —
+                // every access order reaching a day past it walks
+                // through it from below.
+                self.recorder.incr("timeline.checkpoints.taken");
             }
         }
     }

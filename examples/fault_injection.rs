@@ -34,6 +34,7 @@ fn run_with(faults: FaultConfig) -> Result<i64, String> {
         threaded: false,
         faults,
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     let generators = (0..3)
         .map(|dc| {

@@ -68,6 +68,7 @@ fn main() {
         threaded: true, // one OS thread per party, like a real deployment
         faults: Default::default(),
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     let generators = relay_events
         .clone()

@@ -1,0 +1,66 @@
+//! The two observability planes stay separated: the wall-clock
+//! profiling plane may never change a report byte, and the trace it
+//! exports is well-formed chrome://tracing JSON covering every layer
+//! of the pipeline.
+
+use pm_obs::{trace, Recorder};
+use pm_study::{Campaign, CampaignConfig, CampaignReport};
+
+fn run(recorder: Recorder) -> CampaignReport {
+    Campaign::new(CampaignConfig::new(7, 1e-4, 11).with_recorder(recorder)).run(2)
+}
+
+#[test]
+fn profiling_never_leaks_into_report_bytes() {
+    let plain = Recorder::new();
+    let profiled = Recorder::with_profiling();
+    let a = run(plain.clone());
+    let b = run(profiled.clone());
+
+    // Same campaign, profiling off vs on: every render byte-identical.
+    assert_eq!(
+        a.render_text(),
+        b.render_text(),
+        "profiling leaked into the text render"
+    );
+    assert_eq!(
+        a.render_csv(),
+        b.render_csv(),
+        "profiling leaked into the CSV render"
+    );
+    assert_eq!(
+        a.render_json(),
+        b.render_json(),
+        "profiling leaked into the JSON render"
+    );
+    // And the metrics plane itself is identical — spans don't count.
+    assert_eq!(a.metrics, b.metrics);
+    assert!(!a.metrics.entries.is_empty(), "recorder was threaded");
+
+    // The disabled plane produced nothing; the enabled one produced a
+    // well-formed trace document spanning the whole stack.
+    assert!(plain.trace_json().is_none());
+    let json = profiled.trace_json().expect("profiling plane was live");
+    let summary = trace::validate(&json).expect("trace must be well-formed");
+    assert!(summary.events > 0);
+    for name in [
+        "campaign.run",
+        "round.psc",
+        "mix.derive",
+        "mix.batch",
+        "job.run",
+        "timeline.delta_apply",
+        "timeline.checkpoint_restore",
+    ] {
+        assert!(
+            summary.names.contains(name),
+            "span {name} missing from {:?}",
+            summary.names
+        );
+    }
+    assert!(
+        summary.cats.len() >= 5,
+        "want ≥5 span categories, got {:?}",
+        summary.cats
+    );
+}

@@ -61,6 +61,7 @@ fn inference_recovers_ground_truth_from_full_simulation() {
         threaded: false,
         faults: Default::default(),
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     let generators: Vec<privcount::dc::EventGenerator> = stream.into_shards();
     let result = run_round(round, generators).expect("round");
@@ -120,6 +121,7 @@ fn noise_floor_hides_small_counts() {
         threaded: false,
         faults: Default::default(),
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     let generators = vec![{
         let g: privcount::dc::EventGenerator = Box::new(move |sink| {
@@ -151,6 +153,7 @@ fn dropped_party_aborts_cleanly() {
             ..Default::default()
         },
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     let generators = vec![{
         let g: privcount::dc::EventGenerator = Box::new(|_sink| {});

@@ -222,6 +222,7 @@ fn run_faulted(faults: FaultConfig, single_lock_board: bool) -> Outcome {
         mix: MixStrategy::Batched { threads: 2 },
         single_lock_board,
         adversary: Default::default(),
+        recorder: Default::default(),
     };
     match run_psc_round(
         cfg,
