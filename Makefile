@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke doc bench bench-study bench-timeline golden
+.PHONY: verify fmt fmt-check clippy lint build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke wire-smoke doc bench bench-study bench-timeline golden
 
-verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke
+verify: fmt-check clippy lint doc build test test-crates test-transcript study-smoke scenario-smoke timeline-smoke obs-smoke wire-smoke
 
 fmt:
 	$(CARGO) fmt --all
@@ -103,6 +103,24 @@ obs-smoke:
 	$(CARGO) run --release -p pm-obs --bin trace-check -- \
 		target/obs_trace.json --min-cats 5 \
 		mix.batch job.run timeline.checkpoint_restore
+
+# Wire-fabric smoke: one PSC round whose every protocol frame crosses
+# a real loopback TCP socket, pinned byte-for-byte (RawCount and
+# per-link transcript digests) against the in-process board by the
+# wire_round_matches_in_process test; then the experiments binary
+# end-to-end over the wire backend with latency/bandwidth shaping, as
+# a deployment would run it. Guards the --fabric wiring and the
+# socket path the way study-smoke guards the campaign engine.
+wire-smoke:
+	$(CARGO) test -q --release --test psc_end_to_end wire_round
+	$(CARGO) test -q --release --test fabric_parity
+	$(CARGO) run --release -p torstudy --bin experiments -- \
+		--scale 2e-4 --seed 2018 --only F4 --fabric wire:1,100000 -q \
+		--json target/wire_smoke.json > /dev/null
+	$(CARGO) run --release -p torstudy --bin experiments -- \
+		--scale 2e-4 --seed 2018 --only F4 -q \
+		--json target/wire_smoke_ref.json > /dev/null
+	cmp target/wire_smoke.json target/wire_smoke_ref.json
 
 # Year-scale consensus-diff smoke: sweep 365 days through the diff
 # cursor, then pin 3 sampled days bit-for-bit against the from-scratch

@@ -81,6 +81,7 @@ fn ablate_noise_allocation(c: &mut Criterion) {
                     seed: 2,
                     threaded: false,
                     faults: Default::default(),
+                    fabric: Default::default(),
                     adversary: Default::default(),
                     recorder: Default::default(),
                 };

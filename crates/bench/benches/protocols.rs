@@ -40,6 +40,7 @@ fn bench_privcount_round(c: &mut Criterion) {
                     seed: 1,
                     threaded: false,
                     faults: Default::default(),
+                    fabric: Default::default(),
                     adversary: Default::default(),
                     recorder: Default::default(),
                 };

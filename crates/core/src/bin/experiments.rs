@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p torstudy --bin experiments -- \
-//!     [--scale S] [--seed N] [--only T4,F1] [--csv] [--json PATH] \
-//!     [--trace PATH] [-q | -v] [--list]
+//!     [--scale S] [--seed N] [--only T4,F1] [--fabric BACKEND] \
+//!     [--csv] [--json PATH] [--trace PATH] [-q | -v] [--list]
 //! ```
 //!
 //! Scale 1.0 reproduces paper-scale totals (minutes of runtime and
@@ -15,7 +15,13 @@
 //! enables the wall-clock profiling plane and writes a
 //! chrome://tracing trace-event file; `-q` silences progress events,
 //! `-v` prints them with structured fields.
+//!
+//! `--fabric BACKEND` selects the transport carrying every protocol
+//! frame: `per-link` (default), `single-lock`, or
+//! `wire[:latency_ms[,bw_kbps]]` for real loopback TCP sockets —
+//! every report is byte-identical across backends.
 
+use pm_net::FabricChoice;
 use pm_obs::{Event, Recorder, Sink, Verbosity};
 use torstudy::report::reports_json;
 use torstudy::runner::{registry, run_all, run_some};
@@ -25,6 +31,7 @@ fn main() {
     let mut scale = 0.01f64;
     let mut seed = 2018u64;
     let mut only: Option<Vec<String>> = None;
+    let mut fabric = FabricChoice::default();
     let mut csv = false;
     let mut json: Option<String> = None;
     let mut trace: Option<String> = None;
@@ -47,6 +54,17 @@ fn main() {
                 i += 1;
                 only = Some(args[i].split(',').map(|s| s.trim().to_string()).collect());
             }
+            "--fabric" => {
+                i += 1;
+                fabric = FabricChoice::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fabric '{}'; known: per-link, single-lock, \
+                         wire[:latency_ms[,bw_kbps]]",
+                        args[i]
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--csv" => csv = true,
             "--json" => {
                 i += 1;
@@ -62,6 +80,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale S] [--seed N] [--only T4,F1,...] \
+                     [--fabric per-link|single-lock|wire[:latency_ms[,bw_kbps]]] \
                      [--csv] [--json PATH] [--trace PATH] [-q | -v] [--list]"
                 );
                 return;
@@ -98,7 +117,9 @@ fn main() {
         .field("scale", scale)
         .field("seed", seed),
     );
-    let dep = Deployment::at_scale(scale, seed).with_recorder(recorder.clone());
+    let dep = Deployment::at_scale(scale, seed)
+        .with_recorder(recorder.clone())
+        .with_fabric(fabric);
     let reports = match &only {
         Some(ids) => {
             let refs: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();

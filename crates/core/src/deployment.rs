@@ -118,6 +118,12 @@ pub struct Deployment {
     /// PrivCount rounds are not throttled. Like `shards`, this cannot
     /// change any report — only memory footprint and wall-clock shape.
     pub max_concurrent_psc_rounds: usize,
+    /// Which `pm_net::Fabric` backend carries every round this
+    /// deployment runs: in-process per-link mailboxes (default), the
+    /// single-lock baseline, or real loopback sockets. Under a lossless
+    /// schedule the choice cannot change a report byte — only transport
+    /// wall-clock — which the wire-smoke gate pins.
+    pub fabric: pm_net::FabricChoice,
     /// Observability handle threaded into every round this deployment
     /// runs (switchboards, CPs, the job runner). The deterministic
     /// metrics it accumulates are part of the bit-identity contract;
@@ -162,8 +168,15 @@ impl Deployment {
             num_cps: 3,
             shards: default_shards(),
             max_concurrent_psc_rounds: DEFAULT_MAX_CONCURRENT_PSC_ROUNDS,
+            fabric: pm_net::FabricChoice::default(),
             recorder: pm_obs::Recorder::new(),
         }
+    }
+
+    /// Overrides the fabric backend every round runs over.
+    pub fn with_fabric(mut self, fabric: pm_net::FabricChoice) -> Deployment {
+        self.fabric = fabric;
+        self
     }
 
     /// Attaches an observability recorder; rounds run through this
@@ -225,6 +238,7 @@ impl Deployment {
             num_cps: self.num_cps,
             shards: self.shards,
             max_concurrent_psc_rounds: self.max_concurrent_psc_rounds,
+            fabric: self.fabric,
             recorder: self.recorder.clone(),
         }
     }

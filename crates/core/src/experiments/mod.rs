@@ -175,6 +175,7 @@ pub fn privcount_round(
         seed: derive_seed(dep.seed, label),
         threaded: false,
         faults: pm_net::transport::FaultConfig::none(),
+        fabric: dep.fabric,
         adversary: privcount::adversary::Attack::None,
         recorder: dep.recorder.clone(),
     }
@@ -215,6 +216,7 @@ pub fn psc_round(
         seed: derive_seed(dep.seed, label),
         threaded: false,
         faults: pm_net::transport::FaultConfig::none(),
+        fabric: dep.fabric,
         mix: psc::cp::MixStrategy::Batched {
             threads: mix_threads,
         },

@@ -1,0 +1,13 @@
+//! Fixture mirror of the sanctioned socket backend: `crates/net/src/
+//! wire.rs` is the one file allowed to touch `std::net` (rule 6's
+//! structural sanction, the socket analogue of `obs/src/clock.rs`).
+
+use std::net::{TcpListener, TcpStream};
+
+pub fn bind_loopback() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

@@ -1,0 +1,17 @@
+//! Seeded violations: raw std sockets outside the sanctioned wire
+//! backend (rule 6).
+
+use std::net::TcpListener;
+
+pub fn listen() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    drop(listener);
+    Ok(())
+}
+
+pub fn dial_audited() -> std::io::Result<()> {
+    // lint:allow(raw-socket) loopback probe seeded to prove the marker works
+    let stream = std::net::TcpStream::connect("127.0.0.1:1")?;
+    drop(stream);
+    Ok(())
+}

@@ -8,7 +8,7 @@
 //! contracts into a machine-checked gate that runs on every source
 //! file of the workspace, with no dependencies (not even `syn`): a
 //! hand-rolled lexer ([`lexer`]) blanks comments and literals, and a
-//! token scan ([`rules`]) drives five cross-file rules:
+//! token scan ([`rules`]) drives six cross-file rules:
 //!
 //! 1. **entropy** — `thread_rng`, `from_entropy`, `SystemTime::now`,
 //!    and `Instant::now` are forbidden everywhere the analyzer scans
@@ -34,12 +34,19 @@
 //!    `net`) must never call `read_snapshot` or `read_counter`:
 //!    protocol code writes metrics, it does not branch on them — a
 //!    readback would let observability feed back into transcripts.
+//! 6. **raw-socket** — `std::net` (`TcpListener`, `TcpStream`,
+//!    `UdpSocket`) is forbidden everywhere the analyzer scans, test
+//!    regions included: real I/O anywhere else would silently escape
+//!    the deterministic fault and schedule machinery. One structural
+//!    sanction, mirroring the clock: `crates/net/src/wire.rs` — the
+//!    socket-backed wire fabric — is the single file allowed to open
+//!    sockets.
 //!
 //! Suppression is explicit and audited: `// lint:allow(<rule>)
 //! <reason>` on the offending line or the line above, with the reason
 //! mandatory (see [`rules`] for the grammar). Test code
 //! (`#[cfg(test)]` regions, `tests/`, `benches/`) is exempt from rules
-//! 2–5 but not from rule 1.
+//! 2–5 but not from rules 1 and 6.
 //!
 //! The `pm-lint` binary prints findings as `file:line rule message`,
 //! exports machine-readable JSON via `--json PATH`, and exits nonzero

@@ -1,4 +1,4 @@
-//! The five contract rules, the allow-marker grammar, and the
+//! The six contract rules, the allow-marker grammar, and the
 //! `#[cfg(test)]` region detector.
 //!
 //! Rules operate on a [`Scrubbed`] file (comments and literals already
@@ -12,13 +12,18 @@
 //! | `seed-label`    | everywhere scanned, minus `tests/`/`benches/` directories  |
 //! | `panic`         | `src/` of `psc`, `privcount`, `net`, `study`               |
 //! | `obs-readback`  | `src/` of `psc`, `privcount`, `net`                        |
+//! | `raw-socket`    | everywhere scanned                                         |
 //!
-//! The `entropy` rule carries one structural sanction: `Instant::now`
-//! and `SystemTime::now` are permitted in `crates/obs/src/clock.rs` —
+//! Two rules carry structural sanctions. The `entropy` rule permits
+//! `Instant::now` and `SystemTime::now` in `crates/obs/src/clock.rs` —
 //! the *only* wall-clock read site in the workspace, feeding the
-//! profiling plane that is excluded from every transcript. No
-//! `lint:allow` marker is involved; any other file reading the clock
-//! still fails the gate.
+//! profiling plane that is excluded from every transcript. The
+//! `raw-socket` rule permits `std::net` / `TcpListener` / `TcpStream` /
+//! `UdpSocket` in `crates/net/src/wire.rs` — the *only* socket site in
+//! the workspace, so every byte that leaves a process is carried by the
+//! one audited wire backend behind the `Fabric` trait. No `lint:allow`
+//! marker is involved in either sanction; any other file reading the
+//! clock or opening a socket still fails the gate.
 //!
 //! `obs-readback` forbids the protocol crates from *reading* the
 //! metrics registry (`read_snapshot` / `read_counter`): protocol code
@@ -52,7 +57,7 @@ pub struct Finding {
     /// 1-based line.
     pub line: u32,
     /// Rule identifier (`entropy`, `unordered-map`, `seed-label`,
-    /// `panic`, `obs-readback`, or `allow-marker`).
+    /// `panic`, `obs-readback`, `raw-socket`, or `allow-marker`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -64,14 +69,16 @@ pub const RULE_UNORDERED: &str = "unordered-map";
 pub const RULE_SEED: &str = "seed-label";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_OBS: &str = "obs-readback";
+pub const RULE_SOCKET: &str = "raw-socket";
 pub const RULE_MARKER: &str = "allow-marker";
 
-const KNOWN_RULES: [&str; 5] = [
+const KNOWN_RULES: [&str; 6] = [
     RULE_ENTROPY,
     RULE_UNORDERED,
     RULE_SEED,
     RULE_PANIC,
     RULE_OBS,
+    RULE_SOCKET,
 ];
 
 /// A `derive_seed` label collected for the cross-file registry.
@@ -134,6 +141,13 @@ fn in_obs_readback_scope(rel: &str) -> bool {
 /// `Instant::now` in the workspace behind the profiling plane.
 fn is_sanctioned_clock(rel: &str) -> bool {
     rel == "crates/obs/src/clock.rs"
+}
+
+/// The one file structurally sanctioned to open sockets: the net
+/// crate's wire backend, which confines every `std::net` use in the
+/// workspace behind the `Fabric` trait.
+fn is_sanctioned_socket(rel: &str) -> bool {
+    rel == "crates/net/src/wire.rs"
 }
 
 fn in_tests_dir(rel: &str) -> bool {
@@ -360,6 +374,28 @@ fn followed_by_colons_now(chars: &[char], end: usize) -> bool {
     chars[j..k].iter().collect::<String>() == "now"
 }
 
+/// True when the tokens before `start` spell `std ::` — i.e. the ident
+/// at `start` is the `net` of a `std::net` path.
+fn preceded_by_std_colons(chars: &[char], start: usize) -> bool {
+    let mut j = start;
+    // Expect `::` immediately before (whitespace-tolerant).
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    if j < 2 || chars[j - 1] != ':' || chars[j - 2] != ':' {
+        return false;
+    }
+    j -= 2;
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+        j -= 1;
+    }
+    chars[j..end].iter().collect::<String>() == "std"
+}
+
 /// Runs every rule against one scrubbed file.
 pub fn analyze_file(rel: &str, scrubbed: &Scrubbed) -> FileReport {
     let mut findings = Vec::new();
@@ -527,6 +563,37 @@ pub fn analyze_file(rel: &str, scrubbed: &Scrubbed) -> FileReport {
                     ),
                 });
             }
+            // Rule 6: raw sockets confined to the wire backend.
+            "TcpListener" | "TcpStream" | "UdpSocket"
+                if !is_sanctioned_socket(rel) && !allowed(RULE_SOCKET, tok.line) =>
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: RULE_SOCKET,
+                    message: format!(
+                        "`{}` outside crates/net/src/wire.rs: every byte that \
+                         leaves a process must go through the audited wire \
+                         backend behind the Fabric trait",
+                        tok.text
+                    ),
+                });
+            }
+            "net"
+                if preceded_by_std_colons(chars, tok.start)
+                    && !is_sanctioned_socket(rel)
+                    && !allowed(RULE_SOCKET, tok.line) =>
+            {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: RULE_SOCKET,
+                    message: "`std::net` outside crates/net/src/wire.rs: every byte \
+                              that leaves a process must go through the audited wire \
+                              backend behind the Fabric trait"
+                        .to_string(),
+                });
+            }
             _ => {}
         }
     }
@@ -659,6 +726,42 @@ mod tests {
         let rep = analyze_file("crates/torsim/src/x.rs", &s);
         assert_eq!(rep.findings.len(), 1);
         assert_eq!(rep.findings[0].rule, RULE_ENTROPY);
+    }
+
+    #[test]
+    fn raw_sockets_flag_everywhere_but_the_wire_backend() {
+        let src = "use std::net::TcpListener;\nfn f() { let _ = TcpStream::connect(\"x\"); }\n";
+        let s = scrub(src);
+        // Two idents on line 1 (`net`, `TcpListener`), one on line 2.
+        let rep = analyze_file("crates/psc/src/x.rs", &s);
+        assert_eq!(rep.findings.len(), 3, "{:?}", rep.findings);
+        assert!(rep.findings.iter().all(|f| f.rule == RULE_SOCKET));
+        // The sanctioned wire backend is exempt, structurally.
+        let rep = analyze_file("crates/net/src/wire.rs", &s);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn raw_socket_applies_in_test_regions_and_honors_markers() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::net::UdpSocket::bind(\"x\"); }\n}\n";
+        let s = scrub(src);
+        let rep = analyze_file("crates/torsim/src/x.rs", &s);
+        assert_eq!(rep.findings.len(), 2, "{:?}", rep.findings); // `net` + `UdpSocket`
+        assert!(rep.findings.iter().all(|f| f.rule == RULE_SOCKET));
+        let allowed = "// lint:allow(raw-socket) test double for the wire backend\n\
+                       fn f() { let _ = TcpListener::bind(\"x\"); }\n";
+        let rep = analyze_file("crates/torsim/src/x.rs", &scrub(allowed));
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn non_std_net_idents_do_not_flag() {
+        // `net` not preceded by `std::` (e.g. the pm_net crate path)
+        // is not a socket use.
+        let src = "use pm_net::transport::Switchboard;\nfn f(net: u8) -> u8 { net }\n";
+        let s = scrub(src);
+        let rep = analyze_file("crates/psc/src/x.rs", &s);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
     }
 
     #[test]

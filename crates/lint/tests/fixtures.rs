@@ -30,6 +30,9 @@ fn every_seeded_violation_is_reported_exactly_once() {
         ("crates/psc/src/bad_panics.rs", 10, "panic"),
         ("crates/psc/src/bad_readback.rs", 5, "obs-readback"),
         ("crates/psc/src/bad_readback.rs", 7, "obs-readback"),
+        ("crates/psc/src/bad_sockets.rs", 4, "raw-socket"),
+        ("crates/psc/src/bad_sockets.rs", 4, "raw-socket"),
+        ("crates/psc/src/bad_sockets.rs", 7, "raw-socket"),
         ("crates/torsim/src/bad_entropy.rs", 4, "entropy"),
         ("crates/torsim/src/bad_entropy.rs", 9, "entropy"),
         ("crates/torsim/src/bad_entropy.rs", 10, "entropy"),
@@ -50,6 +53,17 @@ fn sanctioned_clock_produces_no_findings() {
     let noise: Vec<_> = fixture_findings()
         .into_iter()
         .filter(|f| f.file.ends_with("clock.rs"))
+        .collect();
+    assert!(noise.is_empty(), "{noise:#?}");
+}
+
+#[test]
+fn sanctioned_wire_backend_produces_no_findings() {
+    // `crates/net/src/wire.rs` is the one file allowed to open raw
+    // std sockets; identical calls in `bad_sockets.rs` fire.
+    let noise: Vec<_> = fixture_findings()
+        .into_iter()
+        .filter(|f| f.file.ends_with("net/src/wire.rs"))
         .collect();
     assert!(noise.is_empty(), "{noise:#?}");
 }
@@ -84,4 +98,5 @@ fn json_export_round_trips_the_count() {
     assert!(json.contains("\"rule\": \"entropy\""));
     assert!(json.contains("\"rule\": \"panic\""));
     assert!(json.contains("\"rule\": \"obs-readback\""));
+    assert!(json.contains("\"rule\": \"raw-socket\""));
 }

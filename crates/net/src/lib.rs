@@ -8,32 +8,74 @@
 //! * [`frame`] — a length-prefixed, type-tagged, checksummed wire format
 //!   built directly on [`bytes`] (hand-written codecs, no serde on the
 //!   wire);
-//! * [`transport`] — the [`transport::Switchboard`]: an in-memory
-//!   message fabric with one mailbox per ordered `(from, to)` party
-//!   link, so traffic on disjoint links never serializes behind a
-//!   shared lock, plus per-link fault injection with smoltcp-style
-//!   drop/duplicate/corrupt knobs (a single-lock fabric is kept as the
-//!   regression baseline);
+//! * [`transport`] — the [`transport::Fabric`] trait and the in-memory
+//!   [`transport::Switchboard`] backend: one mailbox per ordered
+//!   `(from, to)` party link, so traffic on disjoint links never
+//!   serializes behind a shared lock, plus per-link fault injection
+//!   with smoltcp-style drop/duplicate/corrupt knobs (a single-lock
+//!   fabric is kept as the regression baseline);
+//! * [`wire`] — the socket-backed [`wire::WireFabric`]: the same frame
+//!   codec length-prefixed onto real TCP loopback links, with
+//!   deterministic latency/bandwidth shaping for WAN-like wall-clock
+//!   measurements;
 //! * [`party`] — an event-loop runner that drives protocol state
-//!   machines to completion, with a deterministic single-threaded
-//!   scheduler (for tests) and a threaded runner (one OS thread per
-//!   party, as a real deployment would run one process per party).
+//!   machines to completion over any fabric, with a deterministic
+//!   single-threaded scheduler (for tests) and a threaded runner (one
+//!   OS thread per party, as a real deployment would run one process
+//!   per party).
 //!
 //! Protocol crates (`privcount`, `psc`) define their message types as
 //! [`frame::WireEncode`]/[`frame::WireDecode`] implementations and state
 //! machines implementing [`party::Node`].
+//!
+//! # Fabric backends
+//!
+//! Everything above the transport — protocol nodes, round drivers, the
+//! campaign plumbing — is generic over [`transport::Fabric`] and picks
+//! a backend with [`transport::FabricChoice`]:
+//!
+//! | choice        | backend                | delivery                           |
+//! |---------------|------------------------|------------------------------------|
+//! | `PerLink`     | [`transport::Switchboard`] | in-process, per-link mailboxes |
+//! | `SingleLock`  | [`transport::Switchboard`] | in-process, one global lock (regression baseline) |
+//! | `Wire(shape)` | [`wire::WireFabric`]   | TCP loopback sockets, optionally shaped |
+//!
+//! The trait contract protocols may rely on, on **any** backend:
+//!
+//! * **Per-sender FIFO is the only ordering guarantee.** Frames from
+//!   one sender to one recipient arrive in send order; the interleaving
+//!   of different senders is a schedule artifact (token queue, OS
+//!   scheduler, or TCP timing) and must never affect a transcript byte.
+//! * Every submitted frame is counted in the fault/link statistics at
+//!   the send site, so backends fed the same transcript report the
+//!   identical shared `net.*` counters (the wire backend adds its own
+//!   `net.wire.*` family; it never diverges the shared ones).
+//! * Counters are published into the fabric's recorder exactly once,
+//!   when the last handle drops.
+//!
+//! Under a lossless schedule the same round produces byte-identical
+//! per-link transcripts on every backend — pinned by the per-link
+//! transcript digests in [`transport::LinkStats`] and the cross-backend
+//! equality tests.
 
 pub mod frame;
 pub mod party;
 pub mod transport;
+pub mod wire;
 
 pub use frame::{Frame, WireDecode, WireEncode, WireError};
 pub use party::{Node, Runner, Step};
-pub use transport::{Endpoint, FaultConfig, PartyId, Switchboard, TransportError};
+pub use transport::{
+    Endpoint, Fabric, FabricChoice, FaultConfig, PartyId, Switchboard, TransportError, WireShape,
+};
+pub use wire::WireFabric;
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::frame::{Frame, WireDecode, WireEncode, WireError};
     pub use crate::party::{Node, Runner, Step};
-    pub use crate::transport::{Endpoint, FaultConfig, PartyId, Switchboard};
+    pub use crate::transport::{
+        Endpoint, Fabric, FabricChoice, FaultConfig, PartyId, Switchboard, WireShape,
+    };
+    pub use crate::wire::WireFabric;
 }

@@ -1,28 +1,30 @@
-//! Protocol party runner: drives [`Node`] state machines over the
-//! switchboard.
+//! Protocol party runner: drives [`Node`] state machines over any
+//! [`Fabric`] backend.
 //!
 //! Two execution modes:
 //!
 //! * [`Runner::run_deterministic`] — a single-threaded round-robin
 //!   scheduler. Messages are delivered in a reproducible order, which
-//!   makes protocol tests deterministic and debuggable.
+//!   makes protocol tests deterministic and debuggable. Only valid on
+//!   the in-process backends: the scheduler equates "no message
+//!   immediately available" with "nothing in flight", which is false
+//!   on a socket fabric where frames sit in kernel buffers.
 //! * [`Runner::run_threaded`] — one OS thread per party, matching how a
-//!   real deployment runs one process per party. Used by examples and
-//!   larger tests.
+//!   real deployment runs one process per party. Valid on every
+//!   backend; the only mode for the wire fabric.
 //!
 //! Both run until every node reports [`Step::Done`] (or a node fails).
 //!
-//! Both modes sit on the switchboard's per-link mailboxes: the
-//! deterministic scheduler drains each endpoint's arrival tokens in a
-//! reproducible round-robin, while the threaded runner's parties send
-//! and receive on disjoint links without convoying behind a shared
-//! delivery lock. Protocol state machines may rely on per-sender FIFO
-//! order only — cross-sender arrival order is a schedule artifact in
-//! either mode.
+//! The runner is backend-generic: it holds an `Arc<dyn Fabric>` and
+//! registers its parties through the trait. Protocol state machines
+//! may rely on per-sender FIFO order only — cross-sender arrival order
+//! is a schedule artifact on every backend (token queue, OS scheduler,
+//! or TCP timing).
 
-use crate::transport::{Endpoint, Envelope, PartyId, Switchboard, TransportError};
+use crate::transport::{Endpoint, Envelope, Fabric, PartyId, TransportError};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What a node wants after handling an event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,15 +121,20 @@ pub trait Node: Send {
     }
 }
 
-/// Binds nodes to party ids and runs them over a switchboard.
+/// Binds nodes to party ids and runs them over a [`Fabric`] backend.
 pub struct Runner {
-    board: Switchboard,
+    board: Arc<dyn Fabric>,
     nodes: Vec<(PartyId, Box<dyn Node>)>,
 }
 
 impl Runner {
-    /// Creates a runner over the given switchboard.
-    pub fn new(board: Switchboard) -> Runner {
+    /// Creates a runner over a concrete fabric (e.g. a `Switchboard`).
+    pub fn new(board: impl Fabric + 'static) -> Runner {
+        Runner::over(Arc::new(board))
+    }
+
+    /// Creates a runner over an already-shared fabric handle.
+    pub fn over(board: Arc<dyn Fabric>) -> Runner {
         Runner {
             board,
             nodes: Vec::new(),
@@ -140,8 +147,8 @@ impl Runner {
         self
     }
 
-    /// The underlying switchboard.
-    pub fn board(&self) -> &Switchboard {
+    /// The underlying fabric.
+    pub fn board(&self) -> &Arc<dyn Fabric> {
         &self.board
     }
 
@@ -301,6 +308,7 @@ impl RunOutcome {
 mod tests {
     use super::*;
     use crate::frame::Frame;
+    use crate::transport::Switchboard;
     use bytes::Bytes;
 
     /// Ping: sends `count` pings to "pong", expects echoes back.

@@ -1,5 +1,5 @@
-//! In-memory transport: the [`Switchboard`] message fabric and the
-//! fault-injection layer.
+//! The [`Fabric`] abstraction, the in-memory [`Switchboard`] backend,
+//! and the fault-injection layer.
 //!
 //! Every party registers under a [`PartyId`] and receives an
 //! [`Endpoint`]. Sends serialize the frame to wire bytes and enqueue them
@@ -8,9 +8,21 @@
 //! keeps the codecs honest and gives fault injection something faithful
 //! to corrupt.
 //!
+//! # The `Fabric` trait
+//!
+//! [`Fabric`] is the send/recv/link-stats/metrics-publication surface
+//! every protocol driver programs against: register parties, move
+//! frames, expose per-link [`LinkStats`], and fold the frame/byte
+//! counters into the round's recorder exactly once when the last
+//! handle drops. Two backends live in this crate: the in-process
+//! [`Switchboard`] below and the socket-backed
+//! [`crate::wire::WireFabric`]. [`FabricChoice`] names the backends so
+//! round configurations stay `Copy`/`Clone` while the fabric itself is
+//! built at round start.
+//!
 //! # Delivery modes
 //!
-//! The default fabric keeps one **mailbox per ordered `(from, to)`
+//! The default switchboard keeps one **mailbox per ordered `(from, to)`
 //! link**: serialization, fault rolls, and the queue push all happen
 //! under per-link state, so concurrent traffic on disjoint links never
 //! convoys behind a shared lock — TS↔CP and TS↔DC phases of a protocol
@@ -82,13 +94,14 @@ pub struct Envelope {
 /// Transport-level failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
-    /// Recipient is not registered on the switchboard.
+    /// Recipient is not registered on the fabric.
     UnknownParty(String),
     /// The party's channel is closed (it has shut down).
     Disconnected,
     /// No message available (non-blocking receive).
     Empty,
-    /// The received bytes failed to parse as a frame.
+    /// The received bytes failed to parse as a frame (or the wire
+    /// stream failed to reassemble into frames).
     Wire(WireError),
     /// The per-link token queue and link mailboxes disagree — a
     /// delivery token arrived for a link that has no mailbox or no
@@ -147,7 +160,7 @@ impl FaultConfig {
     }
 }
 
-type WireMessage = (PartyId, Vec<u8>);
+pub(crate) type WireMessage = (PartyId, Vec<u8>);
 
 /// Delivery statistics, for tests and the fault-injection examples.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -163,11 +176,11 @@ pub struct FaultStats {
 }
 
 #[derive(Default)]
-struct AtomicStats {
-    sent: AtomicU64,
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-    corrupted: AtomicU64,
+pub(crate) struct AtomicStats {
+    pub(crate) sent: AtomicU64,
+    pub(crate) dropped: AtomicU64,
+    pub(crate) duplicated: AtomicU64,
+    pub(crate) corrupted: AtomicU64,
 }
 
 impl AtomicStats {
@@ -191,6 +204,11 @@ pub struct LinkStats {
     pub sent: u64,
     /// Wire bytes submitted (pre-corruption; bit flips preserve size).
     pub bytes: u64,
+    /// Order-sensitive FNV-1a digest of every wire byte submitted on
+    /// this link, in send order (pre-fault, like `bytes`). Two fabrics
+    /// carried the *same transcript* on a link exactly when their
+    /// digests agree — the wire-vs-in-process equality tests pin this.
+    pub digest: u64,
     /// Frames silently dropped.
     pub dropped: u64,
     /// Frames the duplicate fault delivered twice.
@@ -202,21 +220,51 @@ pub struct LinkStats {
     pub delivered_corrupted: u64,
 }
 
-#[derive(Default)]
-struct AtomicLinkStats {
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_fold(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// One link's counters plus its running transcript digest. The digest
+/// sits behind a mutex (not an atomic) because it is order-sensitive:
+/// per-link send order is well-defined — one sender, per-sender FIFO —
+/// and the fold must observe it.
+pub(crate) struct LinkRecord {
     sent: AtomicU64,
     bytes: AtomicU64,
+    digest: Mutex<u64>,
     dropped: AtomicU64,
     duplicated: AtomicU64,
     delivered_clean: AtomicU64,
     delivered_corrupted: AtomicU64,
 }
 
-impl AtomicLinkStats {
+impl Default for LinkRecord {
+    fn default() -> Self {
+        LinkRecord {
+            sent: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            digest: Mutex::new(FNV_OFFSET),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delivered_clean: AtomicU64::new(0),
+            delivered_corrupted: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LinkRecord {
     fn snapshot(&self) -> LinkStats {
         LinkStats {
             sent: self.sent.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            digest: *self.digest.lock(),
             dropped: self.dropped.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
             delivered_clean: self.delivered_clean.load(Ordering::Relaxed),
@@ -226,15 +274,15 @@ impl AtomicLinkStats {
 }
 
 /// What the fault layer decided for one frame.
-enum Verdict {
+pub(crate) enum Verdict {
     Deliver { copies: usize, corrupted: bool },
     Drop,
 }
 
 /// Rolls the fault dice for one frame, mutating `wire` on corruption.
-/// The roll order (drop, corrupt, duplicate) is shared by both delivery
-/// modes so a given RNG produces the same schedule on either.
-fn roll_faults(
+/// The roll order (drop, corrupt, duplicate) is shared by every
+/// delivery mode so a given RNG produces the same schedule on each.
+pub(crate) fn roll_faults(
     faults: &FaultConfig,
     rng: &mut StdRng,
     wire: &mut [u8],
@@ -274,18 +322,305 @@ fn roll_faults(
     }
 }
 
+/// Per-link fault-schedule seed: the workspace's labelled seed
+/// derivation over the fabric seed and both endpoint names (the same
+/// scheme torsim uses for its per-partition RNGs). Shared by every
+/// backend so a given `(seed, from, to)` link sees the identical fault
+/// schedule on the in-process and the socket fabric alike.
+pub(crate) fn link_seed(seed: u64, from: &PartyId, to: &PartyId) -> u64 {
+    pm_stats::sampling::derive_seed(seed, &format!("link/{from}\u{0}->\u{0}{to}"))
+}
+
+/// The send-side accounting every backend shares: the board-wide
+/// [`FaultStats`], the per-link [`LinkRecord`]s (keyed by ordered
+/// `(from, to)`, sorted so iteration is deterministic), and the
+/// publish-on-last-drop metrics contract. Backends embed one and call
+/// [`LinkLedger::tally_send`] / [`LinkLedger::tally_verdict`] at the
+/// same points, which is what makes the shared `net.*` counters
+/// backend-invariant under a lossless schedule.
+pub(crate) struct LinkLedger {
+    stats: AtomicStats,
+    links: Mutex<BTreeMap<(PartyId, PartyId), Arc<LinkRecord>>>,
+    recorder: Recorder,
+}
+
+impl LinkLedger {
+    pub(crate) fn new(recorder: Recorder) -> LinkLedger {
+        LinkLedger {
+            stats: AtomicStats::default(),
+            links: Mutex::new(BTreeMap::new()),
+            recorder,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &AtomicStats {
+        &self.stats
+    }
+
+    /// Counts one submitted frame: board-wide `sent`, the link's
+    /// `sent`/`bytes`, and the link's transcript digest (pre-fault
+    /// wire bytes, in send order). Returns the link record so the
+    /// caller can tally the fault verdict on it.
+    pub(crate) fn tally_send(&self, from: &PartyId, to: &PartyId, wire: &[u8]) -> Arc<LinkRecord> {
+        self.stats.sent.fetch_add(1, Ordering::Relaxed);
+        let record = {
+            let mut links = self.links.lock();
+            Arc::clone(
+                links
+                    .entry((from.clone(), to.clone()))
+                    .or_insert_with(|| Arc::new(LinkRecord::default())),
+            )
+        };
+        record.sent.fetch_add(1, Ordering::Relaxed);
+        record.bytes.fetch_add(wire.len() as u64, Ordering::Relaxed);
+        {
+            let mut digest = record.digest.lock();
+            *digest = fnv1a_fold(*digest, wire);
+        }
+        record
+    }
+
+    /// Records the fault verdict for one frame on its link's counters.
+    pub(crate) fn tally_verdict(record: &LinkRecord, verdict: &Verdict) {
+        match verdict {
+            Verdict::Drop => {
+                record.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Verdict::Deliver { copies, corrupted } => {
+                if *copies > 1 {
+                    record.duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+                let delivered = if *corrupted {
+                    &record.delivered_corrupted
+                } else {
+                    &record.delivered_clean
+                };
+                delivered.fetch_add(*copies as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn fault_stats(&self) -> FaultStats {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)> {
+        self.links
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Folds this fabric's totals into the recorder's metrics registry:
+    /// board-wide frame/byte counters plus one `net.link.{from}->{to}.*`
+    /// family per link (fault-outcome keys only where the outcome
+    /// occurred — the fault schedule is deterministic, so key presence
+    /// is too). `extra` carries backend-specific counters (the wire
+    /// backend's `net.wire.*` family); they are published after the
+    /// shared keys and never under the shared names.
+    pub(crate) fn publish_metrics(&self, extra: &[(&str, u64)]) {
+        let links = self.links.lock();
+        if links.is_empty() {
+            return; // fabric never carried a frame
+        }
+        let s = self.stats.snapshot();
+        self.recorder.add("net.frames.sent", s.sent);
+        self.recorder.add("net.frames.dropped", s.dropped);
+        self.recorder.add("net.frames.duplicated", s.duplicated);
+        self.recorder.add("net.frames.corrupted", s.corrupted);
+        for ((from, to), record) in links.iter() {
+            let s = record.snapshot();
+            self.recorder.add("net.bytes.sent", s.bytes);
+            let key = |field: &str| format!("net.link.{from}->{to}.{field}");
+            self.recorder.add(&key("sent"), s.sent);
+            self.recorder.add(&key("bytes"), s.bytes);
+            self.recorder.add(&key("digest"), s.digest);
+            if s.dropped > 0 {
+                self.recorder.add(&key("dropped"), s.dropped);
+            }
+            if s.duplicated > 0 {
+                self.recorder.add(&key("duplicated"), s.duplicated);
+            }
+            if s.delivered_corrupted > 0 {
+                self.recorder.add(&key("corrupted"), s.delivered_corrupted);
+            }
+        }
+        for (key, value) in extra {
+            self.recorder.add(key, *value);
+        }
+    }
+}
+
+// ----- the backend abstraction -----
+
+/// A message fabric connecting the parties of a deployment: the
+/// send/recv/link-stats/metrics-publication surface protocol drivers
+/// program against.
+///
+/// # Contract
+///
+/// * **Ordering.** Per-sender FIFO is the only order protocols may
+///   rely on, on any backend: frames from one sender to one recipient
+///   arrive in send order; cross-sender interleaving is a schedule
+///   artifact (token queue, OS scheduler, or TCP timing).
+/// * **Accounting.** Every submitted frame is counted in
+///   [`Fabric::fault_stats`] and the per-link [`Fabric::link_stats`]
+///   at the send site, before delivery can fail — so two backends fed
+///   the same transcript report identical counters.
+/// * **Metrics.** The fabric folds its counters into its recorder
+///   exactly once, when the last handle (fabric clones and endpoints
+///   alike) drops. Backends may add keys under their own namespace
+///   (e.g. `net.wire.*`) but never diverge the shared `net.frames.*` /
+///   `net.bytes.*` / `net.link.*` families.
+/// * **Delivery failure.** Sends to an unregistered party fail with
+///   [`TransportError::UnknownParty`]. Detection of a *departed* peer
+///   may be asynchronous on a socket backend (buffered writes succeed
+///   before the broken pipe surfaces), where the in-process fabric
+///   fails synchronously.
+pub trait Fabric: Send + Sync {
+    /// Registers a party and returns its endpoint. Re-registering a
+    /// name replaces the previous endpoint (the old receiver
+    /// disconnects).
+    fn register(&self, id: PartyId) -> Endpoint;
+
+    /// Removes a party from the fabric.
+    fn deregister(&self, id: &PartyId);
+
+    /// All registered party ids, sorted.
+    fn parties(&self) -> Vec<PartyId>;
+
+    /// Current fault-injection statistics.
+    fn fault_stats(&self) -> FaultStats;
+
+    /// Current per-link statistics, in `(from, to)` order.
+    fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)>;
+}
+
+/// A backend's send half: serialize, roll faults, account, deliver.
+pub(crate) trait SendPort: Send + Sync {
+    fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError>;
+}
+
+/// A backend's receive half for one registered party.
+pub(crate) trait RecvPort: Send {
+    fn recv_wire(&self) -> Result<WireMessage, TransportError>;
+    fn try_recv_wire(&self) -> Result<WireMessage, TransportError>;
+    fn pending(&self) -> usize;
+}
+
+/// Which [`Fabric`] backend a round should run over. `Copy`, so round
+/// configurations stay cheap to clone and rebuild; the fabric itself
+/// is constructed at round start via [`FabricChoice::build_obs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FabricChoice {
+    /// The default in-process switchboard: per-link mailboxes.
+    #[default]
+    PerLink,
+    /// The legacy single-lock in-process delivery path — the
+    /// comparison baseline for the fault-injection regression tests.
+    SingleLock,
+    /// The socket-backed fabric ([`crate::wire`]): real TCP loopback
+    /// links, optionally shaped. Rounds over this backend must run
+    /// threaded (blocking receives) — the deterministic scheduler
+    /// cannot see frames that are still in flight on a socket.
+    Wire(WireShape),
+}
+
+impl FabricChoice {
+    /// Builds the chosen backend with a detached recorder.
+    pub fn build(self, faults: FaultConfig) -> Arc<dyn Fabric> {
+        self.build_obs(faults, Recorder::new())
+    }
+
+    /// Builds the chosen backend, publishing its counters into
+    /// `recorder` when the fabric is dropped.
+    pub fn build_obs(self, faults: FaultConfig, recorder: Recorder) -> Arc<dyn Fabric> {
+        match self {
+            FabricChoice::PerLink => Arc::new(Switchboard::with_faults_obs(faults, recorder)),
+            FabricChoice::SingleLock => {
+                Arc::new(Switchboard::single_lock_with_faults_obs(faults, recorder))
+            }
+            FabricChoice::Wire(shape) => Arc::new(crate::wire::WireFabric::with_shape_obs(
+                shape, faults, recorder,
+            )),
+        }
+    }
+
+    /// True for the socket-backed backend.
+    pub fn is_wire(&self) -> bool {
+        matches!(self, FabricChoice::Wire(_))
+    }
+
+    /// Parses the CLI spelling: `per-link`, `single-lock`, `wire`, or
+    /// `wire:<latency_ms>[,<bw_kbps>]`.
+    pub fn parse(s: &str) -> Option<FabricChoice> {
+        match s {
+            "per-link" => Some(FabricChoice::PerLink),
+            "single-lock" => Some(FabricChoice::SingleLock),
+            "wire" => Some(FabricChoice::Wire(WireShape::default())),
+            other => {
+                let rest = other.strip_prefix("wire:")?;
+                let (lat, bw) = match rest.split_once(',') {
+                    Some((l, b)) => (l.trim().parse().ok()?, b.trim().parse().ok()?),
+                    None => (rest.trim().parse().ok()?, 0),
+                };
+                Some(FabricChoice::Wire(WireShape {
+                    latency_ms: lat,
+                    bw_kbps: bw,
+                }))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FabricChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricChoice::PerLink => write!(f, "per-link"),
+            FabricChoice::SingleLock => write!(f, "single-lock"),
+            FabricChoice::Wire(shape) if *shape == WireShape::default() => write!(f, "wire"),
+            FabricChoice::Wire(shape) => {
+                write!(f, "wire:{},{}", shape.latency_ms, shape.bw_kbps)
+            }
+        }
+    }
+}
+
+/// Deterministic latency/bandwidth shaping for the wire backend: each
+/// frame's send is delayed by `latency_ms` plus its serialization time
+/// at `bw_kbps`, computed purely from the configuration and the
+/// frame's byte length — no clock is read, so two runs of the same
+/// round see the identical delay schedule. Shaping changes wall-clock
+/// only (measurable via the profiling spans and the per-link byte
+/// counters); it can never change a transcript byte.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireShape {
+    /// One-way per-frame latency in milliseconds (0 = none).
+    pub latency_ms: u32,
+    /// Link bandwidth in kilobits per second (0 = unshaped).
+    pub bw_kbps: u32,
+}
+
+impl WireShape {
+    /// The deterministic delay for one frame of `wire_len` bytes.
+    pub fn delay_ms(&self, wire_len: usize) -> u64 {
+        let serialization = if self.bw_kbps == 0 {
+            0
+        } else {
+            (wire_len as u64 * 8) / self.bw_kbps as u64
+        };
+        self.latency_ms as u64 + serialization
+    }
+}
+
+// ----- the in-process backend -----
+
 /// One ordered `(from, to)` link: its queued wire frames and its own
 /// fault RNG. Senders on different links never touch each other's state.
 struct LinkMailbox {
     queue: Mutex<VecDeque<Vec<u8>>>,
     rng: Mutex<StdRng>,
-}
-
-/// Per-link fault-schedule seed: the workspace's labelled seed
-/// derivation over the board seed and both endpoint names (the same
-/// scheme torsim uses for its per-partition RNGs).
-fn link_seed(seed: u64, from: &PartyId, to: &PartyId) -> u64 {
-    pm_stats::sampling::derive_seed(seed, &format!("link/{from}\u{0}->\u{0}{to}"))
 }
 
 /// A registered party's receiving side, per-link mode.
@@ -298,78 +633,29 @@ struct PartySlot {
     links: Arc<Mutex<HashMap<PartyId, Arc<LinkMailbox>>>>,
 }
 
-/// Per-link fabric state.
-struct PerLinkFabric {
+/// Per-link delivery state.
+struct PerLinkDelivery {
     // lint:allow(unordered-map) keyed lookup only; the one key iteration (parties()) sorts before returning
     parties: Mutex<HashMap<PartyId, PartySlot>>,
 }
 
-/// The original single-lock fabric: one channel per recipient, one
-/// global fault RNG, everything serialized through one mutex.
-struct SingleLockFabric {
+/// The original single-lock delivery state: one channel per recipient,
+/// one global fault RNG, everything serialized through one mutex.
+struct SingleLockDelivery {
     // lint:allow(unordered-map) keyed lookup only; the one key iteration (parties()) sorts before returning
     channels: HashMap<PartyId, Sender<WireMessage>>,
     rng: StdRng,
 }
 
-enum Fabric {
-    PerLink(PerLinkFabric),
-    SingleLock(Mutex<SingleLockFabric>),
+enum Delivery {
+    PerLink(PerLinkDelivery),
+    SingleLock(Mutex<SingleLockDelivery>),
 }
 
 struct BoardInner {
-    fabric: Fabric,
+    delivery: Delivery,
     faults: FaultConfig,
-    stats: AtomicStats,
-    /// Per-link statistics, keyed by ordered `(from, to)`. Sorted so
-    /// [`Switchboard::link_stats`] and metrics publication iterate in a
-    /// deterministic order.
-    links: Mutex<BTreeMap<(PartyId, PartyId), Arc<AtomicLinkStats>>>,
-    recorder: Recorder,
-}
-
-impl BoardInner {
-    fn link_entry(&self, from: &PartyId, to: &PartyId) -> Arc<AtomicLinkStats> {
-        let mut links = self.links.lock();
-        Arc::clone(
-            links
-                .entry((from.clone(), to.clone()))
-                .or_insert_with(|| Arc::new(AtomicLinkStats::default())),
-        )
-    }
-
-    /// Folds this board's totals into the recorder's metrics registry:
-    /// board-wide frame/byte counters plus one `net.link.{from}->{to}.*`
-    /// family per link (fault-outcome keys only where the outcome
-    /// occurred — the fault schedule is deterministic, so key presence
-    /// is too).
-    fn publish_metrics(&self) {
-        let links = self.links.lock();
-        if links.is_empty() {
-            return; // board never carried a frame
-        }
-        let s = self.stats.snapshot();
-        self.recorder.add("net.frames.sent", s.sent);
-        self.recorder.add("net.frames.dropped", s.dropped);
-        self.recorder.add("net.frames.duplicated", s.duplicated);
-        self.recorder.add("net.frames.corrupted", s.corrupted);
-        for ((from, to), stats) in links.iter() {
-            let s = stats.snapshot();
-            self.recorder.add("net.bytes.sent", s.bytes);
-            let key = |field: &str| format!("net.link.{from}->{to}.{field}");
-            self.recorder.add(&key("sent"), s.sent);
-            self.recorder.add(&key("bytes"), s.bytes);
-            if s.dropped > 0 {
-                self.recorder.add(&key("dropped"), s.dropped);
-            }
-            if s.duplicated > 0 {
-                self.recorder.add(&key("duplicated"), s.duplicated);
-            }
-            if s.delivered_corrupted > 0 {
-                self.recorder.add(&key("corrupted"), s.delivered_corrupted);
-            }
-        }
-    }
+    ledger: LinkLedger,
 }
 
 impl Drop for BoardInner {
@@ -377,7 +663,7 @@ impl Drop for BoardInner {
     /// handle goes away — round runners drop their boards at round end
     /// on success *and* abort paths alike, so no path skips accounting.
     fn drop(&mut self) {
-        self.publish_metrics();
+        self.ledger.publish_metrics(&[]);
     }
 }
 
@@ -411,14 +697,12 @@ impl Switchboard {
     pub fn with_faults_obs(faults: FaultConfig, recorder: Recorder) -> Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
-                fabric: Fabric::PerLink(PerLinkFabric {
-                    // lint:allow(unordered-map) see the PerLinkFabric field note
+                delivery: Delivery::PerLink(PerLinkDelivery {
+                    // lint:allow(unordered-map) see the PerLinkDelivery field note
                     parties: Mutex::new(HashMap::new()),
                 }),
                 faults,
-                stats: AtomicStats::default(),
-                links: Mutex::new(BTreeMap::new()),
-                recorder,
+                ledger: LinkLedger::new(recorder),
             }),
         }
     }
@@ -436,15 +720,13 @@ impl Switchboard {
     pub fn single_lock_with_faults_obs(faults: FaultConfig, recorder: Recorder) -> Switchboard {
         Switchboard {
             inner: Arc::new(BoardInner {
-                fabric: Fabric::SingleLock(Mutex::new(SingleLockFabric {
-                    // lint:allow(unordered-map) see the SingleLockFabric field note
+                delivery: Delivery::SingleLock(Mutex::new(SingleLockDelivery {
+                    // lint:allow(unordered-map) see the SingleLockDelivery field note
                     channels: HashMap::new(),
                     rng: StdRng::seed_from_u64(faults.seed),
                 })),
                 faults,
-                stats: AtomicStats::default(),
-                links: Mutex::new(BTreeMap::new()),
-                recorder,
+                ledger: LinkLedger::new(recorder),
             }),
         }
     }
@@ -453,50 +735,46 @@ impl Switchboard {
     /// replaces the previous endpoint (the old receiver disconnects).
     pub fn register(&self, id: impl Into<PartyId>) -> Endpoint {
         let id = id.into();
-        let recv = match &self.inner.fabric {
-            Fabric::PerLink(fabric) => {
+        let recv: Box<dyn RecvPort> = match &self.inner.delivery {
+            Delivery::PerLink(delivery) => {
                 let (token_tx, token_rx) = unbounded();
                 // lint:allow(unordered-map) see the PartySlot::links field note
                 let links = Arc::new(Mutex::new(HashMap::new()));
-                fabric.parties.lock().insert(
+                delivery.parties.lock().insert(
                     id.clone(),
                     PartySlot {
                         token_tx,
                         links: Arc::clone(&links),
                     },
                 );
-                RecvHalf::PerLink { token_rx, links }
+                Box::new(RecvHalf::PerLink { token_rx, links })
             }
-            Fabric::SingleLock(fabric) => {
+            Delivery::SingleLock(delivery) => {
                 let (tx, rx) = unbounded();
-                fabric.lock().channels.insert(id.clone(), tx);
-                RecvHalf::SingleLock { rx }
+                delivery.lock().channels.insert(id.clone(), tx);
+                Box::new(RecvHalf::SingleLock { rx })
             }
         };
-        Endpoint {
-            id,
-            board: self.clone(),
-            recv,
-        }
+        Endpoint::from_parts(id, Arc::new(self.clone()), recv)
     }
 
     /// Removes a party from the fabric.
     pub fn deregister(&self, id: &PartyId) {
-        match &self.inner.fabric {
-            Fabric::PerLink(fabric) => {
-                fabric.parties.lock().remove(id);
+        match &self.inner.delivery {
+            Delivery::PerLink(delivery) => {
+                delivery.parties.lock().remove(id);
             }
-            Fabric::SingleLock(fabric) => {
-                fabric.lock().channels.remove(id);
+            Delivery::SingleLock(delivery) => {
+                delivery.lock().channels.remove(id);
             }
         }
     }
 
     /// All registered party ids, sorted.
     pub fn parties(&self) -> Vec<PartyId> {
-        let mut v: Vec<PartyId> = match &self.inner.fabric {
-            Fabric::PerLink(fabric) => fabric.parties.lock().keys().cloned().collect(),
-            Fabric::SingleLock(fabric) => fabric.lock().channels.keys().cloned().collect(),
+        let mut v: Vec<PartyId> = match &self.inner.delivery {
+            Delivery::PerLink(delivery) => delivery.parties.lock().keys().cloned().collect(),
+            Delivery::SingleLock(delivery) => delivery.lock().channels.keys().cloned().collect(),
         };
         v.sort();
         v
@@ -504,55 +782,25 @@ impl Switchboard {
 
     /// Current fault-injection statistics.
     pub fn fault_stats(&self) -> FaultStats {
-        self.inner.stats.snapshot()
+        self.inner.ledger.fault_stats()
     }
 
     /// Current per-link statistics, in `(from, to)` order.
     pub fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)> {
-        self.inner
-            .links
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
-            .collect()
-    }
-
-    /// Records the fault verdict for one frame on its link's counters.
-    fn tally_link(link: &AtomicLinkStats, verdict: &Verdict) {
-        match verdict {
-            Verdict::Drop => {
-                link.dropped.fetch_add(1, Ordering::Relaxed);
-            }
-            Verdict::Deliver { copies, corrupted } => {
-                if *copies > 1 {
-                    link.duplicated.fetch_add(1, Ordering::Relaxed);
-                }
-                let delivered = if *corrupted {
-                    &link.delivered_corrupted
-                } else {
-                    &link.delivered_clean
-                };
-                delivered.fetch_add(*copies as u64, Ordering::Relaxed);
-            }
-        }
+        self.inner.ledger.link_stats()
     }
 
     fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError> {
-        let stats = &self.inner.stats;
-        stats.sent.fetch_add(1, Ordering::Relaxed);
         let mut wire = frame.to_wire().to_vec();
-        let link_stats = self.inner.link_entry(from, to);
-        link_stats.sent.fetch_add(1, Ordering::Relaxed);
-        link_stats
-            .bytes
-            .fetch_add(wire.len() as u64, Ordering::Relaxed);
-        match &self.inner.fabric {
-            Fabric::PerLink(fabric) => {
+        let record = self.inner.ledger.tally_send(from, to, &wire);
+        let stats = self.inner.ledger.stats();
+        match &self.inner.delivery {
+            Delivery::PerLink(delivery) => {
                 // Clone the recipient's handles out of the registry so the
                 // registry lock is never held across serialization, fault
                 // rolls, or queue pushes.
                 let (token_tx, links) = {
-                    let parties = fabric.parties.lock();
+                    let parties = delivery.parties.lock();
                     let slot = parties
                         .get(to)
                         .ok_or_else(|| TransportError::UnknownParty(to.0.clone()))?;
@@ -575,7 +823,7 @@ impl Switchboard {
                     let mut rng = link.rng.lock();
                     roll_faults(&self.inner.faults, &mut rng, &mut wire, stats)
                 };
-                Self::tally_link(&link_stats, &verdict);
+                LinkLedger::tally_verdict(&record, &verdict);
                 let copies = match verdict {
                     Verdict::Drop => return Ok(()),
                     Verdict::Deliver { copies, .. } => copies,
@@ -596,10 +844,10 @@ impl Switchboard {
                 }
                 Ok(())
             }
-            Fabric::SingleLock(fabric) => {
-                let mut inner = fabric.lock();
+            Delivery::SingleLock(delivery) => {
+                let mut inner = delivery.lock();
                 let verdict = roll_faults(&self.inner.faults, &mut inner.rng, &mut wire, stats);
-                Self::tally_link(&link_stats, &verdict);
+                LinkLedger::tally_verdict(&record, &verdict);
                 let copies = match verdict {
                     Verdict::Drop => return Ok(()),
                     Verdict::Deliver { copies, .. } => copies,
@@ -617,6 +865,34 @@ impl Switchboard {
                 Ok(())
             }
         }
+    }
+}
+
+impl SendPort for Switchboard {
+    fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError> {
+        Switchboard::deliver(self, from, to, frame)
+    }
+}
+
+impl Fabric for Switchboard {
+    fn register(&self, id: PartyId) -> Endpoint {
+        Switchboard::register(self, id)
+    }
+
+    fn deregister(&self, id: &PartyId) {
+        Switchboard::deregister(self, id)
+    }
+
+    fn parties(&self) -> Vec<PartyId> {
+        Switchboard::parties(self)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        Switchboard::fault_stats(self)
+    }
+
+    fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)> {
+        Switchboard::link_stats(self)
     }
 }
 
@@ -648,8 +924,10 @@ impl RecvHalf {
         })?;
         Ok((from, wire))
     }
+}
 
-    fn recv(&self) -> Result<WireMessage, TransportError> {
+impl RecvPort for RecvHalf {
+    fn recv_wire(&self) -> Result<WireMessage, TransportError> {
         match self {
             RecvHalf::PerLink { token_rx, links } => {
                 let from = token_rx.recv().map_err(|_| TransportError::Disconnected)?;
@@ -659,7 +937,7 @@ impl RecvHalf {
         }
     }
 
-    fn try_recv(&self) -> Result<WireMessage, TransportError> {
+    fn try_recv_wire(&self) -> Result<WireMessage, TransportError> {
         let map_err = |e| match e {
             TryRecvError::Empty => TransportError::Empty,
             TryRecvError::Disconnected => TransportError::Disconnected,
@@ -681,15 +959,24 @@ impl RecvHalf {
     }
 }
 
-/// A party's handle on the switchboard: send to anyone, receive your own
-/// mailbox.
+/// A party's handle on its fabric: send to anyone, receive your own
+/// mailbox. Backend-generic — the same endpoint type fronts the
+/// in-process switchboard and the socket fabric.
 pub struct Endpoint {
     id: PartyId,
-    board: Switchboard,
-    recv: RecvHalf,
+    send: Arc<dyn SendPort>,
+    recv: Box<dyn RecvPort>,
 }
 
 impl Endpoint {
+    pub(crate) fn from_parts(
+        id: PartyId,
+        send: Arc<dyn SendPort>,
+        recv: Box<dyn RecvPort>,
+    ) -> Endpoint {
+        Endpoint { id, send, recv }
+    }
+
     /// This endpoint's party id.
     pub fn id(&self) -> &PartyId {
         &self.id
@@ -697,7 +984,7 @@ impl Endpoint {
 
     /// Sends a frame to `to`.
     pub fn send(&self, to: &PartyId, frame: Frame) -> Result<(), TransportError> {
-        self.board.deliver(&self.id, to, &frame)
+        self.send.deliver(&self.id, to, &frame)
     }
 
     /// Sends a frame to every party in `to`.
@@ -711,7 +998,7 @@ impl Endpoint {
     /// Blocking receive. Frames that fail to parse are surfaced as
     /// [`TransportError::Wire`] so callers can count/ignore them.
     pub fn recv(&self) -> Result<Envelope, TransportError> {
-        let (from, wire) = self.recv.recv()?;
+        let (from, wire) = self.recv.recv_wire()?;
         match Frame::from_wire(wire.into()) {
             Ok(frame) => Ok(Envelope { from, frame }),
             Err(e) => Err(TransportError::Wire(e)),
@@ -720,7 +1007,7 @@ impl Endpoint {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<Envelope, TransportError> {
-        let (from, wire) = self.recv.try_recv()?;
+        let (from, wire) = self.recv.try_recv_wire()?;
         match Frame::from_wire(wire.into()) {
             Ok(frame) => Ok(Envelope { from, frame }),
             Err(e) => Err(TransportError::Wire(e)),
@@ -1015,11 +1302,16 @@ mod tests {
         // Establish the a→b link mailbox with a real delivery first.
         a.send(b.id(), frame(1, b"live")).unwrap();
         assert_eq!(b.recv().unwrap().frame.msg_type, 1);
-        let links = match &board.inner.fabric {
-            Fabric::PerLink(fabric) => {
-                Arc::clone(&fabric.parties.lock().get(&PartyId::new("b")).unwrap().links)
-            }
-            Fabric::SingleLock(_) => unreachable!("per-link board"),
+        let links = match &board.inner.delivery {
+            Delivery::PerLink(delivery) => Arc::clone(
+                &delivery
+                    .parties
+                    .lock()
+                    .get(&PartyId::new("b"))
+                    .unwrap()
+                    .links,
+            ),
+            Delivery::SingleLock(_) => unreachable!("per-link board"),
         };
         drop(b);
         for _ in 0..3 {
@@ -1096,6 +1388,27 @@ mod tests {
     }
 
     #[test]
+    fn link_digest_tracks_send_order_and_content() {
+        // The transcript digest is a pure function of the link's sent
+        // wire bytes, in order: same sends → same digest, reordered or
+        // altered sends → different digest.
+        let send_seq = |msgs: &[(u16, &'static [u8])]| {
+            let board = Switchboard::new();
+            let a = board.register("a");
+            let b = board.register("b");
+            for (t, body) in msgs {
+                a.send(b.id(), Frame::new(*t, Bytes::from_static(body)))
+                    .unwrap();
+            }
+            board.link_stats()[0].1.digest
+        };
+        let base = send_seq(&[(1, b"x"), (2, b"y")]);
+        assert_eq!(base, send_seq(&[(1, b"x"), (2, b"y")]));
+        assert_ne!(base, send_seq(&[(2, b"y"), (1, b"x")]));
+        assert_ne!(base, send_seq(&[(1, b"x"), (2, b"z")]));
+    }
+
+    #[test]
     fn dropping_the_board_publishes_metrics_once() {
         let rec = Recorder::new();
         {
@@ -1110,6 +1423,7 @@ mod tests {
         assert_eq!(rec.read_counter("net.frames.sent"), 1);
         assert_eq!(rec.read_counter("net.link.a->b.sent"), 1);
         assert!(rec.read_counter("net.bytes.sent") > 0);
+        assert!(rec.read_counter("net.link.a->b.digest") > 0);
         assert_eq!(rec.read_counter("net.frames.dropped"), 0);
         // Fault-outcome link keys appear only when the outcome occurred.
         assert!(rec
@@ -1147,5 +1461,69 @@ mod tests {
             board.deregister(&PartyId::new("dc-1"));
             assert_eq!(board.parties().len(), 2, "{mode}");
         }
+    }
+
+    #[test]
+    fn fabric_choice_parses_cli_spellings() {
+        assert_eq!(FabricChoice::parse("per-link"), Some(FabricChoice::PerLink));
+        assert_eq!(
+            FabricChoice::parse("single-lock"),
+            Some(FabricChoice::SingleLock)
+        );
+        assert_eq!(
+            FabricChoice::parse("wire"),
+            Some(FabricChoice::Wire(WireShape::default()))
+        );
+        assert_eq!(
+            FabricChoice::parse("wire:50,1000"),
+            Some(FabricChoice::Wire(WireShape {
+                latency_ms: 50,
+                bw_kbps: 1000
+            }))
+        );
+        assert_eq!(
+            FabricChoice::parse("wire:5"),
+            Some(FabricChoice::Wire(WireShape {
+                latency_ms: 5,
+                bw_kbps: 0
+            }))
+        );
+        assert_eq!(FabricChoice::parse("carrier-pigeon"), None);
+        assert_eq!(FabricChoice::parse("wire:fast"), None);
+        // Display round-trips through parse.
+        for s in ["per-link", "single-lock", "wire", "wire:50,1000"] {
+            let c = FabricChoice::parse(s).unwrap();
+            assert_eq!(FabricChoice::parse(&c.to_string()), Some(c), "{s}");
+        }
+    }
+
+    #[test]
+    fn wire_shape_delay_is_latency_plus_serialization() {
+        let unshaped = WireShape::default();
+        assert_eq!(unshaped.delay_ms(1 << 20), 0);
+        let shaped = WireShape {
+            latency_ms: 20,
+            bw_kbps: 8,
+        };
+        // 1000 bytes = 8000 bits at 8 kbps = 1000 ms, plus latency.
+        assert_eq!(shaped.delay_ms(1000), 1020);
+        let latency_only = WireShape {
+            latency_ms: 7,
+            bw_kbps: 0,
+        };
+        assert_eq!(latency_only.delay_ms(123_456), 7);
+    }
+
+    #[test]
+    fn fabric_trait_object_round_trip() {
+        // The trait surface alone suffices to run a delivery.
+        let board: Arc<dyn Fabric> = FabricChoice::PerLink.build(FaultConfig::none());
+        let a = board.register(PartyId::new("a"));
+        let b = board.register(PartyId::new("b"));
+        a.send(b.id(), frame(4, b"dyn")).unwrap();
+        assert_eq!(b.recv().unwrap().frame.msg_type, 4);
+        assert_eq!(board.fault_stats().sent, 1);
+        assert_eq!(board.link_stats().len(), 1);
+        assert_eq!(board.parties().len(), 2);
     }
 }

@@ -1,0 +1,682 @@
+//! The wire-real fabric: the workspace frame codec on std TCP loopback
+//! sockets, behind the same [`Fabric`] trait as the in-process
+//! [`Switchboard`](crate::transport::Switchboard).
+//!
+//! # Architecture
+//!
+//! Registration binds one `TcpListener` per party on `127.0.0.1:0` and
+//! spawns an acceptor thread for it. Sending dials **one TCP
+//! connection per ordered `(from, to)` link** on first use — mirroring
+//! the per-link mailbox state of the in-process fabric — and announces
+//! the dialing party's id as the connection's first blob. Each accepted
+//! connection gets its own reader thread that reassembles the byte
+//! stream and forwards `(sender, frame-bytes)` into the recipient's
+//! inbox channel. One party instance is pinned per thread (or per
+//! process): a party's endpoint is its only handle on its sockets.
+//!
+//! **Per-sender FIFO** — the only ordering the [`Fabric`] contract
+//! grants — holds because each ordered link is exactly one TCP
+//! connection (in-order byte stream) drained by exactly one reader
+//! thread into one channel. Cross-link arrival order is TCP timing and
+//! scheduler whim; rounds over this backend therefore run threaded,
+//! with blocking receives, exactly like a real deployment.
+//!
+//! # Stream framing
+//!
+//! Every message on a connection is a length-prefixed blob: a `u32`
+//! big-endian byte length followed by that many bytes. The first blob
+//! is the dialing party's UTF-8 id (the handshake); every later blob is
+//! one frame's wire image, checksummed by the inner frame codec
+//! itself. [`StreamDecoder`] reassembles blobs from arbitrary read
+//! chunkings; a stream that ends mid-blob is a truncation
+//! ([`TransportError::Wire`] with [`WireError::Truncated`]), never a
+//! panic.
+//!
+//! # Determinism and shaping
+//!
+//! Fault schedules reuse the in-process fabric's per-link RNGs (seeded
+//! from `(seed, from, to)`), so a given link sees the identical
+//! drop/duplicate/corrupt schedule on either backend. The optional
+//! [`WireShape`] delays each send by a time computed purely from the
+//! configuration and the frame length — no clock is read — so WAN-like
+//! wall-clock is measurable via the profiling spans and the per-link
+//! byte counters while transcripts stay byte-identical to the
+//! in-process fabric.
+//!
+//! # Threat model: what fault injection means on the wire path
+//!
+//! Faults are applied **sender-side, before the bytes reach the
+//! socket**, modelling a lossy/adversarial network rather than a
+//! compromised TCP stack: a *drop* means the frame is never written, a
+//! *duplicate* writes the frame twice onto the same connection, and a
+//! *corrupt* flips one bit of the wire image so the receiver's
+//! checksum rejects it on parse — the same observable outcomes as on
+//! the in-process fabric, under the same per-link schedule. What the
+//! wire path cannot model identically is *failure detection*: a
+//! departed peer's socket buffers writes until TCP notices, so
+//! [`TransportError::Disconnected`] surfaces asynchronously here where
+//! the in-process fabric fails synchronously. Protocols already treat
+//! missing messages as an abort (no retransmission layer), so the
+//! degradation mode is the same — only its latency differs.
+
+use crate::frame::{Frame, WireError};
+use crate::transport::{
+    link_seed, roll_faults, Endpoint, Fabric, FaultConfig, FaultStats, LinkLedger, LinkStats,
+    PartyId, RecvPort, SendPort, TransportError, Verdict, WireMessage, WireShape,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use pm_obs::Recorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on a single length-prefixed blob (16 MiB). A prefix
+/// beyond this is stream desync or hostile input, not a real frame.
+pub const MAX_BLOB_LEN: usize = 16 << 20;
+
+/// Encodes one blob for the stream: `u32` big-endian length, then the
+/// bytes.
+pub fn encode_blob(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + data.len());
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Reassembles length-prefixed blobs from an arbitrarily chunked byte
+/// stream. Feed whatever each `read` returned to [`StreamDecoder::push`];
+/// call [`StreamDecoder::finish`] at end-of-stream to detect a
+/// truncated final blob.
+#[derive(Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Consumes the next chunk of stream bytes, returning every blob it
+    /// completed (possibly none). Chunk boundaries are arbitrary: a
+    /// blob may arrive across many pushes, and one push may complete
+    /// many blobs.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, TransportError> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        while self.buf.len() - cursor >= 4 {
+            let len = u32::from_be_bytes([
+                self.buf[cursor],
+                self.buf[cursor + 1],
+                self.buf[cursor + 2],
+                self.buf[cursor + 3],
+            ]) as usize;
+            if len > MAX_BLOB_LEN {
+                return Err(TransportError::Wire(WireError::Invalid(
+                    "wire blob length exceeds bound",
+                )));
+            }
+            if self.buf.len() - cursor < 4 + len {
+                break;
+            }
+            out.push(self.buf[cursor + 4..cursor + 4 + len].to_vec());
+            cursor += 4 + len;
+        }
+        self.buf.drain(..cursor);
+        Ok(out)
+    }
+
+    /// End-of-stream check: leftover bytes mean the final blob was
+    /// truncated mid-flight.
+    pub fn finish(&self) -> Result<(), TransportError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(TransportError::Wire(WireError::Truncated))
+        }
+    }
+}
+
+/// One registered party's socket-side state. The inbox sender is held
+/// only to keep the endpoint's channel open while the party is
+/// registered — even if its acceptor thread exits early, a registered
+/// party's receiver must block rather than report Disconnected.
+struct PartyRecord {
+    addr: SocketAddr,
+    _inbox_keepalive: Sender<WireMessage>,
+    stop: Arc<AtomicBool>,
+}
+
+/// One dialed `(from, to)` link: its connection and its fault RNG.
+struct LinkConn {
+    stream: Mutex<TcpStream>,
+    rng: Mutex<StdRng>,
+}
+
+struct WireInner {
+    shape: WireShape,
+    faults: FaultConfig,
+    ledger: LinkLedger,
+    registry: Mutex<BTreeMap<PartyId, PartyRecord>>,
+    conns: Mutex<BTreeMap<(PartyId, PartyId), Arc<LinkConn>>>,
+    dialed: AtomicU64,
+    accepted: Arc<AtomicU64>,
+}
+
+impl Drop for WireInner {
+    /// Mirrors the in-process fabric's publish-on-last-drop contract,
+    /// adding the wire-only `net.wire.*` family. Acceptor threads are
+    /// told to stop; reader threads exit when the dialed connections
+    /// drop with this struct.
+    fn drop(&mut self) {
+        for record in self.registry.lock().values() {
+            record.stop.store(true, Ordering::Relaxed);
+        }
+        self.ledger.publish_metrics(&[
+            ("net.wire.conns.dialed", self.dialed.load(Ordering::Relaxed)),
+            (
+                "net.wire.conns.accepted",
+                self.accepted.load(Ordering::Relaxed),
+            ),
+        ]);
+    }
+}
+
+/// The socket-backed [`Fabric`]: real TCP loopback links carrying the
+/// workspace frame codec, with the same per-link fault schedules and
+/// the same shared metrics as the in-process fabric. Build one via
+/// [`crate::transport::FabricChoice::Wire`] or the constructors here.
+#[derive(Clone)]
+pub struct WireFabric {
+    inner: Arc<WireInner>,
+}
+
+impl Default for WireFabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireFabric {
+    /// A lossless, unshaped wire fabric with a detached recorder.
+    pub fn new() -> WireFabric {
+        WireFabric::with_shape(WireShape::default(), FaultConfig::none())
+    }
+
+    /// A wire fabric with shaping and fault injection, detached recorder.
+    pub fn with_shape(shape: WireShape, faults: FaultConfig) -> WireFabric {
+        WireFabric::with_shape_obs(shape, faults, Recorder::new())
+    }
+
+    /// A wire fabric publishing its counters into `recorder` when the
+    /// last handle (fabric clones and endpoints alike) drops.
+    pub fn with_shape_obs(shape: WireShape, faults: FaultConfig, recorder: Recorder) -> WireFabric {
+        WireFabric {
+            inner: Arc::new(WireInner {
+                shape,
+                faults,
+                ledger: LinkLedger::new(recorder),
+                registry: Mutex::new(BTreeMap::new()),
+                conns: Mutex::new(BTreeMap::new()),
+                dialed: AtomicU64::new(0),
+                accepted: Arc::new(AtomicU64::new(0)),
+            }),
+        }
+    }
+
+    fn register_endpoint(&self, id: PartyId) -> Endpoint {
+        // Loopback bind/configure failure is environment-fatal (out of
+        // ports or no loopback interface), not a protocol condition any
+        // caller can handle — hence the panic allowances below.
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            // lint:allow(panic) environment-fatal, see above
+            .expect("bind wire fabric listener on loopback");
+        let addr = listener
+            .local_addr()
+            // lint:allow(panic) see the bind note above
+            .expect("read wire fabric listener address");
+        listener
+            .set_nonblocking(true)
+            // lint:allow(panic) see the bind note above
+            .expect("configure wire fabric listener");
+        let (inbox_tx, inbox_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let mut registry = self.inner.registry.lock();
+            if let Some(old) = registry.insert(
+                id.clone(),
+                PartyRecord {
+                    addr,
+                    _inbox_keepalive: inbox_tx.clone(),
+                    stop: Arc::clone(&stop),
+                },
+            ) {
+                // Re-registration replaces the previous endpoint: its
+                // acceptor stops and its inbox sender drops here.
+                old.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        let accepted = Arc::clone(&self.inner.accepted);
+        std::thread::spawn(move || accept_loop(listener, inbox_tx, stop, accepted));
+        Endpoint::from_parts(
+            id,
+            Arc::new(self.clone()),
+            Box::new(WireRecv { rx: inbox_rx }),
+        )
+    }
+}
+
+/// Accepts connections for one party until told to stop, spawning a
+/// reader thread per connection. The listener is polled non-blocking so
+/// the stop flag is honored promptly even with no inbound traffic.
+fn accept_loop(
+    listener: TcpListener,
+    inbox_tx: Sender<WireMessage>,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted.fetch_add(1, Ordering::Relaxed);
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let tx = inbox_tx.clone();
+                std::thread::spawn(move || read_loop(stream, tx));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drains one connection: handshake blob names the sender, every later
+/// blob is one frame's wire image forwarded to the recipient's inbox.
+/// Exits on stream close, decode error, or a gone receiver.
+fn read_loop(mut stream: TcpStream, tx: Sender<WireMessage>) {
+    let mut decoder = StreamDecoder::new();
+    let mut from: Option<PartyId> = None;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        let blobs = match decoder.push(&buf[..n]) {
+            Ok(blobs) => blobs,
+            Err(_) => return, // desynced stream: drop the connection
+        };
+        for blob in blobs {
+            match &from {
+                None => match String::from_utf8(blob) {
+                    Ok(name) => from = Some(PartyId(name)),
+                    Err(_) => return, // malformed handshake
+                },
+                Some(sender) => {
+                    if tx.send((sender.clone(), blob)).is_err() {
+                        return; // receiver endpoint is gone
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct WireRecv {
+    rx: Receiver<WireMessage>,
+}
+
+impl RecvPort for WireRecv {
+    fn recv_wire(&self) -> Result<WireMessage, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv_wire(&self) -> Result<WireMessage, TransportError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => TransportError::Empty,
+            TryRecvError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl SendPort for WireFabric {
+    fn deliver(&self, from: &PartyId, to: &PartyId, frame: &Frame) -> Result<(), TransportError> {
+        let inner = &*self.inner;
+        let mut wire = frame.to_wire().to_vec();
+        // Accounting happens at the send site, before delivery can
+        // fail — the same order as the in-process fabric, which is
+        // what keeps the shared counters backend-invariant.
+        let record = inner.ledger.tally_send(from, to, &wire);
+        let addr = inner
+            .registry
+            .lock()
+            .get(to)
+            .map(|r| r.addr)
+            .ok_or_else(|| TransportError::UnknownParty(to.0.clone()))?;
+        let conn = {
+            let mut conns = inner.conns.lock();
+            match conns.get(&(from.clone(), to.clone())) {
+                Some(conn) => Arc::clone(conn),
+                None => {
+                    // First frame on this ordered link: dial, announce
+                    // the sender, seed the link's fault RNG exactly as
+                    // the in-process fabric would.
+                    let stream =
+                        TcpStream::connect(addr).map_err(|_| TransportError::Disconnected)?;
+                    let _ = stream.set_nodelay(true);
+                    inner.dialed.fetch_add(1, Ordering::Relaxed);
+                    let conn = Arc::new(LinkConn {
+                        stream: Mutex::new(stream),
+                        rng: Mutex::new(StdRng::seed_from_u64(link_seed(
+                            inner.faults.seed,
+                            from,
+                            to,
+                        ))),
+                    });
+                    conn.stream
+                        .lock()
+                        .write_all(&encode_blob(from.0.as_bytes()))
+                        .map_err(|_| TransportError::Disconnected)?;
+                    conns.insert((from.clone(), to.clone()), Arc::clone(&conn));
+                    conn
+                }
+            }
+        };
+        let verdict = {
+            let mut rng = conn.rng.lock();
+            roll_faults(&inner.faults, &mut rng, &mut wire, inner.ledger.stats())
+        };
+        LinkLedger::tally_verdict(&record, &verdict);
+        let copies = match verdict {
+            Verdict::Drop => return Ok(()), // modelled loss: never written
+            Verdict::Deliver { copies, .. } => copies,
+        };
+        let blob = encode_blob(&wire);
+        let delay = inner.shape.delay_ms(wire.len());
+        let mut stream = conn.stream.lock();
+        for _ in 0..copies {
+            if delay > 0 {
+                // Deterministic shaping: a pure function of config and
+                // frame length, applied while holding the link's
+                // stream lock so the link's serialization time is
+                // modelled, not just a fixed offset.
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            stream
+                .write_all(&blob)
+                .map_err(|_| TransportError::Disconnected)?;
+        }
+        stream.flush().map_err(|_| TransportError::Disconnected)
+    }
+}
+
+impl Fabric for WireFabric {
+    fn register(&self, id: PartyId) -> Endpoint {
+        self.register_endpoint(id)
+    }
+
+    fn deregister(&self, id: &PartyId) {
+        if let Some(record) = self.inner.registry.lock().remove(id) {
+            record.stop.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn parties(&self) -> Vec<PartyId> {
+        self.inner.registry.lock().keys().cloned().collect()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.ledger.fault_stats()
+    }
+
+    fn link_stats(&self) -> Vec<((PartyId, PartyId), LinkStats)> {
+        self.inner.ledger.link_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Switchboard;
+    use bytes::Bytes;
+
+    fn frame(t: u16, body: &'static [u8]) -> Frame {
+        Frame::new(t, Bytes::from_static(body))
+    }
+
+    #[test]
+    fn decoder_reassembles_across_arbitrary_chunks() {
+        let blobs: Vec<Vec<u8>> = vec![b"one".to_vec(), vec![], b"three!".to_vec()];
+        let mut stream = Vec::new();
+        for b in &blobs {
+            stream.extend_from_slice(&encode_blob(b));
+        }
+        // Byte-at-a-time is the worst chunking.
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            got.extend(dec.push(std::slice::from_ref(byte)).unwrap());
+        }
+        assert_eq!(got, blobs);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_flags_truncated_tail() {
+        let blob = encode_blob(b"whole");
+        for cut in 1..blob.len() {
+            let mut dec = StreamDecoder::new();
+            assert!(dec.push(&blob[..cut]).unwrap().is_empty(), "cut={cut}");
+            assert_eq!(
+                dec.finish().unwrap_err(),
+                TransportError::Wire(WireError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_absurd_length_prefix() {
+        let mut dec = StreamDecoder::new();
+        let bad = (MAX_BLOB_LEN as u32 + 1).to_be_bytes();
+        assert!(matches!(
+            dec.push(&bad).unwrap_err(),
+            TransportError::Wire(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn wire_send_recv_round_trip() {
+        let fabric = WireFabric::new();
+        let a = fabric.register(PartyId::new("a"));
+        let b = fabric.register(PartyId::new("b"));
+        a.send(b.id(), frame(7, b"over tcp")).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from.as_str(), "a");
+        assert_eq!(env.frame.msg_type, 7);
+        assert_eq!(env.frame.payload.as_ref(), b"over tcp");
+    }
+
+    #[test]
+    fn wire_preserves_per_sender_fifo() {
+        let fabric = WireFabric::new();
+        let a = fabric.register(PartyId::new("a"));
+        let b = fabric.register(PartyId::new("b"));
+        for i in 0..50u16 {
+            a.send(b.id(), frame(i, b"seq")).unwrap();
+        }
+        for i in 0..50u16 {
+            assert_eq!(b.recv().unwrap().frame.msg_type, i);
+        }
+    }
+
+    #[test]
+    fn wire_unknown_party_errors() {
+        let fabric = WireFabric::new();
+        let a = fabric.register(PartyId::new("a"));
+        assert_eq!(
+            a.send(&PartyId::new("ghost"), frame(1, b"x")).unwrap_err(),
+            TransportError::UnknownParty("ghost".into())
+        );
+    }
+
+    #[test]
+    fn wire_parties_listing_sorted() {
+        let fabric = WireFabric::new();
+        let _ts = fabric.register(PartyId::new("ts"));
+        let _dc = fabric.register(PartyId::new("dc-1"));
+        assert_eq!(
+            fabric.parties(),
+            vec![PartyId::new("dc-1"), PartyId::new("ts")]
+        );
+        fabric.deregister(&PartyId::new("dc-1"));
+        assert_eq!(fabric.parties(), vec![PartyId::new("ts")]);
+    }
+
+    #[test]
+    fn wire_faults_follow_the_per_link_schedule() {
+        // The same (seed, from, to) link must see the same fault
+        // schedule on the wire fabric as on the in-process fabric.
+        let faults = FaultConfig {
+            drop_chance: 0.5,
+            seed: 11,
+            ..Default::default()
+        };
+        let run_wire = || {
+            let fabric = WireFabric::with_shape(WireShape::default(), faults);
+            let a = fabric.register(PartyId::new("a"));
+            let b = fabric.register(PartyId::new("b"));
+            for i in 0..50u16 {
+                a.send(b.id(), frame(i, b"x")).unwrap();
+            }
+            let mut got = Vec::new();
+            // Blocking recv until the expected number of survivors
+            // arrived: the sender-side stats say how many were written.
+            let expected = fabric.fault_stats().sent - fabric.fault_stats().dropped;
+            for _ in 0..expected {
+                got.push(b.recv().unwrap().frame.msg_type);
+            }
+            got
+        };
+        let in_process = {
+            let board = Switchboard::with_faults(faults);
+            let a = board.register("a");
+            let b = board.register("b");
+            for i in 0..50u16 {
+                a.send(b.id(), frame(i, b"x")).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(env) = b.try_recv() {
+                got.push(env.frame.msg_type);
+            }
+            got
+        };
+        assert_eq!(run_wire(), in_process);
+        assert_eq!(run_wire(), in_process);
+    }
+
+    #[test]
+    fn wire_counters_match_in_process_under_lossless_schedule() {
+        // Same sends on both backends → identical FaultStats and
+        // per-link LinkStats, including the transcript digest.
+        let drive = |fabric: &dyn Fabric| {
+            let a = fabric.register(PartyId::new("a"));
+            let b = fabric.register(PartyId::new("b"));
+            let c = fabric.register(PartyId::new("c"));
+            a.send(b.id(), frame(1, b"to b")).unwrap();
+            a.send(c.id(), frame(2, b"to c, longer")).unwrap();
+            c.send(a.id(), frame(3, b"back")).unwrap();
+            // Drain so nothing is in flight when stats are read.
+            b.recv().unwrap();
+            a.recv().unwrap();
+            c.recv().unwrap();
+            (fabric.fault_stats(), fabric.link_stats())
+        };
+        let board = Switchboard::new();
+        let wire = WireFabric::new();
+        assert_eq!(drive(&board), drive(&wire));
+    }
+
+    #[test]
+    fn wire_corruption_caught_by_frame_checksum() {
+        let fabric = WireFabric::with_shape(
+            WireShape::default(),
+            FaultConfig {
+                corrupt_chance: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let a = fabric.register(PartyId::new("a"));
+        let b = fabric.register(PartyId::new("b"));
+        a.send(b.id(), frame(1, b"precious data")).unwrap();
+        match b.recv() {
+            Err(TransportError::Wire(_)) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        assert_eq!(fabric.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn wire_duplicates_deliver_twice() {
+        let fabric = WireFabric::with_shape(
+            WireShape::default(),
+            FaultConfig {
+                duplicate_chance: 1.0,
+                ..Default::default()
+            },
+        );
+        let a = fabric.register(PartyId::new("a"));
+        let b = fabric.register(PartyId::new("b"));
+        a.send(b.id(), frame(1, b"twice")).unwrap();
+        assert!(b.recv().is_ok());
+        assert!(b.recv().is_ok());
+    }
+
+    #[test]
+    fn dropping_the_wire_fabric_publishes_metrics_with_wire_family() {
+        let rec = Recorder::new();
+        {
+            let fabric =
+                WireFabric::with_shape_obs(WireShape::default(), FaultConfig::none(), rec.clone());
+            let a = fabric.register(PartyId::new("a"));
+            let b = fabric.register(PartyId::new("b"));
+            a.send(b.id(), frame(1, b"counted")).unwrap();
+            let _ = b.recv().unwrap();
+            assert_eq!(rec.read_counter("net.frames.sent"), 0);
+        }
+        assert_eq!(rec.read_counter("net.frames.sent"), 1);
+        assert_eq!(rec.read_counter("net.link.a->b.sent"), 1);
+        assert_eq!(rec.read_counter("net.wire.conns.dialed"), 1);
+        assert_eq!(rec.read_counter("net.wire.conns.accepted"), 1);
+    }
+
+    #[test]
+    fn cross_thread_wire_delivery() {
+        let fabric = WireFabric::new();
+        let a = fabric.register(PartyId::new("a"));
+        let b = fabric.register(PartyId::new("b"));
+        let handle = std::thread::spawn(move || b.recv().unwrap().frame.msg_type);
+        a.send(&PartyId::new("b"), frame(42, b"cross-thread"))
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

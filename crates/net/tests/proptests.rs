@@ -1,8 +1,10 @@
-//! Property tests for the wire format and transport.
+//! Property tests for the wire format, the transport, and the
+//! socket-stream blob codec the wire fabric layers on top of both.
 
 use bytes::Bytes;
 use pm_net::frame::{Frame, WireError};
-use pm_net::transport::{FaultConfig, Switchboard};
+use pm_net::transport::{FaultConfig, Switchboard, TransportError};
+use pm_net::wire::{encode_blob, StreamDecoder};
 use proptest::prelude::*;
 
 proptest! {
@@ -85,6 +87,80 @@ proptest! {
         // Binomial(200, 0.5): dropping outside [60, 140] is ~5σ.
         prop_assert!((60..=140).contains(&(stats.dropped as usize)), "{}", stats.dropped);
         prop_assert_eq!(b.pending() as u64 + stats.dropped, n as u64);
+    }
+}
+
+proptest! {
+    /// A TCP stream hands the reader arbitrary chunk boundaries; the
+    /// decoder must reassemble the original blob sequence from ANY
+    /// split of the byte stream — including byte-at-a-time delivery and
+    /// chunks spanning several blobs.
+    #[test]
+    fn stream_decoder_survives_arbitrary_chunking(
+        blobs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut stream = Vec::new();
+        for blob in &blobs {
+            stream.extend_from_slice(&encode_blob(blob));
+        }
+        // Turn the free-form cut seeds into sorted split points.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(stream.len());
+
+        let mut dec = StreamDecoder::default();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut start = 0;
+        for end in points {
+            got.extend(dec.push(&stream[start..end]).unwrap());
+            start = end;
+        }
+        dec.finish().unwrap();
+        prop_assert_eq!(got, blobs);
+    }
+
+    /// Cutting the stream anywhere that is not a blob boundary leaves
+    /// residue: `finish` must flag it as `WireError::Truncated` — and
+    /// decoding the truncated stream must never panic.
+    #[test]
+    fn stream_decoder_flags_any_truncation(
+        blobs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..5),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for blob in &blobs {
+            stream.extend_from_slice(&encode_blob(blob));
+            boundaries.push(stream.len());
+        }
+        let cut = cut_seed % stream.len();
+        let mut dec = StreamDecoder::default();
+        let _ = dec.push(&stream[..cut]).unwrap();
+        if boundaries.contains(&cut) {
+            prop_assert!(dec.finish().is_ok());
+        } else {
+            prop_assert!(matches!(
+                dec.finish(),
+                Err(TransportError::Wire(WireError::Truncated))
+            ));
+        }
+    }
+
+    /// Arbitrary garbage fed as a stream either decodes into some blob
+    /// sequence or errors — it must never panic, and an oversized
+    /// length prefix must be rejected before allocation.
+    #[test]
+    fn stream_decoder_never_panics_on_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut dec = StreamDecoder::default();
+        if dec.push(&data).is_ok() {
+            let _ = dec.finish();
+        }
     }
 }
 

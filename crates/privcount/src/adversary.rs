@@ -131,6 +131,7 @@ mod tests {
             seed: 11,
             threaded: false,
             faults: FaultConfig::none(),
+            fabric: Default::default(),
             adversary,
             recorder: Default::default(),
         }

@@ -1,6 +1,6 @@
-//! Round driver: wires TS, SKs, and DCs over a switchboard, runs the
-//! protocol to completion, and packages results with confidence
-//! intervals.
+//! Round driver: wires TS, SKs, and DCs over a [`pm_net::Fabric`]
+//! backend, runs the protocol to completion, and packages results with
+//! confidence intervals.
 
 use crate::adversary::Attack;
 use crate::counter::{CounterSpec, EventMapper};
@@ -9,7 +9,7 @@ use crate::sk::SkNode;
 use crate::ts::{ResultSlot, TsNode};
 use parking_lot::Mutex;
 use pm_net::party::{NodeError, Runner};
-use pm_net::transport::{FaultConfig, PartyId, Switchboard};
+use pm_net::transport::{FabricChoice, FaultConfig, PartyId};
 use pm_stats::ci::Estimate;
 use std::sync::Arc;
 
@@ -42,8 +42,13 @@ pub struct RoundConfig {
     /// Run each party on its own OS thread instead of the deterministic
     /// single-threaded scheduler.
     pub threaded: bool,
-    /// Optional fault injection on the switchboard.
+    /// Optional fault injection on the fabric.
     pub faults: FaultConfig,
+    /// Which [`pm_net::Fabric`] backend carries the round: per-link
+    /// mailboxes (default), the single-lock baseline, or real loopback
+    /// sockets. The wire backend forces threaded execution and rejects
+    /// active adversaries (they need the deterministic scheduler).
+    pub fabric: FabricChoice,
     /// Optional Byzantine behaviour injected into one party
     /// ([`crate::adversary`]). Forces the deterministic scheduler when
     /// active, so a dead keeper deadlocks loudly instead of hanging
@@ -145,6 +150,7 @@ pub fn run_round_days(
                     seed: pm_stats::sampling::derive_seed(cfg.seed, &format!("privcount/day{d}")),
                     threaded: cfg.threaded,
                     faults: cfg.faults,
+                    fabric: cfg.fabric,
                     adversary: cfg.adversary,
                     recorder: cfg.recorder.clone(),
                 },
@@ -166,8 +172,15 @@ pub fn run_round_sources(
     round_span.note("dcs", dc_sources.len());
     round_span.note("sks", cfg.num_sks);
     let num_dcs = dc_sources.len();
-    let board = Switchboard::with_faults_obs(cfg.faults, cfg.recorder.clone());
-    let mut runner = Runner::new(board);
+    if cfg.fabric.is_wire() && cfg.adversary.is_active() {
+        return Err(NodeError::Protocol(
+            "adversarial scenarios need the deterministic scheduler, which the \
+             wire fabric cannot provide"
+                .into(),
+        ));
+    }
+    let board = cfg.fabric.build_obs(cfg.faults, cfg.recorder.clone());
+    let mut runner = Runner::over(board);
 
     let ts_id = PartyId::new("ts");
     let dc_names: Vec<PartyId> = (0..num_dcs)
@@ -227,8 +240,11 @@ pub fn run_round_sources(
     }
 
     // Attacks require the deterministic scheduler's deadlock detector:
-    // a dead keeper hangs the threaded runner forever.
-    if cfg.threaded && !cfg.adversary.is_active() {
+    // a dead keeper hangs the threaded runner forever. The wire fabric
+    // conversely has no deterministic scheduler, so it always runs one
+    // thread per party.
+    let threaded = cfg.threaded || cfg.fabric.is_wire();
+    if threaded && !cfg.adversary.is_active() {
         runner.run_threaded()?;
     } else {
         runner.run_deterministic()?;
@@ -270,6 +286,7 @@ mod tests {
             seed: 7,
             threaded,
             faults: FaultConfig::none(),
+            fabric: FabricChoice::default(),
             adversary: Attack::None,
             recorder: pm_obs::Recorder::new(),
         }
@@ -351,6 +368,7 @@ mod tests {
             seed: 9,
             threaded: false,
             faults: FaultConfig::none(),
+            fabric: FabricChoice::default(),
             adversary: Attack::None,
             recorder: pm_obs::Recorder::new(),
         };

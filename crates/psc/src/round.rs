@@ -7,7 +7,7 @@ use crate::items::ItemExtractor;
 use crate::ts::{PscResultSlot, PscTsNode, RawCount};
 use parking_lot::Mutex;
 use pm_net::party::{NodeError, Runner};
-use pm_net::transport::{FaultConfig, PartyId, Switchboard};
+use pm_net::transport::{FabricChoice, FaultConfig, PartyId};
 use pm_stats::ci::Estimate;
 use pm_stats::psc_ci::psc_confidence_interval;
 use std::sync::Arc;
@@ -34,10 +34,12 @@ pub struct PscConfig {
     /// How CPs execute their per-cell crypto. Every strategy yields the
     /// same transcript; this only shapes wall-clock time.
     pub mix: MixStrategy,
-    /// Use the single-lock [`Switchboard`] delivery path instead of the
-    /// default per-link mailboxes — the comparison baseline for the
-    /// fault-injection regression tests.
-    pub single_lock_board: bool,
+    /// Which [`pm_net::Fabric`] backend carries the round: per-link
+    /// mailboxes (default), the single-lock baseline for the
+    /// fault-injection regression tests, or real loopback sockets.
+    /// The wire backend forces threaded execution and rejects active
+    /// adversaries (they need the deterministic scheduler).
+    pub fabric: FabricChoice,
     /// Byzantine behaviour to inject ([`crate::adversary`]); `None`
     /// runs the round honestly. An active attack forces the
     /// deterministic scheduler (the threaded runner has no deadlock
@@ -61,7 +63,7 @@ impl Default for PscConfig {
             threaded: false,
             faults: FaultConfig::none(),
             mix: MixStrategy::default(),
-            single_lock_board: false,
+            fabric: FabricChoice::default(),
             adversary: Attack::None,
             recorder: pm_obs::Recorder::new(),
         }
@@ -175,12 +177,15 @@ pub fn run_psc_round_sources(
     let mut round_span = cfg.recorder.span("round.psc", "round");
     round_span.note("dcs", dc_sources.len());
     round_span.note("cps", cfg.num_cps);
-    let board = if cfg.single_lock_board {
-        Switchboard::single_lock_with_faults_obs(cfg.faults, cfg.recorder.clone())
-    } else {
-        Switchboard::with_faults_obs(cfg.faults, cfg.recorder.clone())
-    };
-    let mut runner = Runner::new(board);
+    if cfg.fabric.is_wire() && cfg.adversary.is_active() {
+        return Err(NodeError::Protocol(
+            "adversarial scenarios need the deterministic scheduler, which the \
+             wire fabric cannot provide"
+                .into(),
+        ));
+    }
+    let board = cfg.fabric.build_obs(cfg.faults, cfg.recorder.clone());
+    let mut runner = Runner::over(board);
 
     let ts_id = PartyId::new("psc-ts");
     let dc_names: Vec<PartyId> = (0..dc_sources.len())
@@ -240,7 +245,11 @@ pub fn run_psc_round_sources(
         runner.add(dc.clone(), Box::new(node));
     }
 
-    if cfg.threaded && !cfg.adversary.is_active() {
+    // The wire fabric has no deterministic scheduler: frames in kernel
+    // buffers are invisible to a try_recv round-robin, so socket-backed
+    // rounds always run one thread per party (as a deployment would).
+    let threaded = cfg.threaded || cfg.fabric.is_wire();
+    if threaded && !cfg.adversary.is_active() {
         runner.run_threaded()?;
     } else {
         runner.run_deterministic()?;

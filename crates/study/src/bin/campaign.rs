@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p pm-study --bin campaign -- \
 //!     [--days N] [--scale S] [--seed N] [--shards K] [--workers W]
-//!     [--attack NAME] [--csv] [--json PATH] [--trace PATH] [-q | -v] [--list]
+//!     [--fabric BACKEND] [--attack NAME] [--csv] [--json PATH]
+//!     [--trace PATH] [-q | -v] [--list]
 //! ```
 //!
 //! The default 7-day calendar holds the §5.1 client-IP measurement,
@@ -22,11 +23,18 @@
 //! aborted or degraded and the detection recorded in the anomaly
 //! channel — the scenario-smoke target greps exactly that.
 //!
+//! `--fabric BACKEND` picks the transport carrying every protocol
+//! frame: `per-link` (default), `single-lock`, or
+//! `wire[:latency_ms[,bw_kbps]]` for real loopback TCP sockets —
+//! reports are byte-identical across backends under a lossless
+//! schedule.
+//!
 //! `--trace PATH` enables the wall-clock profiling plane and writes a
 //! chrome://tracing trace-event file (load it at chrome://tracing or
 //! ui.perfetto.dev). Profiling never changes a report byte. `-q`
 //! silences progress events; `-v` prints them with structured fields.
 
+use pm_net::FabricChoice;
 use pm_obs::{Event, Recorder, Sink, Verbosity};
 use pm_study::{Campaign, CampaignAttack, CampaignConfig};
 
@@ -36,6 +44,7 @@ fn main() {
     let mut seed = 2018u64;
     let mut shards = 0usize;
     let mut workers = 0usize;
+    let mut fabric = FabricChoice::default();
     let mut attack = CampaignAttack::None;
     let mut csv = false;
     let mut json: Option<String> = None;
@@ -72,6 +81,17 @@ fn main() {
                 // lint:allow(panic) CLI usage error: an immediate loud exit is the interface
                 workers = args[i].parse().expect("--workers takes an integer");
             }
+            "--fabric" => {
+                i += 1;
+                fabric = FabricChoice::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fabric '{}'; known: per-link, single-lock, \
+                         wire[:latency_ms[,bw_kbps]]",
+                        args[i]
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--attack" => {
                 i += 1;
                 attack = CampaignAttack::parse(&args[i]).unwrap_or_else(|| {
@@ -102,7 +122,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign [--days N] [--scale S] [--seed N] [--shards K] \
-                     [--workers W] [--attack NAME] [--csv] [--json PATH] [--trace PATH] \
+                     [--workers W] [--fabric per-link|single-lock|wire[:latency_ms[,bw_kbps]]] \
+                     [--attack NAME] [--csv] [--json PATH] [--trace PATH] \
                      [-q | -v] [--list]"
                 );
                 return;
@@ -123,6 +144,7 @@ fn main() {
     };
     let mut cfg = CampaignConfig::new(days, scale, seed)
         .with_attack(attack)
+        .with_fabric(fabric)
         .with_recorder(recorder.clone());
     if shards > 0 {
         cfg = cfg.with_shards(shards);

@@ -205,6 +205,10 @@ pub struct CampaignConfig {
     /// derived from the seed). Lets stress tests drive the campaign
     /// over a high-churn or fast-drifting network.
     pub timeline: Option<TimelineConfig>,
+    /// Fabric backend every round runs over (in-process per-link by
+    /// default; `wire` carries protocol frames over real loopback
+    /// sockets without changing a report byte).
+    pub fabric: pm_net::FabricChoice,
     /// Byzantine scenario injected into every round (the adversarial
     /// scenario suite); [`CampaignAttack::None`] runs honestly.
     pub attack: CampaignAttack,
@@ -225,6 +229,7 @@ impl CampaignConfig {
             seed,
             shards: 0,
             timeline: None,
+            fabric: pm_net::FabricChoice::default(),
             attack: CampaignAttack::None,
             recorder: pm_obs::Recorder::new(),
         }
@@ -239,6 +244,12 @@ impl CampaignConfig {
     /// Overrides the network-evolution model.
     pub fn with_timeline(mut self, timeline: TimelineConfig) -> CampaignConfig {
         self.timeline = Some(timeline);
+        self
+    }
+
+    /// Overrides the fabric backend every round runs over.
+    pub fn with_fabric(mut self, fabric: pm_net::FabricChoice) -> CampaignConfig {
+        self.fabric = fabric;
         self
     }
 
@@ -327,8 +338,9 @@ impl Campaign {
     /// validated through the §3.1 [`Accountant`] (an invalid calendar
     /// is a programming error and panics here, never mid-execution).
     pub fn new(cfg: CampaignConfig) -> Campaign {
-        let mut base =
-            Deployment::at_scale(cfg.scale, cfg.seed).with_recorder(cfg.recorder.clone());
+        let mut base = Deployment::at_scale(cfg.scale, cfg.seed)
+            .with_recorder(cfg.recorder.clone())
+            .with_fabric(cfg.fabric);
         if cfg.shards > 0 {
             base = base.with_shards(cfg.shards);
         }

@@ -33,6 +33,7 @@ fn run_with(faults: FaultConfig) -> Result<i64, String> {
         seed: 1,
         threaded: false,
         faults,
+        fabric: Default::default(),
         adversary: Default::default(),
         recorder: Default::default(),
     };

@@ -67,6 +67,7 @@ fn main() {
         seed: 1,
         threaded: true, // one OS thread per party, like a real deployment
         faults: Default::default(),
+        fabric: Default::default(),
         adversary: Default::default(),
         recorder: Default::default(),
     };

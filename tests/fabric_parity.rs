@@ -1,0 +1,94 @@
+//! Observability parity across fabric backends (ISSUE 10 satellite).
+//!
+//! The `pm_net::Fabric` contract says the shared `net.*` metric family
+//! is backend-invariant under a lossless schedule: swapping the
+//! in-process per-link board for real loopback sockets may *add*
+//! wire-specific keys (`net.wire.*`) but must never change the value of
+//! any key both backends publish. This test runs the identical PSC
+//! round on both backends with separate recorders and compares the
+//! full `net.` snapshot slice key by key.
+
+use pm_net::{FabricChoice, WireShape};
+use psc::cp::MixStrategy;
+use psc::items;
+use psc::round::{run_psc_round, PscConfig};
+
+fn ip_generators(sets: &[&[u32]]) -> Vec<psc::dc::EventGenerator> {
+    sets.iter()
+        .map(|ips| {
+            let ips: Vec<u32> = ips.to_vec();
+            let g: psc::dc::EventGenerator = Box::new(move |sink| {
+                for ip in ips {
+                    sink(torsim::events::TorEvent::EntryConnection {
+                        relay: torsim::ids::RelayId(0),
+                        client_ip: torsim::ids::IpAddr(ip),
+                    });
+                }
+            });
+            g
+        })
+        .collect()
+}
+
+fn net_metrics(fabric: FabricChoice) -> Vec<(String, u64)> {
+    let recorder = pm_obs::Recorder::new();
+    let cfg = PscConfig {
+        table_size: 64,
+        noise_flips_per_cp: 6,
+        num_cps: 2,
+        verify: false,
+        seed: 29,
+        threaded: true,
+        mix: MixStrategy::Sequential,
+        fabric,
+        recorder: recorder.clone(),
+        ..Default::default()
+    };
+    run_psc_round(
+        cfg,
+        items::unique_client_ips(),
+        ip_generators(&[&[21, 22, 23], &[23, 24]]),
+    )
+    .expect("round");
+    recorder
+        .read_snapshot()
+        .entries
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("net."))
+        .collect()
+}
+
+/// Every `net.*` key the in-process board publishes — frame totals,
+/// per-link send counts, bytes, and transcript digests — must carry the
+/// identical value when the round runs over loopback TCP; keys only the
+/// wire backend adds must live under `net.wire.`.
+#[test]
+fn wire_and_in_process_publish_identical_shared_net_metrics() {
+    let per_link = net_metrics(FabricChoice::PerLink);
+    let wire = net_metrics(FabricChoice::Wire(WireShape::default()));
+    assert!(
+        per_link.iter().any(|(k, _)| k == "net.frames.sent"),
+        "in-process run published no frame counters"
+    );
+
+    let wire_map: std::collections::BTreeMap<&str, u64> =
+        wire.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (key, value) in &per_link {
+        assert_eq!(
+            wire_map.get(key.as_str()),
+            Some(value),
+            "shared metric {key} diverged between backends"
+        );
+    }
+
+    // The wire backend may publish extra keys, but only in its own
+    // namespace — shared families never gain backend-specific members.
+    let per_link_keys: std::collections::BTreeSet<&str> =
+        per_link.iter().map(|(k, _)| k.as_str()).collect();
+    for (key, _) in &wire {
+        assert!(
+            per_link_keys.contains(key.as_str()) || key.starts_with("net.wire."),
+            "wire-only metric {key} outside the net.wire. namespace"
+        );
+    }
+}

@@ -60,6 +60,7 @@ fn inference_recovers_ground_truth_from_full_simulation() {
         seed: 7,
         threaded: false,
         faults: Default::default(),
+        fabric: Default::default(),
         adversary: Default::default(),
         recorder: Default::default(),
     };
@@ -120,6 +121,7 @@ fn noise_floor_hides_small_counts() {
         seed: 11,
         threaded: false,
         faults: Default::default(),
+        fabric: Default::default(),
         adversary: Default::default(),
         recorder: Default::default(),
     };
@@ -152,6 +154,7 @@ fn dropped_party_aborts_cleanly() {
             drop_chance: 1.0, // every frame lost
             ..Default::default()
         },
+        fabric: Default::default(),
         adversary: Default::default(),
         recorder: Default::default(),
     };

@@ -1,10 +1,12 @@
 //! Integration: PSC over the full simulation, including verified runs
 //! and the statistical estimator chain; transcript equality between
-//! sequential and batched-parallel mixing at the round level; and
+//! sequential and batched-parallel mixing at the round level;
 //! fault-injection regressions pinning the per-link `Switchboard` to
-//! the single-lock baseline.
+//! the single-lock baseline; and fabric-backend equality pinning the
+//! socket-backed wire fabric to the in-process board.
 
 use pm_net::transport::FaultConfig;
+use pm_net::{FabricChoice, WireShape};
 use psc::cp::MixStrategy;
 use psc::items;
 use psc::round::{run_psc_round, PscConfig};
@@ -210,7 +212,7 @@ enum Outcome {
     Aborted,
 }
 
-fn run_faulted(faults: FaultConfig, single_lock_board: bool) -> Outcome {
+fn run_faulted(faults: FaultConfig, fabric: FabricChoice) -> Outcome {
     let cfg = PscConfig {
         table_size: 64,
         noise_flips_per_cp: 4,
@@ -220,7 +222,7 @@ fn run_faulted(faults: FaultConfig, single_lock_board: bool) -> Outcome {
         threaded: false,
         faults,
         mix: MixStrategy::Batched { threads: 2 },
-        single_lock_board,
+        fabric,
         adversary: Default::default(),
         recorder: Default::default(),
     };
@@ -268,8 +270,8 @@ fn per_link_board_matches_single_lock_under_faults() {
         ),
     ];
     for (label, faults) in cases {
-        let per_link = run_faulted(faults, false);
-        let single_lock = run_faulted(faults, true);
+        let per_link = run_faulted(faults, FabricChoice::PerLink);
+        let single_lock = run_faulted(faults, FabricChoice::SingleLock);
         assert_eq!(per_link, single_lock, "{label}");
         if label == "lossless" {
             assert!(matches!(per_link, Outcome::Published(_)), "{label}");
@@ -293,8 +295,68 @@ fn per_link_fault_schedule_is_reproducible() {
             seed: 77,
             ..Default::default()
         };
-        let a = run_faulted(faults, false);
-        let b = run_faulted(faults, false);
+        let a = run_faulted(faults, FabricChoice::PerLink);
+        let b = run_faulted(faults, FabricChoice::PerLink);
         assert_eq!(a, b, "drop={drop} dup={dup}");
+    }
+}
+
+// ----- fabric equality: socket-backed wire vs in-process board -------
+
+fn run_on_fabric(fabric: FabricChoice, recorder: pm_obs::Recorder) -> psc::ts::RawCount {
+    let cfg = PscConfig {
+        table_size: 128,
+        noise_flips_per_cp: 12,
+        num_cps: 3,
+        verify: true,
+        seed: 41,
+        // The wire fabric forces threaded execution internally; running
+        // the in-process reference threaded too keeps the comparison
+        // honest about delivery interleaving.
+        threaded: true,
+        mix: MixStrategy::Batched { threads: 2 },
+        fabric,
+        recorder,
+        ..Default::default()
+    };
+    run_psc_round(
+        cfg,
+        items::unique_client_ips(),
+        ip_generators(&[&[1, 2, 3, 4, 5], &[4, 5, 6, 7], &[8, 9]]),
+    )
+    .expect("round")
+    .raw
+}
+
+/// Acceptance (ISSUE 10 tentpole): a PSC round whose every protocol
+/// frame crosses a real loopback TCP socket publishes the same
+/// `RawCount` — and the same per-link transcript digests — as the
+/// in-process per-link board under a lossless schedule. The digest
+/// comparison pins transcript *bytes*, not just the final count.
+#[test]
+fn wire_round_matches_in_process() {
+    let rec_mem = pm_obs::Recorder::new();
+    let rec_wire = pm_obs::Recorder::new();
+    let in_process = run_on_fabric(FabricChoice::PerLink, rec_mem.clone());
+    let wire = run_on_fabric(FabricChoice::Wire(WireShape::default()), rec_wire.clone());
+    assert_eq!(in_process, wire);
+
+    // Every per-link transcript digest the in-process board published
+    // must be identical on the wire — byte-identical frames, in order.
+    let mem_snapshot = rec_mem.read_snapshot();
+    let wire_snapshot = rec_wire.read_snapshot();
+    let digests: Vec<&str> = mem_snapshot
+        .entries
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| k.starts_with("net.link.") && k.ends_with(".digest"))
+        .collect();
+    assert!(!digests.is_empty(), "no per-link digests published");
+    for key in digests {
+        assert_eq!(
+            mem_snapshot.get(key),
+            wire_snapshot.get(key),
+            "transcript digest diverged on {key}"
+        );
     }
 }
